@@ -1,0 +1,256 @@
+package chortle
+
+import (
+	"strings"
+	"testing"
+)
+
+const adderBLIF = `
+.model adder
+.inputs a b cin
+.outputs sum cout
+.names a b t
+10 1
+01 1
+.names t cin sum
+10 1
+01 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	nw, err := ReadBLIF(strings.NewReader(adderBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 6; k++ {
+		res, err := Map(nw, DefaultOptions(k))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := Verify(nw, res.Circuit, 0, 1); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+	// A full adder is pure reconvergent logic (two XORs and a majority):
+	// Chortle cannot merge across the shared inputs, so it needs several
+	// LUTs even at K=3. The library baseline does no better here either:
+	// although the complete K=3 library holds XOR3 and MAJ cells, their
+	// factored-form patterns do not align with this subject's structure
+	// (the structural bias inherent to library mapping) — it only
+	// recovers the inner XOR2 shapes. Both facts are part of the
+	// paper's story, pinned down here.
+	res := MustMap(nw, DefaultOptions(3))
+	if res.LUTs > 7 {
+		t.Fatalf("full adder mapped to %d LUTs at K=3, expected at most 7", res.LUTs)
+	}
+	bres, err := MapBaseline(nw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.LUTs > res.LUTs {
+		t.Fatalf("baseline (%d LUTs) worse than Chortle (%d) on XOR-heavy logic at K=3",
+			bres.LUTs, res.LUTs)
+	}
+
+	var sb strings.Builder
+	if err := WriteBLIF(&sb, nw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBLIF(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Inputs) != 3 {
+		t.Fatal("BLIF round trip lost inputs")
+	}
+}
+
+func TestOptimizePreservesFunction(t *testing.T) {
+	nw, err := ReadBLIF(strings.NewReader(adderBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(opt, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mapped optimized circuit must match the ORIGINAL network.
+	if err := Verify(nw, res.Circuit, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapBaselineAPI(t *testing.T) {
+	nw, err := ReadBLIF(strings.NewReader(adderBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 5; k++ {
+		res, err := MapBaseline(nw, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := Verify(nw, res.Circuit, 0, 1); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+}
+
+func TestCompareSubset(t *testing.T) {
+	tbl, err := CompareSuite(4, CompareOptions{
+		Circuits: []string{"9symml", "frg1"},
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.MISLUTs <= 0 || r.ChortleLUTs <= 0 {
+			t.Fatalf("row %+v has empty mapping", r)
+		}
+	}
+	out := tbl.Format()
+	for _, want := range []string{"K=4", "9symml", "frg1", "average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	rows := sortedCopy(tbl.Rows)
+	if rows[0].Circuit != "9symml" {
+		t.Fatal("sortedCopy broken")
+	}
+	if _, err := CompareSuite(4, CompareOptions{Circuits: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+// TestPaperShape regenerates the paper's headline comparison and checks
+// the qualitative claims of Section 4.2 (skipped with -short):
+//
+//   - K=2: Chortle and MIS nearly identical, with MIS ahead only on a
+//     few reconvergent-fanout (XOR-style) circuits;
+//   - K=4 and K=5: Chortle clearly ahead on average, more so than at
+//     K=3 (incomplete libraries), with per-circuit wins in the paper's
+//     4-28% band for the non-pathological circuits.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison")
+	}
+	avg := map[int]float64{}
+	tables := map[int]Table{}
+	for _, k := range []int{2, 3, 4, 5} {
+		tbl, err := CompareSuite(k, CompareOptions{Verify: true, VerifyPatterns: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg[k] = tbl.AverageDiffPct()
+		tables[k] = tbl
+	}
+	// K=2: nearly identical — every row within a third either way, and
+	// the synthetic circuits map exactly alike.
+	misWins := 0
+	for _, r := range tables[2].Rows {
+		if r.Synthetic && r.DiffPct != 0 {
+			t.Errorf("K=2 %s: expected identical mappings, diff %.1f%%", r.Circuit, r.DiffPct)
+		}
+		if r.DiffPct < 0 {
+			misWins++
+		}
+	}
+	if misWins == 0 || misWins > 5 {
+		t.Errorf("K=2: MIS wins %d circuits; the paper reports a handful of XOR cases", misWins)
+	}
+	// Incomplete-library regime: Chortle clearly ahead and ahead of K=3.
+	if avg[4] < 5 || avg[5] < 5 {
+		t.Errorf("K=4/K=5 averages %.1f%%/%.1f%%: expected clear Chortle advantage", avg[4], avg[5])
+	}
+	if avg[4] <= avg[3] || avg[5] <= avg[3] {
+		t.Errorf("library incompleteness should grow the gap: K3=%.1f K4=%.1f K5=%.1f",
+			avg[3], avg[4], avg[5])
+	}
+	// Chortle never loses on the synthetic circuits at K >= 3.
+	for _, k := range []int{3, 4, 5} {
+		for _, r := range tables[k].Rows {
+			if r.Synthetic && r.DiffPct < 0 {
+				t.Errorf("K=%d %s: Chortle behind on a reconvergence-free circuit (%.1f%%)",
+					k, r.Circuit, r.DiffPct)
+			}
+		}
+	}
+}
+
+const counterBLIF = `
+.model counter2
+.inputs en
+.outputs q0out q1out
+.latch d0 q0 re clk 0
+.latch d1 q1 0
+.names en q0 d0
+10 1
+01 1
+.names en q0 carry
+11 1
+.names carry q1 d1
+10 1
+01 1
+.names q0 q0out
+1 1
+.names q1 q1out
+1 1
+.end`
+
+// TestSequentialMapping maps a small FSM: latches ride through both
+// mappers, the combinational core (including next-state functions) is
+// verified, and the mapped BLIF round-trips with its .latch lines.
+func TestSequentialMapping(t *testing.T) {
+	nw, err := ReadBLIF(strings.NewReader(counterBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 5; k++ {
+		res, err := Map(nw, DefaultOptions(k))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if len(res.Circuit.Latches) != 2 {
+			t.Fatalf("K=%d: latches lost in mapping", k)
+		}
+		if err := Verify(nw, res.Circuit, 0, 1); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		bres, err := MapBaseline(nw, k)
+		if err != nil {
+			t.Fatalf("K=%d baseline: %v", k, err)
+		}
+		if err := Verify(nw, bres.Circuit, 0, 1); err != nil {
+			t.Fatalf("K=%d baseline: %v", k, err)
+		}
+	}
+	res := MustMap(nw, DefaultOptions(4))
+	var sb strings.Builder
+	if err := res.Circuit.WriteBLIF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBLIF(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("mapped sequential BLIF unreadable: %v\n%s", err, sb.String())
+	}
+	if len(back.Latches) != 2 {
+		t.Fatalf("latches lost in mapped BLIF:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), ".latch") {
+		t.Fatalf("no .latch lines emitted:\n%s", sb.String())
+	}
+}

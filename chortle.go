@@ -1,0 +1,153 @@
+// Package chortle is a from-scratch reproduction of the Chortle
+// technology mapper for lookup table-based FPGAs (Francis, Rose, Chung,
+// DAC 1990). It maps optimized multi-level Boolean networks into
+// circuits of K-input lookup tables, minimizing LUT count, and ships
+// with everything the paper's evaluation needs: a BLIF front end, a
+// mini-MIS logic optimizer, a MIS II-style library mapper as the
+// baseline, the MCNC-89-profile benchmark suite, and a harness that
+// regenerates the paper's Tables 1-4.
+//
+// Quick start:
+//
+//	nw, _ := chortle.ReadBLIF(file)
+//	res, _ := chortle.Map(nw, chortle.DefaultOptions(4))
+//	fmt.Println(res.LUTs)
+//	res.Circuit.WriteBLIF(os.Stdout)
+package chortle
+
+import (
+	"fmt"
+	"io"
+
+	"chortle/internal/blif"
+	"chortle/internal/core"
+	"chortle/internal/lut"
+	"chortle/internal/mislib"
+	"chortle/internal/mismap"
+	"chortle/internal/network"
+	"chortle/internal/opt"
+	"chortle/internal/pla"
+	"chortle/internal/verify"
+)
+
+// Network is a technology-independent Boolean network: a DAG of AND/OR
+// nodes with polarized edges, the mapper's input representation.
+type Network = network.Network
+
+// Circuit is a mapped netlist of K-input lookup tables, each carrying
+// its programmed truth table.
+type Circuit = lut.Circuit
+
+// Options configures the Chortle mapper (see DefaultOptions).
+type Options = core.Options
+
+// Result is a mapping outcome: the circuit plus area statistics.
+type Result = core.Result
+
+// DefaultOptions returns the paper's configuration for K-input LUTs:
+// full decomposition search with node splitting above fanin ten.
+func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
+
+// Strategy selects the per-node decomposition search (see Options).
+type Strategy = core.Strategy
+
+// Decomposition strategies: the paper's exhaustive search (optimal per
+// tree) and the Chortle-crf-style first-fit-decreasing bin packing
+// (faster, unbounded fanin).
+const (
+	StrategyExhaustive = core.StrategyExhaustive
+	StrategyBinPack    = core.StrategyBinPack
+)
+
+// ReadBLIF parses a combinational BLIF model into a Boolean network.
+func ReadBLIF(r io.Reader) (*Network, error) { return blif.Read(r) }
+
+// ReadPLA parses an espresso-format two-level PLA (the native format of
+// the MCNC benchmarks) and lowers its factored form to a Boolean
+// network.
+func ReadPLA(r io.Reader) (*Network, error) {
+	p, err := pla.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	nt, err := p.ToNet("")
+	if err != nil {
+		return nil, err
+	}
+	return nt.Lower()
+}
+
+// WriteBLIF emits a Boolean network as BLIF.
+func WriteBLIF(w io.Writer, nw *Network) error { return blif.Write(w, nw) }
+
+// Map runs the Chortle algorithm: optimal (per fanout-free tree)
+// covering of the network with K-input lookup tables.
+func Map(nw *Network, opts Options) (*Result, error) { return core.Map(nw, opts) }
+
+// BaselineResult is the outcome of the MIS II-style baseline mapper.
+type BaselineResult = mismap.Result
+
+// MapBaseline maps the network with the paper's baseline: a DAGON/MIS-
+// style structural tree coverer using the Section 4.1 library for K
+// (complete for K = 2, 3; level-0-kernel incomplete for K = 4, 5).
+func MapBaseline(nw *Network, k int) (*BaselineResult, error) {
+	lib, err := mislib.ForK(k)
+	if err != nil {
+		return nil, err
+	}
+	return mismap.Map(nw, lib)
+}
+
+// Optimize runs the mini-MIS standard script on the network and returns
+// the re-optimized equivalent — the preprocessing the paper applies to
+// every benchmark before mapping ("optimized by the standard MIS II
+// script").
+func Optimize(nw *Network) (*Network, error) {
+	nt, err := opt.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	nt.Optimize(opt.DefaultScript())
+	return nt.Lower()
+}
+
+// Verify checks that a mapped circuit implements its source network:
+// exhaustively up to 16 primary inputs, otherwise with the given number
+// of random 64-pattern blocks.
+func Verify(nw *Network, ckt *Circuit, patterns int, seed int64) error {
+	return verify.NetworkVsCircuit(nw, ckt, patterns, seed)
+}
+
+// VerifyNetworks checks two Boolean networks against each other with
+// the same exhaustive/random simulation policy as Verify.
+func VerifyNetworks(a, b *Network, patterns int, seed int64) error {
+	return verify.NetworkVsNetwork(a, b, patterns, seed)
+}
+
+// MapDuplicateCostAware maps with profitable logic duplication at
+// fanout nodes: each candidate duplication is accepted only when the
+// tree DP proves it reduces total LUT count — the profitable form of
+// the paper's future-work item (naive duplication is
+// Options.DuplicateFanoutLogic). Returns the result and the number of
+// duplications accepted. Slower than Map (it re-costs the network per
+// candidate).
+func MapDuplicateCostAware(nw *Network, opts Options) (*Result, int, error) {
+	return core.MapDuplicateCostAware(nw, opts)
+}
+
+// CLBSpec describes a commercial logic block (LUT pair with a shared
+// input budget) for post-mapping block packing — the paper's
+// "commercial FPGA architectures" future-work direction.
+type CLBSpec = lut.CLBSpec
+
+// XC3000 is the Xilinx 3000-series block profile (5 inputs, 2 LUTs).
+var XC3000 = lut.XC3000
+
+// MustMap is a convenience for examples and tests: Map or panic.
+func MustMap(nw *Network, opts Options) *Result {
+	res, err := Map(nw, opts)
+	if err != nil {
+		panic(fmt.Sprintf("chortle: %v", err))
+	}
+	return res
+}

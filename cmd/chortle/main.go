@@ -1,0 +1,159 @@
+// Command chortle maps a combinational BLIF network into K-input
+// lookup tables with the Chortle algorithm and writes the mapped
+// circuit as BLIF.
+//
+// Usage:
+//
+//	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify] [in.blif]
+//
+// With no input file the network is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"chortle"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 4, "lookup table input count (2..6)")
+		out      = flag.String("o", "", "output BLIF file (default stdout)")
+		optimize = flag.Bool("opt", false, "run the mini-MIS standard script before mapping")
+		baseline = flag.Bool("baseline", false, "map with the MIS II-style library mapper instead of Chortle")
+		stats    = flag.Bool("stats", false, "print area/depth/utilization statistics to stderr")
+		check    = flag.Bool("verify", false, "verify the mapped circuit against the input network by simulation")
+		dup      = flag.Bool("dup", false, "enable fanout-logic duplication (paper future-work extension)")
+		repack   = flag.Bool("repack", false, "merge single-fanout LUT pairs after mapping (reconvergence recovery)")
+		clb      = flag.Bool("clb", false, "report XC3000-style CLB count (5-input, 2-LUT blocks)")
+		split    = flag.Int("split", 10, "node-splitting fanin threshold (paper: 10)")
+		plaIn    = flag.Bool("pla", false, "input is an espresso-format PLA (auto-detected for *.pla files)")
+		depth    = flag.Bool("depth", false, "minimize LUT depth first, area second (Chortle-d-style)")
+		binpack  = flag.Bool("binpack", false, "use the Chortle-crf-style bin-packing decomposition (faster, near-optimal)")
+		verilog  = flag.Bool("verilog", false, "emit structural Verilog instead of BLIF")
+		path     = flag.Bool("path", false, "print the critical path to stderr")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	isPLA := *plaIn
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		if strings.HasSuffix(flag.Arg(0), ".pla") {
+			isPLA = true
+		}
+	}
+	var nw *chortle.Network
+	var err error
+	if isPLA {
+		nw, err = chortle.ReadPLA(in)
+	} else {
+		nw, err = chortle.ReadBLIF(in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		nw, err = chortle.Optimize(nw)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var ckt *chortle.Circuit
+	start := time.Now()
+	if *baseline {
+		res, err := chortle.MapBaseline(nw, *k)
+		if err != nil {
+			fatal(err)
+		}
+		ckt = res.Circuit
+	} else {
+		opts := chortle.DefaultOptions(*k)
+		opts.SplitThreshold = *split
+		opts.DuplicateFanoutLogic = *dup
+		opts.RepackLUTs = *repack
+		opts.OptimizeDepth = *depth
+		if *binpack {
+			opts.Strategy = chortle.StrategyBinPack
+		}
+		res, err := chortle.Map(nw, opts)
+		if err != nil {
+			fatal(err)
+		}
+		ckt = res.Circuit
+	}
+	elapsed := time.Since(start)
+
+	if *check {
+		if err := chortle.Verify(nw, ckt, 64, 1); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "verification passed")
+	}
+	if *stats {
+		s, err := ckt.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d LUTs (K=%d), depth %d, mapped in %s\n",
+			s.LUTs, *k, s.Depth, elapsed.Round(time.Millisecond/10))
+		var us []int
+		for u := range s.Utilization {
+			us = append(us, u)
+		}
+		sort.Ints(us)
+		for _, u := range us {
+			fmt.Fprintf(os.Stderr, "  %d-input LUTs: %d\n", u, s.Utilization[u])
+		}
+	}
+	if *clb {
+		fmt.Fprintf(os.Stderr, "XC3000 CLBs (5-input, 2-LUT blocks): %d\n",
+			ckt.PackCLBs(chortle.XC3000))
+	}
+	if *path {
+		steps, err := ckt.CriticalPath()
+		if err != nil {
+			fatal(err)
+		}
+		var parts []string
+		for _, s := range steps {
+			parts = append(parts, fmt.Sprintf("%s(L%d)", s.Signal, s.Level))
+		}
+		fmt.Fprintf(os.Stderr, "critical path: %s\n", strings.Join(parts, " -> "))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *verilog {
+		if err := ckt.WriteVerilog(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := ckt.WriteBLIF(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chortle:", err)
+	os.Exit(1)
+}

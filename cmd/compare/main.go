@@ -1,0 +1,53 @@
+// Command compare regenerates the paper's experimental tables: for each
+// benchmark and each K it optimizes the network with the mini-MIS
+// standard script, maps it with both the MIS II-style baseline and
+// Chortle, verifies both mapped circuits by simulation, and prints the
+// paper's table layout (LUT counts, % difference, times).
+//
+// Usage:
+//
+//	compare                 # all four tables (K=2..5)
+//	compare -k 4            # Table 3 only
+//	compare -circuits alu2,rot -k 5
+//	compare -noverify       # skip simulation cross-checks (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chortle"
+)
+
+func main() {
+	var (
+		kFlag    = flag.Int("k", 0, "single K to run (default: 2,3,4,5)")
+		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all twelve)")
+		noverify = flag.Bool("noverify", false, "skip simulation verification of the mapped circuits")
+	)
+	flag.Parse()
+
+	var ks []int
+	if *kFlag != 0 {
+		ks = []int{*kFlag}
+	} else {
+		ks = []int{2, 3, 4, 5}
+	}
+	opts := chortle.CompareOptions{Verify: !*noverify}
+	if *circuits != "" {
+		opts.Circuits = strings.Split(*circuits, ",")
+	}
+	for i, k := range ks {
+		tbl, err := chortle.CompareSuite(k, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		fmt.Print(tbl.Format())
+		if i != len(ks)-1 {
+			fmt.Println()
+		}
+	}
+}

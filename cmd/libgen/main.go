@@ -1,0 +1,63 @@
+// Command libgen builds the MIS-style lookup-table libraries of the
+// paper's Section 4.1 and prints their contents, together with the
+// unique-function arithmetic the paper uses to argue library-based
+// mapping cannot scale ("for K=2 there are only 10 unique functions out
+// of a possible 16, and for K=3 there are 78 unique functions out of a
+// possible 256 ... For K=4 ... too large to represent in a MIS library").
+//
+// Usage:
+//
+//	libgen -count          # reproduce the Section 4.1 function counts
+//	libgen -k 4 -list      # list the K=4 incomplete library cells
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chortle/internal/mislib"
+	"chortle/internal/truth"
+)
+
+func main() {
+	var (
+		k     = flag.Int("k", 4, "lookup table input count (2..5)")
+		count = flag.Bool("count", false, "print unique-function counts per K")
+		list  = flag.Bool("list", false, "list the library cells for -k")
+	)
+	flag.Parse()
+
+	if *count {
+		fmt.Println("Unique functions (input-permutation classes, constants excluded):")
+		for n := 2; n <= 4; n++ {
+			total := uint64(1) << (uint64(1) << uint(n))
+			fmt.Printf("  K=%d: %5d unique of %d functions\n", n, truth.CountPClasses(n), total)
+		}
+		fmt.Println("  (paper: 10 of 16 for K=2; 78 of 256 for K=3; the paper's")
+		fmt.Println("   9014 for K=4 is inconsistent with the true count — see EXPERIMENTS.md)")
+		fmt.Println("NPN classes (what a mapper with free inverters distinguishes):")
+		for n := 2; n <= 4; n++ {
+			fmt.Printf("  K=%d: %5d classes\n", n, truth.CountNPNClasses(n))
+		}
+	}
+
+	if *list || !*count {
+		lib, err := mislib.ForK(*k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		kind := "incomplete (level-0 kernels + duals)"
+		if lib.Complete {
+			kind = "complete (one cell per NPN class)"
+		}
+		fmt.Printf("K=%d library: %d cells, %s\n", *k, len(lib.Cells), kind)
+		if *list {
+			for _, c := range lib.Cells {
+				fmt.Printf("  %-8s %d inputs  %v  SOP: %v\n",
+					c.Name, c.Vars, c.F, mislib.MinimizeSOP(c.F))
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command mcnc emits the benchmark suite — the reconstruction of the
+// twelve MCNC-89 circuits the paper evaluates on — as BLIF files.
+//
+// Usage:
+//
+//	mcnc -list                # show the suite
+//	mcnc 9symml               # write 9symml (raw) to stdout
+//	mcnc -opt -dir out/ all   # write all circuits, mini-MIS optimized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chortle"
+	"chortle/internal/bench"
+	"chortle/internal/blif"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the suite circuits")
+		extended = flag.Bool("extended", false, "include the extended (non-paper) circuits in -list")
+		optimize = flag.Bool("opt", false, "run the mini-MIS script before emitting")
+		dir      = flag.String("dir", "", "write <circuit>.blif files into this directory instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		suites := bench.Suite()
+		if *extended {
+			suites = append(suites, bench.ExtendedSuite()...)
+		}
+		for _, c := range suites {
+			nw := c.Build()
+			s := nw.Stats()
+			tag := "functional"
+			if c.Synthetic {
+				tag = "synthetic"
+			}
+			fmt.Printf("%-8s %-10s %4d inputs %4d outputs %5d gates depth %d\n",
+				c.Name, tag, s.Inputs, s.Outputs, s.Gates, s.Depth)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "mcnc: name a circuit, 'all', or use -list")
+		os.Exit(1)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = chortle.SuiteNames()
+	}
+	for _, name := range names {
+		var nw *chortle.Network
+		var err error
+		if *optimize {
+			nw, err = chortle.BenchmarkNetwork(name)
+		} else {
+			nw, err = chortle.RawBenchmarkNetwork(name)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcnc:", err)
+			os.Exit(1)
+		}
+		w := os.Stdout
+		if *dir != "" {
+			f, err := os.Create(filepath.Join(*dir, name+".blif"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcnc:", err)
+				os.Exit(1)
+			}
+			w = f
+		}
+		if err := blif.Write(w, nw); err != nil {
+			fmt.Fprintln(os.Stderr, "mcnc:", err)
+			os.Exit(1)
+		}
+		if w != os.Stdout {
+			w.Close()
+		}
+	}
+}

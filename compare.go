@@ -1,0 +1,237 @@
+package chortle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"chortle/internal/bench"
+	"chortle/internal/opt"
+	"chortle/internal/verify"
+)
+
+// The comparison harness that regenerates the paper's Tables 1-4: for
+// each MCNC-profile benchmark, optimize with the mini-MIS script, map
+// with both the MIS-style baseline and Chortle, and report LUT counts,
+// percentage difference and wall-clock times — the same columns the
+// paper prints ("# tables MIS", "# tables Chortle", "%", "t (sec.)").
+
+// Row is one benchmark line of a comparison table.
+type Row struct {
+	Circuit     string
+	MISLUTs     int
+	ChortleLUTs int
+	// DiffPct is the paper's "%" column: how many fewer LUTs Chortle
+	// used, as a percentage of the MIS count (positive = Chortle wins).
+	DiffPct     float64
+	MISTime     time.Duration
+	ChortleTime time.Duration
+	Synthetic   bool
+}
+
+// Table is a full comparison table for one K.
+type Table struct {
+	K    int
+	Rows []Row
+}
+
+// AverageDiffPct is the mean of the per-circuit percentage differences,
+// the figure the paper quotes per K (≈0%, 6%, 9%, 14% for K = 2..5).
+func (t Table) AverageDiffPct() float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range t.Rows {
+		sum += r.DiffPct
+	}
+	return sum / float64(len(t.Rows))
+}
+
+// SpeedupRange returns the min and max Chortle-vs-MIS speed ratios
+// (MIS time / Chortle time) across the table's rows — the paper claims
+// 1x to 10x.
+func (t Table) SpeedupRange() (lo, hi float64) {
+	lo, hi = -1, -1
+	for _, r := range t.Rows {
+		if r.ChortleTime <= 0 {
+			continue
+		}
+		s := float64(r.MISTime) / float64(r.ChortleTime)
+		if lo < 0 || s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi
+}
+
+// CompareOptions tunes a comparison run.
+type CompareOptions struct {
+	// Circuits restricts the run to the named benchmarks (nil = all 12).
+	Circuits []string
+	// Verify cross-checks both mapped circuits against the optimized
+	// network by simulation (adds runtime; on by default in the CLI).
+	Verify bool
+	// VerifyPatterns is the number of random 64-pattern blocks used for
+	// circuits too wide for exhaustive checking (default 16).
+	VerifyPatterns int
+}
+
+// CompareSuite maps the benchmark suite at the given K with both
+// mappers and returns the comparison table.
+func CompareSuite(k int, o CompareOptions) (Table, error) {
+	if o.VerifyPatterns <= 0 {
+		o.VerifyPatterns = 16
+	}
+	circuits := bench.Suite()
+	if len(o.Circuits) > 0 {
+		var sel []bench.Circuit
+		for _, name := range o.Circuits {
+			c, err := bench.ByName(name)
+			if err != nil {
+				return Table{}, err
+			}
+			sel = append(sel, c)
+		}
+		circuits = sel
+	}
+	tbl := Table{K: k}
+	for _, c := range circuits {
+		row, err := compareOne(c, k, o)
+		if err != nil {
+			return Table{}, fmt.Errorf("circuit %s: %w", c.Name, err)
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
+	nw, err := bench.Optimized(c)
+	if err != nil {
+		return Row{}, err
+	}
+
+	t0 := time.Now()
+	mres, err := MapBaseline(nw, k)
+	if err != nil {
+		return Row{}, err
+	}
+	misTime := time.Since(t0)
+
+	t1 := time.Now()
+	cres, err := Map(nw, DefaultOptions(k))
+	if err != nil {
+		return Row{}, err
+	}
+	chTime := time.Since(t1)
+
+	if o.Verify {
+		if err := verify.NetworkVsCircuit(nw, mres.Circuit, o.VerifyPatterns, 1); err != nil {
+			return Row{}, fmt.Errorf("baseline circuit wrong: %w", err)
+		}
+		if err := verify.NetworkVsCircuit(nw, cres.Circuit, o.VerifyPatterns, 1); err != nil {
+			return Row{}, fmt.Errorf("chortle circuit wrong: %w", err)
+		}
+	}
+
+	diff := 0.0
+	if mres.LUTs > 0 {
+		diff = 100 * float64(mres.LUTs-cres.LUTs) / float64(mres.LUTs)
+	}
+	return Row{
+		Circuit:     c.Name,
+		MISLUTs:     mres.LUTs,
+		ChortleLUTs: cres.LUTs,
+		DiffPct:     diff,
+		MISTime:     misTime,
+		ChortleTime: chTime,
+		Synthetic:   c.Synthetic,
+	}, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table: Results, K=%d\n", t.K)
+	fmt.Fprintf(&sb, "%-8s %9s %9s %7s %10s %10s\n",
+		"Circuit", "# MIS", "# Chortle", "%", "t MIS", "t Chortle")
+	for _, r := range t.Rows {
+		mark := ""
+		if r.Synthetic {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%-8s %9d %9d %6.1f%% %10s %10s\n",
+			r.Circuit+mark, r.MISLUTs, r.ChortleLUTs, r.DiffPct,
+			fmtDur(r.MISTime), fmtDur(r.ChortleTime))
+	}
+	lo, hi := t.SpeedupRange()
+	fmt.Fprintf(&sb, "%-8s %27.1f%%   speedup %.1fx..%.1fx\n", "average",
+		t.AverageDiffPct(), lo, hi)
+	fmt.Fprintf(&sb, "(* synthetic stand-in; see DESIGN.md)\n")
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond / 10).String()
+}
+
+// SuiteNames lists the paper's benchmark circuits in table order.
+func SuiteNames() []string {
+	var out []string
+	for _, c := range bench.Suite() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// ExtendedSuiteNames lists the additional (non-paper) benchmark
+// circuits: classic MCNC two-level functions rebuilt from behaviour.
+func ExtendedSuiteNames() []string {
+	var out []string
+	for _, c := range bench.ExtendedSuite() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// BenchmarkNetwork builds and optimizes one suite circuit by name —
+// the exact network the comparison maps.
+func BenchmarkNetwork(name string) (*Network, error) {
+	c, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Optimized(c)
+}
+
+// RawBenchmarkNetwork builds one suite circuit without optimization.
+func RawBenchmarkNetwork(name string) (*Network, error) {
+	c, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Build(), nil
+}
+
+// OptimizeForBench applies the bounded benchmark-grade script (the one
+// CompareSuite uses) rather than the full default script.
+func OptimizeForBench(nw *Network) (*Network, error) {
+	nt, err := opt.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	nt.Optimize(bench.OptimizeOptions())
+	return nt.Lower()
+}
+
+// sortedCopy is used by tests to compare row sets order-insensitively.
+func sortedCopy(rows []Row) []Row {
+	out := append([]Row(nil), rows...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Circuit < out[j].Circuit })
+	return out
+}

@@ -1,0 +1,60 @@
+// ALU: map the alu4 benchmark (the paper's largest functional circuit)
+// across K = 2..5 with both mappers, printing one row of each of the
+// paper's Tables 1-4 and the resulting depth/utilization profile.
+//
+//	go run ./examples/alu
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"chortle"
+)
+
+func main() {
+	nw, err := chortle.BenchmarkNetwork("alu4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := nw.Stats()
+	fmt.Printf("alu4 after the mini-MIS script: %d inputs, %d outputs, %d gates, depth %d\n\n",
+		s.Inputs, s.Outputs, s.Gates, s.Depth)
+
+	fmt.Printf("%-4s %10s %10s %7s %12s\n", "K", "# MIS", "# Chortle", "%", "Chortle time")
+	for k := 2; k <= 5; k++ {
+		mres, err := chortle.MapBaseline(nw, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		cres, err := chortle.Map(nw, chortle.DefaultOptions(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+		if err := chortle.Verify(nw, cres.Circuit, 0, 1); err != nil {
+			log.Fatalf("K=%d: %v", k, err)
+		}
+		diff := 100 * float64(mres.LUTs-cres.LUTs) / float64(mres.LUTs)
+		fmt.Printf("%-4d %10d %10d %6.1f%% %12s\n",
+			k, mres.LUTs, cres.LUTs, diff, elapsed.Round(time.Millisecond/10))
+	}
+
+	// Depth and pin-utilization profile at K=5.
+	res, err := chortle.Map(nw, chortle.DefaultOptions(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := res.Circuit.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nK=5 circuit: depth %d LUT levels; pins used per LUT:\n", st.Depth)
+	for u := 1; u <= 5; u++ {
+		if n := st.Utilization[u]; n > 0 {
+			fmt.Printf("  %d inputs: %d LUTs\n", u, n)
+		}
+	}
+}

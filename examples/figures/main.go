@@ -1,0 +1,150 @@
+// Figures: walks the worked examples of the paper, reproducing what its
+// figures illustrate —
+//
+//	Figure 1/2: an example Boolean network and its mapping into
+//	            3-input lookup tables;
+//	Figure 3:   creating a forest of fanout-free trees from a DAG;
+//	Figure 5/6: utilization divisions of a node's root lookup table
+//	            (minmap(n, u) for each utilization u);
+//	Figure 7:   decomposition of a node whose fanin exceeds K.
+//
+//	go run ./examples/figures
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chortle"
+	"chortle/internal/forest"
+	"chortle/internal/network"
+)
+
+func main() {
+	figure12()
+	figure3()
+	figure56()
+	figure7()
+}
+
+// figure12 builds the running example network (five inputs, four
+// gates, one fanout node, two outputs) and maps it with K=3.
+func figure12() {
+	fmt.Println("== Figures 1 and 2: a Boolean network and a 3-input mapping ==")
+	nw := network.New("figure1")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	d := nw.AddInput("d")
+	e := nw.AddInput("e")
+	g1 := nw.AddGate("g1", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	g2 := nw.AddGate("g2", network.OpOr, network.Fanin{Node: c, Invert: true}, network.Fanin{Node: d})
+	g3 := nw.AddGate("g3", network.OpOr, network.Fanin{Node: g1}, network.Fanin{Node: g2})
+	g4 := nw.AddGate("g4", network.OpAnd, network.Fanin{Node: g2}, network.Fanin{Node: e})
+	nw.MarkOutput("y", g3, false)
+	nw.MarkOutput("z", g4, true)
+
+	fmt.Println("network: y = ab + (c' + d);  z = ((c' + d)·e)'")
+	res, err := chortle.Map(nw, chortle.DefaultOptions(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := chortle.Verify(nw, res.Circuit, 0, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped with K=3 into %d lookup tables (Figure 2 shows the same 3-LUT cover):\n", res.LUTs)
+	fmt.Print(res.Circuit)
+	fmt.Println()
+}
+
+// figure3 shows the forest construction: the multi-fanout node n roots
+// its own tree and appears as a leaf of both consumer trees.
+func figure3() {
+	fmt.Println("== Figure 3: creating a forest of fanout-free trees ==")
+	nw := network.New("figure3")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	d := nw.AddInput("d")
+	n := nw.AddGate("n", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	g1 := nw.AddGate("g1", network.OpOr, network.Fanin{Node: n}, network.Fanin{Node: c})
+	g2 := nw.AddGate("g2", network.OpAnd, network.Fanin{Node: n}, network.Fanin{Node: d})
+	nw.MarkOutput("x", g1, false)
+	nw.MarkOutput("y", g2, false)
+
+	f, err := forest.Decompose(nw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node n = ab has out-degree 2, so the DAG splits into %d trees:\n", len(f.Roots))
+	for _, root := range f.Roots {
+		var leaves []string
+		for _, l := range f.TreeLeaves(root) {
+			leaves = append(leaves, l.Name)
+		}
+		var gates []string
+		for _, g := range f.TreeNodes(root) {
+			gates = append(gates, g.Name)
+		}
+		fmt.Printf("  tree rooted at %-2s  gates %v, leaf edges %v\n", root.Name, gates, leaves)
+	}
+	fmt.Println()
+}
+
+// figure56 prints minmap(n, u) for each utilization u of a small tree,
+// showing how utilization divisions trade a fanin's finished signal
+// (u_i = 1) against merging its root LUT (u_i >= 2).
+func figure56() {
+	fmt.Println("== Figures 5 and 6: utilization divisions, minmap(n, u) ==")
+	nw := network.New("figure5")
+	var fins []network.Fanin
+	for _, name := range []string{"a", "b", "c"} {
+		fins = append(fins, network.Fanin{Node: nw.AddInput(name)})
+	}
+	sub := nw.AddGate("sub", network.OpAnd, fins...) // a 3-leaf subtree
+	top := nw.AddGate("n", network.OpAnd,
+		network.Fanin{Node: sub}, network.Fanin{Node: nw.AddInput("d")})
+	nw.MarkOutput("y", top, false)
+
+	fmt.Println("tree: n = (a·b·c)·d with 4-input LUTs")
+	fmt.Println("  division {1,1}: sub mapped separately, n's LUT uses 2 inputs -> 2 LUTs")
+	fmt.Println("  division {3,1}: sub's root LUT merged into n's        -> 1 LUT")
+	for _, k := range []int{2, 3, 4} {
+		res, err := chortle.Map(nw, chortle.DefaultOptions(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  K=%d: best mapping uses %d LUTs\n", k, res.LUTs)
+	}
+	fmt.Println()
+}
+
+// figure7 decomposes a node with fanin 6 under K=4: intermediate nodes
+// are introduced and the whole search picks the cheapest grouping.
+func figure7() {
+	fmt.Println("== Figure 7: decomposition of a wide node ==")
+	nw := network.New("figure7")
+	var fins []network.Fanin
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		fins = append(fins, network.Fanin{Node: nw.AddInput(name)})
+	}
+	g := nw.AddGate("g", network.OpOr, fins...)
+	nw.MarkOutput("y", g, false)
+
+	for _, k := range []int{2, 3, 4, 5} {
+		res, err := chortle.Map(nw, chortle.DefaultOptions(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  6-input OR with K=%d: %d LUTs (closed form ceil(5/%d) = %d)\n",
+			k, res.LUTs, k-1, (5+k-2)/(k-1))
+	}
+	fmt.Println("\nWithout the decomposition search the same node costs more:")
+	opts := chortle.DefaultOptions(3)
+	opts.DisableDecomposition = true
+	res, err := chortle.Map(nw, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  K=3, decomposition disabled (balanced pre-split only): %d LUTs\n", res.LUTs)
+}

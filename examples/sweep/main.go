@@ -1,0 +1,70 @@
+// Sweep: explores the design space around the paper's defaults on one
+// benchmark — K from 2 to 6, the node-splitting threshold, the
+// decomposition search, and the fanout-duplication extension the paper
+// lists as future work — reporting the LUT count of each configuration.
+//
+//	go run ./examples/sweep [circuit]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"chortle"
+)
+
+func main() {
+	name := "count"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	nw, err := chortle.BenchmarkNetwork(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := nw.Stats()
+	fmt.Printf("%s: %d inputs, %d outputs, %d gates after optimization\n\n",
+		name, s.Inputs, s.Outputs, s.Gates)
+
+	fmt.Println("K sweep (paper defaults):")
+	for k := 2; k <= 6; k++ {
+		res := chortle.MustMap(nw, chortle.DefaultOptions(k))
+		st, _ := res.Circuit.Stats()
+		fmt.Printf("  K=%d: %4d LUTs, depth %2d\n", k, res.LUTs, st.Depth)
+	}
+
+	fmt.Println("\nAblations at K=4:")
+	base := chortle.MustMap(nw, chortle.DefaultOptions(4))
+	fmt.Printf("  %-42s %4d LUTs\n", "paper defaults", base.LUTs)
+
+	noDecomp := chortle.DefaultOptions(4)
+	noDecomp.DisableDecomposition = true
+	res := chortle.MustMap(nw, noDecomp)
+	fmt.Printf("  %-42s %4d LUTs\n", "decomposition search disabled", res.LUTs)
+
+	for _, thr := range []int{4, 6, 10, 14} {
+		o := chortle.DefaultOptions(4)
+		o.SplitThreshold = thr
+		res = chortle.MustMap(nw, o)
+		fmt.Printf("  node splitting threshold %-17d %4d LUTs\n", thr, res.LUTs)
+	}
+
+	dup := chortle.DefaultOptions(4)
+	dup.DuplicateFanoutLogic = true
+	res = chortle.MustMap(nw, dup)
+	if err := chortle.Verify(nw, res.Circuit, 32, 7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-42s %4d LUTs\n", "fanout-logic duplication (future work)", res.LUTs)
+
+	rp := chortle.DefaultOptions(4)
+	rp.RepackLUTs = true
+	res = chortle.MustMap(nw, rp)
+	if err := chortle.Verify(nw, res.Circuit, 32, 7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-42s %4d LUTs\n", "LUT repacking (reconvergence recovery)", res.Circuit.Count())
+	fmt.Printf("  %-42s %4d blocks\n", "packed into XC3000 CLBs (5-in, 2-LUT)",
+		res.Circuit.PackCLBs(chortle.XC3000))
+}

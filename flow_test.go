@@ -1,0 +1,90 @@
+package chortle
+
+// End-to-end flow integration: benchmark generation → BLIF text →
+// re-parse → mini-MIS optimization → both mappers → verification →
+// post-passes (repack, CLB packing, Verilog emission). This is the
+// path a downstream user strings together from the public API, run as
+// one test so a regression anywhere in the pipeline surfaces here.
+
+import (
+	"strings"
+	"testing"
+
+	"chortle/internal/blif"
+)
+
+func TestFullFlow(t *testing.T) {
+	for _, name := range []string{"9symml", "count", "rd53"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			raw, err := RawBenchmarkNetwork(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Serialize to BLIF and back: the textual interchange step.
+			text, err := blif.WriteString(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := ReadBLIF(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+
+			// Optimize (bounded script), then map with both mappers.
+			optd, err := OptimizeForBench(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 3; k <= 5; k++ {
+				o := DefaultOptions(k)
+				o.RepackLUTs = true
+				cres, err := Map(optd, o)
+				if err != nil {
+					t.Fatalf("K=%d: %v", k, err)
+				}
+				// Verify the final circuit against the ORIGINAL raw
+				// network — the whole pipeline must be neutral.
+				if err := Verify(raw, cres.Circuit, 32, 17); err != nil {
+					t.Fatalf("K=%d chortle: %v", k, err)
+				}
+				mres, err := MapBaseline(optd, k)
+				if err != nil {
+					t.Fatalf("K=%d baseline: %v", k, err)
+				}
+				if err := Verify(raw, mres.Circuit, 32, 17); err != nil {
+					t.Fatalf("K=%d baseline: %v", k, err)
+				}
+
+				// Post-passes must not crash and must stay consistent.
+				if blocks := cres.Circuit.PackCLBs(XC3000); blocks > cres.Circuit.Count() {
+					t.Fatalf("K=%d: CLB packing grew the block count", k)
+				}
+				var vb strings.Builder
+				if err := cres.Circuit.WriteVerilog(&vb); err != nil {
+					t.Fatalf("K=%d verilog: %v", k, err)
+				}
+				if !strings.Contains(vb.String(), "endmodule") {
+					t.Fatalf("K=%d: truncated Verilog", k)
+				}
+				if _, err := cres.Circuit.CriticalPath(); err != nil {
+					t.Fatalf("K=%d path: %v", k, err)
+				}
+
+				// Mapped BLIF re-parses and still verifies.
+				var mb strings.Builder
+				if err := cres.Circuit.WriteBLIF(&mb); err != nil {
+					t.Fatal(err)
+				}
+				back, err := ReadBLIF(strings.NewReader(mb.String()))
+				if err != nil {
+					t.Fatalf("K=%d mapped BLIF: %v", k, err)
+				}
+				if err := VerifyNetworks(raw, back, 32, 17); err != nil {
+					t.Fatalf("K=%d mapped BLIF function: %v", k, err)
+				}
+			}
+		})
+	}
+}

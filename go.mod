@@ -1,0 +1,3 @@
+module chortle
+
+go 1.22

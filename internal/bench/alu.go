@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+
+	"chortle/internal/network"
+)
+
+// ALUNetlist is the gate-level 74181-flavoured construction of the ALU
+// behaviour (the suite uses the PLA-derived ALU): ripple-carry
+// arithmetic built from explicit XOR/mux structures. Its reconvergent
+// fanout is exactly the structure the paper's Table 1 analysis singles
+// out as invisible to Chortle but visible to a library matcher, so it
+// doubles as a stress test for that effect.
+func ALUNetlist(n int) *network.Network {
+	b := newBuilder(fmt.Sprintf("alu%d", n))
+	A := make([]lit, n)
+	B := make([]lit, n)
+	for i := 0; i < n; i++ {
+		A[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		B[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	s0 := b.input("s0")
+	s1 := b.input("s1")
+	s2 := b.input("s2")
+	s3 := b.input("s3")
+	m := b.input("m")
+	cin := b.input("cin")
+
+	// Arithmetic operand: B xor S0 (subtract), gated off by S1
+	// (increment mode adds only the carry).
+	Bm := make([]lit, n)
+	for i := 0; i < n; i++ {
+		Bm[i] = b.and(b.xor(B[i], s0), flip(s1))
+	}
+	// Ripple-carry adder.
+	carry := cin
+	sum := make([]lit, n)
+	prop := make([]lit, n)
+	for i := 0; i < n; i++ {
+		prop[i] = b.xor(A[i], Bm[i])
+		sum[i] = b.xor(prop[i], carry)
+		carry = b.or(b.and(A[i], Bm[i]), b.and(prop[i], carry))
+	}
+
+	// Logic unit per bit, selected by (S3, S2).
+	F := make([]lit, n)
+	for i := 0; i < n; i++ {
+		andL := b.and(A[i], B[i])
+		orL := b.or(A[i], B[i])
+		xorL := b.xor(A[i], B[i])
+		norL := flip(orL)
+		logic := b.mux(s3, b.mux(s2, norL, xorL), b.mux(s2, orL, andL))
+		F[i] = b.mux(m, logic, sum[i])
+		b.output(fmt.Sprintf("f%d", i), F[i])
+	}
+	b.output("cout", b.and(carry, flip(m)))
+	// Zero flag: NOR of all outputs.
+	zero := F[0]
+	for i := 1; i < n; i++ {
+		zero = b.or(zero, F[i])
+	}
+	b.output("zero", flip(zero))
+	// Group propagate and generate (carry-lookahead style flags).
+	p := prop[0]
+	for i := 1; i < n; i++ {
+		p = b.and(p, prop[i])
+	}
+	b.output("p", p)
+	g := b.and(A[n-1], Bm[n-1])
+	for i := n - 2; i >= 0; i-- {
+		g = b.or(g, b.and(A[i], Bm[i], andAll(b, prop[i+1:])))
+	}
+	b.output("g", g)
+	return b.done()
+}
+
+func andAll(b *builder, ls []lit) lit {
+	if len(ls) == 1 {
+		return ls[0]
+	}
+	return b.and(ls...)
+}
+
+// Count builds the loadable, resettable 16-bit incrementer standing in
+// for the MCNC `count` benchmark: 35 inputs (x[16], d[16], load, en,
+// reset) and 16 outputs, dominated by the XOR/AND carry chain.
+func Count() *network.Network {
+	b := newBuilder("count")
+	x := make([]lit, 16)
+	d := make([]lit, 16)
+	for i := range x {
+		x[i] = b.input(fmt.Sprintf("x%d", i))
+	}
+	for i := range d {
+		d[i] = b.input(fmt.Sprintf("d%d", i))
+	}
+	load := b.input("load")
+	en := b.input("en")
+	reset := b.input("reset")
+	carry := en
+	for i := 0; i < 16; i++ {
+		inc := b.xor(x[i], carry)
+		if i < 15 {
+			carry = b.and(carry, x[i])
+		}
+		b.output(fmt.Sprintf("o%d", i), b.and(flip(reset), b.mux(load, d[i], inc)))
+	}
+	return b.done()
+}
+
+// RotBarrel builds the pure 32-bit left-rotate barrel shifter used as
+// the datapath core of the `rot` benchmark (and as a mux-saturated
+// stress case in its own right): data x[32] and shift amount s[5], 32
+// outputs, five layers of 2:1 multiplexers.
+func RotBarrel() *network.Network {
+	b := newBuilder("rot")
+	cur := make([]lit, 32)
+	for i := range cur {
+		cur[i] = b.input(fmt.Sprintf("x%d", i))
+	}
+	s := make([]lit, 5)
+	for i := range s {
+		s[i] = b.input(fmt.Sprintf("s%d", i))
+	}
+	for level := 0; level < 5; level++ {
+		shift := 1 << uint(level)
+		next := make([]lit, 32)
+		for i := 0; i < 32; i++ {
+			// Left rotation: output bit i comes from input bit i-shift.
+			next[i] = b.mux(s[level], cur[(i+32-shift)%32], cur[i])
+		}
+		cur = next
+	}
+	for i := 0; i < 32; i++ {
+		b.output(fmt.Sprintf("o%d", i), cur[i])
+	}
+	return b.done()
+}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"chortle/internal/opt"
+	"chortle/internal/verify"
+)
+
+func TestNineSymmlFunction(t *testing.T) {
+	nw := NineSymml()
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs) != 9 || len(nw.Outputs) != 1 {
+		t.Fatalf("IO = %d/%d", len(nw.Inputs), len(nw.Outputs))
+	}
+	// Exhaustive check of the symmetric on-set (weights 3..6).
+	for base := uint64(0); base < 512; base += 64 {
+		assign := map[string]uint64{}
+		for i := 0; i < 9; i++ {
+			var w uint64
+			for j := uint64(0); j < 64; j++ {
+				if (base+j)>>uint(i)&1 == 1 {
+					w |= 1 << j
+				}
+			}
+			assign[nw.Inputs[i].Name] = w
+		}
+		got, err := nw.Simulate(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := uint64(0); j < 64; j++ {
+			m := base + j
+			ones := 0
+			for i := 0; i < 9; i++ {
+				if m>>uint(i)&1 == 1 {
+					ones++
+				}
+			}
+			want := ones >= 3 && ones <= 6
+			if got["out"]>>j&1 == 1 != want {
+				t.Fatalf("9symml wrong at weight %d (minterm %d)", ones, m)
+			}
+		}
+	}
+}
+
+func TestALUProfilesMatchMCNC(t *testing.T) {
+	alu2 := ALU(2)
+	if len(alu2.Inputs) != 10 || len(alu2.Outputs) != 6 {
+		t.Fatalf("alu2 IO = %d/%d, want 10/6", len(alu2.Inputs), len(alu2.Outputs))
+	}
+	alu4 := ALU(4)
+	if len(alu4.Inputs) != 14 || len(alu4.Outputs) != 8 {
+		t.Fatalf("alu4 IO = %d/%d, want 14/8", len(alu4.Inputs), len(alu4.Outputs))
+	}
+	if err := alu4.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALUArithmetic(t *testing.T) {
+	// M=0, S0=0, S1=0: F = A + B + Cin.
+	nw := ALU(4)
+	for a := uint64(0); a < 16; a++ {
+		for bb := uint64(0); bb < 16; bb += 3 {
+			for cin := uint64(0); cin < 2; cin++ {
+				assign := map[string]uint64{"m": 0, "s0": 0, "s1": 0, "s2": 0, "s3": 0, "cin": ^uint64(0) * cin}
+				for i := 0; i < 4; i++ {
+					assign[sprintf("a%d", i)] = ^uint64(0) * (a >> uint(i) & 1)
+					assign[sprintf("b%d", i)] = ^uint64(0) * (bb >> uint(i) & 1)
+				}
+				got, err := nw.Simulate(assign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := a + bb + cin
+				for i := 0; i < 4; i++ {
+					want := sum>>uint(i)&1 == 1
+					if (got[sprintf("f%d", i)]&1 == 1) != want {
+						t.Fatalf("A=%d B=%d Cin=%d: f%d wrong", a, bb, cin, i)
+					}
+				}
+				if (got["cout"]&1 == 1) != (sum >= 16) {
+					t.Fatalf("A=%d B=%d Cin=%d: cout wrong", a, bb, cin)
+				}
+				if (got["zero"]&1 == 1) != (sum%16 == 0) {
+					t.Fatalf("A=%d B=%d Cin=%d: zero wrong", a, bb, cin)
+				}
+			}
+		}
+	}
+}
+
+func TestALULogicModes(t *testing.T) {
+	nw := ALU(2)
+	cases := []struct {
+		s3, s2 uint64
+		f      func(a, b bool) bool
+	}{
+		{0, 0, func(a, b bool) bool { return a && b }},
+		{0, 1, func(a, b bool) bool { return a || b }},
+		{1, 0, func(a, b bool) bool { return a != b }},
+		{1, 1, func(a, b bool) bool { return !(a || b) }},
+	}
+	for _, c := range cases {
+		for m := uint64(0); m < 16; m++ {
+			assign := map[string]uint64{
+				"m": ^uint64(0), "s0": 0, "s1": 0, "cin": 0,
+				"s2": ^uint64(0) * c.s2, "s3": ^uint64(0) * c.s3,
+				"a0": ^uint64(0) * (m & 1), "a1": ^uint64(0) * (m >> 1 & 1),
+				"b0": ^uint64(0) * (m >> 2 & 1), "b1": ^uint64(0) * (m >> 3 & 1),
+			}
+			got, err := nw.Simulate(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a0, a1 := m&1 == 1, m>>1&1 == 1
+			b0, b1 := m>>2&1 == 1, m>>3&1 == 1
+			if (got["f0"]&1 == 1) != c.f(a0, b0) || (got["f1"]&1 == 1) != c.f(a1, b1) {
+				t.Fatalf("logic mode s3=%d s2=%d wrong at %04b", c.s3, c.s2, m)
+			}
+		}
+	}
+}
+
+func TestCountIncrement(t *testing.T) {
+	nw := Count()
+	if len(nw.Inputs) != 35 || len(nw.Outputs) != 16 {
+		t.Fatalf("count IO = %d/%d, want 35/16", len(nw.Inputs), len(nw.Outputs))
+	}
+	for _, x := range []uint64{0, 1, 5, 0xFFFE, 0xFFFF, 0x8000} {
+		assign := map[string]uint64{"load": 0, "en": ^uint64(0), "reset": 0}
+		for i := 0; i < 16; i++ {
+			assign[sprintf("x%d", i)] = ^uint64(0) * (x >> uint(i) & 1)
+			assign[sprintf("d%d", i)] = 0
+		}
+		got, err := nw.Simulate(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (x + 1) & 0xFFFF
+		for i := 0; i < 16; i++ {
+			if (got[sprintf("o%d", i)]&1 == 1) != (want>>uint(i)&1 == 1) {
+				t.Fatalf("count(%#x): bit %d wrong", x, i)
+			}
+		}
+	}
+}
+
+func TestRotRotates(t *testing.T) {
+	nw := RotBarrel()
+	if len(nw.Inputs) != 37 || len(nw.Outputs) != 32 {
+		t.Fatalf("rot IO = %d/%d", len(nw.Inputs), len(nw.Outputs))
+	}
+	x := uint64(0xDEADBEEF)
+	for _, sh := range []uint{0, 1, 7, 13, 31} {
+		assign := map[string]uint64{}
+		for i := 0; i < 32; i++ {
+			assign[sprintf("x%d", i)] = ^uint64(0) * (x >> uint(i) & 1)
+		}
+		for i := 0; i < 5; i++ {
+			assign[sprintf("s%d", i)] = ^uint64(0) * uint64(sh>>uint(i)&1)
+		}
+		got, err := nw.Simulate(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x
+		if sh != 0 {
+			want = uint64(uint32(x)<<sh | uint32(x)>>(32-sh))
+		}
+		for i := 0; i < 32; i++ {
+			if (got[sprintf("o%d", i)]&1 == 1) != (want>>uint(i)&1 == 1) {
+				t.Fatalf("rot by %d: bit %d wrong (want %#x)", sh, i, want)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministicAndSized(t *testing.T) {
+	for name, spec := range syntheticSpecs {
+		a := Synthetic(spec)
+		b := Synthetic(spec)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(a.Inputs) != spec.Inputs || len(a.Outputs) != spec.Outputs {
+			t.Fatalf("%s IO = %d/%d, want %d/%d", name,
+				len(a.Inputs), len(a.Outputs), spec.Inputs, spec.Outputs)
+		}
+		sa, sb := a.Stats(), b.Stats()
+		if sa != sb {
+			t.Fatalf("%s not deterministic: %+v vs %+v", name, sa, sb)
+		}
+		if sa.Gates < spec.Gates/2 {
+			t.Fatalf("%s swept down to %d gates (budget %d)", name, sa.Gates, spec.Gates)
+		}
+	}
+}
+
+func TestSuiteCompleteAndOrdered(t *testing.T) {
+	s := Suite()
+	want := []string{"9symml", "alu2", "alu4", "apex6", "apex7", "count",
+		"des", "frg1", "frg2", "k2", "pair", "rot"}
+	if len(s) != len(want) {
+		t.Fatalf("suite has %d circuits", len(s))
+	}
+	for i, c := range s {
+		if c.Name != want[i] {
+			t.Fatalf("suite[%d] = %s, want %s", i, c.Name, want[i])
+		}
+	}
+	if _, err := ByName("rot"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestOptimizedPreservesFunction(t *testing.T) {
+	// The mini-MIS script + lowering must preserve every circuit's
+	// function. Check the functional (non-synthetic) small circuits
+	// exhaustively-ish; spot-check one synthetic.
+	for _, name := range []string{"9symml", "alu2", "frg1"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := c.Build()
+		optd, err := Optimized(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := verify.NetworkVsNetwork(raw, optd, 48, 99); err != nil {
+			t.Fatalf("%s: optimization changed function: %v", name, err)
+		}
+	}
+}
+
+func TestOptimizeReducesLiterals(t *testing.T) {
+	c, _ := ByName("9symml")
+	raw := c.Build()
+	nt, err := opt.FromNetwork(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nt.Cost()
+	after := nt.Optimize(OptimizeOptions())
+	if after > before {
+		t.Fatalf("optimization grew 9symml: %d -> %d literals", before, after)
+	}
+}
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+func TestPLAAndNetlistVariantsAgree(t *testing.T) {
+	// The PLA-derived suite circuits and the gate-level alternative
+	// constructions implement the same behaviour.
+	if err := verify.NetworkVsNetwork(NineSymmlNetlist(), NineSymml(), 0, 1); err != nil {
+		t.Fatalf("9symml: %v", err)
+	}
+	if err := verify.NetworkVsNetwork(ALUNetlist(2), ALU(2), 0, 1); err != nil {
+		t.Fatalf("alu2: %v", err)
+	}
+	if err := verify.NetworkVsNetwork(ALUNetlist(4), ALU(4), 0, 1); err != nil {
+		t.Fatalf("alu4: %v", err)
+	}
+}

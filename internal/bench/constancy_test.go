@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSyntheticOutputsNotConstant guards the probability-balancing
+// generator: every synthetic output must vary under random simulation
+// (constant outputs cannot be technology mapped and no real MCNC
+// benchmark has them).
+func TestSyntheticOutputsNotConstant(t *testing.T) {
+	for name, spec := range syntheticSpecs {
+		nw := Synthetic(spec)
+		rng := rand.New(rand.NewSource(5))
+		varying := map[string]bool{}
+		for p := 0; p < 100; p++ {
+			assign := map[string]uint64{}
+			for _, in := range nw.Inputs {
+				assign[in.Name] = rng.Uint64()
+			}
+			got, err := nw.Simulate(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sig, w := range got {
+				if w != 0 && w != ^uint64(0) {
+					varying[sig] = true
+				}
+			}
+		}
+		for _, o := range nw.Outputs {
+			if !varying[o.Name] {
+				t.Errorf("%s: output %s looks constant over 6400 random patterns", name, o.Name)
+			}
+		}
+	}
+}
+
+func TestRotProfile(t *testing.T) {
+	nw := Rot()
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs) != 135 || len(nw.Outputs) != 107 {
+		t.Fatalf("rot IO = %d/%d, want 135/107 (MCNC profile)", len(nw.Inputs), len(nw.Outputs))
+	}
+	a, b := Rot().Stats(), Rot().Stats()
+	if a != b {
+		t.Fatal("rot not deterministic")
+	}
+}

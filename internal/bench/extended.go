@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+
+	"chortle/internal/network"
+)
+
+// Extended suite: classic MCNC two-level circuits whose functions are
+// public knowledge, rebuilt through the same PLA flow as 9symml and the
+// ALUs. These are not part of the paper's Tables 1-4 (Suite covers
+// those); they widen the workload spectrum for the harness and give
+// downstream users familiar reference points.
+//
+//	rd53/rd73/rd84  — binary count of ones in 5/7/8 inputs
+//	xor5            — 5-input parity
+//	parity          — 16-input parity (built as a gate tree: its PLA
+//	                  form is exponential, as espresso users know)
+//	z4ml            — 2-bit + 2-bit + carry 3-bit add (7 in, 4 out
+//	                  MCNC profile)
+//	majority        — 5-input majority vote
+//	t481            — stands in via a 16-input unate threshold function
+//	                  (the original's function is not public)
+
+// Rd builds the rdNM circuit: the binary count of ones of n inputs on
+// ceil(log2(n+1)) outputs, derived through the PLA flow.
+func Rd(n int) *network.Network {
+	if n < 2 || n > 16 {
+		panic("bench: Rd supports 2..16 inputs")
+	}
+	bits := 0
+	for 1<<uint(bits) <= n {
+		bits++
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	var outs []plaOut
+	for b := 0; b < bits; b++ {
+		b := b
+		outs = append(outs, plaOut{
+			name: fmt.Sprintf("s%d", b),
+			f: func(m uint64) bool {
+				ones := 0
+				for i := 0; i < n; i++ {
+					if m>>uint(i)&1 == 1 {
+						ones++
+					}
+				}
+				return ones>>uint(b)&1 == 1
+			},
+		})
+	}
+	return plaNetwork(fmt.Sprintf("rd%d%d", n, bits), names, outs)
+}
+
+// Xor5 is the 5-input parity benchmark xor5.
+func Xor5() *network.Network {
+	names := []string{"a", "b", "c", "d", "e"}
+	return plaNetwork("xor5", names, []plaOut{{
+		name: "y",
+		f: func(m uint64) bool {
+			ones := 0
+			for i := 0; i < 5; i++ {
+				if m>>uint(i)&1 == 1 {
+					ones++
+				}
+			}
+			return ones%2 == 1
+		},
+	}})
+}
+
+// Parity is the 16-input parity benchmark. Its two-level cover has
+// 2^15 cubes, so (like the original netlist) it is built as a balanced
+// XOR tree of gates instead of through the PLA flow.
+func Parity() *network.Network {
+	b := newBuilder("parity")
+	level := make([]lit, 16)
+	for i := range level {
+		level[i] = b.input(fmt.Sprintf("x%d", i))
+	}
+	for len(level) > 1 {
+		var next []lit
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.xor(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	b.output("y", level[0])
+	return b.done()
+}
+
+// Z4ml adds two 2-bit numbers and a carry-in onto 3 sum bits plus an
+// overflow flag: the 7-input 4-output MCNC z4ml profile.
+func Z4ml() *network.Network {
+	names := []string{"a0", "a1", "b0", "b1", "cin", "u0", "u1"}
+	sum := func(m uint64) uint64 {
+		a := m & 3
+		bb := m >> 2 & 3
+		cin := m >> 4 & 1
+		u := m >> 5 & 3 // a third small addend fills the 7-input profile
+		return a + bb + cin + u
+	}
+	var outs []plaOut
+	for b := 0; b < 4; b++ {
+		b := b
+		outs = append(outs, plaOut{
+			name: fmt.Sprintf("s%d", b),
+			f:    func(m uint64) bool { return sum(m)>>uint(b)&1 == 1 },
+		})
+	}
+	return plaNetwork("z4ml", names, outs)
+}
+
+// Majority is the 5-input majority voter.
+func Majority() *network.Network {
+	names := []string{"a", "b", "c", "d", "e"}
+	return plaNetwork("majority", names, []plaOut{{
+		name: "y",
+		f: func(m uint64) bool {
+			ones := 0
+			for i := 0; i < 5; i++ {
+				if m>>uint(i)&1 == 1 {
+					ones++
+				}
+			}
+			return ones >= 3
+		},
+	}})
+}
+
+// T481 stands in for the MCNC t481 benchmark (16 inputs, 1 output;
+// original function not public) with a unate threshold function of
+// matching profile: true iff the weighted sum of inputs exceeds half
+// the total weight.
+func T481() *network.Network {
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	weights := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	// A 16-variable threshold PLA is large but tractable for the
+	// expand-based cover; keep the oracle cheap.
+	return plaNetwork("t481", names, []plaOut{{
+		name: "y",
+		f: func(m uint64) bool {
+			s := 0
+			for i := 0; i < 16; i++ {
+				if m>>uint(i)&1 == 1 {
+					s += weights[i]
+				}
+			}
+			return 2*s > total
+		},
+	}})
+}
+
+// ExtendedSuite lists the additional circuits.
+func ExtendedSuite() []Circuit {
+	return []Circuit{
+		{Name: "rd53", Build: func() *network.Network { return Rd(5) }},
+		{Name: "rd73", Build: func() *network.Network { return Rd(7) }},
+		{Name: "rd84", Build: func() *network.Network { return Rd(8) }},
+		{Name: "xor5", Build: Xor5},
+		{Name: "parity", Build: Parity},
+		{Name: "z4ml", Build: Z4ml},
+		{Name: "majority", Build: Majority},
+		{Name: "t481", Build: T481},
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"math/bits"
+	"testing"
+
+	"chortle/internal/verify"
+)
+
+func TestRdCircuits(t *testing.T) {
+	for _, n := range []int{5, 7, 8} {
+		nw := Rd(n)
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("rd%d: %v", n, err)
+		}
+		wantBits := bits.Len(uint(n))
+		if len(nw.Inputs) != n || len(nw.Outputs) != wantBits {
+			t.Fatalf("rd%d IO = %d/%d, want %d/%d", n, len(nw.Inputs), len(nw.Outputs), n, wantBits)
+		}
+		// Exhaustive functional check through simulation.
+		for base := uint64(0); base < 1<<uint(n); base += 64 {
+			assign := map[string]uint64{}
+			for i := 0; i < n; i++ {
+				var w uint64
+				for j := uint64(0); j < 64 && base+j < 1<<uint(n); j++ {
+					if (base+j)>>uint(i)&1 == 1 {
+						w |= 1 << j
+					}
+				}
+				assign[nw.Inputs[i].Name] = w
+			}
+			got, err := nw.Simulate(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := uint64(0); j < 64 && base+j < 1<<uint(n); j++ {
+				ones := bits.OnesCount64(base + j)
+				for b := 0; b < wantBits; b++ {
+					want := ones>>uint(b)&1 == 1
+					key := "s" + string(rune('0'+b))
+					if got[key]>>j&1 == 1 != want {
+						t.Fatalf("rd%d s%d wrong at minterm %d", n, b, base+j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestXor5AndParity(t *testing.T) {
+	x := Xor5()
+	got, err := x.Simulate(map[string]uint64{"a": 0xAAAA, "b": 0xCCCC, "c": 0xF0F0, "d": 0xFF00, "e": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint(0); i < 16; i++ {
+		ones := bits.OnesCount(uint(i))
+		if got["y"]>>i&1 == 1 != (ones%2 == 1) {
+			t.Fatalf("xor5 wrong at %04b", i)
+		}
+	}
+	p := Parity()
+	if len(p.Inputs) != 16 {
+		t.Fatalf("parity inputs = %d", len(p.Inputs))
+	}
+	assign := map[string]uint64{}
+	for i := 0; i < 16; i++ {
+		assign[p.Inputs[i].Name] = 0
+	}
+	assign["x3"] = ^uint64(0)
+	assign["x9"] = ^uint64(0)
+	pg, err := p.Simulate(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg["y"] != 0 {
+		t.Fatal("parity of two ones should be 0")
+	}
+	assign["x15"] = ^uint64(0)
+	pg, _ = p.Simulate(assign)
+	if pg["y"] != ^uint64(0) {
+		t.Fatal("parity of three ones should be 1")
+	}
+}
+
+func TestZ4mlAndMajority(t *testing.T) {
+	z := Z4ml()
+	if len(z.Inputs) != 7 || len(z.Outputs) != 4 {
+		t.Fatalf("z4ml IO = %d/%d", len(z.Inputs), len(z.Outputs))
+	}
+	m := Majority()
+	got, err := m.Simulate(map[string]uint64{"a": 0b0111, "b": 0b0101, "c": 0b0011, "d": 0b1001, "e": 0b1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pattern 0: a,b,c... bits: a=1,b=1,c=1,d=1,e=0 -> maj 1; etc.
+	want := []bool{true, true, true, true}
+	for i, w := range want[:3] {
+		ones := 0
+		for _, v := range []uint64{0b0111, 0b0101, 0b0011, 0b1001, 0b1000} {
+			if v>>uint(i)&1 == 1 {
+				ones++
+			}
+		}
+		if (got["y"]>>uint(i)&1 == 1) != (ones >= 3) {
+			t.Fatalf("majority wrong at pattern %d (%v)", i, w)
+		}
+	}
+}
+
+func TestExtendedSuiteMapsAndVerifies(t *testing.T) {
+	for _, c := range ExtendedSuite() {
+		nw := c.Build()
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		optd, err := Optimized(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if err := verify.NetworkVsNetwork(nw, optd, 16, 3); err != nil {
+			t.Fatalf("%s: optimization broke function: %v", c.Name, err)
+		}
+	}
+}

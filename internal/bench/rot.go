@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chortle/internal/network"
+)
+
+// Rot stands in for the MCNC `rot` benchmark with its published profile:
+// 135 inputs and 107 outputs. The original is a rotator datapath wrapped
+// in a large block of irregular control logic (a bare barrel shifter
+// would need only 37 inputs); we reproduce that composition with the
+// RotBarrel core — 32 data bits, 5 shift bits — gated and surrounded by
+// seeded pseudo-random control logic over the remaining 98 inputs.
+func Rot() *network.Network {
+	const (
+		dataBits  = 32
+		shiftBits = 5
+		ctrlBits  = 135 - dataBits - shiftBits
+		glueGates = 260
+		glueOuts  = 107 - dataBits
+	)
+	rng := rand.New(rand.NewSource(1013))
+	b := newBuilder("rot")
+
+	data := make([]lit, dataBits)
+	for i := range data {
+		data[i] = b.input(fmt.Sprintf("x%d", i))
+	}
+	s := make([]lit, shiftBits)
+	for i := range s {
+		s[i] = b.input(fmt.Sprintf("s%d", i))
+	}
+	var ctrl []*network.Node
+	for i := 0; i < ctrlBits; i++ {
+		ctrl = append(ctrl, b.input(fmt.Sprintf("c%d", i)).Node)
+	}
+
+	// Barrel core: left rotation of data by s.
+	cur := data
+	for level := 0; level < shiftBits; level++ {
+		shift := 1 << uint(level)
+		next := make([]lit, dataBits)
+		for i := 0; i < dataBits; i++ {
+			next[i] = b.mux(s[level], cur[(i+dataBits-shift)%dataBits], cur[i])
+		}
+		cur = next
+	}
+
+	// Control glue over the remaining inputs.
+	prob := map[*network.Node]float64{}
+	pool := growRandomLogic(b.nw, rng, ctrl, prob, glueGates, "rc")
+	usable := varyingGates(rng, pool, ctrlBits)
+	if len(usable) < 2 {
+		panic("bench: rot glue degenerated")
+	}
+
+	// Rotated data gated by control enables.
+	for i := 0; i < dataBits; i++ {
+		en := pos(usable[i%len(usable)])
+		b.output(fmt.Sprintf("o%d", i), b.and(cur[i], en))
+	}
+	// Pure control outputs fill out the 107-output profile.
+	for i := 0; i < glueOuts; i++ {
+		b.output(fmt.Sprintf("o%d", dataBits+i), pos(usable[(dataBits+i)%len(usable)]))
+	}
+	return b.done()
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+
+	"chortle/internal/network"
+	"chortle/internal/opt"
+)
+
+// Circuit is one benchmark: a named builder producing the raw network.
+type Circuit struct {
+	Name  string
+	Build func() *network.Network
+	// Synthetic marks the circuits rebuilt as random stand-ins rather
+	// than from known functionality (see the package comment).
+	Synthetic bool
+}
+
+// Suite returns the twelve circuits of the paper's Tables 1-4, in the
+// tables' order.
+func Suite() []Circuit {
+	mk := func(name string) Circuit {
+		spec := syntheticSpecs[name]
+		return Circuit{Name: name, Build: func() *network.Network { return Synthetic(spec) }, Synthetic: true}
+	}
+	return []Circuit{
+		{Name: "9symml", Build: NineSymml},
+		{Name: "alu2", Build: func() *network.Network { return ALU(2) }},
+		{Name: "alu4", Build: func() *network.Network { return ALU(4) }},
+		mk("apex6"),
+		mk("apex7"),
+		{Name: "count", Build: Count},
+		mk("des"),
+		mk("frg1"),
+		mk("frg2"),
+		mk("k2"),
+		mk("pair"),
+		{Name: "rot", Build: Rot},
+	}
+}
+
+// ByName returns the named circuit (paper suite or extended suite) or
+// an error listing the available names.
+func ByName(name string) (Circuit, error) {
+	for _, c := range Suite() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	for _, c := range ExtendedSuite() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Circuit{}, fmt.Errorf("bench: unknown circuit %q (paper suite: 9symml alu2 alu4 apex6 apex7 count des frg1 frg2 k2 pair rot; extended: rd53 rd73 rd84 xor5 parity z4ml majority t481)", name)
+}
+
+// OptimizeOptions is the bounded mini-MIS script used for benchmarking:
+// the standard pass structure with iteration caps that keep the largest
+// circuits (des-scale) in the seconds range.
+func OptimizeOptions() opt.ScriptOptions {
+	return opt.ScriptOptions{
+		EliminateThreshold: 0,
+		MaxKernelIters:     80,
+		MaxCubeIters:       80,
+		Rounds:             1,
+		Resubstitute:       false,
+	}
+}
+
+// Optimized builds the circuit and runs it through the mini-MIS
+// standard script, returning the optimized AND/OR network both mappers
+// consume — the paper's experimental input.
+func Optimized(c Circuit) (*network.Network, error) {
+	raw := c.Build()
+	nt, err := opt.FromNetwork(raw)
+	if err != nil {
+		return nil, err
+	}
+	nt.Optimize(OptimizeOptions())
+	nw, err := nt.Lower()
+	if err != nil {
+		return nil, err
+	}
+	return nw, nil
+}

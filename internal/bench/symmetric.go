@@ -1,0 +1,113 @@
+// Package bench builds the benchmark suite of the paper's Section 4.2:
+// the twelve MCNC-89 logic synthesis circuits Chortle and MIS II were
+// compared on. The original netlist files are not distributable here,
+// so each circuit is reconstructed (see DESIGN.md §4 for the policy):
+//
+//   - circuits with publicly known functionality are rebuilt from
+//     scratch behaviourally — 9symml (9-input symmetric), alu2/alu4
+//     (74181-style 2-/4-bit ALUs, matching the originals' input
+//     counts), count (loadable 16-bit incrementer, 35 inputs), rot
+//     (32-bit barrel rotator);
+//   - circuits whose structure is not public (des, apex6, apex7, frg1,
+//     frg2, k2, pair) are seeded pseudo-random multi-level networks
+//     with the published primary input/output counts and comparable
+//     gate counts.
+//
+// All circuits are emitted as raw AND/OR networks; the harness then runs
+// the mini-MIS standard script (internal/opt), mirroring the paper's
+// "input networks for both mappers were optimized by the standard MIS II
+// script".
+package bench
+
+import (
+	"fmt"
+
+	"chortle/internal/network"
+)
+
+// lit is a polarized signal reference used by the builders.
+type lit = network.Fanin
+
+func pos(n *network.Node) lit { return lit{Node: n} }
+func neg(n *network.Node) lit { return lit{Node: n, Invert: true} }
+
+func flip(l lit) lit { l.Invert = !l.Invert; return l }
+
+// builder wraps a network with gate-name generation and literal-level
+// AND/OR/XOR constructors.
+type builder struct {
+	nw  *network.Network
+	seq int
+}
+
+func newBuilder(name string) *builder {
+	return &builder{nw: network.New(name)}
+}
+
+func (b *builder) input(name string) lit { return pos(b.nw.AddInput(name)) }
+
+func (b *builder) gate(op network.Op, fins ...lit) lit {
+	if len(fins) == 1 {
+		return fins[0] // degenerate gate: just the literal
+	}
+	b.seq++
+	return pos(b.nw.AddGate(fmt.Sprintf("n%d", b.seq), op, fins...))
+}
+
+func (b *builder) and(fins ...lit) lit { return b.gate(network.OpAnd, fins...) }
+func (b *builder) or(fins ...lit) lit  { return b.gate(network.OpOr, fins...) }
+
+// xor builds x XOR y as (x·y') + (x'·y) — the reconvergent structure the
+// paper notes Chortle cannot merge but a library mapper can.
+func (b *builder) xor(x, y lit) lit {
+	return b.or(b.and(x, flip(y)), b.and(flip(x), y))
+}
+
+// mux builds s ? t : e.
+func (b *builder) mux(s, t, e lit) lit {
+	return b.or(b.and(s, t), b.and(flip(s), e))
+}
+
+func (b *builder) output(name string, l lit) {
+	b.nw.MarkOutput(name, l.Node, l.Invert)
+}
+
+func (b *builder) done() *network.Network {
+	b.nw.Sweep()
+	return b.nw
+}
+
+// NineSymmlNetlist is a gate-level alternative construction of the
+// 9symml function (the suite uses the PLA-derived NineSymml): the
+// classic exact-count dynamic programming network e[i][j] = "exactly j
+// of the first i inputs are one", a fanout-rich multi-level structure
+// useful for exercising the mappers on shared logic.
+func NineSymmlNetlist() *network.Network {
+	b := newBuilder("9symml")
+	const n = 9
+	xs := make([]lit, n)
+	for i := range xs {
+		xs[i] = b.input(fmt.Sprintf("x%d", i))
+	}
+	// e[j] after processing i inputs; valid j in 0..i. Base i=1.
+	e := map[int]lit{0: flip(xs[0]), 1: xs[0]}
+	for i := 2; i <= n; i++ {
+		x := xs[i-1]
+		ne := map[int]lit{}
+		for j := 0; j <= i; j++ {
+			stay, hasStay := e[j]
+			up, hasUp := e[j-1]
+			switch {
+			case hasStay && hasUp:
+				ne[j] = b.or(b.and(stay, flip(x)), b.and(up, x))
+			case hasStay:
+				ne[j] = b.and(stay, flip(x))
+			case hasUp:
+				ne[j] = b.and(up, x)
+			}
+		}
+		e = ne
+	}
+	b.output("out", b.or(e[3], e[4], e[5], e[6]))
+	return b.done()
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chortle/internal/network"
+)
+
+// Synthetic stand-ins for the MCNC circuits whose netlists are not
+// publicly reconstructible (des, apex6, apex7, frg1, frg2, k2, pair).
+// Each is a seeded pseudo-random multi-level network with the published
+// primary input/output counts and a gate budget comparable to the
+// original's size class. The mapper-vs-mapper comparison depends on
+// structural statistics (tree sizes, fanin distribution, fanout
+// sharing), which the generator models: mostly 2-4 input gates with an
+// occasional wide gate, geometric depth, and reuse-heavy wiring.
+
+// SyntheticSpec parameterizes one synthetic circuit.
+type SyntheticSpec struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int
+	Seed    int64
+}
+
+// Synthetic generates the circuit for a spec, deterministically.
+//
+// Deep random AND/OR logic saturates: signal probabilities drift toward
+// 0 or 1 and outputs become constant, which no real benchmark exhibits.
+// The generator therefore tracks an estimated truth probability per
+// signal and picks input polarities that keep every gate's output
+// probability in a healthy band — ANDs consume high-probability
+// literals, ORs low-probability ones.
+func Synthetic(spec SyntheticSpec) *network.Network {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nw := network.New(spec.Name)
+	var pool []*network.Node
+	prob := map[*network.Node]float64{}
+	for i := 0; i < spec.Inputs; i++ {
+		in := nw.AddInput(fmt.Sprintf("i%d", i))
+		pool = append(pool, in)
+		prob[in] = 0.5
+	}
+	pool = growRandomLogic(nw, rng, pool, prob, spec.Gates, "g")
+	usable := varyingGates(rng, pool, spec.Inputs)
+	if len(usable) == 0 {
+		panic(fmt.Sprintf("bench: synthetic %s produced no varying gates", spec.Name))
+	}
+	for o := 0; o < spec.Outputs; o++ {
+		n := usable[o%len(usable)]
+		nw.MarkOutput(fmt.Sprintf("o%d", o), n, rng.Intn(5) == 0)
+	}
+	nw.Sweep()
+	return nw
+}
+
+// growRandomLogic appends nGates probability-balanced random gates over
+// (and beyond) the given signal pool, returning the extended pool.
+// prob carries each existing signal's estimated truth probability
+// (inputs default to 0.5 if absent).
+func growRandomLogic(nw *network.Network, rng *rand.Rand, pool []*network.Node,
+	prob map[*network.Node]float64, nGates int, prefix string) []*network.Node {
+	// Favour recent signals slightly so the network gains depth, while
+	// keeping enough reuse for realistic fanout.
+	pick := func() *network.Node {
+		n := len(pool)
+		if rng.Intn(3) == 0 {
+			return pool[rng.Intn(n)]
+		}
+		lo := n * 3 / 4
+		return pool[lo+rng.Intn(n-lo)]
+	}
+	pOf := func(n *network.Node) float64 {
+		if p, ok := prob[n]; ok {
+			return p
+		}
+		return 0.5
+	}
+	for g := 0; g < nGates; g++ {
+		op := network.OpAnd
+		if rng.Intn(2) == 1 {
+			op = network.OpOr
+		}
+		fanin := 2 + rng.Intn(3)
+		if rng.Intn(20) == 0 {
+			fanin = 5 + rng.Intn(8) // occasional wide gate
+		}
+		seen := map[*network.Node]bool{}
+		var fins []network.Fanin
+		pOut := 1.0
+		for len(fins) < fanin && len(seen) < len(pool) {
+			n := pick()
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			p := pOf(n)
+			var invert bool
+			if op == network.OpAnd {
+				invert = p < 0.5 // use the likelier phase
+			} else {
+				invert = p > 0.5 // use the unlikelier phase
+			}
+			if rng.Intn(8) == 0 {
+				invert = !invert // occasional contrarian edge for variety
+			}
+			q := p
+			if invert {
+				q = 1 - p
+			}
+			if op == network.OpAnd {
+				pOut *= q
+			} else {
+				pOut *= 1 - q
+			}
+			fins = append(fins, network.Fanin{Node: n, Invert: invert})
+		}
+		gate := nw.AddGate(fmt.Sprintf("%s%d", prefix, g), op, fins...)
+		if op == network.OpOr {
+			pOut = 1 - pOut
+		}
+		pool = append(pool, gate)
+		prob[gate] = pOut
+	}
+	return pool
+}
+
+// varyingGates simulates the pool on random patterns and returns the
+// gate nodes (deepest first) whose value actually toggles.
+func varyingGates(rng *rand.Rand, pool []*network.Node, gateStart int) []*network.Node {
+	// Output selection. Probability estimates ignore reconvergent
+	// correlation, so a gate can still be a genuine tautology (or vary
+	// too rarely to be useful); simulate a few thousand random patterns
+	// and only expose gates that actually toggle. An exact constant
+	// never toggles, so this guarantees mappable outputs.
+	const simWords = 32
+	vals := make(map[*network.Node][]uint64, len(pool))
+	varies := make([]bool, len(pool))
+	for idx, n := range pool {
+		w := make([]uint64, simWords)
+		if n.IsInput() {
+			for j := range w {
+				w[j] = rng.Uint64()
+			}
+		} else {
+			for j := range w {
+				if n.Op == network.OpAnd {
+					w[j] = ^uint64(0)
+				}
+			}
+			for _, f := range n.Fanins {
+				fw := vals[f.Node]
+				for j := range w {
+					x := fw[j]
+					if f.Invert {
+						x = ^x
+					}
+					if n.Op == network.OpAnd {
+						w[j] &= x
+					} else {
+						w[j] |= x
+					}
+				}
+			}
+		}
+		vals[n] = w
+		for _, x := range w {
+			if x != 0 && x != ^uint64(0) {
+				varies[idx] = true
+				break
+			}
+		}
+	}
+	var usable []*network.Node
+	for idx := len(pool) - 1; idx >= gateStart; idx-- { // deepest first
+		if varies[idx] {
+			usable = append(usable, pool[idx])
+		}
+	}
+	return usable
+}
+
+// Specs for the seven non-reconstructible MCNC circuits. Input/output
+// counts are the published MCNC-89 profiles; gate budgets are scaled to
+// keep the whole suite runnable in seconds while preserving the
+// relative size ordering (des largest, frg1 smallest).
+var syntheticSpecs = map[string]SyntheticSpec{
+	"apex6": {Name: "apex6", Inputs: 135, Outputs: 99, Gates: 450, Seed: 1006},
+	"apex7": {Name: "apex7", Inputs: 49, Outputs: 37, Gates: 160, Seed: 1007},
+	"des":   {Name: "des", Inputs: 256, Outputs: 245, Gates: 1400, Seed: 1008},
+	"frg1":  {Name: "frg1", Inputs: 28, Outputs: 3, Gates: 90, Seed: 1009},
+	"frg2":  {Name: "frg2", Inputs: 143, Outputs: 139, Gates: 600, Seed: 1010},
+	"k2":    {Name: "k2", Inputs: 45, Outputs: 45, Gates: 500, Seed: 1011},
+	"pair":  {Name: "pair", Inputs: 173, Outputs: 137, Gates: 750, Seed: 1012},
+}

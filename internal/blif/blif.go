@@ -1,0 +1,507 @@
+// Package blif reads and writes the Berkeley Logic Interchange Format
+// subset used by MIS II and the MCNC-89 benchmark suite: .model,
+// .inputs, .outputs, .names with {0,1,-} cube tables, and .end.
+// Sequential elements (.latch) and hierarchy (.subckt) are out of scope
+// for combinational technology mapping and are rejected with an error.
+//
+// A .names table is lowered onto the AND/OR network representation of
+// internal/network: each cube becomes an AND over polarized literals and
+// the cover becomes an OR of cubes; off-set covers (output plane '0')
+// become an inverted reference. Constants are folded into consumers.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"chortle/internal/network"
+)
+
+// decl is one parsed .names table before lowering.
+type decl struct {
+	inputs []string
+	output string
+	cubes  []string // input planes, all with the same output phase
+	phase  byte     // '1' (on-set) or '0' (off-set)
+	line   int
+}
+
+// latchDecl is one parsed .latch line.
+type latchDecl struct {
+	d, q string
+	init byte
+	line int
+}
+
+// Read parses a BLIF model from r and lowers it to a Boolean network.
+func Read(r io.Reader) (*network.Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var (
+		model   string
+		inputs  []string
+		outputs []string
+		decls   []*decl
+		latches []latchDecl
+		cur     *decl
+		lineNo  int
+		sawEnd  bool
+	)
+
+	// logical lines: backslash continuation, '#' comments stripped.
+	nextFields := func() ([]string, bool, error) {
+		var acc []string
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			cont := false
+			line = strings.TrimSpace(line)
+			if strings.HasSuffix(line, "\\") {
+				cont = true
+				line = strings.TrimSuffix(line, "\\")
+			}
+			acc = append(acc, strings.Fields(line)...)
+			if cont {
+				continue
+			}
+			if len(acc) == 0 {
+				continue
+			}
+			return acc, true, nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, false, err
+		}
+		if len(acc) > 0 {
+			return acc, true, nil
+		}
+		return nil, false, nil
+	}
+
+	for {
+		fields, ok, err := nextFields()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if sawEnd {
+			return nil, fmt.Errorf("blif line %d: content after .end", lineNo)
+		}
+		tok := fields[0]
+		switch {
+		case tok == ".model":
+			if len(fields) > 1 {
+				model = fields[1]
+			}
+			cur = nil
+		case tok == ".inputs":
+			inputs = append(inputs, fields[1:]...)
+			cur = nil
+		case tok == ".outputs":
+			outputs = append(outputs, fields[1:]...)
+			cur = nil
+		case tok == ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif line %d: .names needs an output", lineNo)
+			}
+			cur = &decl{
+				inputs: fields[1 : len(fields)-1],
+				output: fields[len(fields)-1],
+				line:   lineNo,
+			}
+			decls = append(decls, cur)
+		case tok == ".end":
+			sawEnd = true
+			cur = nil
+		case tok == ".latch":
+			// Forms: .latch D Q [init] | .latch D Q <type> <control> [init]
+			args := fields[1:]
+			ld := latchDecl{line: lineNo, init: '3'}
+			switch len(args) {
+			case 2:
+				ld.d, ld.q = args[0], args[1]
+			case 3:
+				ld.d, ld.q = args[0], args[1]
+				ld.init = args[2][0]
+			case 4:
+				ld.d, ld.q = args[0], args[1]
+			case 5:
+				ld.d, ld.q = args[0], args[1]
+				ld.init = args[4][0]
+			default:
+				return nil, fmt.Errorf("blif line %d: malformed .latch", lineNo)
+			}
+			if ld.init != '0' && ld.init != '1' && ld.init != '2' && ld.init != '3' {
+				return nil, fmt.Errorf("blif line %d: bad latch init %q", lineNo, ld.init)
+			}
+			latches = append(latches, ld)
+			cur = nil
+		case tok == ".subckt" || tok == ".gate" || tok == ".mlatch":
+			return nil, fmt.Errorf("blif line %d: %s is not supported", lineNo, tok)
+		case strings.HasPrefix(tok, "."):
+			// Unknown dot-directives (.default_input_arrival etc.) are
+			// ignored, matching common tool behaviour.
+			cur = nil
+		default:
+			// A cube row of the current .names table.
+			if cur == nil {
+				return nil, fmt.Errorf("blif line %d: cube row outside .names", lineNo)
+			}
+			var inPlane, outPlane string
+			if len(cur.inputs) == 0 {
+				if len(fields) != 1 || len(fields[0]) != 1 {
+					return nil, fmt.Errorf("blif line %d: constant table row must be a single 0/1", lineNo)
+				}
+				inPlane, outPlane = "", fields[0]
+			} else {
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("blif line %d: cube row must be <input-plane> <output>", lineNo)
+				}
+				inPlane, outPlane = fields[0], fields[1]
+			}
+			if len(inPlane) != len(cur.inputs) {
+				return nil, fmt.Errorf("blif line %d: cube width %d != %d inputs", lineNo, len(inPlane), len(cur.inputs))
+			}
+			for _, c := range inPlane {
+				if c != '0' && c != '1' && c != '-' {
+					return nil, fmt.Errorf("blif line %d: invalid cube character %q", lineNo, c)
+				}
+			}
+			if outPlane != "0" && outPlane != "1" {
+				return nil, fmt.Errorf("blif line %d: output plane must be 0 or 1", lineNo)
+			}
+			if cur.phase == 0 {
+				cur.phase = outPlane[0]
+			} else if cur.phase != outPlane[0] {
+				return nil, fmt.Errorf("blif line %d: mixed on-set and off-set rows in one table", lineNo)
+			}
+			cur.cubes = append(cur.cubes, inPlane)
+		}
+	}
+
+	if model == "" {
+		model = "blif"
+	}
+	if len(inputs) == 0 && len(decls) == 0 && len(latches) == 0 {
+		return nil, fmt.Errorf("blif: empty model")
+	}
+	return lower(model, inputs, outputs, decls, latches)
+}
+
+// ReadString parses a BLIF model from a string.
+func ReadString(s string) (*network.Network, error) { return Read(strings.NewReader(s)) }
+
+// lit is a signal value during lowering: a polarized node or a constant.
+type lit struct {
+	node    *network.Node
+	invert  bool
+	isConst bool
+	cval    bool
+}
+
+func (l lit) not() lit {
+	if l.isConst {
+		l.cval = !l.cval
+		return l
+	}
+	l.invert = !l.invert
+	return l
+}
+
+// lower builds the network from parsed declarations, resolving signal
+// references in dependency order.
+func lower(model string, inputs, outputs []string, decls []*decl, latches []latchDecl) (*network.Network, error) {
+	nw := network.New(model)
+	byOutput := make(map[string]*decl, len(decls))
+	for _, d := range decls {
+		if prev, dup := byOutput[d.output]; dup {
+			return nil, fmt.Errorf("blif line %d: signal %q already defined at line %d", d.line, d.output, prev.line)
+		}
+		byOutput[d.output] = d
+	}
+
+	vals := make(map[string]lit)
+	for _, name := range inputs {
+		if _, dup := vals[name]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", name)
+		}
+		if _, isGate := byOutput[name]; isGate {
+			return nil, fmt.Errorf("blif: signal %q is both an input and a .names output", name)
+		}
+		vals[name] = lit{node: nw.AddInput(name)}
+	}
+	// Latch outputs are primary inputs of the combinational view.
+	for _, ld := range latches {
+		if _, dup := vals[ld.q]; dup {
+			return nil, fmt.Errorf("blif line %d: latch output %q collides with an input", ld.line, ld.q)
+		}
+		if _, isGate := byOutput[ld.q]; isGate {
+			return nil, fmt.Errorf("blif line %d: latch output %q is also a .names output", ld.line, ld.q)
+		}
+		vals[ld.q] = lit{node: nw.AddInput(ld.q)}
+	}
+
+	gensym := 0
+	fresh := func(base string) string {
+		for {
+			gensym++
+			name := fmt.Sprintf("%s$%d", base, gensym)
+			if nw.Find(name) == nil {
+				return name
+			}
+		}
+	}
+
+	// materialize returns a network node carrying the literal's value
+	// with the requested polarity folded in; constants have no node, so
+	// callers that need one get a clear error.
+	var resolve func(name string, stack map[string]bool) (lit, error)
+
+	// buildGate creates op(fanins) handling constant folding and arity
+	// 0/1 degeneracies. identity is the op's neutral element.
+	buildGate := func(base string, op network.Op, fanins []lit) lit {
+		identity := op == network.OpAnd // AND identity = 1, OR identity = 0
+		var real []network.Fanin
+		seen := make(map[network.Fanin]bool)
+		for _, f := range fanins {
+			if f.isConst {
+				if f.cval == identity {
+					continue // neutral element
+				}
+				return lit{isConst: true, cval: !identity} // absorbing element
+			}
+			nf := network.Fanin{Node: f.node, Invert: f.invert}
+			if seen[nf] {
+				continue
+			}
+			seen[nf] = true
+			real = append(real, nf)
+		}
+		switch len(real) {
+		case 0:
+			return lit{isConst: true, cval: identity}
+		case 1:
+			return lit{node: real[0].Node, invert: real[0].Invert}
+		}
+		return lit{node: nw.AddGate(fresh(base), op, real...)}
+	}
+
+	resolve = func(name string, stack map[string]bool) (lit, error) {
+		if v, ok := vals[name]; ok {
+			return v, nil
+		}
+		d, ok := byOutput[name]
+		if !ok {
+			return lit{}, fmt.Errorf("blif: undefined signal %q", name)
+		}
+		if stack[name] {
+			return lit{}, fmt.Errorf("blif line %d: combinational cycle through %q", d.line, name)
+		}
+		stack[name] = true
+		defer delete(stack, name)
+
+		fins := make([]lit, len(d.inputs))
+		for i, in := range d.inputs {
+			v, err := resolve(in, stack)
+			if err != nil {
+				return lit{}, err
+			}
+			fins[i] = v
+		}
+
+		var v lit
+		switch {
+		case len(d.cubes) == 0:
+			// Empty cover: constant 0.
+			v = lit{isConst: true, cval: false}
+		default:
+			cubeLits := make([]lit, 0, len(d.cubes))
+			for _, cube := range d.cubes {
+				var terms []lit
+				for i, c := range cube {
+					switch c {
+					case '1':
+						terms = append(terms, fins[i])
+					case '0':
+						terms = append(terms, fins[i].not())
+					}
+				}
+				cubeLits = append(cubeLits, buildGate(d.output, network.OpAnd, terms))
+			}
+			v = buildGate(d.output, network.OpOr, cubeLits)
+		}
+		if d.phase == '0' {
+			v = v.not()
+		}
+		vals[name] = v
+		return v, nil
+	}
+
+	if len(outputs) == 0 && len(latches) == 0 {
+		return nil, fmt.Errorf("blif: model %q declares no outputs", model)
+	}
+	for _, out := range outputs {
+		v, err := resolve(out, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		if v.isConst {
+			return nil, fmt.Errorf("blif: output %q is the constant %v; constant outputs cannot be mapped to logic", out, v.cval)
+		}
+		nw.MarkOutput(out, v.node, v.invert)
+	}
+	for _, ld := range latches {
+		v, err := resolve(ld.d, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		if v.isConst {
+			return nil, fmt.Errorf("blif line %d: latch %q data input is the constant %v", ld.line, ld.q, v.cval)
+		}
+		nw.AddLatch(ld.q, v.node, v.invert, ld.init)
+	}
+	nw.Sweep()
+	return nw, nil
+}
+
+// Write emits the network as BLIF. Gates become on-set .names tables
+// (an AND is one cube; an OR is one single-literal cube per fanin);
+// inverted outputs get an explicit inverter table so the emitted model
+// is self-contained.
+func Write(w io.Writer, nw *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", nw.Name)
+
+	// Latch outputs are inputs of the combinational view but are driven
+	// by .latch lines in the file, not by .inputs.
+	latchQ := make(map[string]bool, len(nw.Latches))
+	for _, l := range nw.Latches {
+		latchQ[l.Q] = true
+	}
+	fmt.Fprint(bw, ".inputs")
+	for _, in := range nw.Inputs {
+		if latchQ[in.Name] {
+			continue
+		}
+		fmt.Fprintf(bw, " %s", in.Name)
+	}
+	fmt.Fprintln(bw)
+
+	outs := nw.SortedOutputs()
+	fmt.Fprint(bw, ".outputs")
+	for _, o := range outs {
+		fmt.Fprintf(bw, " %s", o.Name)
+	}
+	fmt.Fprintln(bw)
+
+	order, err := nw.TopoSort()
+	if err != nil {
+		return err
+	}
+	// Internal gate names may collide with declared output names (e.g.
+	// an inverted output whose driver shares its name would otherwise
+	// emit a self-referential table). Gates whose name clashes with an
+	// output or input name are emitted under a mangled alias, and every
+	// output gets an explicit buffer/inverter table unless it is a
+	// direct non-inverted reference that already carries the right name.
+	reserved := make(map[string]bool, len(nw.Inputs)+len(outs))
+	for _, in := range nw.Inputs {
+		reserved[in.Name] = true
+	}
+	for _, o := range outs {
+		reserved[o.Name] = true
+	}
+	emitName := make(map[*network.Node]string, len(nw.Nodes))
+	for _, in := range nw.Inputs {
+		emitName[in] = in.Name
+	}
+	for _, n := range order {
+		if n.IsInput() {
+			continue
+		}
+		name := n.Name
+		for reserved[name] {
+			name += "$int"
+		}
+		reserved[name] = true
+		emitName[n] = name
+	}
+	for _, n := range order {
+		if n.IsInput() {
+			continue
+		}
+		fmt.Fprint(bw, ".names")
+		for _, f := range n.Fanins {
+			fmt.Fprintf(bw, " %s", emitName[f.Node])
+		}
+		fmt.Fprintf(bw, " %s\n", emitName[n])
+		switch n.Op {
+		case network.OpAnd:
+			for _, f := range n.Fanins {
+				if f.Invert {
+					fmt.Fprint(bw, "0")
+				} else {
+					fmt.Fprint(bw, "1")
+				}
+			}
+			fmt.Fprintln(bw, " 1")
+		case network.OpOr:
+			for i, f := range n.Fanins {
+				for j := range n.Fanins {
+					switch {
+					case j != i:
+						fmt.Fprint(bw, "-")
+					case f.Invert:
+						fmt.Fprint(bw, "0")
+					default:
+						fmt.Fprint(bw, "1")
+					}
+				}
+				fmt.Fprintln(bw, " 1")
+			}
+		}
+	}
+	for _, o := range outs {
+		if emitName[o.Node] == o.Name && !o.Invert {
+			continue // the signal already carries the output name
+		}
+		fmt.Fprintf(bw, ".names %s %s\n", emitName[o.Node], o.Name)
+		if o.Invert {
+			fmt.Fprintln(bw, "0 1")
+		} else {
+			fmt.Fprintln(bw, "1 1")
+		}
+	}
+	for _, l := range nw.Latches {
+		dname := emitName[l.D]
+		if l.DInv {
+			inv := l.Q + "$D"
+			for reserved[inv] {
+				inv += "$"
+			}
+			reserved[inv] = true
+			fmt.Fprintf(bw, ".names %s %s\n0 1\n", dname, inv)
+			dname = inv
+		}
+		fmt.Fprintf(bw, ".latch %s %s %c\n", dname, l.Q, l.Init)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// WriteString renders the network as a BLIF string.
+func WriteString(nw *network.Network) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, nw); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,366 @@
+package blif
+
+import (
+	"math/rand"
+	"testing"
+
+	"chortle/internal/network"
+)
+
+const sampleBLIF = `
+# a small two-output model
+.model sample
+.inputs a b c d e
+.outputs y z
+.names a b t1
+11 1
+.names c d t2
+0- 1
+-1 1
+.names t1 t2 y
+1- 1
+-1 1
+.names t2 e z
+11 0
+.end
+`
+
+func TestReadSample(t *testing.T) {
+	nw, err := ReadString(sampleBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name != "sample" {
+		t.Fatalf("model name = %q", nw.Name)
+	}
+	if len(nw.Inputs) != 5 || len(nw.Outputs) != 2 {
+		t.Fatalf("IO = %d/%d", len(nw.Inputs), len(nw.Outputs))
+	}
+	// Functional check: y = ab + (!c + d), z = !((!c+d) & e).
+	assign := exhaustive(nw)
+	got, err := nw.Simulate(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint(0); m < 32; m++ {
+		a, b := bit(m, 0), bit(m, 1)
+		c, d, e := bit(m, 2), bit(m, 3), bit(m, 4)
+		t2 := !c || d
+		wantY := (a && b) || t2
+		wantZ := !(t2 && e)
+		if bit(uint(got["y"]), int(m)) != wantY {
+			t.Fatalf("y wrong at %05b", m)
+		}
+		if bit(uint(got["z"]), int(m)) != wantZ {
+			t.Fatalf("z wrong at %05b", m)
+		}
+	}
+}
+
+func bit(w uint, i int) bool { return w>>uint(i)&1 == 1 }
+
+// exhaustive assigns the first PIs their exhaustive 2^n pattern columns
+// (n = number of inputs, must be <= 6 for a single word).
+func exhaustive(nw *network.Network) map[string]uint64 {
+	assign := map[string]uint64{}
+	n := len(nw.Inputs)
+	for i, in := range nw.Inputs {
+		var w uint64
+		for m := uint(0); m < 1<<uint(n); m++ {
+			if m>>uint(i)&1 == 1 {
+				w |= 1 << m
+			}
+		}
+		assign[in.Name] = w
+	}
+	return assign
+}
+
+func TestRoundTrip(t *testing.T) {
+	nw, err := ReadString(sampleBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := ReadString(text)
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, text)
+	}
+	assign := exhaustive(nw)
+	got1, _ := nw.Simulate(assign)
+	got2, _ := nw2.Simulate(assign)
+	mask := uint64(1)<<32 - 1
+	for _, o := range nw.Outputs {
+		if got1[o.Name]&mask != got2[o.Name]&mask {
+			t.Fatalf("output %q differs after round trip\n%s", o.Name, text)
+		}
+	}
+}
+
+func TestContinuationAndComments(t *testing.T) {
+	src := `.model m # trailing comment
+.inputs a b \
+c
+.outputs y
+.names a b c y  # three-input AND
+111 1
+.end`
+	nw, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs) != 3 {
+		t.Fatalf("continuation lost inputs: %d", len(nw.Inputs))
+	}
+	got, _ := nw.Simulate(map[string]uint64{"a": ^uint64(0), "b": ^uint64(0), "c": 1})
+	if got["y"] != 1 {
+		t.Fatalf("y = %x", got["y"])
+	}
+}
+
+func TestOffsetCover(t *testing.T) {
+	// y defined by its off-set: y=0 iff a=1,b=1  =>  y = NAND(a,b).
+	src := `.model m
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end`
+	nw, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := nw.Simulate(exhaustive(nw))
+	if got["y"]&0xF != 0b0111 {
+		t.Fatalf("NAND truth = %04b", got["y"]&0xF)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// t is constant 1; y = AND(t, a) must fold to y = a.
+	src := `.model m
+.inputs a
+.outputs y
+.names t
+1
+.names t a y
+11 1
+.end`
+	nw, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := nw.Simulate(map[string]uint64{"a": 0b10})
+	if got["y"]&0b11 != 0b10 {
+		t.Fatalf("y = %b, want a", got["y"]&0b11)
+	}
+	if s := nw.Stats(); s.Gates != 0 {
+		t.Fatalf("constant not folded, %d gates remain", s.Gates)
+	}
+}
+
+func TestConstantOutputRejected(t *testing.T) {
+	src := `.model m
+.inputs a
+.outputs y
+.names y
+1
+.end`
+	if _, err := ReadString(src); err == nil {
+		t.Fatal("constant output accepted")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := map[string]string{
+		"badlatch":     ".model m\n.inputs a\n.outputs y\n.latch a\n.end",
+		"latchinit":    ".model m\n.inputs a\n.outputs y\n.latch a q 7\n.names q y\n1 1\n.end",
+		"latchclash":   ".model m\n.inputs a q\n.outputs y\n.latch a q 0\n.names q y\n1 1\n.end",
+		"latchgate":    ".model m\n.inputs a\n.outputs q\n.names a q\n1 1\n.latch a q 0\n.end",
+		"subckt":       ".model m\n.inputs a\n.outputs y\n.subckt foo a=a y=y\n.end",
+		"cycle":        ".model m\n.inputs a\n.outputs y\n.names y a t\n11 1\n.names t y\n1 1\n.end",
+		"undefined":    ".model m\n.inputs a\n.outputs y\n.names a q y\n11 1\n.end",
+		"badcube":      ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end",
+		"widthcube":    ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end",
+		"mixedphase":   ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end",
+		"strayrow":     ".model m\n.inputs a\n.outputs y\n11 1\n.end",
+		"afterend":     ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n.names a z\n1 1",
+		"redefinition": ".model m\n.inputs a b\n.outputs y\n.names a y\n1 1\n.names b y\n1 1\n.end",
+		"noout":        ".model m\n.inputs a b\n.names a b t\n11 1\n.end",
+		"inputgate":    ".model m\n.inputs a\n.outputs y\n.names a\n1\n.names a y\n1 1\n.end",
+	}
+	for name, src := range cases {
+		if _, err := ReadString(src); err == nil {
+			t.Errorf("case %q: error expected, got none", name)
+		}
+	}
+}
+
+func TestWriteNamesCollision(t *testing.T) {
+	// An inverted output whose driving gate has the output's own name
+	// must not produce a self-referential table.
+	nw := network.New("m")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	g := nw.AddGate("y", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	nw.MarkOutput("y", g, true)
+	text, err := WriteString(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := ReadString(text)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, text)
+	}
+	got, _ := nw2.Simulate(map[string]uint64{"a": 0b1010, "b": 0b1100})
+	if got["y"]&0xF != 0b0111 {
+		t.Fatalf("collision handling broke function: y=%04b\n%s", got["y"]&0xF, text)
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		nw := randomNetwork(rng, trial)
+		text, err := WriteString(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw2, err := ReadString(text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		assign := map[string]uint64{}
+		for _, in := range nw.Inputs {
+			assign[in.Name] = rng.Uint64()
+		}
+		got1, err := nw.Simulate(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := nw2.Simulate(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range nw.Outputs {
+			if got1[o.Name] != got2[o.Name] {
+				t.Fatalf("trial %d: output %q differs\n%s", trial, o.Name, text)
+			}
+		}
+	}
+}
+
+func randomNetwork(rng *rand.Rand, id int) *network.Network {
+	nw := network.New("rand")
+	var pool []*network.Node
+	nIn := 2 + rng.Intn(5)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, nw.AddInput("in"+string(rune('a'+i))))
+	}
+	nGates := 3 + rng.Intn(12)
+	for i := 0; i < nGates; i++ {
+		op := network.OpAnd
+		if rng.Intn(2) == 1 {
+			op = network.OpOr
+		}
+		k := 2 + rng.Intn(3)
+		fins := make([]network.Fanin, 0, k)
+		for j := 0; j < k; j++ {
+			fins = append(fins, network.Fanin{Node: pool[rng.Intn(len(pool))], Invert: rng.Intn(2) == 1})
+		}
+		pool = append(pool, nw.AddGate("g"+string(rune('0'+i%10))+string(rune('a'+i/10)), op, fins...))
+	}
+	nw.MarkOutput("out0", pool[len(pool)-1], rng.Intn(2) == 1)
+	nw.MarkOutput("out1", pool[len(pool)-2], rng.Intn(2) == 1)
+	nw.Sweep()
+	return nw
+}
+
+// sequentialBLIF is a 2-bit counter with enable: a small FSM exercising
+// .latch support end to end.
+const sequentialBLIF = `
+.model counter2
+.inputs en
+.outputs q0out q1out
+.latch d0 q0 re clk 0
+.latch d1 q1 0
+.names en q0 d0
+10 1
+01 1
+.names en q0 carry
+11 1
+.names carry q1 d1
+10 1
+01 1
+.names q0 q0out
+1 1
+.names q1 q1out
+1 1
+.end`
+
+func TestSequentialRead(t *testing.T) {
+	nw, err := ReadString(sequentialBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Latches) != 2 {
+		t.Fatalf("latches = %d, want 2", len(nw.Latches))
+	}
+	if len(nw.Inputs) != 3 {
+		t.Fatalf("combinational inputs = %d, want 3 (en, q0, q1)", len(nw.Inputs))
+	}
+	if nw.Latches[0].Init != '0' || nw.Latches[1].Init != '0' {
+		t.Fatalf("latch init values lost: %+v", nw.Latches)
+	}
+	// Next-state function: d0 = en XOR q0; d1 = q1 XOR (en AND q0).
+	got, err := nw.Simulate(map[string]uint64{"en": 0b1010, "q0": 0b1100, "q1": 0b1111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint(0); i < 4; i++ {
+		en, q0, q1 := 0b1010>>i&1 == 1, 0b1100>>i&1 == 1, true
+		wantD0 := en != q0
+		wantD1 := q1 != (en && q0)
+		if got["$latch$q0"]>>i&1 == 1 != wantD0 {
+			t.Fatalf("d0 wrong at pattern %d", i)
+		}
+		if got["$latch$q1"]>>i&1 == 1 != wantD1 {
+			t.Fatalf("d1 wrong at pattern %d", i)
+		}
+	}
+}
+
+func TestSequentialRoundTrip(t *testing.T) {
+	nw, err := ReadString(sequentialBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := ReadString(text)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, text)
+	}
+	if len(nw2.Latches) != 2 {
+		t.Fatalf("latches lost in round trip:\n%s", text)
+	}
+	assign := map[string]uint64{"en": 0xF0F0, "q0": 0xFF00, "q1": 0xAAAA}
+	a, _ := nw.Simulate(assign)
+	b, _ := nw2.Simulate(assign)
+	for _, key := range []string{"q0out", "q1out", "$latch$q0", "$latch$q1"} {
+		if a[key] != b[key] {
+			t.Fatalf("%s differs after round trip\n%s", key, text)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the parser with mangled inputs; any input may be
+// rejected with an error but must never panic, and anything accepted
+// must produce a network that validates and re-emits.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		sampleBLIF,
+		sequentialBLIF,
+		"",
+		".model x\n",
+		".model x\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+		".inputs a b\n.outputs y\n.names a b y\n-1 1\n1- 1\n",
+		".model \\\n x\n.inputs a\n.outputs a\n.end",
+		".latch d q 0\n.names q d\n0 1\n.outputs q\n... garbage",
+		".model m\n.inputs a\n.outputs y\n.names a y\n0 0\n.end",
+		strings.Repeat(".names a b c\n111 1\n", 10),
+		".model m\n.inputs a\n.outputs y\n.names a y\n\x00 1\n.end",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nw, err := ReadString(src)
+		if err != nil {
+			return
+		}
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v\ninput:\n%s", err, src)
+		}
+		if _, err := WriteString(nw); err != nil {
+			t.Fatalf("accepted network fails to write: %v", err)
+		}
+	})
+}

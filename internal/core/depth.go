@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"chortle/internal/forest"
+	"chortle/internal/network"
+)
+
+// Depth-oriented mapping — the direction the Chortle line took next
+// (Chortle-d, FPGA'91, and ultimately FlowMap): minimize the number of
+// LUT levels on the longest path, breaking ties by area. The same
+// utilization-division/decomposition search runs with a lexicographic
+// (arrival, cost) objective instead of cost alone:
+//
+//   - the arrival of a signal is its LUT level (primary inputs 0);
+//   - a root LUT's arrival is 1 + max over its input signals;
+//   - merging a child's root LUT inherits the child's input arrivals;
+//   - an intermediate node adds one level on its own inputs.
+//
+// Trees are mapped in topological order so leaf arrivals (other trees'
+// mapped roots) are known. Within the fanout-free tree model the
+// resulting depth is optimal per tree (max composes monotonically over
+// the same search space); area under that depth is greedy, as in
+// Chortle-d.
+
+// dvalue is the lexicographic (arrival, cost) DP value.
+type dvalue struct {
+	arr  int32 // max arrival among the collected root-LUT inputs
+	cost int32 // LUTs
+}
+
+var dInfinity = dvalue{arr: infinity, cost: infinity}
+
+func dBetter(a, b dvalue) bool {
+	if a.arr != b.arr {
+		return a.arr < b.arr
+	}
+	return a.cost < b.cost
+}
+
+func dCombine(a, b dvalue) dvalue {
+	arr := a.arr
+	if b.arr > arr {
+		arr = b.arr
+	}
+	return dvalue{arr: arr, cost: a.cost + b.cost}
+}
+
+func (v dvalue) infinite() bool { return v.arr >= infinity || v.cost >= infinity }
+
+// depthState augments a nodeDP with arrival tracking; the choice tables
+// of the embedded nodeDP are filled by the depth DP so the standard
+// reconstruction (emit.go) rebuilds the chosen circuit unchanged.
+type depthState struct {
+	*nodeDP
+	gd       [][]dvalue
+	mmBestD  []dvalue
+	children []*depthState
+	// bestArr is the arrival of the node's completed signal (its root
+	// LUT output) under the best mapping.
+	bestArr int32
+}
+
+// buildDepthDP mirrors buildDP with the lexicographic objective.
+// leafArr supplies arrivals for leaf edges (PIs and mapped tree roots).
+func buildDepthDP(f *forest.Forest, n *network.Node, opts Options, leafArr func(*network.Node) int32) *depthState {
+	ds := &depthState{nodeDP: &nodeDP{node: n}}
+	for _, e := range n.Fanins {
+		fr := faninRef{edge: e}
+		var child *depthState
+		if !f.IsLeafEdge(e.Node) {
+			child = buildDepthDP(f, e.Node, opts, leafArr)
+			fr.child = child.nodeDP
+		}
+		ds.fanins = append(ds.fanins, fr)
+		ds.children = append(ds.children, child)
+	}
+	ds.computeDepth(opts, leafArr)
+	return ds
+}
+
+// signalValue is the (arrival, cost) of feeding fanin i as a finished
+// signal.
+func (ds *depthState) signalValue(i int, leafArr func(*network.Node) int32) dvalue {
+	if ds.children[i] == nil {
+		return dvalue{arr: leafArr(ds.fanins[i].edge.Node), cost: 0}
+	}
+	c := ds.children[i]
+	return dvalue{arr: c.bestArr, cost: c.bestCost}
+}
+
+// mergeValue is the (arrival, cost) of merging fanin i's root LUT with
+// v of our pins: the child's collected input arrivals propagate, its
+// root LUT disappears.
+func (ds *depthState) mergeValue(i, v int) dvalue {
+	c := ds.children[i]
+	if c == nil {
+		return dInfinity
+	}
+	return c.gd[c.full][v]
+}
+
+func (ds *depthState) computeDepth(opts Options, leafArr func(*network.Node) int32) {
+	f := len(ds.fanins)
+	K := opts.K
+	size := uint32(1) << uint(f)
+	ds.full = size - 1
+	ds.gd = make([][]dvalue, size)
+	ds.mmBestD = make([]dvalue, size)
+	ds.choice = make([][]gChoice, size)
+	ds.mmBestU = make([]int8, size)
+
+	base := make([]dvalue, K+1)
+	for u := 1; u <= K; u++ {
+		base[u] = dInfinity
+	}
+	ds.gd[0] = base
+	ds.choice[0] = make([]gChoice, K+1)
+
+	for s := uint32(1); s < size; s++ {
+		row := make([]dvalue, K+1)
+		ch := make([]gChoice, K+1)
+		row[0] = dInfinity
+		pivot := bits.TrailingZeros32(s)
+		pbit := uint32(1) << uint(pivot)
+		rest0 := s ^ pbit
+
+		for u := 2; u <= K; u++ {
+			best := dInfinity
+			var bc gChoice
+			for v := 1; v <= u; v++ {
+				var c dvalue
+				if v == 1 {
+					c = ds.signalValue(pivot, leafArr)
+				} else {
+					c = ds.mergeValue(pivot, v)
+				}
+				if c.infinite() {
+					continue
+				}
+				r := ds.gd[rest0][u-v]
+				if r.infinite() {
+					continue
+				}
+				if cand := dCombine(c, r); dBetter(cand, best) {
+					best = cand
+					bc = gChoice{kind: choiceSingleton, v: int8(v)}
+				}
+			}
+			if !opts.DisableDecomposition {
+				for d := (s - 1) & s; d > 0; d = (d - 1) & s {
+					if d&pbit == 0 || bits.OnesCount32(d) < 2 {
+						continue
+					}
+					c := ds.mmBestD[d]
+					if c.infinite() {
+						continue
+					}
+					r := ds.gd[s&^d][u-1]
+					if r.infinite() {
+						continue
+					}
+					if cand := dCombine(c, r); dBetter(cand, best) {
+						best = cand
+						bc = gChoice{kind: choiceIntermediate, d: d}
+					}
+				}
+			}
+			row[u] = best
+			ch[u] = bc
+		}
+
+		// Intermediate-node value: one more LUT and one more level on
+		// its own inputs.
+		mb := dInfinity
+		var mu int8
+		for u := 2; u <= K; u++ {
+			if row[u].infinite() {
+				continue
+			}
+			cand := dvalue{arr: row[u].arr + 1, cost: row[u].cost + 1}
+			if dBetter(cand, mb) {
+				mb = cand
+				mu = int8(u)
+			}
+		}
+		ds.mmBestD[s] = mb
+		ds.mmBestU[s] = mu
+
+		switch {
+		case s == pbit:
+			row[1] = ds.signalValue(pivot, leafArr)
+			ch[1] = gChoice{kind: choiceSingleton, v: 1}
+		case !opts.DisableDecomposition:
+			row[1] = mb
+			ch[1] = gChoice{kind: choiceIntermediate, d: s}
+		default:
+			row[1] = dInfinity
+		}
+
+		ds.gd[s] = row
+		ds.choice[s] = ch
+	}
+
+	bestV := dInfinity
+	for u := 2; u <= K; u++ {
+		if ds.gd[ds.full][u].infinite() {
+			continue
+		}
+		cand := dvalue{arr: ds.gd[ds.full][u].arr + 1, cost: ds.gd[ds.full][u].cost + 1}
+		if dBetter(cand, bestV) {
+			bestV = cand
+			ds.bestU = u
+		}
+	}
+	ds.bestArr = bestV.arr
+	ds.bestCost = bestV.cost
+}
+
+func errUnmappable(name string, k int) error {
+	return fmt.Errorf("core: tree %q is unmappable with K=%d (fanin too wide without decomposition?)", name, k)
+}
+
+// realizeTreeDepth maps one tree depth-first and registers its signal
+// and arrival.
+func (m *mapper) realizeTreeDepth(root *network.Node, arr map[*network.Node]int32) (int32, error) {
+	leafArr := func(n *network.Node) int32 {
+		if n.IsInput() {
+			return 0
+		}
+		return arr[n]
+	}
+	ds := buildDepthDP(m.f, root, m.opts, leafArr)
+	if ds.bestCost >= infinity {
+		return 0, errUnmappable(root.Name, m.opts.K)
+	}
+	name := root.Name
+	if m.ckt.Find(name) != nil || m.cktHasInput(name) {
+		name = m.fresh(root.Name)
+	}
+	sig, err := m.emitLUT(ds.nodeDP, ds.full, ds.bestU, name)
+	if err != nil {
+		return 0, err
+	}
+	m.sig[root] = sig
+	arr[root] = ds.bestArr
+	return ds.bestCost, nil
+}

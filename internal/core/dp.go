@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/bits"
+
+	"chortle/internal/forest"
+	"chortle/internal/network"
+)
+
+// The tree-mapping dynamic program (Sections 3.1.1–3.1.3).
+//
+// For a tree node n with fanin edges e_0..e_{f-1}, the paper's
+// minmap(n,u) — the cheapest circuit for the subtree at n whose root
+// lookup table uses exactly u inputs — is found by searching all
+// utilization divisions of all decompositions of n. We organize that
+// search as an exact DP over (fanin subset, remaining utilization):
+//
+//	G[S][u] = minimum cost of realizing the inputs that the root LUT
+//	          needs to cover op(n) over exactly the fanins in S, using
+//	          exactly u of the root LUT's input pins
+//
+// with three ways to place the lowest-indexed fanin i of S:
+//
+//	singleton, u_i = 1: the fanin's finished signal feeds one pin;
+//	    cost = bestcost(n_i)            (paper: minmap(n_i, K))
+//	singleton, u_i = v >= 2: the fanin subtree's root LUT is merged
+//	    into ours, its v inputs becoming our pins;
+//	    cost = cost(minmap(n_i, v)) - 1 = G_i[full_i][v]
+//	intermediate group d (i in d, |d| >= 2): a new node computing op(n)
+//	    over the fanins in d feeds one pin (the paper requires u_i = 1
+//	    for intermediate groups); cost = mm(d) = 1 + min_u G[d][u].
+//
+// Enumerating the group containing the pivot and recursing on S minus
+// that group enumerates every set partition and every division exactly
+// once, in O(3^f * K) instead of the Bell-number blow-up of the naive
+// search. minmap(n, u) = 1 + G[full][u].
+//
+// G[S][1] (|S| >= 2) covers the case where the *rest* of a parent's
+// division wraps all of S into one intermediate node: G[S][1] = mm(S).
+
+type choiceKind uint8
+
+const (
+	choiceNone choiceKind = iota
+	choiceSingleton
+	choiceIntermediate
+)
+
+// gChoice records how the pivot fanin of a subset was placed, for
+// circuit reconstruction.
+type gChoice struct {
+	kind choiceKind
+	v    int8   // singleton: utilization granted to the pivot subtree
+	d    uint32 // intermediate: the group's fanin mask
+}
+
+// faninRef is one fanin edge of a tree node: either a leaf edge
+// (primary input or another tree's root) or an internal child with its
+// own DP table.
+type faninRef struct {
+	edge  network.Fanin
+	child *nodeDP // nil for leaf edges
+}
+
+// nodeDP holds the DP state of one tree node.
+type nodeDP struct {
+	node   *network.Node
+	fanins []faninRef
+	full   uint32
+
+	g       [][]int32   // g[s][u], u in 0..K
+	choice  [][]gChoice // choice[s][u]
+	mmBest  []int32     // mm(s) = 1 + min_u g[s][u]
+	mmBestU []int8
+
+	bestCost int32 // min_u minmap(node, u)
+	bestU    int
+}
+
+// buildDP constructs DP tables for the tree rooted at n (which must be a
+// gate inside the tree), recursively building children first.
+func buildDP(f *forest.Forest, n *network.Node, opts Options) *nodeDP {
+	dp := &nodeDP{node: n}
+	for _, e := range n.Fanins {
+		fr := faninRef{edge: e}
+		if !f.IsLeafEdge(e.Node) {
+			fr.child = buildDP(f, e.Node, opts)
+		}
+		dp.fanins = append(dp.fanins, fr)
+	}
+	dp.compute(opts)
+	return dp
+}
+
+// costSignal is the cost of feeding fanin i as a finished signal
+// (utilization 1): zero for leaf edges, bestcost of the child otherwise.
+func (dp *nodeDP) costSignal(i int) int32 {
+	if dp.fanins[i].child == nil {
+		return 0
+	}
+	return dp.fanins[i].child.bestCost
+}
+
+// costMerge is the cost of merging fanin i's root LUT into ours with v
+// of our pins: cost(minmap(child, v)) - 1. Leaf edges cannot merge.
+func (dp *nodeDP) costMerge(i, v int) int32 {
+	c := dp.fanins[i].child
+	if c == nil {
+		return infinity
+	}
+	return c.g[c.full][v] // (1 + g) - 1
+}
+
+func (dp *nodeDP) compute(opts Options) {
+	f := len(dp.fanins)
+	K := opts.K
+	size := uint32(1) << uint(f)
+	dp.full = size - 1
+	dp.g = make([][]int32, size)
+	dp.choice = make([][]gChoice, size)
+	dp.mmBest = make([]int32, size)
+	dp.mmBestU = make([]int8, size)
+
+	base := make([]int32, K+1)
+	for u := 1; u <= K; u++ {
+		base[u] = infinity
+	}
+	dp.g[0] = base
+	dp.choice[0] = make([]gChoice, K+1)
+
+	for s := uint32(1); s < size; s++ {
+		row := make([]int32, K+1)
+		ch := make([]gChoice, K+1)
+		row[0] = infinity
+		pivot := bits.TrailingZeros32(s)
+		pbit := uint32(1) << uint(pivot)
+		rest0 := s ^ pbit
+
+		for u := 2; u <= K; u++ {
+			best := infinity
+			var bc gChoice
+			for v := 1; v <= u; v++ {
+				var c int32
+				if v == 1 {
+					c = dp.costSignal(pivot)
+				} else {
+					c = dp.costMerge(pivot, v)
+				}
+				if c >= infinity {
+					continue
+				}
+				r := dp.g[rest0][u-v]
+				if r >= infinity {
+					continue
+				}
+				if c+r < best {
+					best = c + r
+					bc = gChoice{kind: choiceSingleton, v: int8(v)}
+				}
+			}
+			if !opts.DisableDecomposition {
+				// Proper submasks d of s containing the pivot, |d| >= 2.
+				for d := (s - 1) & s; d > 0; d = (d - 1) & s {
+					if d&pbit == 0 || bits.OnesCount32(d) < 2 {
+						continue
+					}
+					c := dp.mmBest[d] // d < s, already computed
+					if c >= infinity {
+						continue
+					}
+					r := dp.g[s&^d][u-1]
+					if r >= infinity {
+						continue
+					}
+					if c+r < best {
+						best = c + r
+						bc = gChoice{kind: choiceIntermediate, d: d}
+					}
+				}
+			}
+			row[u] = best
+			ch[u] = bc
+		}
+
+		// mm(s): the cost of an intermediate node covering exactly s.
+		mb := infinity
+		var mu int8
+		for u := 2; u <= K; u++ {
+			if row[u] < infinity && row[u]+1 < mb {
+				mb = row[u] + 1
+				mu = int8(u)
+			}
+		}
+		dp.mmBest[s] = mb
+		dp.mmBestU[s] = mu
+
+		// G[s][1]: a single pin covering all of s.
+		switch {
+		case s == pbit:
+			row[1] = dp.costSignal(pivot)
+			ch[1] = gChoice{kind: choiceSingleton, v: 1}
+		case !opts.DisableDecomposition:
+			row[1] = mb
+			ch[1] = gChoice{kind: choiceIntermediate, d: s}
+		default:
+			row[1] = infinity
+		}
+
+		dp.g[s] = row
+		dp.choice[s] = ch
+	}
+
+	dp.bestCost = infinity
+	for u := 2; u <= K; u++ {
+		if c := dp.g[dp.full][u]; c < infinity && c+1 < dp.bestCost {
+			dp.bestCost = c + 1
+			dp.bestU = u
+		}
+	}
+}
+
+// minmap returns cost(minmap(node, u)) for u in 2..K, or infinity when
+// infeasible — exposed for the paper's monotonicity lemma tests.
+func (dp *nodeDP) minmap(u int) int32 {
+	c := dp.g[dp.full][u]
+	if c >= infinity {
+		return infinity
+	}
+	return c + 1
+}

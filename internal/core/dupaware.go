@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+
+	"chortle/internal/network"
+)
+
+// Cost-aware fanout duplication. The naive duplication pass
+// (Options.DuplicateFanoutLogic) copies every small shared gate and, as
+// the paper observed of MIS's greedy version, usually loses area.
+// MapDuplicateCostAware instead evaluates each candidate with the tree
+// DP itself: a shared gate is duplicated only if the total cost of the
+// affected trees (the gate's own tree plus its consumers' trees)
+// strictly drops. This is the profitable form of the paper's
+// "duplication of logic at fanout nodes" future work — the idea that
+// became replication in Chortle-crf.
+
+// MapDuplicateCostAware greedily applies profitable duplications and
+// then maps. The returned Result reflects the final mapping; the int is
+// the number of duplications accepted.
+func MapDuplicateCostAware(input *network.Network, opts Options) (*Result, int, error) {
+	if err := opts.validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := input.Validate(); err != nil {
+		return nil, 0, err
+	}
+	nw := input.Clone()
+	nw.Sweep()
+	accepted := 0
+	// Iterate to a fixed point with a safety bound: each accepted
+	// duplication strictly reduces the DP cost, which is bounded below.
+	for pass := 0; pass < 8; pass++ {
+		changed, err := dupPass(nw, opts, &accepted)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !changed {
+			break
+		}
+	}
+	res, err := Map(nw, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, accepted, nil
+}
+
+// totalTreeCost maps (cost only) the whole network.
+func totalTreeCost(nw *network.Network, opts Options) (int, error) {
+	costs, err := TreeCosts(nw, opts)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range costs {
+		total += c
+	}
+	return total, nil
+}
+
+// dupPass tries every candidate once, committing improvements.
+func dupPass(nw *network.Network, opts Options, accepted *int) (bool, error) {
+	base, err := totalTreeCost(nw, opts)
+	if err != nil {
+		return false, err
+	}
+	// Candidates: multi-fanout gates small enough to merge into a
+	// consumer LUT. Deterministic order by name.
+	nw.Reindex()
+	counts := nw.FanoutCounts()
+	var candidates []string
+	for _, n := range nw.Nodes {
+		if n.IsInput() || len(n.Fanins) >= opts.K {
+			continue
+		}
+		if fo := counts[n.ID]; fo >= 2 && fo <= maxDupFanout {
+			candidates = append(candidates, n.Name)
+		}
+	}
+	sort.Strings(candidates)
+
+	changed := false
+	for _, name := range candidates {
+		n := nw.Find(name)
+		if n == nil {
+			continue // removed by an earlier accepted duplication
+		}
+		trial := nw.Clone()
+		if !duplicateOne(trial, name) {
+			continue
+		}
+		trial.Sweep()
+		if err := trial.Validate(); err != nil {
+			continue
+		}
+		cost, err := totalTreeCost(trial, opts)
+		if err != nil {
+			continue
+		}
+		if cost < base {
+			// Commit by replaying on the live network.
+			if duplicateOne(nw, name) {
+				nw.Sweep()
+				base = cost
+				*accepted++
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}
+
+// duplicateOne gives each gate consumer of the named node a private
+// copy. Returns false if the node no longer qualifies.
+func duplicateOne(nw *network.Network, name string) bool {
+	n := nw.Find(name)
+	if n == nil || n.IsInput() {
+		return false
+	}
+	gensym := 0
+	fresh := func() string {
+		for {
+			gensym++
+			cand := name + "$ca" + string(rune('0'+gensym%10)) + string(rune('a'+gensym/10%26))
+			if nw.Find(cand) == nil {
+				return cand
+			}
+		}
+	}
+	did := false
+	for _, consumer := range nw.Nodes {
+		if consumer.IsInput() || consumer == n {
+			continue
+		}
+		for i, f := range consumer.Fanins {
+			if f.Node != n {
+				continue
+			}
+			cp := nw.AddGate(fresh(), n.Op, append([]network.Fanin(nil), n.Fanins...)...)
+			consumer.Fanins[i] = network.Fanin{Node: cp, Invert: f.Invert}
+			did = true
+		}
+	}
+	return did
+}

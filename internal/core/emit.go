@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"chortle/internal/forest"
+	"chortle/internal/lut"
+	"chortle/internal/network"
+	"chortle/internal/truth"
+)
+
+// Circuit reconstruction. The DP records, for every (subset, utilization)
+// state, how the pivot fanin was placed; walking those choices rebuilds
+// the chosen cover. Each emitted LUT's truth table is evaluated from the
+// expression tree of the network logic it absorbs — including every edge
+// inversion, which is how Chortle gets inverters for free.
+
+// exprNode is the function of one LUT over its collected input signals.
+type exprNode struct {
+	leaf     bool
+	inputIdx int // leaf: index into the LUT's input list
+	invert   bool
+	op       network.Op // internal: AND/OR over kids
+	kids     []*exprNode
+}
+
+func evalExpr(e *exprNode, assign uint) bool {
+	if e.leaf {
+		return (assign>>uint(e.inputIdx)&1 == 1) != e.invert
+	}
+	var v bool
+	if e.op == network.OpAnd {
+		v = true
+		for _, k := range e.kids {
+			if !evalExpr(k, assign) {
+				v = false
+				break
+			}
+		}
+	} else {
+		for _, k := range e.kids {
+			if evalExpr(k, assign) {
+				v = true
+				break
+			}
+		}
+	}
+	return v != e.invert
+}
+
+// mapper carries the reconstruction state across trees.
+type mapper struct {
+	opts Options
+	nw   *network.Network
+	f    *forest.Forest
+	ckt  *lut.Circuit
+	sig  map[*network.Node]string // realized signal of PIs and tree roots
+	seq  int
+}
+
+func (m *mapper) fresh(base string) string {
+	for {
+		m.seq++
+		name := fmt.Sprintf("%s$l%d", base, m.seq)
+		if m.ckt.Find(name) == nil && !m.cktHasInput(name) {
+			return name
+		}
+	}
+}
+
+func (m *mapper) cktHasInput(name string) bool {
+	for _, in := range m.ckt.Inputs {
+		if in == name {
+			return true
+		}
+	}
+	return false
+}
+
+// addInput interns a signal in the LUT's input list, deduplicating
+// repeated signals (the DP charges one pin per leaf edge, as the paper
+// does; the physical LUT can share the pin).
+func addInput(inputs *[]string, sig string) int {
+	for i, s := range *inputs {
+		if s == sig {
+			return i
+		}
+	}
+	*inputs = append(*inputs, sig)
+	return len(*inputs) - 1
+}
+
+// signalOf realizes fanin fr as a finished signal: leaf edges resolve to
+// the PI or previously mapped tree root; internal children emit their
+// best mapping rooted at a fresh LUT.
+func (m *mapper) signalOf(fr faninRef) (string, error) {
+	if fr.child == nil {
+		n := fr.edge.Node
+		if n.IsInput() {
+			return n.Name, nil
+		}
+		sig, ok := m.sig[n]
+		if !ok {
+			return "", fmt.Errorf("core: tree root %q not yet realized", n.Name)
+		}
+		return sig, nil
+	}
+	c := fr.child
+	return m.emitLUT(c, c.full, c.bestU, m.fresh(c.node.Name))
+}
+
+// collectGroups walks the DP choices for (dp, s, u), returning the
+// group expressions of the covering LUT and extending inputs with the
+// signals it consumes.
+func (m *mapper) collectGroups(dp *nodeDP, s uint32, u int, inputs *[]string) ([]*exprNode, error) {
+	var groups []*exprNode
+	for s != 0 {
+		if u < 1 {
+			return nil, fmt.Errorf("core: utilization underflow reconstructing %q", dp.node.Name)
+		}
+		ch := dp.choice[s][u]
+		switch ch.kind {
+		case choiceSingleton:
+			pivot := bits.TrailingZeros32(s)
+			fr := dp.fanins[pivot]
+			if ch.v == 1 {
+				sig, err := m.signalOf(fr)
+				if err != nil {
+					return nil, err
+				}
+				groups = append(groups, &exprNode{leaf: true, inputIdx: addInput(inputs, sig), invert: fr.edge.Invert})
+			} else {
+				c := fr.child
+				kids, err := m.collectGroups(c, c.full, int(ch.v), inputs)
+				if err != nil {
+					return nil, err
+				}
+				groups = append(groups, &exprNode{op: c.node.Op, kids: kids, invert: fr.edge.Invert})
+			}
+			s &^= 1 << uint(pivot)
+			u -= int(ch.v)
+		case choiceIntermediate:
+			sig, err := m.emitLUT(dp, ch.d, int(dp.mmBestU[ch.d]), m.fresh(dp.node.Name))
+			if err != nil {
+				return nil, err
+			}
+			groups = append(groups, &exprNode{leaf: true, inputIdx: addInput(inputs, sig)})
+			s &^= ch.d
+			u--
+		default:
+			return nil, fmt.Errorf("core: no DP choice recorded for %q subset %b utilization %d", dp.node.Name, s, u)
+		}
+	}
+	if u != 0 {
+		return nil, fmt.Errorf("core: utilization leftover %d reconstructing %q", u, dp.node.Name)
+	}
+	return groups, nil
+}
+
+// emitLUT materializes one lookup table computing op(dp.node) over the
+// fanin subset s with utilization u, returning its signal name.
+func (m *mapper) emitLUT(dp *nodeDP, s uint32, u int, name string) (string, error) {
+	var inputs []string
+	groups, err := m.collectGroups(dp, s, u, &inputs)
+	if err != nil {
+		return "", err
+	}
+	root := &exprNode{op: dp.node.Op, kids: groups}
+	if len(inputs) > m.opts.K {
+		return "", fmt.Errorf("core: LUT %q collected %d inputs for K=%d", name, len(inputs), m.opts.K)
+	}
+	table := truth.FromFunc(len(inputs), func(assign uint) bool { return evalExpr(root, assign) })
+	m.ckt.AddLUT(name, inputs, table)
+	return name, nil
+}
+
+// realizeTree maps the tree rooted at root and registers its signal.
+func (m *mapper) realizeTree(root *network.Node) (int32, error) {
+	return m.realizeTreeFromDP(root, buildDP(m.f, root, m.opts))
+}
+
+// realizeTreeFromDP reconstructs a tree's circuit from an already
+// computed DP (used by the parallel path).
+func (m *mapper) realizeTreeFromDP(root *network.Node, dp *nodeDP) (int32, error) {
+	if dp == nil {
+		return 0, fmt.Errorf("core: missing DP for tree %q", root.Name)
+	}
+	if dp.bestCost >= infinity {
+		return 0, errUnmappable(root.Name, m.opts.K)
+	}
+	name := root.Name
+	if m.ckt.Find(name) != nil || m.cktHasInput(name) {
+		name = m.fresh(root.Name)
+	}
+	sig, err := m.emitLUT(dp, dp.full, dp.bestU, name)
+	if err != nil {
+		return 0, err
+	}
+	m.sig[root] = sig
+	return dp.bestCost, nil
+}
+
+// buildDPsParallel computes every tree's DP concurrently.
+func buildDPsParallel(f *forest.Forest, opts Options) map[*network.Node]*nodeDP {
+	type built struct {
+		root *network.Node
+		dp   *nodeDP
+	}
+	results := make(chan built, len(f.Roots))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, root := range f.Roots {
+		root := root
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results <- built{root: root, dp: buildDP(f, root, opts)}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	out := make(map[*network.Node]*nodeDP, len(f.Roots))
+	for b := range results {
+		out[b.root] = b.dp
+	}
+	return out
+}

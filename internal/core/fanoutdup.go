@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"chortle/internal/network"
+)
+
+// Logic duplication at fanout nodes — the extension the paper's
+// conclusions list as future work ("optimizations that may result from
+// the duplication of logic at fanout nodes"). The forest decomposition
+// never duplicates logic: a multi-fanout node always becomes its own
+// tree and costs at least one LUT. Duplicating a cheap multi-fanout node
+// into each consumer dissolves that tree boundary and lets the node's
+// logic merge into the consumers' root LUTs.
+//
+// The heuristic duplicates gates that are small enough to merge
+// (fanin <= K-1) and modestly shared (fanout 2..maxDupFanout); anything
+// wider would multiply logic faster than merging can recover.
+
+const maxDupFanout = 4
+
+// duplicateFanoutLogic rewrites the network in place, giving each
+// consumer of an eligible multi-fanout gate a private copy. Returns the
+// number of copies created.
+func duplicateFanoutLogic(nw *network.Network, opts Options) int {
+	nw.Reindex()
+	counts := nw.FanoutCounts()
+	gensym := 0
+	fresh := func(base string) string {
+		for {
+			gensym++
+			name := fmt.Sprintf("%s$d%d", base, gensym)
+			if nw.Find(name) == nil {
+				return name
+			}
+		}
+	}
+	// Snapshot the gate list: duplication appends nodes.
+	gates := make([]*network.Node, 0, len(nw.Nodes))
+	for _, n := range nw.Nodes {
+		if !n.IsInput() {
+			gates = append(gates, n)
+		}
+	}
+	dups := 0
+	for _, n := range gates {
+		if len(n.Fanins) > opts.K-1 {
+			continue
+		}
+		fo := counts[n.ID]
+		if fo < 2 || fo > maxDupFanout {
+			continue
+		}
+		for _, consumer := range gates {
+			if consumer == n {
+				continue
+			}
+			for i, f := range consumer.Fanins {
+				if f.Node != n {
+					continue
+				}
+				cp := nw.AddGate(fresh(n.Name), n.Op, append([]network.Fanin(nil), n.Fanins...)...)
+				consumer.Fanins[i] = network.Fanin{Node: cp, Invert: f.Invert}
+				dups++
+			}
+		}
+	}
+	// The originals stay only if an output still references them;
+	// Sweep removes the rest.
+	nw.Sweep()
+	return dups
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"chortle/internal/forest"
+	"chortle/internal/lut"
+	"chortle/internal/network"
+)
+
+// Result is the outcome of a mapping run.
+type Result struct {
+	// Circuit is the mapped K-LUT circuit.
+	Circuit *lut.Circuit
+	// LUTs is the circuit area (lookup table count).
+	LUTs int
+	// Trees is the number of fanout-free trees mapped.
+	Trees int
+	// PredictedCost is the DP's cost total; it always equals LUTs (a
+	// mismatch would indicate a reconstruction bug and is reported as an
+	// error by Map).
+	PredictedCost int
+	// SplitNodes counts nodes added by the wide-fanin pre-split.
+	SplitNodes int
+}
+
+// Map runs the Chortle algorithm on the network, producing a circuit of
+// K-input lookup tables that implements it. The input network is not
+// modified. For fanout-free trees the result is area-optimal under the
+// paper's cost model; across trees the forest decomposition is the
+// paper's (no logic duplication at fanout nodes unless
+// Options.DuplicateFanoutLogic is set).
+func Map(input *network.Network, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := input.Validate(); err != nil {
+		return nil, err
+	}
+	nw := input.Clone()
+	nw.Sweep()
+
+	split := 0
+	if opts.Strategy == StrategyExhaustive {
+		limit := opts.SplitThreshold
+		if opts.DisableDecomposition && limit > opts.K {
+			// Without the decomposition search, the DP cannot cover
+			// nodes wider than K; pre-split down to K.
+			limit = opts.K
+		}
+		split = splitWideNodes(nw, limit)
+	}
+
+	if opts.DuplicateFanoutLogic {
+		duplicateFanoutLogic(nw, opts)
+	}
+
+	f, err := forest.Decompose(nw)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &mapper{
+		opts: opts,
+		nw:   nw,
+		f:    f,
+		ckt:  lut.New(nw.Name, opts.K),
+		sig:  make(map[*network.Node]string),
+	}
+	for _, in := range nw.Inputs {
+		m.ckt.AddInput(in.Name)
+	}
+
+	predicted := 0
+	arrivals := make(map[*network.Node]int32)
+	// With the default strategy and objective, per-tree DPs are
+	// independent (tree costs never depend on other trees' results), so
+	// they can run concurrently; reconstruction stays sequential for
+	// deterministic naming.
+	var prebuilt map[*network.Node]*nodeDP
+	if opts.Parallel && opts.Strategy == StrategyExhaustive && !opts.OptimizeDepth {
+		prebuilt = buildDPsParallel(f, opts)
+	}
+	for _, root := range f.Roots {
+		var cost int32
+		var err error
+		switch {
+		case opts.Strategy == StrategyBinPack:
+			cost, err = m.realizeTreeCRF(root, arrivals)
+		case opts.OptimizeDepth:
+			cost, err = m.realizeTreeDepth(root, arrivals)
+		case prebuilt != nil:
+			cost, err = m.realizeTreeFromDP(root, prebuilt[root])
+		default:
+			cost, err = m.realizeTree(root)
+		}
+		if err != nil {
+			return nil, err
+		}
+		predicted += int(cost)
+	}
+
+	for _, o := range nw.Outputs {
+		if o.Node.IsInput() {
+			m.ckt.MarkOutput(o.Name, o.Node.Name, o.Invert)
+			continue
+		}
+		sig, ok := m.sig[o.Node]
+		if !ok {
+			return nil, fmt.Errorf("core: output %q driver %q was not mapped", o.Name, o.Node.Name)
+		}
+		m.ckt.MarkOutput(o.Name, sig, o.Invert)
+	}
+	for _, l := range nw.Latches {
+		if l.D.IsInput() {
+			m.ckt.AddLatch(l.Q, l.D.Name, l.DInv, l.Init)
+			continue
+		}
+		sig, ok := m.sig[l.D]
+		if !ok {
+			return nil, fmt.Errorf("core: latch %q driver %q was not mapped", l.Q, l.D.Name)
+		}
+		m.ckt.AddLatch(l.Q, sig, l.DInv, l.Init)
+	}
+
+	if err := m.ckt.Validate(); err != nil {
+		return nil, fmt.Errorf("core: mapped circuit invalid: %w", err)
+	}
+	if m.ckt.Count() != predicted {
+		return nil, fmt.Errorf("core: reconstruction emitted %d LUTs but DP predicted %d", m.ckt.Count(), predicted)
+	}
+	if opts.RepackLUTs {
+		if _, err := m.ckt.Repack(); err != nil {
+			return nil, fmt.Errorf("core: repacking: %w", err)
+		}
+		if err := m.ckt.Validate(); err != nil {
+			return nil, fmt.Errorf("core: repacked circuit invalid: %w", err)
+		}
+	}
+	return &Result{
+		Circuit:       m.ckt,
+		LUTs:          m.ckt.Count(),
+		Trees:         len(f.Roots),
+		PredictedCost: predicted,
+		SplitNodes:    split,
+	}, nil
+}
+
+// TreeCosts maps the network and returns the per-tree optimal LUT
+// counts, keyed by tree root name — the quantity the optimality tests
+// compare against exhaustive reference enumeration.
+func TreeCosts(input *network.Network, opts Options) (map[string]int, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	nw := input.Clone()
+	nw.Sweep()
+	limit := opts.SplitThreshold
+	if opts.DisableDecomposition && limit > opts.K {
+		limit = opts.K
+	}
+	splitWideNodes(nw, limit)
+	f, err := forest.Decompose(nw)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(f.Roots))
+	for _, root := range f.Roots {
+		dp := buildDP(f, root, opts)
+		if dp.bestCost >= infinity {
+			return nil, fmt.Errorf("core: tree %q unmappable", root.Name)
+		}
+		out[root.Name] = int(dp.bestCost)
+	}
+	return out, nil
+}

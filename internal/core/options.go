@@ -1,0 +1,94 @@
+// Package core implements the Chortle technology mapping algorithm
+// (Francis, Rose, Chung, DAC 1990): covering a Boolean network with the
+// minimum number of K-input lookup tables. The network is first split
+// into maximal fanout-free trees (internal/forest); each tree is mapped
+// optimally by a dynamic programming traversal that, at every node,
+// considers every utilization division of the root lookup table and
+// every decomposition of the node (Sections 3.1.1–3.1.3), with node
+// splitting above a fanin threshold (Section 3.1.4).
+package core
+
+import (
+	"fmt"
+
+	"chortle/internal/truth"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// K is the lookup table input count. The paper evaluates K = 2..5;
+	// anything up to truth.MaxVars (6) is supported.
+	K int
+
+	// SplitThreshold is the fanin bound above which a node is first
+	// split into two nodes of roughly equal fanin (Section 3.1.4: "the
+	// speed of our utilization division search ... makes it practical
+	// for us to consider all possible decompositions of a node as long
+	// as the fanin of the node is bounded by ten"). Optimality is no
+	// longer guaranteed for split nodes.
+	SplitThreshold int
+
+	// DisableDecomposition is an ablation switch: when set, nodes are
+	// never decomposed beyond what fanin > K forces (a balanced
+	// pre-split down to fanin K), and the DP considers only utilization
+	// divisions of the undecomposed node. This isolates the paper's
+	// claim that searching all decompositions reduces LUT count.
+	DisableDecomposition bool
+
+	// DuplicateFanoutLogic enables the paper's future-work extension:
+	// after forest decomposition, single-LUT trees that feed few
+	// consumers may be duplicated into their consumers' trees when that
+	// removes the shared LUT entirely.
+	DuplicateFanoutLogic bool
+
+	// Strategy selects the per-node decomposition search:
+	// StrategyExhaustive (the paper's algorithm, default) or
+	// StrategyBinPack (Chortle-crf-style first-fit-decreasing packing —
+	// faster, unbounded fanin, not guaranteed optimal). StrategyBinPack
+	// ignores SplitThreshold, DisableDecomposition and OptimizeDepth.
+	Strategy Strategy
+
+	// OptimizeDepth switches the per-tree objective from area to
+	// lexicographic (depth, area): minimize LUT levels on the longest
+	// path first — the direction the Chortle line took next (Chortle-d,
+	// then FlowMap). Depth is optimal per fanout-free tree; the area
+	// under it is greedy, so Result.LUTs may exceed the pure-area
+	// mapping's count and no longer matches any optimality claim.
+	OptimizeDepth bool
+
+	// Parallel computes the per-tree dynamic programs concurrently
+	// (reconstruction stays sequential, so results and naming are
+	// deterministic). Only effective with the default strategy and the
+	// area objective: bin packing emits while mapping, and the depth
+	// objective threads arrival times between trees.
+	Parallel bool
+
+	// RepackLUTs enables the post-mapping peephole that merges
+	// single-fanout LUTs into consumers when the combined distinct
+	// inputs fit K. It recovers part of the reconvergent-fanout loss
+	// the paper describes (XOR structures cost Chortle one pin per leaf
+	// edge even when the physical signals coincide) — a step toward the
+	// paper's reconvergent-fanout future work. When set, Result.LUTs
+	// may be lower than Result.PredictedCost (the DP's tree-optimal
+	// count).
+	RepackLUTs bool
+}
+
+// DefaultOptions returns the paper's configuration for a given K.
+func DefaultOptions(k int) Options {
+	return Options{K: k, SplitThreshold: 10}
+}
+
+// validate rejects out-of-range configurations.
+func (o Options) validate() error {
+	if o.K < 2 || o.K > truth.MaxVars {
+		return fmt.Errorf("core: K=%d out of range [2,%d]", o.K, truth.MaxVars)
+	}
+	if o.SplitThreshold < 2 {
+		return fmt.Errorf("core: split threshold %d must be at least 2", o.SplitThreshold)
+	}
+	return nil
+}
+
+// infinity is the unreachable-cost sentinel for the DP tables.
+const infinity = int32(1) << 30

@@ -1,0 +1,154 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"chortle/internal/network"
+)
+
+// figure3 builds a DAG in the spirit of the paper's Figure 3: a node n
+// with out-degree two whose edges must be cut, yielding a forest.
+func figure3() *network.Network {
+	nw := network.New("figure3")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	d := nw.AddInput("d")
+	n := nw.AddGate("n", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	g1 := nw.AddGate("g1", network.OpOr, network.Fanin{Node: n}, network.Fanin{Node: c})
+	g2 := nw.AddGate("g2", network.OpAnd, network.Fanin{Node: n}, network.Fanin{Node: d})
+	nw.MarkOutput("x", g1, false)
+	nw.MarkOutput("y", g2, false)
+	return nw
+}
+
+func TestDecomposeFigure3(t *testing.T) {
+	nw := figure3()
+	f, err := Decompose(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Roots) != 3 {
+		t.Fatalf("roots = %d, want 3 (n, g1, g2)", len(f.Roots))
+	}
+	n := nw.Find("n")
+	if !f.IsRoot(n) {
+		t.Fatal("multi-fanout node n must be a tree root")
+	}
+	if !f.IsLeafEdge(n) || !f.IsLeafEdge(nw.Find("a")) {
+		t.Fatal("roots and inputs must be leaf edges")
+	}
+	if f.IsLeafEdge(nw.Find("g1")) != true {
+		t.Fatal("output drivers are roots, hence leaf edges elsewhere")
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// n's tree must come before its consumers in Roots.
+	pos := map[string]int{}
+	for i, r := range f.Roots {
+		pos[r.Name] = i
+	}
+	if pos["n"] > pos["g1"] || pos["n"] > pos["g2"] {
+		t.Fatalf("root order not topological: %v", pos)
+	}
+}
+
+func TestTreeNodesAndLeaves(t *testing.T) {
+	nw := network.New("chain")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	g1 := nw.AddGate("g1", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	g2 := nw.AddGate("g2", network.OpOr, network.Fanin{Node: g1}, network.Fanin{Node: c})
+	nw.MarkOutput("y", g2, false)
+	f, err := Decompose(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Roots) != 1 || f.Roots[0] != g2 {
+		t.Fatalf("expected single tree rooted at g2")
+	}
+	nodes := f.TreeNodes(g2)
+	if len(nodes) != 2 || nodes[0] != g1 || nodes[1] != g2 {
+		t.Fatalf("postorder wrong: %v", nodes)
+	}
+	leaves := f.TreeLeaves(g2)
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d, want 3", len(leaves))
+	}
+}
+
+func TestLeafEdgeMultiplicity(t *testing.T) {
+	// A multi-fanout node feeding one tree through two different tree
+	// nodes must appear once per edge in TreeLeaves, matching the
+	// paper's per-edge duplication.
+	nw := network.New("mult")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	x := nw.AddGate("x", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	g1 := nw.AddGate("g1", network.OpOr, network.Fanin{Node: x}, network.Fanin{Node: c})
+	g2 := nw.AddGate("g2", network.OpAnd, network.Fanin{Node: g1}, network.Fanin{Node: x, Invert: true})
+	nw.MarkOutput("y", g2, false)
+	f, err := Decompose(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := f.TreeLeaves(g2)
+	count := 0
+	for _, l := range leaves {
+		if l == x {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("x appears %d times as leaf, want 2", count)
+	}
+}
+
+func TestEveryGateInExactlyOneTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		nw := randomDAG(rng)
+		f, err := Decompose(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Check(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func randomDAG(rng *rand.Rand) *network.Network {
+	nw := network.New("rand")
+	var pool []*network.Node
+	for i := 0; i < 4; i++ {
+		pool = append(pool, nw.AddInput("in"+string(rune('a'+i))))
+	}
+	nGates := 5 + rng.Intn(20)
+	for i := 0; i < nGates; i++ {
+		op := network.OpAnd
+		if rng.Intn(2) == 1 {
+			op = network.OpOr
+		}
+		k := 2 + rng.Intn(3)
+		seen := map[*network.Node]bool{}
+		var fins []network.Fanin
+		for len(fins) < k {
+			n := pool[rng.Intn(len(pool))]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			fins = append(fins, network.Fanin{Node: n, Invert: rng.Intn(2) == 1})
+		}
+		pool = append(pool, nw.AddGate("g"+string(rune('0'+i/10))+string(rune('0'+i%10)), op, fins...))
+	}
+	nw.MarkOutput("y", pool[len(pool)-1], false)
+	nw.MarkOutput("z", pool[len(pool)-2], true)
+	nw.Sweep()
+	return nw
+}

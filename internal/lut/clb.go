@@ -1,0 +1,102 @@
+package lut
+
+import "sort"
+
+// CLB packing — the paper's last future-work item ("we would also like
+// to extend our algorithm to handle commercial FPGA architectures").
+// The original FPGA the paper cites ([Hsie88], the Xilinx XC2000/XC3000
+// line) groups lookup tables into configurable logic blocks: a block
+// provides two outputs and a shared pool of input pins, so two mapped
+// LUTs can share one block when their combined distinct inputs fit.
+// PackCLBs models that: a post-mapping pairing of LUTs under a block
+// input budget, reporting how many blocks the mapped circuit needs —
+// the area metric a commercial flow would bill.
+
+// CLBSpec describes a configurable logic block.
+type CLBSpec struct {
+	// Inputs is the block's distinct-input budget (XC3000: 5).
+	Inputs int
+	// LUTsPerCLB is how many LUT outputs one block provides (XC3000: 2).
+	LUTsPerCLB int
+}
+
+// XC3000 is the block profile of the Xilinx 3000-series CLB.
+var XC3000 = CLBSpec{Inputs: 5, LUTsPerCLB: 2}
+
+// PackCLBs greedily packs the circuit's LUTs into logic blocks: each
+// block holds up to LUTsPerCLB LUTs whose combined distinct inputs stay
+// within the budget. Pairing prefers LUTs that share the most inputs.
+// Returns the number of blocks used (each unpaired LUT costs a block).
+// The circuit itself is not modified.
+func (c *Circuit) PackCLBs(spec CLBSpec) int {
+	if spec.LUTsPerCLB < 2 || len(c.LUTs) == 0 {
+		return len(c.LUTs)
+	}
+	// Sorted index for determinism.
+	luts := append([]*LUT(nil), c.LUTs...)
+	sort.Slice(luts, func(i, j int) bool { return luts[i].Name < luts[j].Name })
+
+	inputSet := func(l *LUT) map[string]bool {
+		s := make(map[string]bool, len(l.Inputs))
+		for _, in := range l.Inputs {
+			s[in] = true
+		}
+		return s
+	}
+	sets := make([]map[string]bool, len(luts))
+	for i, l := range luts {
+		sets[i] = inputSet(l)
+	}
+	unionSize := func(a, b map[string]bool) (union, shared int) {
+		union = len(a)
+		for in := range b {
+			if a[in] {
+				shared++
+			} else {
+				union++
+			}
+		}
+		return union, shared
+	}
+
+	used := make([]bool, len(luts))
+	blocks := 0
+	for i := range luts {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		blocks++
+		members := 1
+		cur := make(map[string]bool, len(sets[i]))
+		for in := range sets[i] {
+			cur[in] = true
+		}
+		for members < spec.LUTsPerCLB {
+			best, bestShared, bestUnion := -1, -1, 0
+			for j := i + 1; j < len(luts); j++ {
+				if used[j] {
+					continue
+				}
+				u, s := unionSize(cur, sets[j])
+				if u > spec.Inputs {
+					continue
+				}
+				// Prefer maximal sharing, then smaller union, then name
+				// order (implicit via scan order).
+				if s > bestShared || (s == bestShared && best >= 0 && u < bestUnion) {
+					best, bestShared, bestUnion = j, s, u
+				}
+			}
+			if best < 0 {
+				break
+			}
+			used[best] = true
+			for in := range sets[best] {
+				cur[in] = true
+			}
+			members++
+		}
+	}
+	return blocks
+}

@@ -1,0 +1,60 @@
+package lut
+
+import (
+	"testing"
+
+	"chortle/internal/truth"
+)
+
+func TestPackCLBsPairsSharers(t *testing.T) {
+	c := New("p", 4)
+	for _, in := range []string{"a", "b", "c", "d", "e", "f"} {
+		c.AddInput(in)
+	}
+	and2 := truth.Var(0, 2).And(truth.Var(1, 2))
+	or3 := truth.Var(0, 3).Or(truth.Var(1, 3)).Or(truth.Var(2, 3))
+	// l1 and l2 share {a,b}: union 3 <= 5, pack together.
+	c.AddLUT("l1", []string{"a", "b"}, and2)
+	c.AddLUT("l2", []string{"a", "b", "c"}, or3)
+	// l3 uses disjoint inputs {d,e,f}: union with either is 5..6.
+	c.AddLUT("l3", []string{"d", "e", "f"}, or3)
+	c.MarkOutput("x", "l1", false)
+	c.MarkOutput("y", "l2", false)
+	c.MarkOutput("z", "l3", false)
+
+	if got := c.PackCLBs(XC3000); got != 2 {
+		t.Fatalf("PackCLBs = %d blocks, want 2 (l1+l2 share, l3 alone or paired)", got)
+	}
+}
+
+func TestPackCLBsRespectsInputBudget(t *testing.T) {
+	c := New("q", 4)
+	for _, in := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		c.AddInput(in)
+	}
+	or4 := truth.FromFunc(4, func(m uint) bool { return m != 0 })
+	c.AddLUT("l1", []string{"a", "b", "c", "d"}, or4)
+	c.AddLUT("l2", []string{"e", "f", "g", "h"}, or4)
+	c.MarkOutput("x", "l1", false)
+	c.MarkOutput("y", "l2", false)
+	// Disjoint 4+4 = 8 inputs cannot share a 5-input block.
+	if got := c.PackCLBs(XC3000); got != 2 {
+		t.Fatalf("PackCLBs = %d, want 2", got)
+	}
+	// A 9-input block takes both.
+	if got := c.PackCLBs(CLBSpec{Inputs: 9, LUTsPerCLB: 2}); got != 1 {
+		t.Fatalf("wide block: PackCLBs = %d, want 1", got)
+	}
+}
+
+func TestPackCLBsDeterministicAndBounded(t *testing.T) {
+	c := sampleCircuit()
+	a := c.PackCLBs(XC3000)
+	b := c.PackCLBs(XC3000)
+	if a != b {
+		t.Fatal("PackCLBs not deterministic")
+	}
+	if a < (c.Count()+1)/2 || a > c.Count() {
+		t.Fatalf("PackCLBs = %d outside [ceil(n/2), n] for n=%d", a, c.Count())
+	}
+}

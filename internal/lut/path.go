@@ -1,0 +1,71 @@
+package lut
+
+import "fmt"
+
+// Critical-path extraction: the longest LUT-level chain from a primary
+// input (or latch output) to a primary output (or latch data input),
+// under the unit-delay model the depth statistics use. Useful for
+// reporting which logic limits a mapped design — the quantity the
+// depth-oriented mapping mode optimizes.
+
+// PathStep is one element of a critical path.
+type PathStep struct {
+	Signal string
+	Level  int // 0 for inputs, LUT level otherwise
+}
+
+// CriticalPath returns one longest input-to-output path through the
+// circuit as an ordered signal list (input first). An empty circuit
+// yields an empty path.
+func (c *Circuit) CriticalPath() ([]PathStep, error) {
+	order, err := c.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[string]int, len(order))
+	prev := make(map[string]string, len(order))
+	for _, l := range order {
+		best, bestIn := 0, ""
+		for _, in := range l.Inputs {
+			if lv := level[in]; lv >= best {
+				// >= prefers the later input deterministically only if
+				// strictly deeper; tie-break by name for stability.
+				if lv > best || bestIn == "" || in < bestIn {
+					best, bestIn = lv, in
+				}
+			}
+		}
+		level[l.Name] = best + 1
+		prev[l.Name] = bestIn
+	}
+	// Deepest endpoint among outputs and latch data inputs.
+	endSignals := make([]string, 0, len(c.Outputs)+len(c.Latches))
+	for _, o := range c.Outputs {
+		endSignals = append(endSignals, o.Signal)
+	}
+	for _, l := range c.Latches {
+		endSignals = append(endSignals, l.D)
+	}
+	deepest, deep := "", -1
+	for _, s := range endSignals {
+		if lv := level[s]; lv > deep || (lv == deep && s < deepest) {
+			deep, deepest = lv, s
+		}
+	}
+	if deepest == "" {
+		return nil, fmt.Errorf("lut circuit %q: no output endpoints", c.Name)
+	}
+	// Walk back to an input.
+	var rev []PathStep
+	for s := deepest; s != ""; s = prev[s] {
+		rev = append(rev, PathStep{Signal: s, Level: level[s]})
+		if c.byName[s] == nil {
+			break // reached a primary input / latch output
+		}
+	}
+	path := make([]PathStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path, nil
+}

@@ -1,0 +1,86 @@
+package lut
+
+import (
+	"strings"
+	"testing"
+
+	"chortle/internal/truth"
+)
+
+func TestCriticalPath(t *testing.T) {
+	c := sampleCircuit() // l1(a,b) -> l2(l1,c,d) -> y
+	path, err := c.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want input -> l1 -> l2", path)
+	}
+	if path[len(path)-1].Signal != "l2" || path[len(path)-1].Level != 2 {
+		t.Fatalf("endpoint = %+v", path[len(path)-1])
+	}
+	if path[1].Signal != "l1" || path[0].Level != 0 {
+		t.Fatalf("path = %v", path)
+	}
+	// Levels strictly increase along the path.
+	for i := 1; i < len(path); i++ {
+		if path[i].Level != path[i-1].Level+1 {
+			t.Fatalf("levels not consecutive: %v", path)
+		}
+	}
+}
+
+func TestCriticalPathThroughLatchD(t *testing.T) {
+	c := New("seq", 2)
+	c.AddInput("q")
+	and := truth.Var(0, 2).And(truth.Var(1, 2))
+	c.AddInput("en")
+	c.AddLUT("d", []string{"q", "en"}, and)
+	c.AddLatch("q", "d", false, '0')
+	// No primary outputs: the latch D is the only endpoint.
+	path, err := c.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[len(path)-1].Signal != "d" {
+		t.Fatalf("path should end at the latch data input: %v", path)
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	c := sampleCircuit()
+	var sb strings.Builder
+	if err := c.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"module", "endmodule", "assign", "input a;", "output y;"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Verilog missing %q:\n%s", want, text)
+		}
+	}
+	// The inverted output z gets a complement.
+	if !strings.Contains(text, "~") {
+		t.Fatalf("no complement emitted for inverted output:\n%s", text)
+	}
+}
+
+func TestWriteVerilogSequentialAndSanitized(t *testing.T) {
+	c := New("seq$top", 2)
+	c.AddInput("q0")
+	c.AddInput("in$weird")
+	and := truth.Var(0, 2).And(truth.Var(1, 2))
+	c.AddLUT("d$0", []string{"q0", "in$weird"}, and)
+	c.AddLatch("q0", "d$0", true, '1')
+	c.MarkOutput("out", "d$0", false)
+	var sb strings.Builder
+	if err := c.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"input clk;", "always @(posedge clk)", "<= ~"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("sequential Verilog missing %q:\n%s", want, text)
+		}
+	}
+}

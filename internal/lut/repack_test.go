@@ -1,0 +1,117 @@
+package lut
+
+import (
+	"testing"
+
+	"chortle/internal/truth"
+)
+
+// xorPair builds the two-LUT realization of a XOR that Chortle's
+// per-edge accounting produces at K=3: l2 = x'·c, root = x·c' + l2.
+func xorPair() *Circuit {
+	c := New("xor", 3)
+	c.AddInput("x")
+	c.AddInput("cin")
+	l2 := truth.Var(0, 2).Not().And(truth.Var(1, 2))
+	c.AddLUT("l2", []string{"x", "cin"}, l2)
+	root := truth.FromFunc(3, func(m uint) bool {
+		x, cin, sub := m&1 == 1, m>>1&1 == 1, m>>2&1 == 1
+		return (x && !cin) || sub
+	})
+	c.AddLUT("root", []string{"x", "cin", "l2"}, root)
+	c.MarkOutput("y", "root", false)
+	return c
+}
+
+func TestRepackMergesXORPair(t *testing.T) {
+	c := xorPair()
+	before, err := c.Simulate(map[string]uint64{"x": 0b1010, "cin": 0b1100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Repack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || c.Count() != 1 {
+		t.Fatalf("repack merged %d, circuit now %d LUTs; want 1 and 1", n, c.Count())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Simulate(map[string]uint64{"x": 0b1010, "cin": 0b1100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before["y"] != after["y"] {
+		t.Fatal("repacking changed functionality")
+	}
+	if before["y"]&0xF != 0b0110 {
+		t.Fatalf("xor truth wrong: %04b", before["y"]&0xF)
+	}
+}
+
+func TestRepackRespectsK(t *testing.T) {
+	// Merging would need 4 distinct inputs; K=3 forbids it.
+	c := New("wide", 3)
+	for _, in := range []string{"a", "b", "c", "d"} {
+		c.AddInput(in)
+	}
+	and2 := truth.Var(0, 2).And(truth.Var(1, 2))
+	c.AddLUT("l1", []string{"a", "b"}, and2)
+	maj := truth.FromFunc(3, func(m uint) bool { return m == 0b111 })
+	c.AddLUT("root", []string{"l1", "c", "d"}, maj)
+	c.MarkOutput("y", "root", false)
+	n, err := c.Repack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || c.Count() != 2 {
+		t.Fatalf("repack merged across K: %d merges, %d LUTs", n, c.Count())
+	}
+}
+
+func TestRepackSkipsMultiFanout(t *testing.T) {
+	c := New("fan", 4)
+	c.AddInput("a")
+	c.AddInput("b")
+	and2 := truth.Var(0, 2).And(truth.Var(1, 2))
+	c.AddLUT("shared", []string{"a", "b"}, and2)
+	c.AddLUT("u1", []string{"shared", "a"}, truth.Var(0, 2).Or(truth.Var(1, 2)))
+	c.AddLUT("u2", []string{"shared", "b"}, and2)
+	c.MarkOutput("y", "u1", false)
+	c.MarkOutput("z", "u2", false)
+	n, err := c.Repack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("repack duplicated a shared LUT (%d merges)", n)
+	}
+}
+
+func TestRepackChain(t *testing.T) {
+	// A chain of 2-input buffers/ANDs collapses fully at K=4.
+	c := New("chain", 4)
+	c.AddInput("a")
+	c.AddInput("b")
+	c.AddInput("x")
+	c.AddInput("y")
+	and2 := truth.Var(0, 2).And(truth.Var(1, 2))
+	c.AddLUT("l1", []string{"a", "b"}, and2)
+	c.AddLUT("l2", []string{"l1", "x"}, and2)
+	c.AddLUT("l3", []string{"l2", "y"}, and2)
+	c.MarkOutput("out", "l3", false)
+	before, _ := c.Simulate(map[string]uint64{"a": ^uint64(0), "b": ^uint64(0), "x": ^uint64(0), "y": 0b10})
+	n, err := c.Repack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || c.Count() != 1 {
+		t.Fatalf("chain repack: %d merges, %d LUTs", n, c.Count())
+	}
+	after, _ := c.Simulate(map[string]uint64{"a": ^uint64(0), "b": ^uint64(0), "x": ^uint64(0), "y": 0b10})
+	if before["out"] != after["out"] {
+		t.Fatal("chain repack changed function")
+	}
+}

@@ -1,0 +1,356 @@
+package mislib
+
+import (
+	"fmt"
+	"sort"
+
+	"chortle/internal/network"
+	"chortle/internal/opt"
+	"chortle/internal/truth"
+)
+
+// PatNode is one node of a cell's structural pattern: a binarized,
+// polarized AND/OR tree whose leaves are pattern variables. A pattern
+// with a repeated variable is a leaf-DAG (XOR-style cells), which the
+// matcher supports by requiring consistent bindings.
+type PatNode struct {
+	// Leaf slot.
+	Leaf bool
+	Var  int
+	Neg  bool
+	// Internal node.
+	Op   network.Op
+	L, R *PatNode
+}
+
+// Leaves counts the leaf slots (with multiplicity).
+func (p *PatNode) Leaves() int {
+	if p.Leaf {
+		return 1
+	}
+	return p.L.Leaves() + p.R.Leaves()
+}
+
+// Cell is one library element: a K-LUT programmed with function F.
+type Cell struct {
+	Name    string
+	F       truth.Table // over Vars inputs, full support
+	Vars    int
+	Pattern *PatNode
+	Cost    int // LUTs; always 1 (inverters are free and not cells)
+}
+
+// Library is the cell set for one K.
+type Library struct {
+	K        int
+	Cells    []Cell
+	Complete bool // complete up to equivalence for functions of <= K inputs
+}
+
+// buildPattern converts a function into its structural pattern: minimize
+// to SOP, factor, then binarize the factored form balanced, pushing all
+// negations onto literals.
+func buildPattern(t truth.Table) (*PatNode, error) {
+	s := MinimizeSOP(t)
+	e, err := opt.Factor(s)
+	if err != nil {
+		return nil, err
+	}
+	return exprToPattern(e)
+}
+
+func exprToPattern(e *opt.Expr) (*PatNode, error) {
+	switch e.Kind {
+	case opt.ExprLit:
+		return &PatNode{Leaf: true, Var: e.Var, Neg: e.Neg}, nil
+	case opt.ExprAnd, opt.ExprOr:
+		op := network.OpAnd
+		if e.Kind == opt.ExprOr {
+			op = network.OpOr
+		}
+		kids := make([]*PatNode, len(e.Kids))
+		for i, k := range e.Kids {
+			p, err := exprToPattern(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = p
+		}
+		return balance(op, kids), nil
+	}
+	return nil, fmt.Errorf("mislib: invalid factored expression")
+}
+
+// balance builds a balanced binary tree of op over the children,
+// mirroring the subject-graph decomposition so shapes line up.
+func balance(op network.Op, kids []*PatNode) *PatNode {
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	mid := (len(kids) + 1) / 2
+	return &PatNode{Op: op, L: balance(op, kids[:mid]), R: balance(op, kids[mid:])}
+}
+
+// newCell builds a cell from a function table (which must have full
+// support over its N variables).
+func newCell(name string, t truth.Table) (Cell, error) {
+	p, err := buildPattern(t)
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{Name: name, F: t, Vars: t.N, Pattern: p, Cost: 1}, nil
+}
+
+// CompleteLibrary enumerates one cell per NPN equivalence class of
+// functions with full support of 2..K inputs. This realizes the paper's
+// "complete library" for K = 2 and 3 — the paper dedupes by input
+// permutation only (10 and 78 cells) but grants MIS free inverters,
+// which collapses each NPN class to one effective cell; enumerating NPN
+// classes directly keeps the matcher honest and the library minimal.
+// Feasible for K <= 4.
+func CompleteLibrary(k int) (Library, error) {
+	if k < 2 || k > 4 {
+		return Library{}, fmt.Errorf("mislib: complete library only for K in [2,4], got %d", k)
+	}
+	lib := Library{K: k, Complete: true}
+	for s := 2; s <= k; s++ {
+		classes := truth.NPNClasses(s, false)
+		idx := 0
+		for _, c := range classes {
+			if c.SupportSize() != s {
+				continue // covered at its own support size
+			}
+			idx++
+			cell, err := newCell(fmt.Sprintf("c%d_%d", s, idx), c)
+			if err != nil {
+				return Library{}, err
+			}
+			lib.Cells = append(lib.Cells, cell)
+		}
+	}
+	return lib, nil
+}
+
+// KernelLibrary builds the incomplete K = 4 or 5 library of Section 4.1:
+// every level-0 kernel with at most K literals, their duals, and the
+// plain AND cubes. Functions are generated structurally — cube-size
+// partitions with optional opposite-phase variable sharing between
+// cubes — and deduplicated by NPN canonical form.
+func KernelLibrary(k int) (Library, error) {
+	if k < 2 || k > truth.MaxVars {
+		return Library{}, fmt.Errorf("mislib: K=%d out of range", k)
+	}
+	funcs := generateKernelFunctions(k)
+	lib := Library{K: k, Complete: false}
+	for i, f := range funcs {
+		cell, err := newCell(fmt.Sprintf("k%d_%d", k, i+1), f)
+		if err != nil {
+			return Library{}, err
+		}
+		lib.Cells = append(lib.Cells, cell)
+	}
+	return lib, nil
+}
+
+// ForK returns the library the paper's experiments use at each K:
+// complete for K = 2, 3; level-0-kernel incomplete for K >= 4.
+func ForK(k int) (Library, error) {
+	if k <= 3 {
+		return CompleteLibrary(k)
+	}
+	return KernelLibrary(k)
+}
+
+// generateKernelFunctions enumerates the NPN-distinct level-0 kernel
+// functions with at most maxLits literals, their duals, and single
+// cubes, each shrunk to full support.
+func generateKernelFunctions(maxLits int) []truth.Table {
+	seen := map[truth.Table]bool{}
+	var out []truth.Table
+	add := func(t truth.Table) {
+		small, _ := t.Shrink()
+		if small.N < 2 {
+			return // wires and inverters are free, not cells
+		}
+		canon := small.CanonNPN()
+		if !seen[canon] {
+			seen[canon] = true
+			out = append(out, canon)
+		}
+	}
+
+	// Single cubes: AND of m literals (polarity is free).
+	for m := 2; m <= maxLits; m++ {
+		and := truth.Const(m, true)
+		for i := 0; i < m; i++ {
+			and = and.And(truth.Var(i, m))
+		}
+		add(and)
+	}
+
+	// Level-0 kernels: partition m <= maxLits slots into >= 2 cubes,
+	// then share variables between opposite-phase slot pairs across
+	// different cubes. Base assignment: every slot its own positive
+	// variable; sharings: matchings over slot pairs (a, b) in different
+	// cubes, where b's literal becomes the complement of a's variable.
+	for m := 2; m <= maxLits; m++ {
+		for _, part := range partitions(m) {
+			if len(part) < 2 {
+				continue
+			}
+			// Slot layout: cube ci owns slots [ofs(ci), ofs(ci)+part[ci]).
+			cubeOf := make([]int, m)
+			s := 0
+			for ci, sz := range part {
+				for j := 0; j < sz; j++ {
+					cubeOf[s] = ci
+					s++
+				}
+			}
+			for _, matching := range matchings(m, cubeOf) {
+				if t, ok := kernelTable(m, cubeOf, matching); ok {
+					add(t)
+					// Dual: swap AND/OR, i.e. complement output and all
+					// inputs.
+					dual := t.Not().NegateInputs(uint(1)<<uint(t.N) - 1)
+					add(dual)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N < out[j].N
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out
+}
+
+// partitions enumerates the non-increasing integer partitions of m.
+func partitions(m int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(rem, max int)
+	rec = func(rem, max int) {
+		if rem == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := min(rem, max); v >= 1; v-- {
+			cur = append(cur, v)
+			rec(rem-v, v)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(m, m)
+	return out
+}
+
+// matchings enumerates sets of disjoint slot pairs whose members lie in
+// different cubes (variable sharing with opposite phases), including
+// the empty matching.
+func matchings(m int, cubeOf []int) [][][2]int {
+	var out [][][2]int
+	var cur [][2]int
+	used := make([]bool, m)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			out = append(out, append([][2]int(nil), cur...))
+			return
+		}
+		if used[i] {
+			rec(i + 1)
+			return
+		}
+		// Option: slot i unpaired.
+		rec(i + 1)
+		// Option: pair slot i with a later slot in a different cube.
+		used[i] = true
+		for j := i + 1; j < m; j++ {
+			if used[j] || cubeOf[j] == cubeOf[i] {
+				continue
+			}
+			used[j] = true
+			cur = append(cur, [2]int{i, j})
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+			used[j] = false
+		}
+		used[i] = false
+	}
+	rec(0)
+	return out
+}
+
+// kernelTable builds the truth table of the SOP described by the slot
+// layout and sharing matching. Returns ok=false if the construction
+// degenerates (repeated variable inside a cube, or a non-level-0 form).
+func kernelTable(m int, cubeOf []int, matching [][2]int) (truth.Table, bool) {
+	// Assign variables: unpaired slot -> fresh positive var; paired
+	// slots share one variable, second slot negated.
+	varOf := make([]int, m)
+	negOf := make([]bool, m)
+	for i := range varOf {
+		varOf[i] = -1
+	}
+	nv := 0
+	for _, pr := range matching {
+		varOf[pr[0]] = nv
+		varOf[pr[1]] = nv
+		negOf[pr[1]] = true
+		nv++
+	}
+	for i := 0; i < m; i++ {
+		if varOf[i] < 0 {
+			varOf[i] = nv
+			nv++
+		}
+	}
+	if nv > truth.MaxVars {
+		return truth.Table{}, false
+	}
+	nCubes := 0
+	for _, c := range cubeOf {
+		if c+1 > nCubes {
+			nCubes = c + 1
+		}
+	}
+	t := truth.FromFunc(nv, func(a uint) bool {
+		for ci := 0; ci < nCubes; ci++ {
+			all := true
+			any := false
+			for s := 0; s < m; s++ {
+				if cubeOf[s] != ci {
+					continue
+				}
+				any = true
+				v := a>>uint(varOf[s])&1 == 1
+				if negOf[s] {
+					v = !v
+				}
+				if !v {
+					all = false
+					break
+				}
+			}
+			if any && all {
+				return true
+			}
+		}
+		return false
+	})
+	// Degenerate sharings can collapse support (e.g. a + a' = 1).
+	if ok, _ := t.IsConst(); ok {
+		return truth.Table{}, false
+	}
+	return t, true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

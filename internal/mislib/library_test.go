@@ -1,0 +1,204 @@
+package mislib
+
+import (
+	"math/rand"
+	"testing"
+
+	"chortle/internal/network"
+	"chortle/internal/truth"
+)
+
+func TestMinimizeSOPEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		f := truth.New(n, rng.Uint64())
+		s := MinimizeSOP(f)
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			if s.Eval(a) != f.Eval(uint(a)) {
+				t.Fatalf("trial %d: SOP %v wrong for %v at %b", trial, s, f, a)
+			}
+		}
+	}
+}
+
+func TestMinimizeSOPKnownFunctions(t *testing.T) {
+	and := truth.Var(0, 2).And(truth.Var(1, 2))
+	if s := MinimizeSOP(and); len(s.Cubes) != 1 || s.Literals() != 2 {
+		t.Fatalf("AND minimized to %v", s)
+	}
+	xor := truth.Var(0, 2).Xor(truth.Var(1, 2))
+	if s := MinimizeSOP(xor); len(s.Cubes) != 2 || s.Literals() != 4 {
+		t.Fatalf("XOR minimized to %v", s)
+	}
+	// a + bc needs 2 cubes / 3 literals.
+	f := truth.Var(0, 3).Or(truth.Var(1, 3).And(truth.Var(2, 3)))
+	if s := MinimizeSOP(f); len(s.Cubes) != 2 || s.Literals() != 3 {
+		t.Fatalf("a+bc minimized to %v", s)
+	}
+	if !MinimizeSOP(truth.Const(3, true)).IsOne() {
+		t.Fatal("constant 1 wrong")
+	}
+	if !MinimizeSOP(truth.Const(3, false)).IsZero() {
+		t.Fatal("constant 0 wrong")
+	}
+}
+
+// evalPattern evaluates a pattern on a variable assignment.
+func evalPattern(p *PatNode, assign uint) bool {
+	if p.Leaf {
+		v := assign>>uint(p.Var)&1 == 1
+		return v != p.Neg
+	}
+	l, r := evalPattern(p.L, assign), evalPattern(p.R, assign)
+	if p.Op == network.OpAnd {
+		return l && r
+	}
+	return l || r
+}
+
+func TestPatternsComputeCellFunctions(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		lib, err := ForK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range lib.Cells {
+			if c.Pattern == nil {
+				t.Fatalf("K=%d cell %s has no pattern", k, c.Name)
+			}
+			for a := uint(0); a < 1<<uint(c.Vars); a++ {
+				if evalPattern(c.Pattern, a) != c.F.Eval(a) {
+					t.Fatalf("K=%d cell %s pattern disagrees with function at %b", k, c.Name, a)
+				}
+			}
+			if c.Cost != 1 {
+				t.Fatalf("cell %s cost %d", c.Name, c.Cost)
+			}
+			if c.F.SupportSize() != c.Vars {
+				t.Fatalf("cell %s does not have full support", c.Name)
+			}
+		}
+	}
+}
+
+func TestCompleteLibrarySizes(t *testing.T) {
+	// NPN classes with full support: n=2: AND, XOR (2 of the 4 classes
+	// have support 2); n=3: 10 full-support classes of the 14.
+	lib2, err := CompleteLibrary(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib2.Cells) != 2 {
+		t.Fatalf("K=2 complete library has %d cells, want 2 (AND, XOR)", len(lib2.Cells))
+	}
+	lib3, err := CompleteLibrary(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib3.Cells) != 12 {
+		t.Fatalf("K=3 complete library has %d cells, want 12 (2 + 10)", len(lib3.Cells))
+	}
+	if !lib3.Complete {
+		t.Fatal("complete flag unset")
+	}
+	if _, err := CompleteLibrary(5); err == nil {
+		t.Fatal("complete K=5 should be rejected as intractable")
+	}
+}
+
+func TestKernelLibraryContents(t *testing.T) {
+	lib4, err := KernelLibrary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib4.Complete {
+		t.Fatal("kernel library must be flagged incomplete")
+	}
+	find := func(lib Library, f truth.Table) bool {
+		canon := f.CanonNPN()
+		for _, c := range lib.Cells {
+			if c.F == canon {
+				return true
+			}
+		}
+		return false
+	}
+	and2 := truth.Var(0, 2).And(truth.Var(1, 2))
+	or2 := truth.Var(0, 2).Or(truth.Var(1, 2))
+	xor2 := truth.Var(0, 2).Xor(truth.Var(1, 2))
+	aoi := truth.Var(0, 3).Or(truth.Var(1, 3).And(truth.Var(2, 3))) // a + bc
+	mux := truth.FromFunc(3, func(m uint) bool {                    // s ? a : b
+		if m>>2&1 == 1 {
+			return m&1 == 1
+		}
+		return m>>1&1 == 1
+	})
+	for name, f := range map[string]truth.Table{
+		"AND2": and2, "OR2": or2, "XOR2": xor2, "a+bc": aoi, "MUX": mux,
+	} {
+		if !find(lib4, f) {
+			t.Errorf("K=4 kernel library missing %s", name)
+		}
+	}
+	// Every cell respects the literal bound in factored form: the
+	// Section 4.1 rule bounds kernel literals, and a dual like (a+b)cd
+	// keeps 4 factored literals even though its SOP expands to 6.
+	for _, c := range lib4.Cells {
+		if n := c.Pattern.Leaves(); n > 4 {
+			t.Errorf("cell %s has %d factored literals (>4): %v", c.Name, n, MinimizeSOP(c.F))
+		}
+	}
+	// The incomplete K=4 library must be much smaller than the 222-class
+	// complete set — that incompleteness is what the paper measures.
+	complete4, err := CompleteLibrary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib4.Cells) >= len(complete4.Cells) {
+		t.Fatalf("kernel library (%d) not smaller than complete (%d)", len(lib4.Cells), len(complete4.Cells))
+	}
+	lib5, err := KernelLibrary(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib5.Cells) <= len(lib4.Cells) {
+		t.Fatalf("K=5 library (%d cells) should extend K=4 (%d)", len(lib5.Cells), len(lib4.Cells))
+	}
+}
+
+func TestKernelLibraryCellsAreCanonicalAndDistinct(t *testing.T) {
+	lib, err := KernelLibrary(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[truth.Table]bool{}
+	for _, c := range lib.Cells {
+		if c.F.CanonNPN() != c.F {
+			t.Fatalf("cell %s not NPN-canonical", c.Name)
+		}
+		if seen[c.F] {
+			t.Fatalf("duplicate cell function %v", c.F)
+		}
+		seen[c.F] = true
+	}
+}
+
+func TestForK(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		lib, err := ForK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lib.K != k {
+			t.Fatalf("lib.K = %d", lib.K)
+		}
+		wantComplete := k <= 3
+		if lib.Complete != wantComplete {
+			t.Fatalf("K=%d complete=%v", k, lib.Complete)
+		}
+		if len(lib.Cells) == 0 {
+			t.Fatalf("K=%d library empty", k)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package mislib generates the lookup-table cell libraries the paper's
+// Section 4.1 builds for the MIS II baseline: complete libraries (one
+// cell per function equivalence class) for K = 2 and 3, and incomplete
+// libraries for K = 4 and 5 assembled from "the set of all level-0
+// kernels with four or fewer literals and their duals" plus the common
+// elements (ANDs, ORs, XOR/MUX shapes) that the slot-sharing
+// construction yields. Cells carry structural patterns — binarized
+// factored forms — for the DAGON-style tree matcher in internal/mismap.
+package mislib
+
+import (
+	"math/bits"
+	"sort"
+
+	"chortle/internal/sop"
+	"chortle/internal/truth"
+)
+
+// MinimizeSOP converts a truth table into a compact sum-of-products by
+// Quine-McCluskey prime generation followed by an essential-then-greedy
+// cover. Exact minimality is not required — the cover seeds factored
+// forms for cell patterns — but for the small functions involved
+// (<= 5 inputs) the result is minimal or near-minimal.
+func MinimizeSOP(t truth.Table) sop.SOP {
+	n := t.N
+	if ok, v := t.IsConst(); ok {
+		if v {
+			return sop.OneSOP(n)
+		}
+		return sop.Zero(n)
+	}
+
+	// A QM implicant is (values, mask): mask bits are don't-cares.
+	type imp struct{ val, mask uint32 }
+	covers := func(a imp, m uint32) bool { return a.val&^a.mask == m&^a.mask }
+
+	var current []imp
+	seen := map[imp]bool{}
+	for m := uint32(0); m < 1<<uint(n); m++ {
+		if t.Eval(uint(m)) {
+			i := imp{val: m}
+			current = append(current, i)
+			seen[i] = true
+		}
+	}
+	var primes []imp
+	for len(current) > 0 {
+		combined := make(map[imp]bool, len(current))
+		merged := make([]bool, len(current))
+		var next []imp
+		for i := 0; i < len(current); i++ {
+			for j := i + 1; j < len(current); j++ {
+				a, b := current[i], current[j]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := a.val ^ b.val
+				if bits.OnesCount32(diff) != 1 {
+					continue
+				}
+				c := imp{val: a.val &^ diff, mask: a.mask | diff}
+				merged[i], merged[j] = true, true
+				if !combined[c] {
+					combined[c] = true
+					next = append(next, c)
+				}
+			}
+		}
+		for i, a := range current {
+			if !merged[i] {
+				primes = append(primes, a)
+			}
+		}
+		current = next
+	}
+
+	// Cover the minterms: essential primes first, then greedy by
+	// coverage count (deterministic tie-break by implicant value).
+	var minterms []uint32
+	for m := uint32(0); m < 1<<uint(n); m++ {
+		if t.Eval(uint(m)) {
+			minterms = append(minterms, m)
+		}
+	}
+	sort.Slice(primes, func(i, j int) bool {
+		if primes[i].mask != primes[j].mask {
+			return primes[i].mask > primes[j].mask // wider first
+		}
+		return primes[i].val < primes[j].val
+	})
+	covered := make(map[uint32]bool, len(minterms))
+	var chosen []imp
+	// Essential primes.
+	for _, m := range minterms {
+		cnt, last := 0, -1
+		for pi, p := range primes {
+			if covers(p, m) {
+				cnt++
+				last = pi
+			}
+		}
+		if cnt == 1 && !covered[m] {
+			chosen = append(chosen, primes[last])
+			for _, mm := range minterms {
+				if covers(primes[last], mm) {
+					covered[mm] = true
+				}
+			}
+		}
+	}
+	// Greedy for the rest.
+	for {
+		remaining := 0
+		for _, m := range minterms {
+			if !covered[m] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		bestIdx, bestGain := -1, 0
+		for pi, p := range primes {
+			gain := 0
+			for _, m := range minterms {
+				if !covered[m] && covers(p, m) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, pi
+			}
+		}
+		p := primes[bestIdx]
+		chosen = append(chosen, p)
+		for _, m := range minterms {
+			if covers(p, m) {
+				covered[m] = true
+			}
+		}
+	}
+
+	out := sop.SOP{NumVars: n}
+	for _, p := range chosen {
+		var c sop.Cube
+		for i := 0; i < n; i++ {
+			bit := uint32(1) << uint(i)
+			if p.mask&bit != 0 {
+				continue
+			}
+			if p.val&bit != 0 {
+				c.Pos |= 1 << uint(i)
+			} else {
+				c.Neg |= 1 << uint(i)
+			}
+		}
+		out.Cubes = append(out.Cubes, c)
+	}
+	out.MinimizeSCC()
+	return out
+}

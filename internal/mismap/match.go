@@ -1,0 +1,118 @@
+package mismap
+
+import (
+	"chortle/internal/mislib"
+	"chortle/internal/network"
+)
+
+// Structural pattern matching with De Morgan phase propagation.
+//
+// A pattern is matched against a polarized subject reference (node,
+// inv): an AND pattern node matches an AND subject node directly, or an
+// OR subject node seen through an inversion (¬(a+b) = ¬a·¬b), pushing
+// the inversion onto the child edges. Pattern leaves bind (node, phase)
+// pairs; a repeated pattern variable (leaf-DAG cells such as XOR) must
+// bind the identical pair. All complete matches are enumerated — child
+// order is tried both ways at every binary node — because different
+// bindings cost differently.
+
+// boundRef is a pattern variable binding: the subject node whose value
+// (XOR phase) feeds the variable.
+type boundRef struct {
+	n     *subjNode
+	phase bool
+}
+
+// matchRec is one complete match of a cell at a subject node.
+type matchRec struct {
+	cell     *mislib.Cell
+	outPhase bool
+	binding  []boundRef
+}
+
+// matchState carries the in-progress binding.
+type matchState struct {
+	binding []boundRef
+	bound   []bool
+}
+
+// matchAll enumerates every binding of pattern p against the polarized
+// subject reference (n, inv), invoking yield for each complete match of
+// the whole pattern (yield is called by the caller-level driver).
+func matchAll(p *mislib.PatNode, n *subjNode, inv bool, st *matchState, yield func()) {
+	if p.Leaf {
+		ref := boundRef{n: n, phase: inv != p.Neg}
+		if st.bound[p.Var] {
+			if st.binding[p.Var] == ref {
+				yield()
+			}
+			return
+		}
+		st.bound[p.Var] = true
+		st.binding[p.Var] = ref
+		yield()
+		st.bound[p.Var] = false
+		return
+	}
+	if n.leaf {
+		return // structural pattern deeper than the subject
+	}
+	wantOp := n.op
+	if inv {
+		wantOp = n.op.Dual()
+	}
+	if p.Op != wantOp {
+		return
+	}
+	lInv, rInv := n.lInv != inv, n.rInv != inv
+	// Direct order, then swapped (AND/OR are commutative).
+	matchAll(p.L, n.l, lInv, st, func() {
+		matchAll(p.R, n.r, rInv, st, yield)
+	})
+	matchAll(p.L, n.r, rInv, st, func() {
+		matchAll(p.R, n.l, lInv, st, yield)
+	})
+}
+
+// computeBest runs the tree-covering DP over the subject in postorder.
+func computeBest(root *subjNode, lib *mislib.Library) {
+	for _, n := range postorder(root) {
+		n.best = 1 << 29
+		n.chosen = nil
+		for ci := range lib.Cells {
+			cell := &lib.Cells[ci]
+			for _, outPhase := range []bool{false, true} {
+				st := &matchState{
+					binding: make([]boundRef, cell.Vars),
+					bound:   make([]bool, cell.Vars),
+				}
+				matchAll(cell.Pattern, n, outPhase, st, func() {
+					// Cost: the cell plus realizing each distinct bound
+					// subject node (phases are free inverters).
+					cost := int32(cell.Cost)
+					seen := map[*subjNode]bool{}
+					for v := 0; v < cell.Vars; v++ {
+						b := st.binding[v]
+						if seen[b.n] {
+							continue
+						}
+						seen[b.n] = true
+						if !b.n.leaf {
+							cost += b.n.best
+						}
+					}
+					if cost < n.best {
+						n.best = cost
+						rec := &matchRec{cell: cell, outPhase: outPhase,
+							binding: append([]boundRef(nil), st.binding...)}
+						n.chosen = rec
+					}
+				})
+			}
+		}
+	}
+}
+
+// opDual is a tiny safety net: ensure network.Op.Dual is what the
+// matcher assumes (compile-time documentation).
+var _ = network.OpAnd.Dual

@@ -1,0 +1,240 @@
+package mismap
+
+import (
+	"math/rand"
+	"testing"
+
+	"chortle/internal/core"
+	"chortle/internal/mislib"
+	"chortle/internal/network"
+	"chortle/internal/verify"
+)
+
+func figure1() *network.Network {
+	nw := network.New("figure1")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	d := nw.AddInput("d")
+	e := nw.AddInput("e")
+	g1 := nw.AddGate("g1", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	g2 := nw.AddGate("g2", network.OpOr, network.Fanin{Node: c, Invert: true}, network.Fanin{Node: d})
+	g3 := nw.AddGate("g3", network.OpOr, network.Fanin{Node: g1}, network.Fanin{Node: g2})
+	g4 := nw.AddGate("g4", network.OpAnd, network.Fanin{Node: g2}, network.Fanin{Node: e})
+	nw.MarkOutput("y", g3, false)
+	nw.MarkOutput("z", g4, true)
+	return nw
+}
+
+func TestMapFigure1AllK(t *testing.T) {
+	nw := figure1()
+	for k := 2; k <= 5; k++ {
+		lib, err := mislib.ForK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Without fanout duplication the three trees are covered
+		// independently, so three LUTs is a hard lower bound.
+		res, err := MapWithOptions(nw, lib, Options{})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := verify.NetworkVsCircuit(nw, res.Circuit, 0, 1); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if res.LUTs < 3 {
+			t.Fatalf("K=%d: %d LUTs beats the 3-tree lower bound", k, res.LUTs)
+		}
+		// The paper-default greedy duplication must stay functionally
+		// correct (here it even merges g2 into both consumers).
+		dres, err := Map(nw, lib)
+		if err != nil {
+			t.Fatalf("K=%d dup: %v", k, err)
+		}
+		if err := verify.NetworkVsCircuit(nw, dres.Circuit, 0, 1); err != nil {
+			t.Fatalf("K=%d dup: %v", k, err)
+		}
+	}
+}
+
+func TestXORReconvergence(t *testing.T) {
+	// y = a·b' + a'·b: reconvergent fanout that Chortle cannot merge but
+	// the library matcher finds via its leaf-DAG XOR cell — the paper's
+	// explanation for the K=2 rows where MIS beats Chortle.
+	nw := network.New("xor")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	g1 := nw.AddGate("g1", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b, Invert: true})
+	g2 := nw.AddGate("g2", network.OpAnd, network.Fanin{Node: a, Invert: true}, network.Fanin{Node: b})
+	g3 := nw.AddGate("g3", network.OpOr, network.Fanin{Node: g1}, network.Fanin{Node: g2})
+	nw.MarkOutput("y", g3, false)
+
+	lib, err := mislib.ForK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(nw, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.NetworkVsCircuit(nw, res.Circuit, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if res.LUTs != 1 {
+		t.Fatalf("XOR mapped to %d LUTs by the library matcher, want 1", res.LUTs)
+	}
+	// Chortle, mapping the same network, cannot see through the
+	// reconvergence and needs 3.
+	cres, err := core.Map(nw, core.DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.LUTs != 3 {
+		t.Fatalf("Chortle mapped XOR to %d LUTs, expected 3", cres.LUTs)
+	}
+}
+
+func TestSingleOpTreeK2MatchesChortle(t *testing.T) {
+	// With the complete K=2 library every node is fully decomposed into
+	// two-input gates, so (absent reconvergence) MIS and Chortle tie —
+	// the paper's Table 1 observation.
+	rng := rand.New(rand.NewSource(5))
+	lib, err := mislib.ForK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		nw := randomTree(rng, 3+rng.Intn(10), false)
+		mres, err := Map(nw, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := core.Map(nw, core.DefaultOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mres.LUTs != cres.LUTs {
+			t.Fatalf("trial %d: K=2 MIS=%d Chortle=%d on a tree", trial, mres.LUTs, cres.LUTs)
+		}
+		if err := verify.NetworkVsCircuit(nw, mres.Circuit, 16, int64(trial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMapEquivalenceRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nw := randomDAG(rng, 5, 8+rng.Intn(15))
+		for k := 2; k <= 5; k++ {
+			lib, err := mislib.ForK(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Map(nw, lib)
+			if err != nil {
+				t.Fatalf("trial %d K=%d: %v", trial, k, err)
+			}
+			if err := verify.NetworkVsCircuit(nw, res.Circuit, 32, int64(trial)); err != nil {
+				t.Fatalf("trial %d K=%d: %v", trial, k, err)
+			}
+		}
+	}
+}
+
+func TestChortleNeverWorseOnTreesBigK(t *testing.T) {
+	// On fanout-free trees Chortle is optimal over all decompositions,
+	// so the structural library matcher can never beat it (no
+	// reconvergence exists inside these trees to exploit).
+	rng := rand.New(rand.NewSource(11))
+	atLeastOnceBetter := false
+	for trial := 0; trial < 25; trial++ {
+		nw := randomTree(rng, 4+rng.Intn(10), true)
+		for k := 3; k <= 5; k++ {
+			lib, err := mislib.ForK(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mres, err := Map(nw, lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cres, err := core.Map(nw, core.DefaultOptions(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cres.LUTs > mres.LUTs {
+				t.Fatalf("trial %d K=%d: Chortle %d > MIS %d on a tree", trial, k, cres.LUTs, mres.LUTs)
+			}
+			if cres.LUTs < mres.LUTs {
+				atLeastOnceBetter = true
+			}
+		}
+	}
+	if !atLeastOnceBetter {
+		t.Fatal("Chortle never beat the baseline on any tree; the comparison is vacuous")
+	}
+}
+
+// randomTree builds a fanout-free tree (mixed ops if mixed is true).
+func randomTree(rng *rand.Rand, nLeaves int, mixed bool) *network.Network {
+	nw := network.New("tree")
+	var avail []*network.Node
+	for i := 0; i < nLeaves; i++ {
+		avail = append(avail, nw.AddInput(inName(i)))
+	}
+	g := 0
+	op := network.OpAnd
+	for len(avail) > 1 {
+		k := 2 + rng.Intn(3)
+		if k > len(avail) {
+			k = len(avail)
+		}
+		var fins []network.Fanin
+		for i := 0; i < k; i++ {
+			j := rng.Intn(len(avail))
+			fins = append(fins, network.Fanin{Node: avail[j], Invert: rng.Intn(3) == 0})
+			avail = append(avail[:j], avail[j+1:]...)
+		}
+		if mixed && rng.Intn(2) == 1 {
+			op = network.OpOr
+		}
+		g++
+		avail = append(avail, nw.AddGate(gName(g), op, fins...))
+	}
+	nw.MarkOutput("y", avail[0], false)
+	return nw
+}
+
+func randomDAG(rng *rand.Rand, nIn, nGates int) *network.Network {
+	nw := network.New("dag")
+	var pool []*network.Node
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, nw.AddInput(inName(i)))
+	}
+	for i := 0; i < nGates; i++ {
+		op := network.OpAnd
+		if rng.Intn(2) == 1 {
+			op = network.OpOr
+		}
+		k := 2 + rng.Intn(4)
+		seen := map[*network.Node]bool{}
+		var fins []network.Fanin
+		for len(fins) < k && len(fins) < len(pool) {
+			n := pool[rng.Intn(len(pool))]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			fins = append(fins, network.Fanin{Node: n, Invert: rng.Intn(3) == 0})
+		}
+		pool = append(pool, nw.AddGate(gName(i+1), op, fins...))
+	}
+	nw.MarkOutput("y", pool[len(pool)-1], false)
+	nw.MarkOutput("z", pool[len(pool)-2], true)
+	nw.Sweep()
+	return nw
+}
+
+func inName(i int) string { return "x" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+func gName(i int) string  { return "g" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }

@@ -1,0 +1,112 @@
+// Package mismap is the MIS II-style baseline technology mapper the
+// paper compares Chortle against (Section 4): a DAGON-style tree
+// coverer. Each fanout-free tree is decomposed into a binary AND/OR
+// subject tree with polarized edges; library cells (internal/mislib)
+// are matched structurally — through De Morgan phase flips, with
+// leaf-DAG patterns for XOR-shaped cells — and a dynamic program picks
+// the minimum-cost cover. Inverters are free, the concession the paper
+// grants MIS ("we do not count the inverters used by MIS as logic
+// blocks").
+package mismap
+
+import (
+	"fmt"
+
+	"chortle/internal/network"
+)
+
+// subjNode is a node of the binarized subject tree. Leaves reference a
+// finished signal (primary input or another tree's mapped root);
+// internal nodes are two-input AND/OR gates with polarized child edges.
+type subjNode struct {
+	leaf   bool
+	signal string // leaf only: realized signal name
+
+	op         network.Op
+	l, r       *subjNode
+	lInv, rInv bool
+
+	// DP state.
+	best   int32
+	chosen *matchRec
+
+	// Emission memo.
+	emitted string
+}
+
+// subjEdge is a polarized reference used during construction.
+type subjEdge struct {
+	n   *subjNode
+	inv bool
+}
+
+// buildSubject binarizes the fanout-free tree rooted at root into a
+// subject tree. isLeafEdge decides where the tree stops; leafNode
+// interns leaf subject nodes per source so that a multi-fanout source
+// feeding the tree twice becomes a shared leaf (enabling XOR-style
+// leaf-DAG matches, which is how MIS wins the paper's K=2 XOR cases).
+func buildSubject(root *network.Node, isLeafEdge func(*network.Node) bool, leafNode func(*network.Node) *subjNode) (*subjNode, error) {
+	var build func(n *network.Node) (*subjNode, error)
+	build = func(n *network.Node) (*subjNode, error) {
+		if n.IsInput() {
+			return nil, fmt.Errorf("mismap: cannot build subject at input %q", n.Name)
+		}
+		edges := make([]subjEdge, 0, len(n.Fanins))
+		for _, f := range n.Fanins {
+			if isLeafEdge(f.Node) {
+				edges = append(edges, subjEdge{n: leafNode(f.Node), inv: f.Invert})
+				continue
+			}
+			sub, err := build(f.Node)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, subjEdge{n: sub, inv: f.Invert})
+		}
+		if len(edges) == 1 {
+			// A buffer/inverter gate (should be swept away); absorb the
+			// polarity by wrapping in a trivial OR is wrong — instead
+			// reject, since mappers run on swept networks.
+			return nil, fmt.Errorf("mismap: gate %q has a single fanin; sweep the network first", n.Name)
+		}
+		return balanceSubject(n.Op, edges), nil
+	}
+	return build(root)
+}
+
+// balanceSubject folds a polarized edge list into a balanced binary
+// tree of op nodes.
+func balanceSubject(op network.Op, edges []subjEdge) *subjNode {
+	if len(edges) == 2 {
+		return &subjNode{op: op, l: edges[0].n, lInv: edges[0].inv, r: edges[1].n, rInv: edges[1].inv}
+	}
+	mid := (len(edges) + 1) / 2
+	var left, right subjEdge
+	if mid == 1 {
+		left = edges[0]
+	} else {
+		left = subjEdge{n: balanceSubject(op, edges[:mid])}
+	}
+	if len(edges)-mid == 1 {
+		right = edges[mid]
+	} else {
+		right = subjEdge{n: balanceSubject(op, edges[mid:])}
+	}
+	return &subjNode{op: op, l: left.n, lInv: left.inv, r: right.n, rInv: right.inv}
+}
+
+// postorder lists internal nodes, children first.
+func postorder(root *subjNode) []*subjNode {
+	var out []*subjNode
+	var walk func(n *subjNode)
+	walk = func(n *subjNode) {
+		if n == nil || n.leaf {
+			return
+		}
+		walk(n.l)
+		walk(n.r)
+		out = append(out, n)
+	}
+	walk(root)
+	return out
+}

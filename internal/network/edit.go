@@ -1,0 +1,124 @@
+package network
+
+// Structural clean-up passes. The mappers assume a swept network: every
+// gate has at least two distinct fanins and every node reaches an output.
+// Logic optimization can leave buffers, inverter chains (fanin-1 gates),
+// duplicate fanins and dead logic behind; Sweep removes them all.
+
+// Sweep simplifies the network in place:
+//
+//   - fanin-1 gates (buffers/inverters) are bypassed, folding their
+//     polarity into every consumer;
+//   - duplicate same-polarity fanins of a gate are merged (x AND x = x);
+//   - gates unreachable from any output are deleted.
+//
+// It returns the number of nodes removed. Sweep preserves network
+// functionality (outputs compute the same functions).
+func (nw *Network) Sweep() int {
+	type lit struct {
+		n   *Node
+		inv bool
+	}
+	// chase follows chains of fanin-1 gates to the driving literal.
+	chase := func(n *Node, inv bool) lit {
+		for !n.IsInput() && len(n.Fanins) == 1 {
+			inv = inv != n.Fanins[0].Invert
+			n = n.Fanins[0].Node
+		}
+		return lit{n, inv}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nw.Nodes {
+			if n.IsInput() {
+				continue
+			}
+			kept := n.Fanins[:0]
+			seen := make(map[lit]bool, len(n.Fanins))
+			for _, f := range n.Fanins {
+				l := chase(f.Node, f.Invert)
+				if l.n != f.Node || l.inv != f.Invert {
+					changed = true
+				}
+				if seen[l] {
+					changed = true
+					continue // duplicate literal: idempotent under AND/OR
+				}
+				seen[l] = true
+				kept = append(kept, Fanin{Node: l.n, Invert: l.inv})
+			}
+			n.Fanins = kept
+		}
+	}
+	for i := range nw.Outputs {
+		l := chase(nw.Outputs[i].Node, nw.Outputs[i].Invert)
+		nw.Outputs[i].Node, nw.Outputs[i].Invert = l.n, l.inv
+	}
+	for i := range nw.Latches {
+		l := chase(nw.Latches[i].D, nw.Latches[i].DInv)
+		nw.Latches[i].D, nw.Latches[i].DInv = l.n, l.inv
+	}
+
+	// Dead-logic removal: keep primary inputs (the external interface is
+	// stable even if an input is unused) and everything reachable from
+	// an output.
+	live := make(map[*Node]bool, len(nw.Nodes))
+	var mark func(n *Node)
+	mark = func(n *Node) {
+		if live[n] {
+			return
+		}
+		live[n] = true
+		for _, f := range n.Fanins {
+			mark(f.Node)
+		}
+	}
+	for _, o := range nw.Outputs {
+		mark(o.Node)
+	}
+	for _, l := range nw.Latches {
+		mark(l.D)
+	}
+	removed := 0
+	keptNodes := nw.Nodes[:0]
+	for _, n := range nw.Nodes {
+		if n.IsInput() || live[n] {
+			keptNodes = append(keptNodes, n)
+		} else {
+			delete(nw.byName, n.Name)
+			removed++
+		}
+	}
+	nw.Nodes = keptNodes
+	nw.Reindex()
+	return removed
+}
+
+// Clone returns a deep copy of the network. Node identity is fresh; the
+// copy can be edited without affecting the original.
+func (nw *Network) Clone() *Network {
+	cp := New(nw.Name)
+	m := make(map[*Node]*Node, len(nw.Nodes))
+	for _, n := range nw.Nodes {
+		nn := &Node{Name: n.Name, Op: n.Op}
+		cp.insert(nn)
+		if n.IsInput() {
+			cp.Inputs = append(cp.Inputs, nn)
+		}
+		m[n] = nn
+	}
+	for _, n := range nw.Nodes {
+		nn := m[n]
+		for _, f := range n.Fanins {
+			nn.Fanins = append(nn.Fanins, Fanin{Node: m[f.Node], Invert: f.Invert})
+		}
+	}
+	for _, o := range nw.Outputs {
+		cp.Outputs = append(cp.Outputs, Output{Name: o.Name, Node: m[o.Node], Invert: o.Invert})
+	}
+	for _, l := range nw.Latches {
+		cp.Latches = append(cp.Latches, Latch{Q: l.Q, D: m[l.D], DInv: l.DInv, Init: l.Init})
+	}
+	return cp
+}

@@ -1,0 +1,59 @@
+package network
+
+import "fmt"
+
+// Simulate evaluates the network on 64 input patterns in parallel: bit b
+// of the word assigned to an input is that input's value in pattern b.
+// It returns one word per output, keyed by output name. Inputs absent
+// from the assignment default to zero.
+func (nw *Network) Simulate(assign map[string]uint64) (map[string]uint64, error) {
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	val := make([]uint64, len(nw.Nodes))
+	for _, n := range order {
+		switch n.Op {
+		case OpInput:
+			val[n.ID] = assign[n.Name]
+		case OpAnd:
+			w := ^uint64(0)
+			for _, f := range n.Fanins {
+				x := val[f.Node.ID]
+				if f.Invert {
+					x = ^x
+				}
+				w &= x
+			}
+			val[n.ID] = w
+		case OpOr:
+			var w uint64
+			for _, f := range n.Fanins {
+				x := val[f.Node.ID]
+				if f.Invert {
+					x = ^x
+				}
+				w |= x
+			}
+			val[n.ID] = w
+		default:
+			return nil, fmt.Errorf("network %q: node %q has invalid op", nw.Name, n.Name)
+		}
+	}
+	out := make(map[string]uint64, len(nw.Outputs)+len(nw.Latches))
+	for _, o := range nw.Outputs {
+		w := val[o.Node.ID]
+		if o.Invert {
+			w = ^w
+		}
+		out[o.Name] = w
+	}
+	for _, l := range nw.Latches {
+		w := val[l.D.ID]
+		if l.DInv {
+			w = ^w
+		}
+		out[latchKey(l.Q)] = w
+	}
+	return out, nil
+}

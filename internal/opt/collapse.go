@@ -1,0 +1,234 @@
+package opt
+
+import (
+	"chortle/internal/sop"
+)
+
+// Node elimination (MIS "eliminate"): collapse low-value nodes into
+// their consumers. The value of a node estimates the literal growth its
+// collapse would cause: with l literals in the node and u literal
+// occurrences of its signal among consumers, collapsing replaces u
+// literals by roughly u*l, while deleting the node saves l. Nodes with
+// value = u*l - u - l at or below the threshold are eliminated; the MIS
+// standard script runs eliminate with small thresholds to remove the
+// trivia left by translation and extraction.
+
+// maxCollapseSupport bounds the fanin count of a consumer after a
+// collapse. Beyond this the substitution (and its complement) would
+// blow up; such collapses are skipped.
+const maxCollapseSupport = 24
+
+// literalUses counts, per signal, the literal occurrences (both phases)
+// across all node covers.
+func (nt *Net) literalUses() map[string]int {
+	uses := make(map[string]int)
+	for _, name := range nt.NodeNames() {
+		n := nt.nodes[name]
+		for _, c := range n.F.Cubes {
+			for i, f := range n.Fanins {
+				bit := uint64(1) << uint(i)
+				if c.Pos&bit != 0 {
+					uses[f]++
+				}
+				if c.Neg&bit != 0 {
+					uses[f]++
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// collapseInto substitutes the definition of src into the consumer dst,
+// removing src from dst's fanins. Reports whether the substitution was
+// performed (it is skipped when it would exceed support bounds).
+func (nt *Net) collapseInto(src, dst *Node) bool {
+	di := dst.faninIndex(src.Name)
+	if di < 0 {
+		return false
+	}
+	sigIdx, ordered := signalIndex(dst.Fanins, src.Fanins)
+	if len(ordered) > maxCollapseSupport || len(ordered) > sop.MaxVars {
+		return false
+	}
+	dstF := rebase(dst, sigIdx, len(ordered))
+	srcF := rebase(src, sigIdx, len(ordered))
+	newF := dstF.Substitute(sigIdx[src.Name], srcF)
+	dst.Fanins = ordered
+	dst.F = newF
+	dst.pruneFanins()
+	return true
+}
+
+// Eliminate collapses every node whose value is at or below threshold
+// into its consumers, repeating until stable. Output signals are never
+// deleted (their nodes must survive), but they may still be substituted
+// into consumers when profitable. Returns the number of nodes removed.
+func (nt *Net) Eliminate(threshold int) int {
+	removed := 0
+	outputs := nt.outputSignals()
+	for changed := true; changed; {
+		changed = false
+		uses := nt.literalUses()
+		for _, name := range nt.NodeNames() {
+			n := nt.nodes[name]
+			if outputs[name] {
+				continue
+			}
+			u := uses[name]
+			if u == 0 {
+				// Dead node: no consumer and not an output.
+				nt.removeNode(name)
+				removed++
+				changed = true
+				continue
+			}
+			l := n.F.Literals()
+			value := u*l - u - l
+			if value > threshold {
+				continue
+			}
+			// The value formula is an estimate (negative-phase collapses
+			// complement the node function, which can blow up), so the
+			// collapse is applied trially and rolled back if the real
+			// literal growth exceeds the threshold.
+			users := nt.fanoutUsers()[name]
+			backup := make(map[string]*Node, len(users))
+			delta := -l // deleting the node saves its literals
+			ok := true
+			for _, uname := range users {
+				u := nt.nodes[uname]
+				backup[uname] = u.Clone()
+				before := u.F.Literals()
+				if !nt.collapseInto(n, u) {
+					ok = false
+					break
+				}
+				delta += u.F.Literals() - before
+			}
+			if !ok || delta > threshold {
+				for uname, old := range backup {
+					nt.nodes[uname] = old
+				}
+				continue
+			}
+			nt.removeNode(name)
+			removed++
+			changed = true
+			uses = nt.literalUses() // consumers changed
+		}
+	}
+	return removed
+}
+
+// SweepNet removes dead nodes, propagates constants, bypasses buffer
+// nodes (single positive literal covers), and containment-minimizes
+// every cover. Returns the number of nodes removed.
+func (nt *Net) SweepNet() int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		// Constant and buffer propagation.
+		for _, name := range nt.NodeNames() {
+			n := nt.nodes[name]
+			n.F.MinimizeSCC()
+			n.pruneFanins()
+		}
+		for _, name := range nt.NodeNames() {
+			n := nt.nodes[name]
+			var constVal *bool
+			var alias *struct {
+				sig string
+				inv bool
+			}
+			switch {
+			case n.F.IsZero():
+				v := false
+				constVal = &v
+			case n.F.IsOne():
+				v := true
+				constVal = &v
+			case len(n.F.Cubes) == 1 && n.F.Cubes[0].Literals() == 1:
+				c := n.F.Cubes[0]
+				for i, f := range n.Fanins {
+					bit := uint64(1) << uint(i)
+					if c.Pos&bit != 0 {
+						alias = &struct {
+							sig string
+							inv bool
+						}{f, false}
+					} else if c.Neg&bit != 0 {
+						alias = &struct {
+							sig string
+							inv bool
+						}{f, true}
+					}
+				}
+			}
+			if constVal == nil && alias == nil {
+				continue
+			}
+			// Rewrite consumers.
+			for _, uname := range nt.fanoutUsers()[name] {
+				u := nt.nodes[uname]
+				i := u.faninIndex(name)
+				if i < 0 {
+					continue
+				}
+				switch {
+				case constVal != nil:
+					var g sop.SOP
+					if *constVal {
+						g = sop.OneSOP(u.F.NumVars)
+					} else {
+						g = sop.Zero(u.F.NumVars)
+					}
+					u.F = u.F.Substitute(i, g)
+				case alias.sig == uname:
+					continue // self-reference would be a cycle; leave it
+				default:
+					// Replace literal n by (possibly inverted) alias.
+					sigIdx, ordered := signalIndex(u.Fanins, []string{alias.sig})
+					if len(ordered) > sop.MaxVars {
+						continue
+					}
+					uf := rebase(u, sigIdx, len(ordered))
+					g := sop.PosLit(sigIdx[alias.sig], len(ordered))
+					if alias.inv {
+						g = sop.NegLit(sigIdx[alias.sig], len(ordered))
+					}
+					u.F = uf.Substitute(sigIdx[name], g)
+					u.Fanins = ordered
+				}
+				u.pruneFanins()
+				changed = true
+			}
+			// Rewrite outputs referencing this node.
+			for oi := range nt.Outputs {
+				o := &nt.Outputs[oi]
+				if o.Signal != name {
+					continue
+				}
+				switch {
+				case constVal != nil:
+					// Constant outputs stay as a constant node; keep it.
+				case alias != nil:
+					o.Signal = alias.sig
+					o.Invert = o.Invert != alias.inv
+					changed = true
+				}
+			}
+		}
+		// Dead-node removal.
+		outputs := nt.outputSignals()
+		users := nt.fanoutUsers()
+		for _, name := range nt.NodeNames() {
+			if !outputs[name] && len(users[name]) == 0 {
+				nt.removeNode(name)
+				removed++
+				changed = true
+			}
+		}
+	}
+	return removed
+}

@@ -1,0 +1,426 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chortle/internal/sop"
+)
+
+// Multi-node extraction: find subexpressions (kernels and cubes) common
+// to several covers, pull each one out as a new node, and re-express the
+// covers by algebraic division — the gkx/gcx steps of the MIS standard
+// script. Extraction is what produces the factored, level-0-kernel-leaf
+// structure the paper's Section 4.1 observes in MIS-optimized networks.
+
+// maxExtractCubes skips pathologically large covers during candidate
+// collection (kernelling is exponential in the worst case).
+const maxExtractCubes = 64
+
+// globalSOP is a cover expressed over signal names instead of local
+// variable indices, used to compare subexpressions across nodes.
+type globalSOP struct {
+	signals []string // sorted support
+	f       sop.SOP  // over signals indices
+}
+
+// toGlobal translates a local cover (over n.Fanins) to a globalSOP.
+func toGlobal(n *Node, local sop.SOP) globalSOP {
+	used := local.Vars()
+	var sigs []string
+	for i, f := range n.Fanins {
+		if used>>uint(i)&1 == 1 {
+			sigs = append(sigs, f)
+		}
+	}
+	sort.Strings(sigs)
+	idx := make(map[string]int, len(sigs))
+	for i, s := range sigs {
+		idx[s] = i
+	}
+	mapping := make([]int, local.NumVars)
+	for i, f := range n.Fanins {
+		if used>>uint(i)&1 == 1 {
+			mapping[i] = idx[f]
+		} else {
+			mapping[i] = -1
+		}
+	}
+	g := globalSOP{signals: sigs, f: remapSOP(local, mapping, len(sigs))}
+	g.f.Sort()
+	return g
+}
+
+// key returns a canonical identity for the global cover.
+func (g globalSOP) key() string {
+	var sb strings.Builder
+	for _, c := range g.f.Cubes {
+		var lits []string
+		for i, s := range g.signals {
+			bit := uint64(1) << uint(i)
+			if c.Pos&bit != 0 {
+				lits = append(lits, s)
+			}
+			if c.Neg&bit != 0 {
+				lits = append(lits, s+"'")
+			}
+		}
+		sort.Strings(lits)
+		sb.WriteString(strings.Join(lits, "."))
+		sb.WriteByte('+')
+	}
+	return sb.String()
+}
+
+// rewriteWithDivisor divides node n by the divisor (a global cover whose
+// signals must all be fanins of n or addable), introducing newSig for
+// the quotient. Returns the literal delta (negative = improvement) and
+// whether the rewrite happened.
+func (nt *Net) rewriteWithDivisor(n *Node, div globalSOP, newSig string) (int, bool) {
+	before := n.F.Literals()
+	sigIdx, ordered := signalIndex(n.Fanins, div.signals, []string{newSig})
+	if len(ordered) > sop.MaxVars {
+		return 0, false
+	}
+	nF := rebase(n, sigIdx, len(ordered))
+	mapping := make([]int, len(div.signals))
+	for i, s := range div.signals {
+		mapping[i] = sigIdx[s]
+	}
+	dF := remapSOP(div.f, mapping, len(ordered))
+	q, r := nF.Div(dF)
+	if q.IsZero() {
+		return 0, false
+	}
+	lit := sop.PosLit(sigIdx[newSig], len(ordered))
+	n.F = q.Mul(lit).Add(r)
+	n.Fanins = ordered
+	n.pruneFanins()
+	return n.F.Literals() - before, true
+}
+
+// candidate is a subexpression seen in several nodes.
+type candidate struct {
+	g     globalSOP
+	nodes map[string]bool
+}
+
+// heuristicValue estimates the literal saving of extracting c.
+func (c *candidate) heuristicValue() int {
+	occ := len(c.nodes)
+	lits := c.g.f.Literals()
+	return (occ - 1) * (lits - 1)
+}
+
+// ExtractKernels repeatedly extracts the most valuable kernel shared by
+// two or more nodes (or re-usable within one), creating new nodes named
+// prefix$kN. It stops when no extraction reduces the literal count or
+// after maxIter extractions. Returns the total literal saving.
+func (nt *Net) ExtractKernels(maxIter int) int {
+	totalSaving := 0
+	gensym := 0
+	for iter := 0; iter < maxIter; iter++ {
+		cands := make(map[string]*candidate)
+		for _, name := range nt.NodeNames() {
+			n := nt.nodes[name]
+			if len(n.F.Cubes) < 2 || len(n.F.Cubes) > maxExtractCubes {
+				continue
+			}
+			for _, k := range n.F.Kernels() {
+				g := toGlobal(n, k.K)
+				if g.f.Literals() < 2 {
+					continue
+				}
+				key := g.key()
+				c := cands[key]
+				if c == nil {
+					c = &candidate{g: g, nodes: map[string]bool{}}
+					cands[key] = c
+				}
+				c.nodes[name] = true
+			}
+		}
+		// Rank candidates; require presence in >= 2 nodes (single-node
+		// re-factoring is Factor's job, not extraction's).
+		var ranked []*candidate
+		for _, key := range sortedKeys(cands) {
+			c := cands[key]
+			if len(c.nodes) >= 2 && c.heuristicValue() > 0 {
+				ranked = append(ranked, c)
+			}
+		}
+		if len(ranked) == 0 {
+			return totalSaving
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			vi, vj := ranked[i].heuristicValue(), ranked[j].heuristicValue()
+			if vi != vj {
+				return vi > vj
+			}
+			return ranked[i].g.key() < ranked[j].g.key()
+		})
+
+		applied := false
+		for _, c := range ranked[:min(len(ranked), 8)] {
+			gensym++
+			newSig := fmt.Sprintf("%s$k%d", nt.Name, gensym)
+			for nt.isSignal(newSig) {
+				gensym++
+				newSig = fmt.Sprintf("%s$k%d", nt.Name, gensym)
+			}
+			// Trial on clones of the affected nodes.
+			affected := sortedKeys(c.nodes)
+			backup := make(map[string]*Node, len(affected))
+			delta := c.g.f.Literals() // cost of the new node
+			any := false
+			for _, name := range affected {
+				n := nt.nodes[name]
+				backup[name] = n.Clone()
+				d, ok := nt.rewriteWithDivisor(n, c.g, newSig)
+				if ok {
+					any = true
+					delta += d
+				}
+			}
+			if !any || delta >= 0 {
+				for name, old := range backup {
+					nt.nodes[name] = old
+				}
+				continue
+			}
+			nt.AddNode(newSig, c.g.signals, c.g.f)
+			totalSaving -= delta
+			applied = true
+			break
+		}
+		if !applied {
+			return totalSaving
+		}
+	}
+	return totalSaving
+}
+
+// ExtractCubes repeatedly extracts the most valuable multi-literal cube
+// occurring in two or more product terms across the network, as new
+// nodes named prefix$cN. Returns the total literal saving.
+func (nt *Net) ExtractCubes(maxIter int) int {
+	totalSaving := 0
+	gensym := 0
+	for iter := 0; iter < maxIter; iter++ {
+		// Candidate cubes: pairwise intersections of cubes within each
+		// node (cross-node sharing still surfaces because the same
+		// intersection cube arises in each node's own pairs whenever it
+		// is shared; counting below is global).
+		type cubeCand struct {
+			g     globalSOP
+			count int
+			nodes map[string]bool
+		}
+		cands := make(map[string]*cubeCand)
+		addCand := func(n *Node, c sop.Cube) {
+			if c.Literals() < 2 {
+				return
+			}
+			g := toGlobal(n, sop.SOP{NumVars: n.F.NumVars, Cubes: []sop.Cube{c}})
+			key := g.key()
+			if cands[key] == nil {
+				cands[key] = &cubeCand{g: g, nodes: map[string]bool{}}
+			}
+		}
+		names := nt.NodeNames()
+		for _, name := range names {
+			n := nt.nodes[name]
+			if len(n.F.Cubes) > maxExtractCubes {
+				continue
+			}
+			for i := 0; i < len(n.F.Cubes); i++ {
+				for j := i + 1; j < len(n.F.Cubes); j++ {
+					addCand(n, n.F.Cubes[i].Common(n.F.Cubes[j]))
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return totalSaving
+		}
+		// Cap the candidate set before the (nodes x candidates) counting
+		// pass: prefer bigger cubes, which save more when shared.
+		if len(cands) > 512 {
+			keys := sortedKeys(cands)
+			sort.Slice(keys, func(i, j int) bool {
+				li, lj := cands[keys[i]].g.f.Literals(), cands[keys[j]].g.f.Literals()
+				if li != lj {
+					return li > lj
+				}
+				return keys[i] < keys[j]
+			})
+			trimmed := make(map[string]*cubeCand, 512)
+			for _, k := range keys[:512] {
+				trimmed[k] = cands[k]
+			}
+			cands = trimmed
+		}
+		// Count global occurrences: cubes (in any node) divisible by the
+		// candidate.
+		for _, name := range names {
+			n := nt.nodes[name]
+			for _, cc := range cands {
+				// Translate candidate into n's space if its signals are
+				// all fanins of n.
+				ok := true
+				mask := sop.Cube{}
+				for i, s := range cc.g.signals {
+					fi := n.faninIndex(s)
+					if fi < 0 {
+						ok = false
+						break
+					}
+					bit := uint64(1) << uint(i)
+					if cc.g.f.Cubes[0].Pos&bit != 0 {
+						mask.Pos |= 1 << uint(fi)
+					}
+					if cc.g.f.Cubes[0].Neg&bit != 0 {
+						mask.Neg |= 1 << uint(fi)
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, c := range n.F.Cubes {
+					if c.HasAllOf(mask) {
+						cc.count++
+						cc.nodes[name] = true
+					}
+				}
+			}
+		}
+		var ranked []*cubeCand
+		for _, key := range sortedKeys(cands) {
+			cc := cands[key]
+			lits := cc.g.f.Literals()
+			if cc.count >= 2 && (cc.count-1)*(lits-1) > 1 {
+				ranked = append(ranked, cc)
+			}
+		}
+		if len(ranked) == 0 {
+			return totalSaving
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			li, lj := ranked[i].g.f.Literals(), ranked[j].g.f.Literals()
+			vi := (ranked[i].count - 1) * (li - 1)
+			vj := (ranked[j].count - 1) * (lj - 1)
+			if vi != vj {
+				return vi > vj
+			}
+			return ranked[i].g.key() < ranked[j].g.key()
+		})
+
+		applied := false
+		for _, cc := range ranked[:min(len(ranked), 8)] {
+			gensym++
+			newSig := fmt.Sprintf("%s$c%d", nt.Name, gensym)
+			for nt.isSignal(newSig) {
+				gensym++
+				newSig = fmt.Sprintf("%s$c%d", nt.Name, gensym)
+			}
+			affected := sortedKeys(cc.nodes)
+			backup := make(map[string]*Node, len(affected))
+			delta := cc.g.f.Literals()
+			any := false
+			for _, name := range affected {
+				n := nt.nodes[name]
+				backup[name] = n.Clone()
+				d, ok := nt.rewriteWithDivisor(n, cc.g, newSig)
+				if ok {
+					any = true
+					delta += d
+				}
+			}
+			if !any || delta >= 0 {
+				for name, old := range backup {
+					nt.nodes[name] = old
+				}
+				continue
+			}
+			nt.AddNode(newSig, cc.g.signals, cc.g.f)
+			totalSaving -= delta
+			applied = true
+			break
+		}
+		if !applied {
+			return totalSaving
+		}
+	}
+	return totalSaving
+}
+
+// transitiveFanins returns the set of signals in the transitive fanin
+// cone of the named node (excluding itself).
+func (nt *Net) transitiveFanins(name string) map[string]bool {
+	seen := map[string]bool{}
+	var walk func(s string)
+	walk = func(s string) {
+		n := nt.nodes[s]
+		if n == nil {
+			return
+		}
+		for _, f := range n.Fanins {
+			if !seen[f] {
+				seen[f] = true
+				walk(f)
+			}
+		}
+	}
+	walk(name)
+	return seen
+}
+
+// Resubstitute tries to re-express each node using each existing node as
+// an algebraic divisor (positive phase), keeping rewrites that lower the
+// literal count. Returns the total literal saving.
+func (nt *Net) Resubstitute() int {
+	totalSaving := 0
+	names := nt.NodeNames()
+	for _, dname := range names {
+		d := nt.nodes[dname]
+		if d == nil || len(d.F.Cubes) == 0 || len(d.F.Cubes) > maxExtractCubes {
+			continue
+		}
+		dg := toGlobal(d, d.F)
+		if dg.f.Literals() < 2 {
+			continue
+		}
+		for _, mname := range names {
+			if mname == dname {
+				continue
+			}
+			m := nt.nodes[mname]
+			if m == nil || m.faninIndex(dname) >= 0 {
+				continue // already uses it
+			}
+			// All divisor signals must already feed m (the profitable
+			// resub case), and adding edge d->m must not create a cycle.
+			ok := true
+			for _, s := range dg.signals {
+				if m.faninIndex(s) < 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if nt.transitiveFanins(dname)[mname] {
+				continue
+			}
+			backup := m.Clone()
+			delta, done := nt.rewriteWithDivisor(m, dg, dname)
+			if !done || delta >= 0 {
+				nt.nodes[mname] = backup
+				continue
+			}
+			totalSaving -= delta
+		}
+	}
+	return totalSaving
+}

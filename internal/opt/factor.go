@@ -1,0 +1,258 @@
+package opt
+
+import (
+	"fmt"
+
+	"chortle/internal/sop"
+)
+
+// Good-factoring: turn a two-level cover into a factored form (an
+// alternating AND/OR expression tree over literals), choosing at each
+// step the kernel divisor that saves the most literals. This is the
+// "decomp" step that converts optimized SOP nodes into the AND/OR
+// Boolean network the mappers consume; the MIS standard script's
+// factored forms have exactly this shape.
+
+// ExprKind discriminates factored-form expression nodes.
+type ExprKind uint8
+
+const (
+	// ExprLit is a literal: fanin variable Var, negated if Neg.
+	ExprLit ExprKind = iota
+	// ExprAnd is a conjunction of Kids.
+	ExprAnd
+	// ExprOr is a disjunction of Kids.
+	ExprOr
+)
+
+// Expr is a factored-form expression tree.
+type Expr struct {
+	Kind ExprKind
+	Var  int // ExprLit only
+	Neg  bool
+	Kids []*Expr // ExprAnd / ExprOr only
+}
+
+// Literals counts the literal leaves of the expression.
+func (e *Expr) Literals() int {
+	if e.Kind == ExprLit {
+		return 1
+	}
+	n := 0
+	for _, k := range e.Kids {
+		n += k.Literals()
+	}
+	return n
+}
+
+// String renders the factored form with a..z variable names.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case ExprLit:
+		c := sop.Cube{}
+		if e.Neg {
+			c.Neg = 1 << uint(e.Var)
+		} else {
+			c.Pos = 1 << uint(e.Var)
+		}
+		return c.String()
+	case ExprAnd:
+		s := ""
+		for _, k := range e.Kids {
+			if k.Kind == ExprOr {
+				s += "(" + k.String() + ")"
+			} else {
+				s += k.String()
+			}
+		}
+		return s
+	case ExprOr:
+		s := ""
+		for i, k := range e.Kids {
+			if i > 0 {
+				s += " + "
+			}
+			s += k.String()
+		}
+		return s
+	}
+	return "?"
+}
+
+// lit returns a literal expression.
+func lit(v int, neg bool) *Expr { return &Expr{Kind: ExprLit, Var: v, Neg: neg} }
+
+// group builds an AND/OR node, flattening same-kind children and
+// collapsing single-child groups.
+func group(kind ExprKind, kids ...*Expr) *Expr {
+	var flat []*Expr
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		if k.Kind == kind {
+			flat = append(flat, k.Kids...)
+		} else {
+			flat = append(flat, k)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Expr{Kind: kind, Kids: flat}
+}
+
+// cubeExpr renders one cube as an AND of literals.
+func cubeExpr(c sop.Cube, n int) *Expr {
+	var kids []*Expr
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if c.Pos&bit != 0 {
+			kids = append(kids, lit(i, false))
+		}
+		if c.Neg&bit != 0 {
+			kids = append(kids, lit(i, true))
+		}
+	}
+	if len(kids) == 0 {
+		return nil // the universal cube; callers handle constants
+	}
+	return group(ExprAnd, kids...)
+}
+
+// Factor converts a non-constant cover into a factored form.
+func Factor(s sop.SOP) (*Expr, error) {
+	if s.IsZero() || s.IsOne() {
+		return nil, fmt.Errorf("opt: cannot factor the constant cover %v", s)
+	}
+	return factorRec(s), nil
+}
+
+func factorRec(s sop.SOP) *Expr {
+	if len(s.Cubes) == 1 {
+		return cubeExpr(s.Cubes[0], s.NumVars)
+	}
+	// If no literal repeats, the cover is its own best factored form.
+	if noRepeatedLiteral(s) {
+		kids := make([]*Expr, 0, len(s.Cubes))
+		for _, c := range s.Cubes {
+			kids = append(kids, cubeExpr(c, s.NumVars))
+		}
+		return group(ExprOr, kids...)
+	}
+	// Pull out the common cube first: s = cc * rest.
+	if cc := s.CommonCube(); cc != sop.One {
+		rest, _ := s.MakeCubeFree()
+		return group(ExprAnd, cubeExpr(cc, s.NumVars), factorRec(rest))
+	}
+	// Best kernel divisor by realized literal saving. Kernel
+	// enumeration is exponential in the worst case; above this bound
+	// fall straight to literal division (large covers come from PLA
+	// import, where the quick factor is what espresso-era flows used).
+	const maxFactorKernelCubes = 48
+	if len(s.Cubes) > maxFactorKernelCubes {
+		return factorByLiteral(s)
+	}
+	var bestK sop.SOP
+	var bestQ, bestR sop.SOP
+	bestSaving := 0
+	for _, k := range s.Kernels() {
+		if k.K.Equal(s) {
+			continue
+		}
+		q, r := s.Div(k.K)
+		if q.IsZero() {
+			continue
+		}
+		saving := s.Literals() - (k.K.Literals() + q.Literals() + r.Literals())
+		if saving > bestSaving {
+			bestSaving, bestK, bestQ, bestR = saving, k.K, q, r
+		}
+	}
+	if bestSaving > 0 {
+		dq := group(ExprAnd, factorRec(bestK), factorRec(bestQ))
+		if bestR.IsZero() {
+			return dq
+		}
+		return group(ExprOr, dq, factorRec(bestR))
+	}
+	return factorByLiteral(s)
+}
+
+// factorByLiteral divides by the most frequent literal — the quick
+// factoring fallback, linear per level.
+func factorByLiteral(s sop.SOP) *Expr {
+	j := mostFrequentLiteral(s)
+	lc := litCubeOf(j, s.NumVars)
+	q, r := s.DivCube(lc)
+	le := lit(j%s.NumVars, j >= s.NumVars)
+	dq := group(ExprAnd, le, factorRec(q))
+	if r.IsZero() {
+		return dq
+	}
+	return group(ExprOr, dq, factorRec(r))
+}
+
+// noRepeatedLiteral reports whether every literal occurs in at most one
+// cube (the shape of a level-0 kernel or a plain disjoint sum).
+func noRepeatedLiteral(s sop.SOP) bool {
+	var seenPos, seenNeg uint64
+	for _, c := range s.Cubes {
+		if c.Pos&seenPos != 0 || c.Neg&seenNeg != 0 {
+			return false
+		}
+		seenPos |= c.Pos
+		seenNeg |= c.Neg
+	}
+	return true
+}
+
+// mostFrequentLiteral returns the literal index (0..2n-1) occurring in
+// the most cubes; ties go to the lowest index.
+func mostFrequentLiteral(s sop.SOP) int {
+	best, bestCount := 0, -1
+	for j := 0; j < 2*s.NumVars; j++ {
+		lc := litCubeOf(j, s.NumVars)
+		count := 0
+		for _, c := range s.Cubes {
+			if c.HasAllOf(lc) {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = j, count
+		}
+	}
+	return best
+}
+
+func litCubeOf(j, n int) sop.Cube {
+	if j < n {
+		return sop.Cube{Pos: 1 << uint(j)}
+	}
+	return sop.Cube{Neg: 1 << uint(j-n)}
+}
+
+// EvalExpr evaluates a factored form on an assignment (bit i = var i).
+func EvalExpr(e *Expr, assign uint64) bool {
+	switch e.Kind {
+	case ExprLit:
+		v := assign>>uint(e.Var)&1 == 1
+		return v != e.Neg
+	case ExprAnd:
+		for _, k := range e.Kids {
+			if !EvalExpr(k, assign) {
+				return false
+			}
+		}
+		return true
+	case ExprOr:
+		for _, k := range e.Kids {
+			if EvalExpr(k, assign) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

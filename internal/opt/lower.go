@@ -1,0 +1,149 @@
+package opt
+
+import (
+	"fmt"
+
+	"chortle/internal/network"
+	"chortle/internal/sop"
+)
+
+// Lowering between the SOP-node world and the AND/OR network world.
+
+// FromNetwork imports an AND/OR network as an SOP-node net (each gate
+// becomes one node), the starting point for re-optimization.
+func FromNetwork(nw *network.Network) (*Net, error) {
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	nt := NewNet(nw.Name)
+	for _, in := range nw.Inputs {
+		nt.AddInput(in.Name)
+	}
+	for _, n := range order {
+		if n.IsInput() {
+			continue
+		}
+		fanins := make([]string, len(n.Fanins))
+		for i, f := range n.Fanins {
+			fanins[i] = f.Node.Name
+		}
+		var f sop.SOP
+		switch n.Op {
+		case network.OpAnd:
+			var c sop.Cube
+			for i, fin := range n.Fanins {
+				if fin.Invert {
+					c.Neg |= 1 << uint(i)
+				} else {
+					c.Pos |= 1 << uint(i)
+				}
+			}
+			f = sop.New(len(fanins), c)
+		case network.OpOr:
+			f = sop.SOP{NumVars: len(fanins)}
+			for i, fin := range n.Fanins {
+				var c sop.Cube
+				if fin.Invert {
+					c.Neg = 1 << uint(i)
+				} else {
+					c.Pos = 1 << uint(i)
+				}
+				f.Cubes = append(f.Cubes, c)
+			}
+		default:
+			return nil, fmt.Errorf("opt: cannot import node %q with op %v", n.Name, n.Op)
+		}
+		nt.AddNode(n.Name, fanins, f)
+	}
+	for _, o := range nw.Outputs {
+		nt.MarkOutput(o.Name, o.Node.Name, o.Invert)
+	}
+	return nt, nil
+}
+
+// Lower factors every node and emits the resulting AND/OR network with
+// polarized edges — the form the technology mappers consume. Constant
+// nodes are rejected (run SweepNet first; constant primary outputs have
+// no gate-level realization in this representation).
+func (nt *Net) Lower() (*network.Network, error) {
+	order, err := nt.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nw := network.New(nt.Name)
+	ref := make(map[string]network.Fanin, len(order)+len(nt.Inputs))
+	for _, in := range nt.Inputs {
+		ref[in] = network.Fanin{Node: nw.AddInput(in)}
+	}
+
+	gensym := 0
+	fresh := func(base string) string {
+		name := base
+		for nw.Find(name) != nil {
+			gensym++
+			name = fmt.Sprintf("%s$f%d", base, gensym)
+		}
+		return name
+	}
+
+	for _, name := range order {
+		n := nt.nodes[name]
+		if n.F.IsZero() || n.F.IsOne() {
+			return nil, fmt.Errorf("opt: node %q is constant; sweep the net before lowering", name)
+		}
+		expr, err := Factor(n.F)
+		if err != nil {
+			return nil, err
+		}
+		var build func(e *Expr, top bool) (network.Fanin, error)
+		build = func(e *Expr, top bool) (network.Fanin, error) {
+			switch e.Kind {
+			case ExprLit:
+				r, ok := ref[n.Fanins[e.Var]]
+				if !ok {
+					return network.Fanin{}, fmt.Errorf("opt: node %q references unlowered %q", name, n.Fanins[e.Var])
+				}
+				r.Invert = r.Invert != e.Neg
+				return r, nil
+			case ExprAnd, ExprOr:
+				fins := make([]network.Fanin, 0, len(e.Kids))
+				for _, k := range e.Kids {
+					r, err := build(k, false)
+					if err != nil {
+						return network.Fanin{}, err
+					}
+					fins = append(fins, r)
+				}
+				op := network.OpAnd
+				if e.Kind == ExprOr {
+					op = network.OpOr
+				}
+				gname := fresh(name)
+				if !top {
+					gname = fresh(name + "$f")
+				}
+				return network.Fanin{Node: nw.AddGate(gname, op, fins...)}, nil
+			}
+			return network.Fanin{}, fmt.Errorf("opt: invalid expression kind %d", e.Kind)
+		}
+		r, err := build(expr, true)
+		if err != nil {
+			return nil, err
+		}
+		ref[name] = r
+	}
+
+	for _, o := range nt.Outputs {
+		r, ok := ref[o.Signal]
+		if !ok {
+			return nil, fmt.Errorf("opt: output %q references unknown signal %q", o.Name, o.Signal)
+		}
+		nw.MarkOutput(o.Name, r.Node, r.Invert != o.Invert)
+	}
+	nw.Sweep()
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}

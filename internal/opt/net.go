@@ -1,0 +1,386 @@
+// Package opt is a miniature MIS II: multi-level logic optimization over
+// networks of sum-of-products nodes. The Chortle paper assumes "the
+// boolean network to be mapped has already gone through logic
+// optimization" by the standard MIS II script; this package provides
+// that substrate — sweep, eliminate, kernel and cube extraction,
+// resubstitution, and good-factor decomposition into the AND/OR network
+// form (internal/network) both mappers consume.
+//
+// Area is measured in factored-form literals, MIS's cost function.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"chortle/internal/sop"
+)
+
+// Node is one logic node: a single-output SOP function over named fanin
+// signals. F's variable i is the signal Fanins[i].
+type Node struct {
+	Name   string
+	Fanins []string
+	F      sop.SOP
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node {
+	return &Node{Name: n.Name, Fanins: append([]string(nil), n.Fanins...), F: n.F.Clone()}
+}
+
+// faninIndex returns the index of signal in the fanin list, or -1.
+func (n *Node) faninIndex(signal string) int {
+	for i, f := range n.Fanins {
+		if f == signal {
+			return i
+		}
+	}
+	return -1
+}
+
+// Output designates a network output signal, optionally inverted.
+type Output struct {
+	Name   string
+	Signal string
+	Invert bool
+}
+
+// Net is a multi-level logic network of SOP nodes.
+type Net struct {
+	Name    string
+	Inputs  []string
+	Outputs []Output
+
+	nodes map[string]*Node
+	order []string // node names in insertion order, for determinism
+}
+
+// NewNet returns an empty logic network.
+func NewNet(name string) *Net {
+	return &Net{Name: name, nodes: make(map[string]*Node)}
+}
+
+// AddInput declares a primary input signal.
+func (nt *Net) AddInput(name string) {
+	if nt.isSignal(name) {
+		panic(fmt.Sprintf("opt: duplicate signal %q", name))
+	}
+	nt.Inputs = append(nt.Inputs, name)
+}
+
+// AddNode adds a logic node computing f (over fanins) named name.
+func (nt *Net) AddNode(name string, fanins []string, f sop.SOP) *Node {
+	if nt.isSignal(name) {
+		panic(fmt.Sprintf("opt: duplicate signal %q", name))
+	}
+	if f.NumVars != len(fanins) {
+		panic(fmt.Sprintf("opt: node %q SOP arity %d != %d fanins", name, f.NumVars, len(fanins)))
+	}
+	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), F: f.Clone()}
+	nt.nodes[name] = n
+	nt.order = append(nt.order, name)
+	return n
+}
+
+// MarkOutput declares signal (optionally inverted) as output name.
+func (nt *Net) MarkOutput(name, signal string, invert bool) {
+	nt.Outputs = append(nt.Outputs, Output{Name: name, Signal: signal, Invert: invert})
+}
+
+// Node returns the node producing signal, or nil for inputs/unknowns.
+func (nt *Net) Node(name string) *Node { return nt.nodes[name] }
+
+// isSignal reports whether name is already an input or node.
+func (nt *Net) isSignal(name string) bool {
+	if _, ok := nt.nodes[name]; ok {
+		return true
+	}
+	for _, in := range nt.Inputs {
+		if in == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isInput reports whether name is a primary input.
+func (nt *Net) isInput(name string) bool {
+	for _, in := range nt.Inputs {
+		if in == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeNames returns the node names in deterministic (insertion) order,
+// skipping deleted entries.
+func (nt *Net) NodeNames() []string {
+	out := make([]string, 0, len(nt.order))
+	for _, name := range nt.order {
+		if _, ok := nt.nodes[name]; ok {
+			out = append(out, name)
+		}
+	}
+	nt.order = out // compact lazily
+	return append([]string(nil), out...)
+}
+
+// removeNode deletes a node (callers ensure nothing references it).
+func (nt *Net) removeNode(name string) { delete(nt.nodes, name) }
+
+// NumNodes returns the live node count.
+func (nt *Net) NumNodes() int { return len(nt.nodes) }
+
+// Cost returns the total SOP literal count, the MIS area metric.
+func (nt *Net) Cost() int {
+	total := 0
+	for _, name := range nt.NodeNames() {
+		total += nt.nodes[name].F.Literals()
+	}
+	return total
+}
+
+// TopoOrder returns node names with fanins before consumers, or an
+// error on a combinational cycle or undefined signal.
+func (nt *Net) TopoOrder() ([]string, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[string]uint8, len(nt.nodes))
+	var out []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		if nt.isInput(name) {
+			return nil
+		}
+		n := nt.nodes[name]
+		if n == nil {
+			return fmt.Errorf("opt net %q: undefined signal %q", nt.Name, name)
+		}
+		switch state[name] {
+		case gray:
+			return fmt.Errorf("opt net %q: combinational cycle through %q", nt.Name, name)
+		case black:
+			return nil
+		}
+		state[name] = gray
+		for _, f := range n.Fanins {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+		state[name] = black
+		out = append(out, name)
+		return nil
+	}
+	for _, o := range nt.Outputs {
+		if err := visit(o.Signal); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range nt.NodeNames() {
+		if err := visit(name); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Validate checks structural invariants.
+func (nt *Net) Validate() error {
+	for _, name := range nt.NodeNames() {
+		n := nt.nodes[name]
+		if n.F.NumVars != len(n.Fanins) {
+			return fmt.Errorf("opt net %q: node %q arity mismatch", nt.Name, name)
+		}
+		seen := map[string]bool{}
+		for _, f := range n.Fanins {
+			if seen[f] {
+				return fmt.Errorf("opt net %q: node %q repeats fanin %q", nt.Name, name, f)
+			}
+			seen[f] = true
+			if !nt.isSignal(f) {
+				return fmt.Errorf("opt net %q: node %q references undefined %q", nt.Name, name, f)
+			}
+		}
+	}
+	if len(nt.Outputs) == 0 {
+		return fmt.Errorf("opt net %q: no outputs", nt.Name)
+	}
+	for _, o := range nt.Outputs {
+		if !nt.isSignal(o.Signal) {
+			return fmt.Errorf("opt net %q: output %q references undefined %q", nt.Name, o.Name, o.Signal)
+		}
+	}
+	_, err := nt.TopoOrder()
+	return err
+}
+
+// Clone deep-copies the network.
+func (nt *Net) Clone() *Net {
+	cp := NewNet(nt.Name)
+	cp.Inputs = append([]string(nil), nt.Inputs...)
+	cp.Outputs = append([]Output(nil), nt.Outputs...)
+	for _, name := range nt.NodeNames() {
+		n := nt.nodes[name]
+		cp.nodes[name] = n.Clone()
+		cp.order = append(cp.order, name)
+	}
+	return cp
+}
+
+// Simulate evaluates the net on 64 parallel patterns per input signal.
+func (nt *Net) Simulate(assign map[string]uint64) (map[string]uint64, error) {
+	order, err := nt.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	val := make(map[string]uint64, len(order)+len(nt.Inputs))
+	for _, in := range nt.Inputs {
+		val[in] = assign[in]
+	}
+	for _, name := range order {
+		n := nt.nodes[name]
+		vals := make([]uint64, len(n.Fanins))
+		for i, f := range n.Fanins {
+			vals[i] = val[f]
+		}
+		val[name] = n.F.EvalWide(vals)
+	}
+	out := make(map[string]uint64, len(nt.Outputs))
+	for _, o := range nt.Outputs {
+		w := val[o.Signal]
+		if o.Invert {
+			w = ^w
+		}
+		out[o.Name] = w
+	}
+	return out, nil
+}
+
+// fanoutUsers returns, per signal, the names of nodes whose SOP support
+// actually includes it, in deterministic order.
+func (nt *Net) fanoutUsers() map[string][]string {
+	users := make(map[string][]string)
+	for _, name := range nt.NodeNames() {
+		n := nt.nodes[name]
+		support := n.F.Vars()
+		for i, f := range n.Fanins {
+			if support>>uint(i)&1 == 1 {
+				users[f] = append(users[f], name)
+			}
+		}
+	}
+	return users
+}
+
+// outputSignals returns the set of signals designated as outputs.
+func (nt *Net) outputSignals() map[string]bool {
+	out := make(map[string]bool, len(nt.Outputs))
+	for _, o := range nt.Outputs {
+		out[o.Signal] = true
+	}
+	return out
+}
+
+// pruneFanins removes fanin signals outside the SOP support and remaps
+// the cover accordingly.
+func (n *Node) pruneFanins() {
+	support := n.F.Vars()
+	keep := make([]int, 0, len(n.Fanins))
+	for i := range n.Fanins {
+		if support>>uint(i)&1 == 1 {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == len(n.Fanins) {
+		return
+	}
+	remap := make([]int, n.F.NumVars)
+	for i := range remap {
+		remap[i] = -1
+	}
+	newFanins := make([]string, len(keep))
+	for newIdx, oldIdx := range keep {
+		remap[oldIdx] = newIdx
+		newFanins[newIdx] = n.Fanins[oldIdx]
+	}
+	n.F = remapSOP(n.F, remap, len(keep))
+	n.Fanins = newFanins
+}
+
+// remapSOP rewrites a cover onto a new variable space: old variable i
+// becomes mapping[i] (-1 means the variable must be unused).
+func remapSOP(s sop.SOP, mapping []int, newN int) sop.SOP {
+	out := sop.SOP{NumVars: newN, Cubes: make([]sop.Cube, 0, len(s.Cubes))}
+	for _, c := range s.Cubes {
+		var nc sop.Cube
+		for i := 0; i < s.NumVars; i++ {
+			bit := uint64(1) << uint(i)
+			if c.Pos&bit != 0 {
+				if mapping[i] < 0 {
+					panic("opt: remapSOP dropping a used variable")
+				}
+				nc.Pos |= 1 << uint(mapping[i])
+			}
+			if c.Neg&bit != 0 {
+				if mapping[i] < 0 {
+					panic("opt: remapSOP dropping a used variable")
+				}
+				nc.Neg |= 1 << uint(mapping[i])
+			}
+		}
+		out.Cubes = append(out.Cubes, nc)
+	}
+	return out
+}
+
+// rebase expresses the node's cover over the given signal list (which
+// must include all of the node's used fanins). Returns the rewritten
+// cover; signals carries the index of each signal name.
+func rebase(n *Node, signals map[string]int, numVars int) sop.SOP {
+	mapping := make([]int, len(n.Fanins))
+	for i, f := range n.Fanins {
+		idx, ok := signals[f]
+		if !ok {
+			mapping[i] = -1 // allowed only if unused
+		} else {
+			mapping[i] = idx
+		}
+	}
+	return remapSOP(n.F, mapping, numVars)
+}
+
+// signalIndex builds a deterministic signal->index map over the union of
+// several fanin lists, returning also the ordered list.
+func signalIndex(lists ...[]string) (map[string]int, []string) {
+	seen := map[string]bool{}
+	var ordered []string
+	for _, l := range lists {
+		for _, s := range l {
+			if !seen[s] {
+				seen[s] = true
+				ordered = append(ordered, s)
+			}
+		}
+	}
+	idx := make(map[string]int, len(ordered))
+	for i, s := range ordered {
+		idx[s] = i
+	}
+	return idx, ordered
+}
+
+// sortedKeys returns map keys sorted, for deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

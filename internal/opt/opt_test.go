@@ -1,0 +1,521 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chortle/internal/sop"
+)
+
+// mkSOP builds an SOP over n vars from (pos, neg) index lists per cube.
+func mkSOP(n int, cubes ...[2][]int) sop.SOP {
+	s := sop.SOP{NumVars: n}
+	for _, cu := range cubes {
+		var c sop.Cube
+		for _, i := range cu[0] {
+			c.Pos |= 1 << uint(i)
+		}
+		for _, i := range cu[1] {
+			c.Neg |= 1 << uint(i)
+		}
+		s.Cubes = append(s.Cubes, c)
+	}
+	return s
+}
+
+// twoLevelNet is a small multi-output two-level net with sharing
+// opportunities: f = ab + ac + ad, g = b + c (shared kernel b+c... and
+// h = a'e).
+func twoLevelNet() *Net {
+	nt := NewNet("t")
+	for _, in := range []string{"a", "b", "c", "d", "e"} {
+		nt.AddInput(in)
+	}
+	nt.AddNode("f", []string{"a", "b", "c", "d"},
+		mkSOP(4, [2][]int{{0, 1}, nil}, [2][]int{{0, 2}, nil}, [2][]int{{0, 3}, nil}))
+	nt.AddNode("g", []string{"b", "c"},
+		mkSOP(2, [2][]int{{0}, nil}, [2][]int{{1}, nil}))
+	nt.AddNode("h", []string{"a", "e"},
+		mkSOP(2, [2][]int{{1}, {0}}))
+	nt.MarkOutput("f", "f", false)
+	nt.MarkOutput("g", "g", false)
+	nt.MarkOutput("h", "h", true)
+	return nt
+}
+
+// exhaustiveAssign gives input i the exhaustive column pattern over
+// 2^len(inputs) minterms (inputs must number <= 6).
+func exhaustiveAssign(inputs []string) map[string]uint64 {
+	assign := map[string]uint64{}
+	for i, in := range inputs {
+		var w uint64
+		for m := uint(0); m < 1<<uint(len(inputs)); m++ {
+			if m>>uint(i)&1 == 1 {
+				w |= 1 << m
+			}
+		}
+		assign[in] = w
+	}
+	return assign
+}
+
+// mustEquivalent checks two nets compute identical outputs exhaustively.
+func mustEquivalent(t *testing.T, a, b *Net, context string) {
+	t.Helper()
+	assign := exhaustiveAssign(a.Inputs)
+	mask := uint64(1)<<(1<<uint(len(a.Inputs))) - 1
+	if len(a.Inputs) >= 6 {
+		mask = ^uint64(0)
+	}
+	ra, err := a.Simulate(assign)
+	if err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+	rb, err := b.Simulate(assign)
+	if err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+	for _, o := range a.Outputs {
+		if ra[o.Name]&mask != rb[o.Name]&mask {
+			t.Fatalf("%s: output %q differs (%x vs %x)", context, o.Name, ra[o.Name]&mask, rb[o.Name]&mask)
+		}
+	}
+}
+
+func TestNetBasics(t *testing.T) {
+	nt := twoLevelNet()
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nt.Cost() != 6+2+2 {
+		t.Fatalf("Cost = %d", nt.Cost())
+	}
+	order, err := nt.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("topo order %v", order)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	nt := twoLevelNet()
+	got, err := nt.Simulate(exhaustiveAssign(nt.Inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint(0); m < 32; m++ {
+		a, b := m&1 == 1, m>>1&1 == 1
+		c, d, e := m>>2&1 == 1, m>>3&1 == 1, m>>4&1 == 1
+		wantF := (a && b) || (a && c) || (a && d)
+		wantG := b || c
+		wantH := !(!a && e)
+		if got["f"]>>m&1 == 1 != wantF {
+			t.Fatalf("f wrong at %05b", m)
+		}
+		if got["g"]>>m&1 == 1 != wantG {
+			t.Fatalf("g wrong at %05b", m)
+		}
+		if got["h"]>>m&1 == 1 != wantH {
+			t.Fatalf("h wrong at %05b", m)
+		}
+	}
+}
+
+func TestEliminatePreservesFunction(t *testing.T) {
+	nt := NewNet("e")
+	for _, in := range []string{"a", "b", "c"} {
+		nt.AddInput(in)
+	}
+	// t1 = ab (used once) should be eliminated into f.
+	nt.AddNode("t1", []string{"a", "b"}, mkSOP(2, [2][]int{{0, 1}, nil}))
+	nt.AddNode("f", []string{"t1", "c"}, mkSOP(2, [2][]int{{0}, nil}, [2][]int{{1}, nil}))
+	nt.MarkOutput("f", "f", false)
+	ref := nt.Clone()
+	removed := nt.Eliminate(0)
+	if removed != 1 {
+		t.Fatalf("Eliminate removed %d, want 1", removed)
+	}
+	if nt.Node("t1") != nil {
+		t.Fatal("t1 survived elimination")
+	}
+	mustEquivalent(t, ref, nt, "eliminate")
+}
+
+func TestEliminateNegativePhase(t *testing.T) {
+	nt := NewNet("e2")
+	for _, in := range []string{"a", "b", "c"} {
+		nt.AddInput(in)
+	}
+	// t = a + b used negatively: f = t'c. Collapse requires complement.
+	nt.AddNode("t", []string{"a", "b"}, mkSOP(2, [2][]int{{0}, nil}, [2][]int{{1}, nil}))
+	nt.AddNode("f", []string{"t", "c"}, mkSOP(2, [2][]int{{1}, {0}}))
+	nt.MarkOutput("f", "f", false)
+	ref := nt.Clone()
+	nt.Eliminate(5)
+	mustEquivalent(t, ref, nt, "eliminate negative phase")
+	if nt.Node("t") != nil {
+		t.Fatal("t should have been collapsed")
+	}
+}
+
+func TestEliminateKeepsOutputNodes(t *testing.T) {
+	nt := twoLevelNet()
+	nt.Eliminate(100)
+	for _, o := range nt.Outputs {
+		if !nt.isSignal(o.Signal) {
+			t.Fatalf("output signal %q vanished", o.Signal)
+		}
+	}
+}
+
+func TestSweepNetConstantsAndBuffers(t *testing.T) {
+	nt := NewNet("s")
+	for _, in := range []string{"a", "b"} {
+		nt.AddInput(in)
+	}
+	// zero = 0 (empty cover); buf = a; f = buf & b + zero & a  -> f = ab.
+	nt.AddNode("zero", nil, sop.Zero(0))
+	nt.AddNode("buf", []string{"a"}, mkSOP(1, [2][]int{{0}, nil}))
+	nt.AddNode("f", []string{"buf", "b", "zero"},
+		mkSOP(3, [2][]int{{0, 1}, nil}, [2][]int{{2, 0}, nil}))
+	nt.MarkOutput("f", "f", false)
+	ref := nt.Clone()
+	nt.SweepNet()
+	mustEquivalent(t, ref, nt, "sweep")
+	if nt.Node("zero") != nil || nt.Node("buf") != nil {
+		t.Fatal("constant/buffer nodes survived sweep")
+	}
+	f := nt.Node("f")
+	if got := f.F.String(); got != "ab" {
+		t.Fatalf("f = %v, want ab", got)
+	}
+}
+
+func TestExtractKernelsShared(t *testing.T) {
+	nt := NewNet("x")
+	for _, in := range []string{"a", "b", "c", "d", "e"} {
+		nt.AddInput(in)
+	}
+	// f = ad + bd, g = ae + be: shared kernel (a + b).
+	nt.AddNode("f", []string{"a", "b", "d"},
+		mkSOP(3, [2][]int{{0, 2}, nil}, [2][]int{{1, 2}, nil}))
+	nt.AddNode("g", []string{"a", "b", "e"},
+		mkSOP(3, [2][]int{{0, 2}, nil}, [2][]int{{1, 2}, nil}))
+	nt.MarkOutput("f", "f", false)
+	nt.MarkOutput("g", "g", false)
+	ref := nt.Clone()
+	costBefore := nt.Cost()
+	saving := nt.ExtractKernels(10)
+	if saving <= 0 {
+		t.Fatalf("no extraction happened (cost %d)", costBefore)
+	}
+	if nt.Cost() >= costBefore {
+		t.Fatalf("cost did not drop: %d -> %d", costBefore, nt.Cost())
+	}
+	if nt.NumNodes() != 3 {
+		t.Fatalf("expected one new node, have %d nodes", nt.NumNodes())
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mustEquivalent(t, ref, nt, "extract kernels")
+}
+
+func TestExtractCubesShared(t *testing.T) {
+	nt := NewNet("x2")
+	for _, in := range []string{"a", "b", "c", "d"} {
+		nt.AddInput(in)
+	}
+	// f = abc + abd': the cube ab appears in both products.
+	nt.AddNode("f", []string{"a", "b", "c", "d"},
+		mkSOP(4, [2][]int{{0, 1, 2}, nil}, [2][]int{{0, 1}, {3}}))
+	// g = abd.
+	nt.AddNode("g", []string{"a", "b", "d"}, mkSOP(3, [2][]int{{0, 1, 2}, nil}))
+	nt.MarkOutput("f", "f", false)
+	nt.MarkOutput("g", "g", false)
+	ref := nt.Clone()
+	costBefore := nt.Cost()
+	nt.ExtractCubes(10)
+	if nt.Cost() >= costBefore {
+		t.Fatalf("cube extraction did not help: %d -> %d", costBefore, nt.Cost())
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mustEquivalent(t, ref, nt, "extract cubes")
+}
+
+func TestResubstitute(t *testing.T) {
+	nt := NewNet("r")
+	for _, in := range []string{"a", "b", "c", "d"} {
+		nt.AddInput(in)
+	}
+	// d1 = a + b exists; m = ac + bc + d should be rewritten m = d1*c + d.
+	nt.AddNode("d1", []string{"a", "b"}, mkSOP(2, [2][]int{{0}, nil}, [2][]int{{1}, nil}))
+	nt.AddNode("m", []string{"a", "b", "c", "d"},
+		mkSOP(4, [2][]int{{0, 2}, nil}, [2][]int{{1, 2}, nil}, [2][]int{{3}, nil}))
+	nt.MarkOutput("d1", "d1", false)
+	nt.MarkOutput("m", "m", false)
+	ref := nt.Clone()
+	saving := nt.Resubstitute()
+	if saving <= 0 {
+		t.Fatal("resubstitution found nothing")
+	}
+	m := nt.Node("m")
+	if m.faninIndex("d1") < 0 {
+		t.Fatal("m does not use d1 after resub")
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mustEquivalent(t, ref, nt, "resub")
+}
+
+func TestFactorTextbook(t *testing.T) {
+	// ab + ac + ad  ->  a(b + c + d)
+	s := mkSOP(4, [2][]int{{0, 1}, nil}, [2][]int{{0, 2}, nil}, [2][]int{{0, 3}, nil})
+	e, err := Factor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Literals() != 4 {
+		t.Fatalf("factored literals = %d (%s), want 4", e.Literals(), e)
+	}
+	for a := uint64(0); a < 16; a++ {
+		if EvalExpr(e, a) != s.Eval(a) {
+			t.Fatalf("factored form wrong at %04b", a)
+		}
+	}
+}
+
+func TestFactorKernelExample(t *testing.T) {
+	// ad + ae + bd + be + cd + ce = (a+b+c)(d+e): 6 literals factored.
+	s := mkSOP(5,
+		[2][]int{{0, 3}, nil}, [2][]int{{0, 4}, nil},
+		[2][]int{{1, 3}, nil}, [2][]int{{1, 4}, nil},
+		[2][]int{{2, 3}, nil}, [2][]int{{2, 4}, nil})
+	e, err := Factor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Literals() != 5 {
+		t.Fatalf("factored literals = %d (%s), want 5", e.Literals(), e)
+	}
+}
+
+func TestFactorConstantRejected(t *testing.T) {
+	if _, err := Factor(sop.Zero(2)); err == nil {
+		t.Fatal("factored the zero cover")
+	}
+	if _, err := Factor(sop.OneSOP(2)); err == nil {
+		t.Fatal("factored the one cover")
+	}
+}
+
+func TestFactorRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(5)
+		s := randomCover(rng, n, 10)
+		e, err := Factor(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			if EvalExpr(e, a) != s.Eval(a) {
+				t.Fatalf("trial %d: factored %v -> %s wrong at %b", trial, s, e, a)
+			}
+		}
+		if e.Literals() > s.Literals() {
+			t.Fatalf("trial %d: factoring grew literals %d -> %d", trial, s.Literals(), e.Literals())
+		}
+	}
+}
+
+func randomCover(rng *rand.Rand, n, maxCubes int) sop.SOP {
+	s := sop.SOP{NumVars: n}
+	for i := 0; i < 1+rng.Intn(maxCubes); i++ {
+		var c sop.Cube
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Pos |= 1 << uint(v)
+			case 1:
+				c.Neg |= 1 << uint(v)
+			}
+		}
+		if !c.Contradictory() && c.Literals() > 0 {
+			s.Cubes = append(s.Cubes, c)
+		}
+	}
+	if len(s.Cubes) == 0 {
+		s.Cubes = append(s.Cubes, sop.Cube{Pos: 1})
+	}
+	s.MinimizeSCC()
+	return s
+}
+
+func TestLowerAndImportRoundTrip(t *testing.T) {
+	nt := twoLevelNet()
+	nw, err := nt.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate both representations exhaustively.
+	assign := exhaustiveAssign(nt.Inputs)
+	want, _ := nt.Simulate(assign)
+	got, err := nw.Simulate(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range nt.Outputs {
+		if want[o.Name]&0xFFFFFFFF != got[o.Name]&0xFFFFFFFF {
+			t.Fatalf("output %q differs after lowering", o.Name)
+		}
+	}
+	// Import back and check again.
+	nt2, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEquivalent(t, nt, nt2, "import")
+}
+
+func TestOptimizeScriptEquivalenceAndImprovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		nt := randomNet(rng)
+		ref := nt.Clone()
+		before := nt.Cost()
+		after := nt.Optimize(DefaultScript())
+		if err := nt.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if after > before {
+			t.Fatalf("trial %d: optimization grew cost %d -> %d", trial, before, after)
+		}
+		mustEquivalent(t, ref, nt, "optimize")
+	}
+}
+
+func randomNet(rng *rand.Rand) *Net {
+	nt := NewNet("rn")
+	inputs := []string{"a", "b", "c", "d", "e"}
+	for _, in := range inputs {
+		nt.AddInput(in)
+	}
+	pool := append([]string(nil), inputs...)
+	nNodes := 4 + rng.Intn(8)
+	for i := 0; i < nNodes; i++ {
+		k := 2 + rng.Intn(3)
+		fanins := map[string]bool{}
+		for len(fanins) < k {
+			fanins[pool[rng.Intn(len(pool))]] = true
+		}
+		var fl []string
+		for _, p := range pool {
+			if fanins[p] {
+				fl = append(fl, p)
+			}
+		}
+		name := "n" + string(rune('0'+i))
+		nt.AddNode(name, fl, randomCover(rng, len(fl), 5))
+		pool = append(pool, name)
+	}
+	nt.MarkOutput("y", pool[len(pool)-1], rng.Intn(2) == 1)
+	nt.MarkOutput("z", pool[len(pool)-2], false)
+	nt.SweepNet()
+	// SweepNet may alias outputs straight to inputs in degenerate draws;
+	// that is fine for equivalence testing.
+	return nt
+}
+
+func TestLowerRejectsConstantNode(t *testing.T) {
+	nt := NewNet("c")
+	nt.AddInput("a")
+	nt.AddNode("k", nil, sop.OneSOP(0))
+	nt.AddNode("f", []string{"a", "k"}, mkSOP(2, [2][]int{{0, 1}, nil}))
+	nt.MarkOutput("f", "f", false)
+	if _, err := nt.Lower(); err == nil {
+		t.Fatal("Lower accepted a constant node")
+	}
+}
+
+func TestLowerUsesNetworkOps(t *testing.T) {
+	// A factored node must become multiple gates with correct structure.
+	nt := NewNet("g")
+	for _, in := range []string{"a", "b", "c", "d"} {
+		nt.AddInput(in)
+	}
+	// f = ab + ac + ad = a(b+c+d): expect an OR gate feeding an AND gate.
+	nt.AddNode("f", []string{"a", "b", "c", "d"},
+		mkSOP(4, [2][]int{{0, 1}, nil}, [2][]int{{0, 2}, nil}, [2][]int{{0, 3}, nil}))
+	nt.MarkOutput("f", "f", false)
+	nw, err := nt.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.Gates != 2 {
+		t.Fatalf("lowered gates = %d, want 2 (AND over OR)", s.Gates)
+	}
+	if s.Depth != 2 {
+		t.Fatalf("depth = %d, want 2", s.Depth)
+	}
+}
+
+func TestFactorLargeCoverUsesLiteralPath(t *testing.T) {
+	// A cover above the kernel bound must still factor correctly via
+	// the literal-division fallback. 6-variable parity has 32 minterm
+	// cubes... use 7 variables mixed to exceed 48 cubes.
+	rng := rand.New(rand.NewSource(83))
+	s := sop.SOP{NumVars: 7}
+	seen := map[sop.Cube]bool{}
+	for len(s.Cubes) < 60 {
+		var c sop.Cube
+		for v := 0; v < 7; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Pos |= 1 << uint(v)
+			case 1:
+				c.Neg |= 1 << uint(v)
+			}
+		}
+		if c.Literals() < 2 || c.Contradictory() || seen[c] {
+			continue
+		}
+		seen[c] = true
+		s.Cubes = append(s.Cubes, c)
+	}
+	s.MinimizeSCC()
+	if len(s.Cubes) <= 48 {
+		t.Skip("random draw collapsed below the kernel bound")
+	}
+	e, err := Factor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 128; a++ {
+		if EvalExpr(e, a) != s.Eval(a) {
+			t.Fatalf("large-cover factoring wrong at %07b", a)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	s := mkSOP(3, [2][]int{{0, 1}, nil}, [2][]int{nil, {2}})
+	e, err := Factor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := e.String()
+	if !strings.Contains(str, "+") || !strings.Contains(str, "'") {
+		t.Fatalf("String rendering suspicious: %q", str)
+	}
+}

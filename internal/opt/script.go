@@ -1,0 +1,57 @@
+package opt
+
+// The "standard script". The paper: "The input networks for both
+// mappers were optimized by the standard MIS II script." Our equivalent
+// runs the same pass structure: clean-up, node elimination, iterated
+// common-divisor extraction (kernels then cubes), resubstitution, and a
+// final clean-up. The result is a literal-minimized multi-level net
+// whose factored forms have level-0 kernel leaves.
+
+// ScriptOptions tunes the standard optimization script.
+type ScriptOptions struct {
+	// EliminateThreshold is the node-value cutoff for collapsing
+	// (MIS eliminate threshold; 0 collapses only value<=0 nodes).
+	EliminateThreshold int
+	// MaxKernelIters bounds kernel extractions per round.
+	MaxKernelIters int
+	// MaxCubeIters bounds cube extractions per round.
+	MaxCubeIters int
+	// Rounds repeats the extract/resub cycle.
+	Rounds int
+	// Resubstitute enables the algebraic resubstitution pass.
+	Resubstitute bool
+}
+
+// DefaultScript mirrors the shape of the MIS II standard script.
+func DefaultScript() ScriptOptions {
+	return ScriptOptions{
+		EliminateThreshold: 0,
+		MaxKernelIters:     200,
+		MaxCubeIters:       200,
+		Rounds:             2,
+		Resubstitute:       true,
+	}
+}
+
+// Optimize runs the standard script in place and returns the final
+// literal count.
+func (nt *Net) Optimize(o ScriptOptions) int {
+	nt.SweepNet()
+	nt.Eliminate(o.EliminateThreshold)
+	nt.SweepNet()
+	for r := 0; r < o.Rounds; r++ {
+		gained := 0
+		gained += nt.ExtractKernels(o.MaxKernelIters)
+		gained += nt.ExtractCubes(o.MaxCubeIters)
+		if o.Resubstitute {
+			gained += nt.Resubstitute()
+		}
+		nt.SweepNet()
+		if gained == 0 {
+			break
+		}
+	}
+	nt.Eliminate(o.EliminateThreshold)
+	nt.SweepNet()
+	return nt.Cost()
+}

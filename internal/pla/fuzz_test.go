@@ -1,0 +1,38 @@
+package pla
+
+import "testing"
+
+// FuzzRead: mangled PLA inputs must never panic; accepted PLAs must
+// round-trip through Write.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		sample,
+		"",
+		".i 2\n.o 1\n11 1\n",
+		".i 2\n.o 1\n.p 1\n-- 1\n.e\n",
+		".i 0\n.o 0\n",
+		".i 2\n.o 2\n.ilb a b\n.ob x y\n1- 10\n-0 01\n.type f\n.e",
+		".i 2\n.o 1\n1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadString(src)
+		if err != nil {
+			return
+		}
+		var sb writerSink
+		if err := Write(&sb, p); err != nil {
+			t.Fatalf("accepted PLA fails to write: %v", err)
+		}
+		if _, err := ReadString(sb.String()); err != nil {
+			t.Fatalf("written PLA fails to re-read: %v\n%s", err, sb.String())
+		}
+	})
+}
+
+type writerSink struct{ b []byte }
+
+func (w *writerSink) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *writerSink) String() string              { return string(w.b) }

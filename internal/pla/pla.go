@@ -1,0 +1,274 @@
+// Package pla reads and writes the Berkeley/espresso PLA format — the
+// native form of the two-level MCNC benchmarks the paper's suite draws
+// on (9sym, alu2, alu4 and most of the logic synthesis set were
+// distributed as .pla files and pushed through espresso and the MIS
+// standard script). Supported directives: .i, .o, .p, .ilb, .ob, .type
+// fr/f, .e/.end; input plane characters 0/1/-, output plane 0/1/~/-.
+//
+// A parsed PLA converts to the optimizer's SOP-node network (one node
+// per output) via ToNet, joining the same flow the built-in PLA-derived
+// benchmarks use.
+package pla
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"chortle/internal/opt"
+	"chortle/internal/sop"
+)
+
+// PLA is a two-level cover with named inputs and outputs.
+type PLA struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	// Cover holds one SOP per output, over the inputs (variable i =
+	// Inputs[i]).
+	Cover []sop.SOP
+}
+
+// Read parses a PLA description.
+func Read(r io.Reader) (*PLA, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	p := &PLA{Name: "pla"}
+	var (
+		ni, no   = -1, -1
+		declared = -1
+		rows     int
+		typ      = "fr"
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case ".i":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla line %d: .i needs a count", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 || v > sop.MaxVars {
+				return nil, fmt.Errorf("pla line %d: bad input count %q", lineNo, fields[1])
+			}
+			ni = v
+		case ".o":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla line %d: .o needs a count", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("pla line %d: bad output count %q", lineNo, fields[1])
+			}
+			no = v
+		case ".p":
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("pla line %d: bad product count", lineNo)
+			}
+			declared = v
+		case ".ilb":
+			p.Inputs = append([]string(nil), fields[1:]...)
+		case ".ob":
+			p.Outputs = append([]string(nil), fields[1:]...)
+		case ".type":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla line %d: .type needs a value", lineNo)
+			}
+			typ = fields[1]
+			if typ != "fr" && typ != "f" {
+				return nil, fmt.Errorf("pla line %d: unsupported .type %q (only f and fr)", lineNo, typ)
+			}
+		case ".e", ".end":
+			// terminator
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("pla line %d: unsupported directive %s", lineNo, fields[0])
+			}
+			// A product term row: input plane then output plane,
+			// possibly separated by spaces.
+			joined := strings.Join(fields, "")
+			if ni < 0 || no < 0 {
+				return nil, fmt.Errorf("pla line %d: cube before .i/.o", lineNo)
+			}
+			if len(joined) != ni+no {
+				return nil, fmt.Errorf("pla line %d: cube width %d, want %d+%d", lineNo, len(joined), ni, no)
+			}
+			var c sop.Cube
+			for i := 0; i < ni; i++ {
+				switch joined[i] {
+				case '1':
+					c.Pos |= 1 << uint(i)
+				case '0':
+					c.Neg |= 1 << uint(i)
+				case '-', '2':
+					// don't care
+				default:
+					return nil, fmt.Errorf("pla line %d: bad input-plane char %q", lineNo, joined[i])
+				}
+			}
+			if p.Cover == nil {
+				p.Cover = make([]sop.SOP, no)
+				for o := range p.Cover {
+					p.Cover[o] = sop.Zero(ni)
+				}
+			}
+			for o := 0; o < no; o++ {
+				switch joined[ni+o] {
+				case '1', '4':
+					p.Cover[o].Cubes = append(p.Cover[o].Cubes, c)
+				case '0', '~', '-', '2', '3':
+					// off-set / don't-care / not-used: ignored for the
+					// on-set cover of type f/fr.
+				default:
+					return nil, fmt.Errorf("pla line %d: bad output-plane char %q", lineNo, joined[ni+o])
+				}
+			}
+			rows++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ni < 0 || no < 0 {
+		return nil, fmt.Errorf("pla: missing .i or .o")
+	}
+	if declared >= 0 && rows != declared {
+		return nil, fmt.Errorf("pla: .p declares %d products, found %d", declared, rows)
+	}
+	if p.Cover == nil {
+		p.Cover = make([]sop.SOP, no)
+		for o := range p.Cover {
+			p.Cover[o] = sop.Zero(ni)
+		}
+	}
+	if len(p.Inputs) == 0 {
+		for i := 0; i < ni; i++ {
+			p.Inputs = append(p.Inputs, fmt.Sprintf("i%d", i))
+		}
+	}
+	if len(p.Outputs) == 0 {
+		for o := 0; o < no; o++ {
+			p.Outputs = append(p.Outputs, fmt.Sprintf("o%d", o))
+		}
+	}
+	if len(p.Inputs) != ni || len(p.Outputs) != no {
+		return nil, fmt.Errorf("pla: label counts (.ilb %d, .ob %d) disagree with .i %d/.o %d",
+			len(p.Inputs), len(p.Outputs), ni, no)
+	}
+	for o := range p.Cover {
+		p.Cover[o].MinimizeSCC()
+	}
+	return p, nil
+}
+
+// ReadString parses a PLA from a string.
+func ReadString(s string) (*PLA, error) { return Read(strings.NewReader(s)) }
+
+// Write emits the PLA in espresso format (type f, on-set only).
+func Write(w io.Writer, p *PLA) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n", len(p.Inputs), len(p.Outputs))
+	fmt.Fprintf(bw, ".ilb %s\n", strings.Join(p.Inputs, " "))
+	fmt.Fprintf(bw, ".ob %s\n", strings.Join(p.Outputs, " "))
+
+	// Merge identical cubes across outputs into shared rows.
+	type row struct {
+		c    sop.Cube
+		outs []bool
+	}
+	index := map[sop.Cube]*row{}
+	var rowsOrdered []*row
+	for o, cover := range p.Cover {
+		for _, c := range cover.Cubes {
+			r := index[c]
+			if r == nil {
+				r = &row{c: c, outs: make([]bool, len(p.Outputs))}
+				index[c] = r
+				rowsOrdered = append(rowsOrdered, r)
+			}
+			r.outs[o] = true
+		}
+	}
+	fmt.Fprintf(bw, ".p %d\n", len(rowsOrdered))
+	for _, r := range rowsOrdered {
+		for i := range p.Inputs {
+			bit := uint64(1) << uint(i)
+			switch {
+			case r.c.Pos&bit != 0:
+				bw.WriteByte('1')
+			case r.c.Neg&bit != 0:
+				bw.WriteByte('0')
+			default:
+				bw.WriteByte('-')
+			}
+		}
+		bw.WriteByte(' ')
+		for _, on := range r.outs {
+			if on {
+				bw.WriteByte('1')
+			} else {
+				bw.WriteByte('0')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}
+
+// ToNet converts the PLA to the optimizer's SOP-node representation:
+// one node per output over the shared input list, ready for the
+// standard script and lowering.
+func (p *PLA) ToNet(name string) (*opt.Net, error) {
+	if name == "" {
+		name = p.Name
+	}
+	nt := opt.NewNet(name)
+	for _, in := range p.Inputs {
+		nt.AddInput(in)
+	}
+	for o, out := range p.Outputs {
+		cover := p.Cover[o]
+		if cover.IsZero() || cover.IsOne() {
+			return nil, fmt.Errorf("pla: output %q is constant; constants have no gate realization", out)
+		}
+		node := out + "$n"
+		nt.AddNode(node, p.Inputs, cover)
+		nt.MarkOutput(out, node, false)
+	}
+	if err := nt.Validate(); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// FromCovers builds a PLA value from per-output covers over shared
+// named inputs (a convenience for benchmark generators and tests).
+func FromCovers(name string, inputs, outputs []string, covers []sop.SOP) (*PLA, error) {
+	if len(outputs) != len(covers) {
+		return nil, fmt.Errorf("pla: %d outputs but %d covers", len(outputs), len(covers))
+	}
+	for i, c := range covers {
+		if c.NumVars != len(inputs) {
+			return nil, fmt.Errorf("pla: cover %d arity %d, want %d", i, c.NumVars, len(inputs))
+		}
+	}
+	return &PLA{
+		Name:    name,
+		Inputs:  append([]string(nil), inputs...),
+		Outputs: append([]string(nil), outputs...),
+		Cover:   append([]sop.SOP(nil), covers...),
+	}, nil
+}

@@ -1,0 +1,173 @@
+package pla
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chortle/internal/sop"
+)
+
+const sample = `
+# a 2-output sample
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 11
+0-0 01
+.e
+`
+
+func TestReadSample(t *testing.T) {
+	p, err := ReadString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Inputs) != 3 || len(p.Outputs) != 2 {
+		t.Fatalf("IO = %d/%d", len(p.Inputs), len(p.Outputs))
+	}
+	if p.Inputs[0] != "a" || p.Outputs[1] != "g" {
+		t.Fatalf("labels wrong: %v %v", p.Inputs, p.Outputs)
+	}
+	// f = ab + c ; g = c + a'c'.
+	for m := uint64(0); m < 8; m++ {
+		a, b, c := m&1 == 1, m>>1&1 == 1, m>>2&1 == 1
+		wantF := (a && b) || c
+		wantG := c || (!a && !c)
+		if p.Cover[0].Eval(m) != wantF {
+			t.Fatalf("f wrong at %03b", m)
+		}
+		if p.Cover[1].Eval(m) != wantG {
+			t.Fatalf("g wrong at %03b", m)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := ReadString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadString(sb.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	for o := range p.Cover {
+		for m := uint64(0); m < 8; m++ {
+			if p.Cover[o].Eval(m) != q.Cover[o].Eval(m) {
+				t.Fatalf("output %d differs at %b after round trip:\n%s", o, m, sb.String())
+			}
+		}
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		ni := 1 + rng.Intn(6)
+		no := 1 + rng.Intn(4)
+		covers := make([]sop.SOP, no)
+		inputs := make([]string, ni)
+		outputs := make([]string, no)
+		for i := range inputs {
+			inputs[i] = "x" + string(rune('a'+i))
+		}
+		for o := range outputs {
+			outputs[o] = "y" + string(rune('a'+o))
+			covers[o] = sop.Zero(ni)
+			for c := 0; c < 1+rng.Intn(5); c++ {
+				var cube sop.Cube
+				for v := 0; v < ni; v++ {
+					switch rng.Intn(3) {
+					case 0:
+						cube.Pos |= 1 << uint(v)
+					case 1:
+						cube.Neg |= 1 << uint(v)
+					}
+				}
+				covers[o].Cubes = append(covers[o].Cubes, cube)
+			}
+			covers[o].MinimizeSCC()
+		}
+		p, err := FromCovers("t", inputs, outputs, covers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, p); err != nil {
+			t.Fatal(err)
+		}
+		q, err := ReadString(sb.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for o := range covers {
+			for m := uint64(0); m < 1<<uint(ni); m++ {
+				if covers[o].Eval(m) != q.Cover[o].Eval(m) {
+					t.Fatalf("trial %d output %d wrong at %b", trial, o, m)
+				}
+			}
+		}
+	}
+}
+
+func TestToNetAndMap(t *testing.T) {
+	p, err := ReadString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := p.ToNet("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := nt.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nw.Simulate(map[string]uint64{"a": 0b10101010, "b": 0b11001100, "c": 0b11110000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint(0); i < 8; i++ {
+		a, b, c := i&1 == 1, i>>1&1 == 1, i>>2&1 == 1
+		if got["f"]>>i&1 == 1 != ((a && b) || c) {
+			t.Fatalf("lowered f wrong at %03b", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"noio":       "11- 10\n",
+		"badwidth":   ".i 3\n.o 1\n11 1\n",
+		"badchar":    ".i 2\n.o 1\nx1 1\n",
+		"badout":     ".i 2\n.o 1\n11 z\n",
+		"pmismatch":  ".i 2\n.o 1\n.p 5\n11 1\n.e\n",
+		"badtype":    ".i 2\n.o 1\n.type fd\n11 1\n.e\n",
+		"directive":  ".i 2\n.o 1\n.phase 01\n11 1\n.e\n",
+		"labelcount": ".i 2\n.o 1\n.ilb a\n11 1\n.e\n",
+		"badi":       ".i 99\n.o 1\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadString(src); err == nil {
+			t.Errorf("case %q: error expected", name)
+		}
+	}
+}
+
+func TestConstantOutputRejectedByToNet(t *testing.T) {
+	p, err := ReadString(".i 2\n.o 1\n.e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ToNet(""); err == nil {
+		t.Fatal("constant (empty) output accepted by ToNet")
+	}
+}

@@ -1,0 +1,124 @@
+package sop
+
+import "math/bits"
+
+// Boolean (non-algebraic) operations needed by node elimination in the
+// optimizer: cofactoring and complementation. Complement uses the
+// classic unate-recursive paradigm: split on the most frequent variable
+// until the cover is a single cube (De Morgan) or constant.
+
+// CofactorVar returns the Shannon cofactor of the cover with respect to
+// variable i set to val. The result no longer mentions variable i.
+func (s SOP) CofactorVar(i int, val bool) SOP {
+	bit := uint64(1) << uint(i)
+	out := SOP{NumVars: s.NumVars}
+	for _, c := range s.Cubes {
+		if val {
+			if c.Neg&bit != 0 {
+				continue // cube requires x_i = 0
+			}
+			c.Pos &^= bit
+		} else {
+			if c.Pos&bit != 0 {
+				continue
+			}
+			c.Neg &^= bit
+		}
+		out.Cubes = append(out.Cubes, c)
+	}
+	return out
+}
+
+// mostFrequentVar picks the variable occurring in the most cubes,
+// preferring binate ones (appearing in both phases), the standard
+// unate-recursive splitting heuristic.
+func (s SOP) mostFrequentVar() int {
+	bestVar, bestScore := -1, -1
+	for i := 0; i < s.NumVars; i++ {
+		bit := uint64(1) << uint(i)
+		pos, neg := 0, 0
+		for _, c := range s.Cubes {
+			if c.Pos&bit != 0 {
+				pos++
+			}
+			if c.Neg&bit != 0 {
+				neg++
+			}
+		}
+		if pos+neg == 0 {
+			continue
+		}
+		score := pos + neg
+		if pos > 0 && neg > 0 {
+			score += len(s.Cubes) // binate variables split best
+		}
+		if score > bestScore {
+			bestScore, bestVar = score, i
+		}
+	}
+	return bestVar
+}
+
+// Complement returns a cover of the Boolean complement of s.
+// The result is containment-minimized but not guaranteed minimal.
+func (s SOP) Complement() SOP {
+	if s.IsZero() {
+		return OneSOP(s.NumVars)
+	}
+	if s.IsOne() {
+		return Zero(s.NumVars)
+	}
+	if len(s.Cubes) == 1 {
+		// De Morgan on a single cube: one single-literal cube per literal.
+		c := s.Cubes[0]
+		out := SOP{NumVars: s.NumVars}
+		for i := 0; i < s.NumVars; i++ {
+			bit := uint64(1) << uint(i)
+			if c.Pos&bit != 0 {
+				out.Cubes = append(out.Cubes, Cube{Neg: bit})
+			}
+			if c.Neg&bit != 0 {
+				out.Cubes = append(out.Cubes, Cube{Pos: bit})
+			}
+		}
+		return out
+	}
+	j := s.mostFrequentVar()
+	bit := uint64(1) << uint(j)
+	c1 := s.CofactorVar(j, true).Complement()
+	c0 := s.CofactorVar(j, false).Complement()
+	out := SOP{NumVars: s.NumVars}
+	for _, c := range c1.Cubes {
+		out.Cubes = append(out.Cubes, c.Mul(Cube{Pos: bit}))
+	}
+	for _, c := range c0.Cubes {
+		out.Cubes = append(out.Cubes, c.Mul(Cube{Neg: bit}))
+	}
+	out.MinimizeSCC()
+	return out
+}
+
+// Substitute composes g into s at variable i: every occurrence of x_i in
+// s is replaced by the function g (and x_i' by g's complement), where g
+// is expressed over the same variable space as s. The result no longer
+// depends on variable i (assuming g does not).
+func (s SOP) Substitute(i int, g SOP) SOP {
+	gc := g.Complement()
+	out := SOP{NumVars: s.NumVars}
+	bit := uint64(1) << uint(i)
+	for _, c := range s.Cubes {
+		rest := SOP{NumVars: s.NumVars, Cubes: []Cube{{Pos: c.Pos &^ bit, Neg: c.Neg &^ bit}}}
+		switch {
+		case c.Pos&bit != 0:
+			rest = rest.Mul(g)
+		case c.Neg&bit != 0:
+			rest = rest.Mul(gc)
+		}
+		out = out.Add(rest)
+	}
+	out.MinimizeSCC()
+	return out
+}
+
+// SupportSize returns the number of variables mentioned by the cover.
+func (s SOP) SupportSize() int { return bits.OnesCount64(s.Vars()) }

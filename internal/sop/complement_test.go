@@ -1,0 +1,110 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCofactorVar(t *testing.T) {
+	// f = ab + a'c;  f|a=1 = b, f|a=0 = c.
+	f := parse(3, [2][]int{{0, 1}, nil}, [2][]int{{2}, {0}})
+	if got := f.CofactorVar(0, true); got.String() != "b" {
+		t.Fatalf("f|a=1 = %v", got)
+	}
+	if got := f.CofactorVar(0, false); got.String() != "c" {
+		t.Fatalf("f|a=0 = %v", got)
+	}
+}
+
+func TestComplementSingleCube(t *testing.T) {
+	f := parse(3, [2][]int{{0}, {1}}) // ab'
+	c := f.Complement()
+	for a := uint64(0); a < 8; a++ {
+		if f.Eval(a) == c.Eval(a) {
+			t.Fatalf("complement overlaps at %b", a)
+		}
+	}
+}
+
+func TestComplementProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		f := randomSOP(rng, n, 10)
+		c := f.Complement()
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			if f.Eval(a) == c.Eval(a) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementConstants(t *testing.T) {
+	if !Zero(3).Complement().IsOne() {
+		t.Fatal("!0 != 1")
+	}
+	if !OneSOP(3).Complement().IsZero() {
+		t.Fatal("!1 != 0")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	// s = xa (x is var 2), g = b + c (vars 1 and 3... keep simple):
+	// s over 4 vars: s = v2 & v0, g = v1 + v3.
+	s := parse(4, [2][]int{{0, 2}, nil})
+	g := parse(4, [2][]int{{1}, nil}, [2][]int{{3}, nil})
+	got := s.Substitute(2, g)
+	// expect a(b + d) = ab + ad
+	want := parse(4, [2][]int{{0, 1}, nil}, [2][]int{{0, 3}, nil})
+	want.Sort()
+	if got.String() != want.String() {
+		t.Fatalf("Substitute = %v, want %v", got, want)
+	}
+}
+
+func TestSubstituteNegativePhase(t *testing.T) {
+	// s = v1' & v0 where v1 := g = v2+v3 ; expect v0 v2' v3'.
+	s := parse(4, [2][]int{{0}, {1}})
+	g := parse(4, [2][]int{{2}, nil}, [2][]int{{3}, nil})
+	got := s.Substitute(1, g)
+	want := parse(4, [2][]int{{0}, {2, 3}})
+	want.Sort()
+	if got.String() != want.String() {
+		t.Fatalf("Substitute = %v, want %v", got, want)
+	}
+}
+
+func TestSubstituteProperty(t *testing.T) {
+	// Substituting g for x_i must equal pointwise composition.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		f := randomSOP(rng, n, 6)
+		i := rng.Intn(n)
+		g := randomSOP(rng, n, 4)
+		// g must not depend on x_i for composition to be well defined.
+		g = g.CofactorVar(i, rng.Intn(2) == 1)
+		got := f.Substitute(i, g)
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			var composed uint64
+			if g.Eval(a) {
+				composed = a | 1<<uint(i)
+			} else {
+				composed = a &^ (1 << uint(i))
+			}
+			if got.Eval(a) != f.Eval(composed) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package sop implements two-level sum-of-products algebra: cubes,
+// covers, algebraic (weak) division, and kernel/co-kernel extraction.
+// It is the engine behind the mini-MIS logic optimizer (internal/opt)
+// that prepares networks for mapping, and behind the level-0-kernel
+// library construction of the paper's Section 4.1: "The logic
+// optimization step in MIS finds a factored form for the network that
+// minimizes the literal count. Such a network contains only level-0
+// kernels in the leaf nodes."
+//
+// Variables are indices 0..NumVars-1 into a node's fanin list; a cube
+// stores its positive and negative literal sets as bitmasks, limiting a
+// single SOP to 64 variables (far beyond what optimized nodes use).
+package sop
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxVars bounds the variables of one SOP, set by the uint64 literal masks.
+const MaxVars = 64
+
+// Cube is a product term: a conjunction of literals. Bit i of Pos means
+// variable i appears positively; bit i of Neg, negatively. A cube with
+// both bits set for some variable is contradictory (always false); the
+// empty cube is the Boolean constant one.
+type Cube struct {
+	Pos, Neg uint64
+}
+
+// One is the empty cube, the constant-true product.
+var One = Cube{}
+
+// Contradictory reports whether the cube contains x and !x for some x.
+func (c Cube) Contradictory() bool { return c.Pos&c.Neg != 0 }
+
+// Literals returns the number of literals in the cube.
+func (c Cube) Literals() int { return bits.OnesCount64(c.Pos) + bits.OnesCount64(c.Neg) }
+
+// Vars returns the mask of variables the cube mentions.
+func (c Cube) Vars() uint64 { return c.Pos | c.Neg }
+
+// HasAllOf reports whether every literal of d also appears in c
+// (i.e. c is divisible by the cube d; as point sets, c implies d).
+func (c Cube) HasAllOf(d Cube) bool { return c.Pos&d.Pos == d.Pos && c.Neg&d.Neg == d.Neg }
+
+// Div removes d's literals from c. Valid only when c.HasAllOf(d).
+func (c Cube) Div(d Cube) Cube { return Cube{Pos: c.Pos &^ d.Pos, Neg: c.Neg &^ d.Neg} }
+
+// Mul concatenates the literals of two cubes (algebraic product).
+func (c Cube) Mul(d Cube) Cube { return Cube{Pos: c.Pos | d.Pos, Neg: c.Neg | d.Neg} }
+
+// Common returns the largest cube dividing both c and d.
+func (c Cube) Common(d Cube) Cube { return Cube{Pos: c.Pos & d.Pos, Neg: c.Neg & d.Neg} }
+
+// Eval evaluates the cube on an assignment given as a bitmask of
+// variable values.
+func (c Cube) Eval(assign uint64) bool {
+	return assign&c.Pos == c.Pos && ^assign&c.Neg == c.Neg
+}
+
+// EvalWide evaluates the cube on 64 assignments in parallel: vals[i] is
+// the word of variable i's values.
+func (c Cube) EvalWide(vals []uint64) uint64 {
+	w := ^uint64(0)
+	for i := 0; w != 0 && i < len(vals); i++ {
+		if c.Pos>>uint(i)&1 == 1 {
+			w &= vals[i]
+		}
+		if c.Neg>>uint(i)&1 == 1 {
+			w &= ^vals[i]
+		}
+	}
+	return w
+}
+
+// String renders the cube with letters for small indices ("ab'c"); the
+// empty cube renders as "1".
+func (c Cube) String() string {
+	if c.Pos == 0 && c.Neg == 0 {
+		return "1"
+	}
+	var sb strings.Builder
+	for i := 0; i < MaxVars; i++ {
+		if c.Pos>>uint(i)&1 == 1 {
+			sb.WriteString(varName(i))
+		}
+		if c.Neg>>uint(i)&1 == 1 {
+			sb.WriteString(varName(i))
+			sb.WriteByte('\'')
+		}
+	}
+	return sb.String()
+}
+
+func varName(i int) string {
+	if i < 26 {
+		return string(rune('a' + i))
+	}
+	return fmt.Sprintf("x%d", i)
+}
+
+// compare orders cubes lexicographically for canonical cover ordering.
+func (c Cube) compare(d Cube) int {
+	switch {
+	case c.Pos != d.Pos:
+		if c.Pos < d.Pos {
+			return -1
+		}
+		return 1
+	case c.Neg != d.Neg:
+		if c.Neg < d.Neg {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// SOP is a cover: the disjunction of its cubes over NumVars variables.
+// An empty cube list is the constant zero; a cover containing the empty
+// cube is (after minimization) the constant one.
+type SOP struct {
+	NumVars int
+	Cubes   []Cube
+}
+
+// New returns an SOP over n variables with the given cubes.
+// Contradictory cubes are dropped.
+func New(n int, cubes ...Cube) SOP {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("sop: %d variables out of range", n))
+	}
+	s := SOP{NumVars: n}
+	for _, c := range cubes {
+		if !c.Contradictory() {
+			s.Cubes = append(s.Cubes, c)
+		}
+	}
+	return s
+}
+
+// Zero returns the constant-false SOP over n variables.
+func Zero(n int) SOP { return SOP{NumVars: n} }
+
+// OneSOP returns the constant-true SOP over n variables.
+func OneSOP(n int) SOP { return SOP{NumVars: n, Cubes: []Cube{One}} }
+
+// PosLit returns the single-literal SOP x_i.
+func PosLit(i, n int) SOP { return New(n, Cube{Pos: 1 << uint(i)}) }
+
+// NegLit returns the single-literal SOP x_i'.
+func NegLit(i, n int) SOP { return New(n, Cube{Neg: 1 << uint(i)}) }
+
+// IsZero reports whether the cover is empty (constant false).
+func (s SOP) IsZero() bool { return len(s.Cubes) == 0 }
+
+// IsOne reports whether the cover contains the universal cube.
+func (s SOP) IsOne() bool {
+	for _, c := range s.Cubes {
+		if c == One {
+			return true
+		}
+	}
+	return false
+}
+
+// Literals returns the total literal count, the MIS area estimate.
+func (s SOP) Literals() int {
+	n := 0
+	for _, c := range s.Cubes {
+		n += c.Literals()
+	}
+	return n
+}
+
+// Vars returns the mask of variables the cover mentions.
+func (s SOP) Vars() uint64 {
+	var v uint64
+	for _, c := range s.Cubes {
+		v |= c.Vars()
+	}
+	return v
+}
+
+// Clone returns a deep copy.
+func (s SOP) Clone() SOP {
+	return SOP{NumVars: s.NumVars, Cubes: append([]Cube(nil), s.Cubes...)}
+}
+
+// Eval evaluates the cover on one assignment bitmask.
+func (s SOP) Eval(assign uint64) bool {
+	for _, c := range s.Cubes {
+		if c.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalWide evaluates on 64 assignments in parallel.
+func (s SOP) EvalWide(vals []uint64) uint64 {
+	var w uint64
+	for _, c := range s.Cubes {
+		w |= c.EvalWide(vals)
+	}
+	return w
+}
+
+// Sort orders the cubes canonically, in place.
+func (s *SOP) Sort() {
+	sort.Slice(s.Cubes, func(i, j int) bool { return s.Cubes[i].compare(s.Cubes[j]) < 0 })
+}
+
+// MinimizeSCC removes single-cube-contained cubes (a cube covered by a
+// larger cube of the cover) and exact duplicates, in place. This is the
+// cheap containment minimization MIS applies constantly; it does not
+// attempt multi-cube (tautology-based) containment.
+func (s *SOP) MinimizeSCC() {
+	kept := s.Cubes[:0]
+	for i, c := range s.Cubes {
+		redundant := false
+		for j, d := range s.Cubes {
+			if i == j {
+				continue
+			}
+			// c is redundant if d ⊆ c as literal sets (d covers c),
+			// breaking ties by index to keep one of two equal cubes.
+			if c.HasAllOf(d) && (c != d || j < i) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, c)
+		}
+	}
+	s.Cubes = kept
+	s.Sort()
+}
+
+// CommonCube returns the largest cube dividing every cube of the cover
+// (the trivial cube if the cover is empty or cube-free).
+func (s SOP) CommonCube() Cube {
+	if len(s.Cubes) == 0 {
+		return One
+	}
+	c := s.Cubes[0]
+	for _, d := range s.Cubes[1:] {
+		c = c.Common(d)
+	}
+	return c
+}
+
+// IsCubeFree reports whether no single literal divides the whole cover.
+func (s SOP) IsCubeFree() bool { return s.CommonCube() == One }
+
+// MakeCubeFree divides out the largest common cube, returning the
+// cube-free cover and the extracted cube.
+func (s SOP) MakeCubeFree() (SOP, Cube) {
+	cc := s.CommonCube()
+	if cc == One {
+		return s.Clone(), One
+	}
+	out := SOP{NumVars: s.NumVars, Cubes: make([]Cube, len(s.Cubes))}
+	for i, c := range s.Cubes {
+		out.Cubes[i] = c.Div(cc)
+	}
+	return out, cc
+}
+
+// Equal reports whether two covers contain the same cube set
+// (order-insensitive).
+func (s SOP) Equal(t SOP) bool {
+	if len(s.Cubes) != len(t.Cubes) {
+		return false
+	}
+	a, b := s.Clone(), t.Clone()
+	a.Sort()
+	b.Sort()
+	for i := range a.Cubes {
+		if a.Cubes[i] != b.Cubes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cover as "ab + c'd"; constants render as 0 / 1.
+func (s SOP) String() string {
+	if s.IsZero() {
+		return "0"
+	}
+	parts := make([]string, len(s.Cubes))
+	for i, c := range s.Cubes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " + ")
+}

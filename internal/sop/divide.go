@@ -1,0 +1,119 @@
+package sop
+
+// Algebraic (weak) division and product, after Brayton & McMullen.
+// These treat covers as polynomials over literals: no Boolean
+// simplification beyond the algebraic model, which is exactly what the
+// MIS optimization flow (and therefore our mini-MIS) relies on.
+
+// MulCube multiplies every cube of s by the cube d.
+func (s SOP) MulCube(d Cube) SOP {
+	out := SOP{NumVars: s.NumVars, Cubes: make([]Cube, 0, len(s.Cubes))}
+	for _, c := range s.Cubes {
+		m := c.Mul(d)
+		if !m.Contradictory() {
+			out.Cubes = append(out.Cubes, m)
+		}
+	}
+	return out
+}
+
+// Mul returns the algebraic product s*t: the pairwise cube products,
+// contradictions dropped, duplicates merged.
+func (s SOP) Mul(t SOP) SOP {
+	out := SOP{NumVars: s.NumVars}
+	seen := make(map[Cube]bool)
+	for _, a := range s.Cubes {
+		for _, b := range t.Cubes {
+			m := a.Mul(b)
+			if m.Contradictory() || seen[m] {
+				continue
+			}
+			seen[m] = true
+			out.Cubes = append(out.Cubes, m)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Add returns the union of two covers with duplicates merged.
+func (s SOP) Add(t SOP) SOP {
+	out := SOP{NumVars: s.NumVars}
+	seen := make(map[Cube]bool)
+	for _, c := range append(append([]Cube(nil), s.Cubes...), t.Cubes...) {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out.Cubes = append(out.Cubes, c)
+	}
+	out.Sort()
+	return out
+}
+
+// DivCube divides the cover by a single cube: quotient and remainder
+// with s = d*q + r algebraically.
+func (s SOP) DivCube(d Cube) (q, r SOP) {
+	q = SOP{NumVars: s.NumVars}
+	r = SOP{NumVars: s.NumVars}
+	for _, c := range s.Cubes {
+		if c.HasAllOf(d) {
+			q.Cubes = append(q.Cubes, c.Div(d))
+		} else {
+			r.Cubes = append(r.Cubes, c)
+		}
+	}
+	return q, r
+}
+
+// Div performs algebraic (weak) division of s by the divisor t,
+// returning quotient q and remainder r such that s = t*q + r and q is
+// the largest such cover under the algebraic model. A zero or
+// trivial-one divisor yields a zero quotient (and r = s) by convention.
+func (s SOP) Div(t SOP) (q, r SOP) {
+	if t.IsZero() || t.IsOne() {
+		return Zero(s.NumVars), s.Clone()
+	}
+	// q = intersection over divisor cubes d of { c/d : c in s, d | c }.
+	var inter map[Cube]bool
+	for _, d := range t.Cubes {
+		set := make(map[Cube]bool)
+		for _, c := range s.Cubes {
+			if c.HasAllOf(d) {
+				set[c.Div(d)] = true
+			}
+		}
+		if inter == nil {
+			inter = set
+		} else {
+			for c := range inter {
+				if !set[c] {
+					delete(inter, c)
+				}
+			}
+		}
+		if len(inter) == 0 {
+			return Zero(s.NumVars), s.Clone()
+		}
+	}
+	q = SOP{NumVars: s.NumVars}
+	for c := range inter {
+		q.Cubes = append(q.Cubes, c)
+	}
+	q.Sort()
+	// r = s - t*q (cube set difference; algebraic product has no overlap
+	// with distinct remainder cubes by construction).
+	prod := t.Mul(q)
+	inProd := make(map[Cube]bool, len(prod.Cubes))
+	for _, c := range prod.Cubes {
+		inProd[c] = true
+	}
+	r = SOP{NumVars: s.NumVars}
+	for _, c := range s.Cubes {
+		if !inProd[c] {
+			r.Cubes = append(r.Cubes, c)
+		}
+	}
+	r.Sort()
+	return q, r
+}

@@ -1,0 +1,130 @@
+package sop
+
+import "fmt"
+
+// Kernel extraction, after Brayton & McMullen. A kernel of f is a
+// cube-free quotient of f by a cube (its co-kernel). Level-0 kernels —
+// kernels having no kernels but themselves, equivalently covers in which
+// no literal appears in more than one cube — are the leaf structures the
+// paper's Section 4.1 uses to build the incomplete K=4 and K=5 MIS
+// libraries.
+
+// Kernel pairs a kernel cover with one of its co-kernels.
+type Kernel struct {
+	K        SOP
+	CoKernel Cube
+}
+
+// litCube returns the single-literal cube for literal index j, where
+// indices 0..n-1 are positive literals and n..2n-1 negative ones.
+func litCube(j, n int) Cube {
+	if j < n {
+		return Cube{Pos: 1 << uint(j)}
+	}
+	return Cube{Neg: 1 << uint(j-n)}
+}
+
+// hasLitBelow reports whether cube c contains any literal with index < j.
+func hasLitBelow(c Cube, j, n int) bool {
+	for i := 0; i < j && i < 2*n; i++ {
+		if c.HasAllOf(litCube(i, n)) {
+			return true
+		}
+	}
+	return false
+}
+
+// key produces a canonical map key for a sorted cover.
+func (s SOP) key() string {
+	cp := s.Clone()
+	cp.Sort()
+	out := make([]byte, 0, len(cp.Cubes)*16)
+	for _, c := range cp.Cubes {
+		out = append(out, fmt.Sprintf("%x.%x;", c.Pos, c.Neg)...)
+	}
+	return string(out)
+}
+
+// Kernels enumerates all kernels of the cover with one co-kernel each.
+// The cube-free part of the cover itself is included (with its common
+// cube as co-kernel). Duplicated kernels reached through different
+// literal orders are reported once.
+func (s SOP) Kernels() []Kernel {
+	f, cc := s.MakeCubeFree()
+	seen := map[string]bool{}
+	var out []Kernel
+	add := func(k SOP, co Cube) {
+		if len(k.Cubes) < 2 {
+			return // a single cube is not a kernel
+		}
+		k = k.Clone()
+		k.Sort()
+		id := k.key()
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		out = append(out, Kernel{K: k, CoKernel: co})
+	}
+	add(f, cc)
+	var rec func(g SOP, co Cube, minLit int)
+	rec = func(g SOP, co Cube, minLit int) {
+		n := g.NumVars
+		for j := minLit; j < 2*n; j++ {
+			lc := litCube(j, n)
+			// Gather the cubes containing literal j.
+			var withLit []Cube
+			for _, c := range g.Cubes {
+				if c.HasAllOf(lc) {
+					withLit = append(withLit, c)
+				}
+			}
+			if len(withLit) < 2 {
+				continue
+			}
+			// The co-kernel extension is the largest cube common to them.
+			ext := withLit[0]
+			for _, c := range withLit[1:] {
+				ext = ext.Common(c)
+			}
+			if hasLitBelow(ext, j, n) {
+				continue // this kernel is found at the earlier literal
+			}
+			q, _ := g.DivCube(ext)
+			q.Sort()
+			add(q, co.Mul(ext))
+			rec(q, co.Mul(ext), j+1)
+		}
+	}
+	rec(f, cc, 0)
+	return out
+}
+
+// IsLevel0Kernel reports whether the cover is a level-0 kernel: it is
+// cube-free, has at least two cubes, and no literal appears in more than
+// one cube (so it has no kernels other than itself).
+func (s SOP) IsLevel0Kernel() bool {
+	if len(s.Cubes) < 2 || !s.IsCubeFree() {
+		return false
+	}
+	var seenPos, seenNeg uint64
+	for _, c := range s.Cubes {
+		if c.Pos&seenPos != 0 || c.Neg&seenNeg != 0 {
+			return false
+		}
+		seenPos |= c.Pos
+		seenNeg |= c.Neg
+	}
+	return true
+}
+
+// Level0Kernels filters Kernels down to the level-0 ones.
+func (s SOP) Level0Kernels() []Kernel {
+	var out []Kernel
+	for _, k := range s.Kernels() {
+		if k.K.IsLevel0Kernel() {
+			out = append(out, k)
+		}
+	}
+	return out
+}

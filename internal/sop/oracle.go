@@ -1,0 +1,114 @@
+package sop
+
+// Two-level synthesis from a functional oracle — an espresso-style
+// EXPAND pass. The MCNC PLA benchmarks (9sym, alu2, alu4, ...) are
+// two-level covers produced by espresso from behavioural tables; this
+// reproduces that flow so the benchmark suite can derive its circuits
+// from behaviour instead of unavailable .pla files. The cover is built
+// by scanning minterms, greedily expanding each uncovered minterm into
+// a prime-ish cube (dropping literals while the expanded cube stays
+// inside the on-set), and skipping minterms already covered.
+
+// CoverFromOracle builds an SOP cover of the n-variable function given
+// by the on-set oracle. n is limited to 24 (the scan is exhaustive over
+// 2^n minterms). The result is equivalent to the oracle and
+// containment-reduced, though not guaranteed minimal.
+func CoverFromOracle(n int, onset func(m uint64) bool) SOP {
+	if n < 0 || n > 24 {
+		panic("sop: CoverFromOracle supports at most 24 variables")
+	}
+	out := SOP{NumVars: n}
+	var chosen []Cube
+	total := uint64(1) << uint(n)
+	// Precompute the on-set as a bitset: cube expansion probes the
+	// oracle heavily (every minterm of every candidate cube), so one
+	// exhaustive pass up front amortizes to a bit test per probe.
+	onbits := make([]uint64, (total+63)/64)
+	for m := uint64(0); m < total; m++ {
+		if onset(m) {
+			onbits[m>>6] |= 1 << (m & 63)
+		}
+	}
+	on := func(m uint64) bool { return onbits[m>>6]>>(m&63)&1 == 1 }
+	// covered tracks minterms already inside a chosen cube, so the scan
+	// is O(1) per minterm instead of O(cubes).
+	covered := make([]uint64, (total+63)/64)
+	isCovered := func(m uint64) bool { return covered[m>>6]>>(m&63)&1 == 1 }
+	for m := uint64(0); m < total; m++ {
+		if isCovered(m) || !on(m) {
+			continue
+		}
+		// Start from the minterm cube and drop literals greedily.
+		var c Cube
+		for i := 0; i < n; i++ {
+			if m>>uint(i)&1 == 1 {
+				c.Pos |= 1 << uint(i)
+			} else {
+				c.Neg |= 1 << uint(i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if c.Pos&bit == 0 && c.Neg&bit == 0 {
+				continue
+			}
+			cand := Cube{Pos: c.Pos &^ bit, Neg: c.Neg &^ bit}
+			if cubeInOnset(cand, n, on) {
+				c = cand
+			}
+		}
+		chosen = append(chosen, c)
+		forEachMinterm(c, n, func(mm uint64) { covered[mm>>6] |= 1 << (mm & 63) })
+	}
+	out.Cubes = chosen
+	out.MinimizeSCC()
+	return out
+}
+
+// forEachMinterm visits every minterm of the cube.
+func forEachMinterm(c Cube, n int, visit func(uint64)) {
+	var free []int
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if c.Pos&bit == 0 && c.Neg&bit == 0 {
+			free = append(free, i)
+		}
+	}
+	total := uint64(1) << uint(len(free))
+	for x := uint64(0); x < total; x++ {
+		m := c.Pos
+		for j, v := range free {
+			if x>>uint(j)&1 == 1 {
+				m |= 1 << uint(v)
+			}
+		}
+		visit(m)
+	}
+}
+
+// cubeInOnset reports whether every minterm of the cube satisfies the
+// oracle, enumerating only the cube's free variables and bailing on the
+// first off-set point.
+func cubeInOnset(c Cube, n int, onset func(uint64) bool) bool {
+	var free []int
+	base := c.Pos
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if c.Pos&bit == 0 && c.Neg&bit == 0 {
+			free = append(free, i)
+		}
+	}
+	total := uint64(1) << uint(len(free))
+	for x := uint64(0); x < total; x++ {
+		m := base
+		for j, v := range free {
+			if x>>uint(j)&1 == 1 {
+				m |= 1 << uint(v)
+			}
+		}
+		if !onset(m) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package sop
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverFromOracleEquivalence(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		table := make([]bool, 1<<uint(n))
+		for i := range table {
+			table[i] = rng.Intn(2) == 1
+		}
+		cover := CoverFromOracle(n, func(m uint64) bool { return table[m] })
+		for m := uint64(0); m < 1<<uint(n); m++ {
+			if cover.Eval(m) != table[m] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverFromOracleExpandsPrimes(t *testing.T) {
+	// f = a (independent of b, c): the cover must be the single literal.
+	cover := CoverFromOracle(3, func(m uint64) bool { return m&1 == 1 })
+	if len(cover.Cubes) != 1 || cover.Cubes[0].Literals() != 1 {
+		t.Fatalf("cover = %v, want the single cube a", cover)
+	}
+	// Constant one: the universal cube.
+	one := CoverFromOracle(4, func(uint64) bool { return true })
+	if !one.IsOne() {
+		t.Fatalf("constant-one cover = %v", one)
+	}
+	// Constant zero: empty.
+	zero := CoverFromOracle(4, func(uint64) bool { return false })
+	if !zero.IsZero() {
+		t.Fatalf("constant-zero cover = %v", zero)
+	}
+}
+
+func TestCoverFromOracleParityIsMinterms(t *testing.T) {
+	// Parity admits no expansion: every cube stays a full minterm.
+	n := 4
+	cover := CoverFromOracle(n, func(m uint64) bool {
+		return bits.OnesCount64(m)%2 == 1
+	})
+	if len(cover.Cubes) != 8 {
+		t.Fatalf("parity cover has %d cubes, want 8", len(cover.Cubes))
+	}
+	for _, c := range cover.Cubes {
+		if c.Literals() != n {
+			t.Fatalf("parity cube %v expanded", c)
+		}
+	}
+}
+
+func TestCoverFromOracleRejectsWideN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 24")
+		}
+	}()
+	CoverFromOracle(25, func(uint64) bool { return false })
+}
+
+func TestSOPHelpers(t *testing.T) {
+	a := PosLit(0, 3)
+	b := NegLit(1, 3)
+	if a.Literals() != 1 || b.Literals() != 1 {
+		t.Fatal("literal SOPs wrong")
+	}
+	if a.Vars() != 1 || b.Vars() != 2 {
+		t.Fatalf("Vars masks wrong: %b %b", a.Vars(), b.Vars())
+	}
+	sum := a.Add(b)
+	if sum.SupportSize() != 2 {
+		t.Fatalf("SupportSize = %d", sum.SupportSize())
+	}
+	if !sum.Equal(b.Add(a)) {
+		t.Fatal("Equal should be order-insensitive")
+	}
+	if sum.Equal(a) {
+		t.Fatal("Equal false positive")
+	}
+	viaNew := New(3, Cube{Pos: 1}, Cube{Neg: 2}, Cube{Pos: 4, Neg: 4})
+	if len(viaNew.Cubes) != 2 {
+		t.Fatal("New should drop contradictory cubes")
+	}
+	if !viaNew.Equal(sum) {
+		t.Fatalf("New cover %v != %v", viaNew, sum)
+	}
+}

@@ -1,0 +1,357 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mkCube builds a cube from positive and negative variable index lists.
+func mkCube(pos, neg []int) Cube {
+	var c Cube
+	for _, i := range pos {
+		c.Pos |= 1 << uint(i)
+	}
+	for _, i := range neg {
+		c.Neg |= 1 << uint(i)
+	}
+	return c
+}
+
+// parse builds an SOP over n vars from (pos, neg) literal lists per cube.
+func parse(n int, cubes ...[2][]int) SOP {
+	s := SOP{NumVars: n}
+	for _, cu := range cubes {
+		s.Cubes = append(s.Cubes, mkCube(cu[0], cu[1]))
+	}
+	return s
+}
+
+func randomSOP(rng *rand.Rand, n, maxCubes int) SOP {
+	s := SOP{NumVars: n}
+	seen := map[Cube]bool{}
+	for i := 0; i < 1+rng.Intn(maxCubes); i++ {
+		var c Cube
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Pos |= 1 << uint(v)
+			case 1:
+				c.Neg |= 1 << uint(v)
+			}
+		}
+		if c.Contradictory() || seen[c] {
+			continue
+		}
+		seen[c] = true
+		s.Cubes = append(s.Cubes, c)
+	}
+	if len(s.Cubes) == 0 {
+		s.Cubes = append(s.Cubes, Cube{Pos: 1})
+	}
+	s.Sort()
+	return s
+}
+
+func TestCubeBasics(t *testing.T) {
+	c := mkCube([]int{0, 2}, []int{1}) // a b' c
+	if c.Literals() != 3 {
+		t.Fatalf("Literals = %d", c.Literals())
+	}
+	if c.String() != "ab'c" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if !c.Eval(0b101) || c.Eval(0b111) || c.Eval(0b001) {
+		t.Fatal("Eval wrong")
+	}
+	d := mkCube([]int{0}, []int{1})
+	if !c.HasAllOf(d) || d.HasAllOf(c) {
+		t.Fatal("HasAllOf wrong")
+	}
+	if c.Div(d) != mkCube([]int{2}, nil) {
+		t.Fatal("Div wrong")
+	}
+	if d.Mul(mkCube([]int{2}, nil)) != c {
+		t.Fatal("Mul wrong")
+	}
+	bad := Cube{Pos: 1, Neg: 1}
+	if !bad.Contradictory() {
+		t.Fatal("contradiction not detected")
+	}
+	if One.Literals() != 0 || One.String() != "1" {
+		t.Fatal("One wrong")
+	}
+}
+
+func TestEvalWideMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		s := randomSOP(rng, n, 6)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64()
+		}
+		wide := s.EvalWide(vals)
+		for b := 0; b < 64; b++ {
+			var assign uint64
+			for i := range vals {
+				if vals[i]>>uint(b)&1 == 1 {
+					assign |= 1 << uint(i)
+				}
+			}
+			if s.Eval(assign) != (wide>>uint(b)&1 == 1) {
+				t.Fatalf("EvalWide bit %d disagrees with Eval for %v", b, s)
+			}
+		}
+	}
+}
+
+func TestMinimizeSCC(t *testing.T) {
+	// ab + a -> a;  duplicate cubes collapse.
+	s := parse(2, [2][]int{{0, 1}, nil}, [2][]int{{0}, nil}, [2][]int{{0}, nil})
+	s.MinimizeSCC()
+	if len(s.Cubes) != 1 || s.Cubes[0] != mkCube([]int{0}, nil) {
+		t.Fatalf("MinimizeSCC got %v", s)
+	}
+}
+
+func TestMinimizeSCCPreservesFunction(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		s := randomSOP(rng, n, 8)
+		m := s.Clone()
+		m.MinimizeSCC()
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			if s.Eval(a) != m.Eval(a) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommonCubeAndCubeFree(t *testing.T) {
+	// abc + abd = ab(c + d)
+	s := parse(4, [2][]int{{0, 1, 2}, nil}, [2][]int{{0, 1, 3}, nil})
+	cc := s.CommonCube()
+	if cc != mkCube([]int{0, 1}, nil) {
+		t.Fatalf("CommonCube = %v", cc)
+	}
+	if s.IsCubeFree() {
+		t.Fatal("should not be cube-free")
+	}
+	free, got := s.MakeCubeFree()
+	if got != cc || !free.IsCubeFree() {
+		t.Fatal("MakeCubeFree wrong")
+	}
+	if free.String() != "c + d" {
+		t.Fatalf("free = %v", free)
+	}
+}
+
+func TestDivCube(t *testing.T) {
+	// (abc + abd + e) / ab = (c + d), remainder e
+	s := parse(5, [2][]int{{0, 1, 2}, nil}, [2][]int{{0, 1, 3}, nil}, [2][]int{{4}, nil})
+	q, r := s.DivCube(mkCube([]int{0, 1}, nil))
+	if q.String() != "c + d" || r.String() != "e" {
+		t.Fatalf("q=%v r=%v", q, r)
+	}
+}
+
+func TestAlgebraicDivisionTextbook(t *testing.T) {
+	// f = ac + ad + bc + bd + e; d = a + b  =>  q = c + d(var), r = e.
+	f := parse(5,
+		[2][]int{{0, 2}, nil}, [2][]int{{0, 3}, nil},
+		[2][]int{{1, 2}, nil}, [2][]int{{1, 3}, nil},
+		[2][]int{{4}, nil})
+	d := parse(5, [2][]int{{0}, nil}, [2][]int{{1}, nil}) // a + b
+	q, r := f.Div(d)
+	if q.String() != "c + d" {
+		t.Fatalf("quotient = %v", q)
+	}
+	if r.String() != "e" {
+		t.Fatalf("remainder = %v", r)
+	}
+}
+
+func TestDivisionIdentityProperty(t *testing.T) {
+	// f == d*q + r as cube sets, for random f and divisors drawn from
+	// f's own kernels (the interesting case) and random covers.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		f := randomSOP(rng, n, 8)
+		f.MinimizeSCC()
+		var d SOP
+		if ks := f.Kernels(); len(ks) > 0 && rng.Intn(2) == 0 {
+			d = ks[rng.Intn(len(ks))].K
+		} else {
+			d = randomSOP(rng, n, 3)
+		}
+		q, r := f.Div(d)
+		rebuilt := d.Mul(q).Add(r)
+		rebuilt.Sort()
+		fs := f.Clone()
+		fs.Sort()
+		if rebuilt.String() != fs.String() {
+			t.Fatalf("trial %d: f=%v d=%v q=%v r=%v rebuilt=%v", trial, f, d, q, r, rebuilt)
+		}
+		// The quotient must never mention a variable of the divisor cube
+		// structure in a way that re-expands; functional equality check:
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			if f.Eval(a) != rebuilt.Eval(a) {
+				t.Fatalf("functional mismatch at %b", a)
+			}
+		}
+	}
+}
+
+func TestDivByZeroAndOne(t *testing.T) {
+	f := parse(2, [2][]int{{0}, nil})
+	q, r := f.Div(Zero(2))
+	if !q.IsZero() || r.String() != f.String() {
+		t.Fatal("division by zero should yield zero quotient")
+	}
+	q, r = f.Div(OneSOP(2))
+	if !q.IsZero() || r.String() != f.String() {
+		t.Fatal("division by trivial one should yield zero quotient")
+	}
+}
+
+func TestKernelsTextbook(t *testing.T) {
+	// f = adf + aef + bdf + bef + cdf + cef + g
+	//   = (a+b+c)(d+e)f + g. Classic example: level-0 kernels a+b+c and
+	//   d+e; the expanded (a+b+c)(d+e) and f itself are kernels too.
+	mk := func(vars ...int) [2][]int { return [2][]int{vars, nil} }
+	f := parse(7,
+		mk(0, 3, 5), mk(0, 4, 5),
+		mk(1, 3, 5), mk(1, 4, 5),
+		mk(2, 3, 5), mk(2, 4, 5),
+		mk(6))
+	ks := f.Kernels()
+	byStr := map[string]bool{}
+	for _, k := range ks {
+		byStr[k.K.String()] = true
+		if !k.K.IsCubeFree() {
+			t.Fatalf("kernel %v not cube-free", k.K)
+		}
+	}
+	for _, want := range []string{"a + b + c", "d + e"} {
+		if !byStr[want] {
+			t.Fatalf("missing kernel %q in %v", want, byStr)
+		}
+	}
+	// f itself is cube-free (g shares nothing) so it must appear.
+	fsort := f.Clone()
+	fsort.Sort()
+	if !byStr[fsort.String()] {
+		t.Fatalf("cover itself missing from kernels: %v", byStr)
+	}
+	// Level-0 filter keeps exactly the two disjoint-support kernels
+	// plus none of the expanded ones.
+	l0 := f.Level0Kernels()
+	l0set := map[string]bool{}
+	for _, k := range l0 {
+		l0set[k.K.String()] = true
+		if !k.K.IsLevel0Kernel() {
+			t.Fatalf("%v claimed level-0 but is not", k.K)
+		}
+	}
+	if !l0set["a + b + c"] || !l0set["d + e"] {
+		t.Fatalf("level-0 kernels = %v", l0set)
+	}
+	if l0set[fsort.String()] {
+		t.Fatal("expanded product misclassified as level-0")
+	}
+}
+
+func TestKernelCoKernelProperty(t *testing.T) {
+	// Every (kernel, co-kernel) pair must satisfy: co*K is a subset of
+	// the cover's cubes, and K is cube-free with >= 2 cubes.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(5)
+		f := randomSOP(rng, n, 8)
+		f.MinimizeSCC()
+		inF := map[Cube]bool{}
+		for _, c := range f.Cubes {
+			inF[c] = true
+		}
+		for _, k := range f.Kernels() {
+			if len(k.K.Cubes) < 2 {
+				t.Fatalf("kernel with <2 cubes: %v", k.K)
+			}
+			if !k.K.IsCubeFree() {
+				t.Fatalf("kernel not cube-free: %v", k.K)
+			}
+			for _, c := range k.K.MulCube(k.CoKernel).Cubes {
+				if !inF[c] {
+					t.Fatalf("trial %d: co*K cube %v not in f=%v (K=%v co=%v)",
+						trial, c, f, k.K, k.CoKernel)
+				}
+			}
+		}
+	}
+}
+
+func TestIsLevel0Kernel(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SOP
+		want bool
+	}{
+		{"a + b", parse(3, [2][]int{{0}, nil}, [2][]int{{1}, nil}), true},
+		{"a + bc", parse(3, [2][]int{{0}, nil}, [2][]int{{1, 2}, nil}), true},
+		{"ab + cd", parse(4, [2][]int{{0, 1}, nil}, [2][]int{{2, 3}, nil}), true},
+		{"ab + ac (a repeats)", parse(3, [2][]int{{0, 1}, nil}, [2][]int{{0, 2}, nil}), false},
+		{"a + a' (distinct literals)", parse(3, [2][]int{{0}, nil}, [2][]int{nil, {0}}), true},
+		{"single cube", parse(3, [2][]int{{0}, nil}), false},
+		{"not cube-free: ab + ac + a", parse(3, [2][]int{{0, 1}, nil}, [2][]int{{0, 2}, nil}, [2][]int{{0}, nil}), false},
+	}
+	for _, c := range cases {
+		if got := c.s.IsLevel0Kernel(); got != c.want {
+			t.Errorf("%s: IsLevel0Kernel = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := parse(3, [2][]int{{0, 1}, nil}, [2][]int{nil, {2}})
+	s.Sort()
+	// Canonical order sorts by positive-literal mask first, so the
+	// purely-negative cube c' precedes ab.
+	if s.String() != "c' + ab" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if Zero(2).String() != "0" || !OneSOP(2).IsOne() {
+		t.Fatal("constants render wrong")
+	}
+}
+
+func BenchmarkKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	covers := make([]SOP, 32)
+	for i := range covers {
+		covers[i] = randomSOP(rng, 8, 12)
+		covers[i].MinimizeSCC()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = covers[i%len(covers)].Kernels()
+	}
+}
+
+func BenchmarkDivision(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	f := randomSOP(rng, 10, 20)
+	d := randomSOP(rng, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = f.Div(d)
+	}
+}

@@ -1,0 +1,178 @@
+package truth
+
+// Canonical forms and equivalence-class enumeration.
+//
+// The Chortle paper's Section 4.1 sizes MIS libraries by the number of
+// Boolean functions unique up to input permutation: "for K=2 there are
+// only 10 unique functions out of a possible 16, and for K=3 there are
+// 78 unique functions out of a possible 256". Those are exactly the
+// permutation (P) classes with the two constants excluded, which
+// CountPClasses reproduces. NPN classes (permutation + input and output
+// negation) are also provided; they are what a mapper with free
+// inverters effectively distinguishes.
+
+// permutations returns all permutations of 0..n-1 in lexicographic order.
+func permutations(n int) [][]int {
+	var out [][]int
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, p)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+var permCache [MaxVars + 1][][]int
+
+func permsOf(n int) [][]int {
+	if permCache[n] == nil {
+		permCache[n] = permutations(n)
+	}
+	return permCache[n]
+}
+
+// permMaps[n] holds, for each permutation p of n variables, the map from
+// output minterm m to the source minterm of Permute: row m of the result
+// reads row permMap[m] of the original. Precomputed because class
+// enumeration applies every permutation to tens of thousands of tables.
+var permMapCache [MaxVars + 1][][]uint8
+
+func permMapsOf(n int) [][]uint8 {
+	if permMapCache[n] == nil {
+		perms := permsOf(n)
+		maps := make([][]uint8, len(perms))
+		for pi, p := range perms {
+			mm := make([]uint8, 1<<uint(n))
+			for m := uint(0); m < 1<<uint(n); m++ {
+				var pm uint
+				for i := 0; i < n; i++ {
+					if m>>uint(p[i])&1 == 1 {
+						pm |= 1 << uint(i)
+					}
+				}
+				mm[m] = uint8(pm)
+			}
+			maps[pi] = mm
+		}
+		permMapCache[n] = maps
+	}
+	return permMapCache[n]
+}
+
+// applyMap permutes the rows of bits according to mm (n <= 5 variables).
+func applyMap(bits uint64, mm []uint8) uint64 {
+	var out uint64
+	for m, src := range mm {
+		out |= (bits >> src & 1) << uint(m)
+	}
+	return out
+}
+
+// CanonP returns the canonical representative of t's permutation class:
+// the minimum Bits value over all input permutations.
+func (t Table) CanonP() Table {
+	best := t.Bits
+	for _, mm := range permMapsOf(t.N) {
+		if q := applyMap(t.Bits, mm); q < best {
+			best = q
+		}
+	}
+	return Table{Bits: best, N: t.N}
+}
+
+// CanonNPN returns the canonical representative of t's NPN class: the
+// minimum Bits value over all input permutations, input complementations
+// and output complementation.
+func (t Table) CanonNPN() Table {
+	best := ^uint64(0) & Mask(t.N)
+	maps := permMapsOf(t.N)
+	for _, out := range []uint64{t.Bits, ^t.Bits & Mask(t.N)} {
+		for neg := uint(0); neg < 1<<uint(t.N); neg++ {
+			// Complementing inputs in neg permutes rows by m -> m^neg.
+			var u uint64
+			for m := uint(0); m < 1<<uint(t.N); m++ {
+				u |= (out >> (m ^ neg) & 1) << m
+			}
+			for _, mm := range maps {
+				if q := applyMap(u, mm); q < best {
+					best = q
+				}
+			}
+		}
+	}
+	return Table{Bits: best, N: t.N}
+}
+
+// PClasses enumerates one canonical representative per permutation class
+// of the n-variable functions. includeConstants controls whether the two
+// constant functions are listed (the paper excludes them when counting
+// library cells). Feasible for n <= 4 (65536 functions); larger n would
+// need 2^32+ table scans and is rejected.
+func PClasses(n int, includeConstants bool) []Table {
+	if n > 4 {
+		panic("truth: PClasses is only tractable for n <= 4")
+	}
+	seen := make(map[uint64]bool)
+	var out []Table
+	for b := uint64(0); b <= Mask(n); b++ {
+		t := Table{Bits: b, N: n}
+		if c, _ := t.IsConst(); c && !includeConstants {
+			continue
+		}
+		canon := t.CanonP()
+		if !seen[canon.Bits] {
+			seen[canon.Bits] = true
+			out = append(out, canon)
+		}
+		if b == Mask(n) { // avoid uint64 wrap when Mask(n) is all-ones
+			break
+		}
+	}
+	return out
+}
+
+// CountPClasses returns the number of permutation classes of n-variable
+// functions, excluding the two constants — the quantity the paper calls
+// "unique functions" (10 for K=2, 78 for K=3).
+func CountPClasses(n int) int { return len(PClasses(n, false)) }
+
+// NPNClasses enumerates one canonical representative per NPN class.
+func NPNClasses(n int, includeConstants bool) []Table {
+	if n > 4 {
+		panic("truth: NPNClasses is only tractable for n <= 4")
+	}
+	seen := make(map[uint64]bool)
+	var out []Table
+	for b := uint64(0); b <= Mask(n); b++ {
+		t := Table{Bits: b, N: n}
+		if c, _ := t.IsConst(); c && !includeConstants {
+			continue
+		}
+		canon := t.CanonNPN()
+		if !seen[canon.Bits] {
+			seen[canon.Bits] = true
+			out = append(out, canon)
+		}
+		if b == Mask(n) {
+			break
+		}
+	}
+	return out
+}
+
+// CountNPNClasses returns the number of NPN classes excluding constants.
+func CountNPNClasses(n int) int { return len(NPNClasses(n, false)) }
