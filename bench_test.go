@@ -100,6 +100,35 @@ func BenchmarkMapperSpeed_Chortle_des(b *testing.B) {
 	}
 }
 
+// The same speed benchmark at the paper's headline K=4, with allocation
+// accounting — the figure cmd/benchjson and EXPERIMENTS.md track across
+// revisions.
+func BenchmarkMapperSpeed_Chortle_des_K4(b *testing.B) {
+	nw := optimizedSuite(b)["des"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(nw, DefaultOptions(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The single-threaded, unmemoized mapper on the same workload — the
+// baseline the performance architecture (DESIGN.md) is measured against.
+func BenchmarkMapperSpeed_Chortle_des_K4_NoPerf(b *testing.B) {
+	nw := optimizedSuite(b)["des"]
+	o := DefaultOptions(4)
+	o.Parallel, o.Memoize = false, false
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(nw, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMapperSpeed_MIS_des(b *testing.B) {
 	nw := optimizedSuite(b)["des"]
 	lib, err := mislib.ForK(5)

@@ -1,0 +1,136 @@
+// Command benchjson measures the Chortle mapper over the benchmark
+// suite and writes the results as JSON — the repository's machine-
+// readable performance trajectory file (BENCH_map.json). Each record
+// carries the LUT count (a correctness anchor: it must never drift),
+// the mapping wall time, and the allocation profile per Map call.
+//
+// Usage:
+//
+//	benchjson [-k 4] [-circuits des,rot] [-reps 5] [-o BENCH_map.json]
+//
+// With no -k every K in 2..5 is measured.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"chortle"
+)
+
+type record struct {
+	Circuit     string `json:"circuit"`
+	K           int    `json:"k"`
+	LUTs        int    `json:"luts"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type report struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Options    struct {
+		Parallel bool `json:"parallel"`
+		Memoize  bool `json:"memoize"`
+	} `json:"options"`
+	Results []record `json:"results"`
+}
+
+func main() {
+	var (
+		kFlag    = flag.Int("k", 0, "single K to measure (default: 2,3,4,5)")
+		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all twelve)")
+		reps     = flag.Int("reps", 5, "timed repetitions per (circuit, K); the mean is reported")
+		out      = flag.String("o", "BENCH_map.json", "output file (- for stdout)")
+		seq      = flag.Bool("sequential", false, "measure with Parallel and Memoize off")
+	)
+	flag.Parse()
+
+	ks := []int{2, 3, 4, 5}
+	if *kFlag != 0 {
+		ks = []int{*kFlag}
+	}
+	names := chortle.SuiteNames()
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	sort.Strings(names)
+
+	var rep report
+	rep.Schema = "chortle-bench-map/v1"
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Options.Parallel = !*seq
+	rep.Options.Memoize = !*seq
+
+	for _, name := range names {
+		nw, err := chortle.BenchmarkNetwork(name)
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range ks {
+			opts := chortle.DefaultOptions(k)
+			opts.Parallel = !*seq
+			opts.Memoize = !*seq
+			rec, err := measure(name, nw, opts, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Results = append(rep.Results, rec)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func measure(name string, nw *chortle.Network, opts chortle.Options, reps int) (record, error) {
+	// Warm up: pulls the arena pool to steady state and gives a LUT count
+	// to anchor against.
+	res, err := chortle.Map(nw, opts)
+	if err != nil {
+		return record{}, fmt.Errorf("%s K=%d: %w", name, opts.K, err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := chortle.Map(nw, opts); err != nil {
+			return record{}, fmt.Errorf("%s K=%d: %w", name, opts.K, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return record{
+		Circuit:     name,
+		K:           opts.K,
+		LUTs:        res.LUTs,
+		NsPerOp:     elapsed.Nanoseconds() / int64(reps),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(reps),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -37,6 +37,8 @@ func main() {
 		binpack  = flag.Bool("binpack", false, "use the Chortle-crf-style bin-packing decomposition (faster, near-optimal)")
 		verilog  = flag.Bool("verilog", false, "emit structural Verilog instead of BLIF")
 		path     = flag.Bool("path", false, "print the critical path to stderr")
+		parallel = flag.Bool("parallel", true, "compute tree DPs on the worker pool (identical output either way)")
+		memo     = flag.Bool("memo", true, "reuse DP solves across isomorphic trees (identical output either way)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,8 @@ func main() {
 	} else {
 		opts := chortle.DefaultOptions(*k)
 		opts.SplitThreshold = *split
+		opts.Parallel = *parallel
+		opts.Memoize = *memo
 		opts.DuplicateFanoutLogic = *dup
 		opts.RepackLUTs = *repack
 		opts.OptimizeDepth = *depth

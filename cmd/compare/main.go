@@ -26,6 +26,7 @@ func main() {
 		kFlag    = flag.Int("k", 0, "single K to run (default: 2,3,4,5)")
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all twelve)")
 		noverify = flag.Bool("noverify", false, "skip simulation verification of the mapped circuits")
+		parallel = flag.Bool("parallel", true, "compute tree DPs on the worker pool (identical output either way)")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 	} else {
 		ks = []int{2, 3, 4, 5}
 	}
-	opts := chortle.CompareOptions{Verify: !*noverify}
+	opts := chortle.CompareOptions{Verify: !*noverify, Sequential: !*parallel}
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
 	}

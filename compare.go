@@ -79,6 +79,10 @@ type CompareOptions struct {
 	// VerifyPatterns is the number of random 64-pattern blocks used for
 	// circuits too wide for exhaustive checking (default 16).
 	VerifyPatterns int
+	// Sequential disables the parallel DP pipeline for the Chortle runs,
+	// timing the single-threaded mapper (the emitted circuits are
+	// identical either way).
+	Sequential bool
 }
 
 // CompareSuite maps the benchmark suite at the given K with both
@@ -123,8 +127,12 @@ func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
 	}
 	misTime := time.Since(t0)
 
+	copts := DefaultOptions(k)
+	if o.Sequential {
+		copts.Parallel = false
+	}
 	t1 := time.Now()
-	cres, err := Map(nw, DefaultOptions(k))
+	cres, err := Map(nw, copts)
 	if err != nil {
 		return Row{}, err
 	}

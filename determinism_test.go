@@ -1,0 +1,77 @@
+package chortle
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"chortle/internal/bench"
+	"chortle/internal/network"
+)
+
+// The performance machinery — the parallel DP pipeline and the
+// isomorphic-tree memoization — must be invisible in the output: for
+// every circuit and every K, the emitted BLIF is byte-identical no
+// matter which combination of switches is on. This is the property that
+// lets DefaultOptions enable both unconditionally.
+
+var (
+	detOnce sync.Once
+	detNets map[string]*network.Network
+)
+
+func determinismSuite(t *testing.T) map[string]*network.Network {
+	t.Helper()
+	detOnce.Do(func() {
+		detNets = make(map[string]*network.Network)
+		for _, c := range bench.Suite() {
+			nw, err := bench.Optimized(c)
+			if err != nil {
+				t.Fatalf("preparing %s: %v", c.Name, err)
+			}
+			detNets[c.Name] = nw
+		}
+	})
+	return detNets
+}
+
+func mapToBLIF(t *testing.T, nw *Network, opts Options) string {
+	t.Helper()
+	res, err := Map(nw, opts)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	var sb strings.Builder
+	if err := res.Circuit.WriteBLIF(&sb); err != nil {
+		t.Fatalf("WriteBLIF: %v", err)
+	}
+	return sb.String()
+}
+
+func TestMappingDeterministicAcrossModes(t *testing.T) {
+	nets := determinismSuite(t)
+	modes := []struct {
+		name              string
+		parallel, memoize bool
+	}{
+		{"sequential", false, false},
+		{"memoized", false, true},
+		{"parallel", true, false},
+		{"parallel+memoized", true, true},
+	}
+	for _, c := range bench.Suite() {
+		nw := nets[c.Name]
+		for k := 2; k <= 5; k++ {
+			opts := DefaultOptions(k)
+			opts.Parallel, opts.Memoize = false, false
+			ref := mapToBLIF(t, nw, opts)
+			for _, mode := range modes[1:] {
+				opts.Parallel, opts.Memoize = mode.parallel, mode.memoize
+				got := mapToBLIF(t, nw, opts)
+				if got != ref {
+					t.Errorf("%s K=%d: %s BLIF differs from sequential", c.Name, k, mode.name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import "sync"
+
+// dpArena is a bump allocator for the tree DP's working memory. The
+// exhaustive DP wants one 2^fanin x (K+1) table pair per tree node; with
+// per-row make() calls a single Map of a large netlist performs
+// O(sum 2^fanin) allocations. The arena hands out sub-slices of a few
+// large slabs instead, so a whole tree costs O(1) allocations once the
+// slabs have grown to size, and slabs are recycled across Map calls
+// through a sync.Pool.
+//
+// An arena is single-goroutine: the parallel pipeline gives each worker
+// its own. Slabs handed out are never zeroed — every consumer writes all
+// cells it will read (compute() fills every table cell, rebindDP and
+// buildDPIn assign whole structs).
+type dpArena struct {
+	i32   []int32
+	ch    []gChoice
+	i8    []int8
+	nodes []nodeDP
+	frs   []faninRef
+
+	oI32, oCh, oI8, oNodes, oFrs int
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(dpArena) }}
+
+// acquireArena takes a recycled arena from the pool (offsets reset;
+// slab capacity retained from earlier use).
+func acquireArena() *dpArena {
+	a := arenaPool.Get().(*dpArena)
+	a.reset()
+	return a
+}
+
+// release returns the arena and its slabs to the pool. The caller must
+// not retain references into the arena after releasing it.
+func (a *dpArena) release() { arenaPool.Put(a) }
+
+// reset rewinds the arena so its slabs can be reused. Outstanding
+// sub-slices keep referencing the old backing arrays and stay valid;
+// reset is only safe once they are no longer needed (or the arena was
+// freshly acquired).
+func (a *dpArena) reset() {
+	a.oI32, a.oCh, a.oI8, a.oNodes, a.oFrs = 0, 0, 0, 0, 0
+}
+
+// grown returns a slab length that amortizes regrowth: at least need,
+// at least double the old backing, with a floor that skips the tiny-slab
+// churn of the first trees.
+func grown(old, need, floor int) int {
+	n := 2 * old
+	if n < need {
+		n = need
+	}
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+func (a *dpArena) allocI32(n int) []int32 {
+	if a.oI32+n > len(a.i32) {
+		a.i32 = make([]int32, grown(len(a.i32), n, 4096))
+		a.oI32 = 0
+	}
+	s := a.i32[a.oI32 : a.oI32+n : a.oI32+n]
+	a.oI32 += n
+	return s
+}
+
+func (a *dpArena) allocChoice(n int) []gChoice {
+	if a.oCh+n > len(a.ch) {
+		a.ch = make([]gChoice, grown(len(a.ch), n, 4096))
+		a.oCh = 0
+	}
+	s := a.ch[a.oCh : a.oCh+n : a.oCh+n]
+	a.oCh += n
+	return s
+}
+
+func (a *dpArena) allocI8(n int) []int8 {
+	if a.oI8+n > len(a.i8) {
+		a.i8 = make([]int8, grown(len(a.i8), n, 4096))
+		a.oI8 = 0
+	}
+	s := a.i8[a.oI8 : a.oI8+n : a.oI8+n]
+	a.oI8 += n
+	return s
+}
+
+func (a *dpArena) allocNode() *nodeDP {
+	if a.oNodes >= len(a.nodes) {
+		a.nodes = make([]nodeDP, grown(len(a.nodes), 1, 256))
+		a.oNodes = 0
+	}
+	dp := &a.nodes[a.oNodes]
+	a.oNodes++
+	return dp
+}
+
+func (a *dpArena) allocFanins(n int) []faninRef {
+	if a.oFrs+n > len(a.frs) {
+		a.frs = make([]faninRef, grown(len(a.frs), n, 1024))
+		a.oFrs = 0
+	}
+	s := a.frs[a.oFrs : a.oFrs+n : a.oFrs+n]
+	a.oFrs += n
+	return s
+}

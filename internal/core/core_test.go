@@ -832,12 +832,14 @@ func TestParallelMappingIdentical(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		nw := randomDAG(rng, 6, 15+rng.Intn(20))
 		for _, k := range []int{3, 5} {
-			seq, err := Map(nw, DefaultOptions(k))
+			so := DefaultOptions(k)
+			so.Parallel, so.Memoize = false, false
+			seq, err := Map(nw, so)
 			if err != nil {
 				t.Fatal(err)
 			}
 			o := DefaultOptions(k)
-			o.Parallel = true
+			o.Parallel, o.Memoize = true, true
 			par, err := Map(nw, o)
 			if err != nil {
 				t.Fatal(err)

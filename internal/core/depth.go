@@ -68,7 +68,7 @@ type depthState struct {
 func buildDepthDP(f *forest.Forest, n *network.Node, opts Options, leafArr func(*network.Node) int32) *depthState {
 	ds := &depthState{nodeDP: &nodeDP{node: n}}
 	for _, e := range n.Fanins {
-		fr := faninRef{edge: e}
+		fr := faninRef{edge: e, leafIdx: -1}
 		var child *depthState
 		if !f.IsLeafEdge(e.Node) {
 			child = buildDepthDP(f, e.Node, opts, leafArr)
@@ -109,7 +109,11 @@ func (ds *depthState) computeDepth(opts Options, leafArr func(*network.Node) int
 	ds.full = size - 1
 	ds.gd = make([][]dvalue, size)
 	ds.mmBestD = make([]dvalue, size)
-	ds.choice = make([][]gChoice, size)
+	// The choice table shares emit.go's flat layout (choiceAt), so the
+	// standard reconstruction reads it unchanged; the depth path is cold,
+	// so plain make (zeroed, which is the correct empty choice) is fine.
+	ds.stride = int32(K + 1)
+	ds.choice = make([]gChoice, int(size)*(K+1))
 	ds.mmBestU = make([]int8, size)
 
 	base := make([]dvalue, K+1)
@@ -117,11 +121,10 @@ func (ds *depthState) computeDepth(opts Options, leafArr func(*network.Node) int
 		base[u] = dInfinity
 	}
 	ds.gd[0] = base
-	ds.choice[0] = make([]gChoice, K+1)
 
 	for s := uint32(1); s < size; s++ {
 		row := make([]dvalue, K+1)
-		ch := make([]gChoice, K+1)
+		ch := ds.choice[int(s)*(K+1) : (int(s)+1)*(K+1)]
 		row[0] = dInfinity
 		pivot := bits.TrailingZeros32(s)
 		pbit := uint32(1) << uint(pivot)
@@ -201,7 +204,6 @@ func (ds *depthState) computeDepth(opts Options, leafArr func(*network.Node) int
 		}
 
 		ds.gd[s] = row
-		ds.choice[s] = ch
 	}
 
 	bestV := dInfinity

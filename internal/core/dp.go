@@ -37,6 +37,10 @@ import (
 //
 // G[S][1] (|S| >= 2) covers the case where the *rest* of a parent's
 // division wraps all of S into one intermediate node: G[S][1] = mm(S).
+//
+// Memory layout: the G and choice tables of a node are flat slabs
+// indexed s*(K+1)+u, carved out of a per-goroutine dpArena, so building
+// a tree's DP costs O(1) allocations instead of one per subset row.
 
 type choiceKind uint8
 
@@ -56,10 +60,13 @@ type gChoice struct {
 
 // faninRef is one fanin edge of a tree node: either a leaf edge
 // (primary input or another tree's root) or an internal child with its
-// own DP table.
+// own DP table. Leaf edges carry their index in the tree's preorder
+// leaf enumeration, which emission templates use to rebind input
+// signals across structurally identical trees.
 type faninRef struct {
-	edge  network.Fanin
-	child *nodeDP // nil for leaf edges
+	edge    network.Fanin
+	child   *nodeDP // nil for leaf edges
+	leafIdx int32   // preorder leaf index; -1 for internal children
 }
 
 // nodeDP holds the DP state of one tree node.
@@ -68,27 +75,54 @@ type nodeDP struct {
 	fanins []faninRef
 	full   uint32
 
-	g       [][]int32   // g[s][u], u in 0..K
-	choice  [][]gChoice // choice[s][u]
-	mmBest  []int32     // mm(s) = 1 + min_u g[s][u]
+	// nodeIdx is the node's preorder index within its tree; emission
+	// templates use it to rebind fresh-name bases across identical trees.
+	nodeIdx int32
+	// stride is K+1, the row length of the flat g/choice tables.
+	stride int32
+
+	g       []int32   // g[s*stride+u], u in 0..K
+	choice  []gChoice // choice[s*stride+u]
+	mmBest  []int32   // mm(s) = 1 + min_u g[s][u]
 	mmBestU []int8
 
 	bestCost int32 // min_u minmap(node, u)
 	bestU    int
 }
 
+func (dp *nodeDP) gAt(s uint32, u int) int32 { return dp.g[int(s)*int(dp.stride)+u] }
+
+func (dp *nodeDP) choiceAt(s uint32, u int) gChoice { return dp.choice[int(s)*int(dp.stride)+u] }
+
 // buildDP constructs DP tables for the tree rooted at n (which must be a
-// gate inside the tree), recursively building children first.
+// gate inside the tree), recursively building children first. This
+// standalone form allocates a private arena; the mapping hot path goes
+// through buildDPIn with a recycled one.
 func buildDP(f *forest.Forest, n *network.Node, opts Options) *nodeDP {
-	dp := &nodeDP{node: n}
-	for _, e := range n.Fanins {
-		fr := faninRef{edge: e}
+	var nodeCtr, leafCtr int32
+	return buildDPIn(new(dpArena), f, n, opts, &nodeCtr, &leafCtr)
+}
+
+// buildDPIn constructs the tree DP with all state carved from arena a.
+// nodeCtr and leafCtr thread the preorder numbering of gates and leaf
+// edges through the recursion.
+func buildDPIn(a *dpArena, f *forest.Forest, n *network.Node, opts Options, nodeCtr, leafCtr *int32) *nodeDP {
+	dp := a.allocNode()
+	idx := *nodeCtr
+	*nodeCtr++
+	frs := a.allocFanins(len(n.Fanins))
+	for i, e := range n.Fanins {
+		fr := faninRef{edge: e, leafIdx: -1}
 		if !f.IsLeafEdge(e.Node) {
-			fr.child = buildDP(f, e.Node, opts)
+			fr.child = buildDPIn(a, f, e.Node, opts, nodeCtr, leafCtr)
+		} else {
+			fr.leafIdx = *leafCtr
+			*leafCtr++
 		}
-		dp.fanins = append(dp.fanins, fr)
+		frs[i] = fr
 	}
-	dp.compute(opts)
+	*dp = nodeDP{node: n, fanins: frs, nodeIdx: idx}
+	dp.compute(a, opts)
 	return dp
 }
 
@@ -108,33 +142,39 @@ func (dp *nodeDP) costMerge(i, v int) int32 {
 	if c == nil {
 		return infinity
 	}
-	return c.g[c.full][v] // (1 + g) - 1
+	return c.gAt(c.full, v) // (1 + g) - 1
 }
 
-func (dp *nodeDP) compute(opts Options) {
+func (dp *nodeDP) compute(a *dpArena, opts Options) {
 	f := len(dp.fanins)
 	K := opts.K
-	size := uint32(1) << uint(f)
-	dp.full = size - 1
-	dp.g = make([][]int32, size)
-	dp.choice = make([][]gChoice, size)
-	dp.mmBest = make([]int32, size)
-	dp.mmBestU = make([]int8, size)
+	stride := K + 1
+	size := 1 << uint(f)
+	dp.full = uint32(size - 1)
+	dp.stride = int32(stride)
+	dp.g = a.allocI32(size * stride)
+	dp.choice = a.allocChoice(size * stride)
+	dp.mmBest = a.allocI32(size)
+	dp.mmBestU = a.allocI8(size)
 
-	base := make([]int32, K+1)
+	// Arena slabs are recycled, so every cell read later must be written
+	// here; the loops below cover u = 0..K for every subset.
+	g, choices := dp.g, dp.choice
+	g[0] = 0
+	choices[0] = gChoice{}
 	for u := 1; u <= K; u++ {
-		base[u] = infinity
+		g[u] = infinity
+		choices[u] = gChoice{}
 	}
-	dp.g[0] = base
-	dp.choice[0] = make([]gChoice, K+1)
 
-	for s := uint32(1); s < size; s++ {
-		row := make([]int32, K+1)
-		ch := make([]gChoice, K+1)
+	for s := 1; s < size; s++ {
+		row := g[s*stride : (s+1)*stride]
+		ch := choices[s*stride : (s+1)*stride]
 		row[0] = infinity
-		pivot := bits.TrailingZeros32(s)
-		pbit := uint32(1) << uint(pivot)
-		rest0 := s ^ pbit
+		ch[0] = gChoice{}
+		pivot := bits.TrailingZeros32(uint32(s))
+		pbit := 1 << uint(pivot)
+		rest0 := g[(s^pbit)*stride:]
 
 		for u := 2; u <= K; u++ {
 			best := infinity
@@ -149,7 +189,7 @@ func (dp *nodeDP) compute(opts Options) {
 				if c >= infinity {
 					continue
 				}
-				r := dp.g[rest0][u-v]
+				r := rest0[u-v]
 				if r >= infinity {
 					continue
 				}
@@ -161,20 +201,20 @@ func (dp *nodeDP) compute(opts Options) {
 			if !opts.DisableDecomposition {
 				// Proper submasks d of s containing the pivot, |d| >= 2.
 				for d := (s - 1) & s; d > 0; d = (d - 1) & s {
-					if d&pbit == 0 || bits.OnesCount32(d) < 2 {
+					if d&pbit == 0 || bits.OnesCount32(uint32(d)) < 2 {
 						continue
 					}
 					c := dp.mmBest[d] // d < s, already computed
 					if c >= infinity {
 						continue
 					}
-					r := dp.g[s&^d][u-1]
+					r := g[(s&^d)*stride+u-1]
 					if r >= infinity {
 						continue
 					}
 					if c+r < best {
 						best = c + r
-						bc = gChoice{kind: choiceIntermediate, d: d}
+						bc = gChoice{kind: choiceIntermediate, d: uint32(d)}
 					}
 				}
 			}
@@ -201,18 +241,16 @@ func (dp *nodeDP) compute(opts Options) {
 			ch[1] = gChoice{kind: choiceSingleton, v: 1}
 		case !opts.DisableDecomposition:
 			row[1] = mb
-			ch[1] = gChoice{kind: choiceIntermediate, d: s}
+			ch[1] = gChoice{kind: choiceIntermediate, d: uint32(s)}
 		default:
 			row[1] = infinity
+			ch[1] = gChoice{}
 		}
-
-		dp.g[s] = row
-		dp.choice[s] = ch
 	}
 
 	dp.bestCost = infinity
 	for u := 2; u <= K; u++ {
-		if c := dp.g[dp.full][u]; c < infinity && c+1 < dp.bestCost {
+		if c := dp.gAt(dp.full, u); c < infinity && c+1 < dp.bestCost {
 			dp.bestCost = c + 1
 			dp.bestU = u
 		}
@@ -222,7 +260,7 @@ func (dp *nodeDP) compute(opts Options) {
 // minmap returns cost(minmap(node, u)) for u in 2..K, or infinity when
 // infeasible — exposed for the paper's monotonicity lemma tests.
 func (dp *nodeDP) minmap(u int) int32 {
-	c := dp.g[dp.full][u]
+	c := dp.gAt(dp.full, u)
 	if c >= infinity {
 		return infinity
 	}

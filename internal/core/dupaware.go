@@ -29,10 +29,14 @@ func MapDuplicateCostAware(input *network.Network, opts Options) (*Result, int, 
 	nw := input.Clone()
 	nw.Sweep()
 	accepted := 0
+	// One cost memo for the entire search: the trial networks differ from
+	// the base in only the trees a duplication touches, so nearly every
+	// tree cost of a trial is a memo hit instead of a DP solve.
+	cm := newCostMemo()
 	// Iterate to a fixed point with a safety bound: each accepted
 	// duplication strictly reduces the DP cost, which is bounded below.
 	for pass := 0; pass < 8; pass++ {
-		changed, err := dupPass(nw, opts, &accepted)
+		changed, err := dupPass(nw, opts, cm, &accepted)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -47,9 +51,10 @@ func MapDuplicateCostAware(input *network.Network, opts Options) (*Result, int, 
 	return res, accepted, nil
 }
 
-// totalTreeCost maps (cost only) the whole network.
-func totalTreeCost(nw *network.Network, opts Options) (int, error) {
-	costs, err := TreeCosts(nw, opts)
+// totalTreeCost maps (cost only) the whole network, resolving known
+// tree shapes through the cost memo.
+func totalTreeCost(nw *network.Network, opts Options, cm *costMemo) (int, error) {
+	costs, err := treeCosts(nw, opts, cm)
 	if err != nil {
 		return 0, err
 	}
@@ -61,8 +66,8 @@ func totalTreeCost(nw *network.Network, opts Options) (int, error) {
 }
 
 // dupPass tries every candidate once, committing improvements.
-func dupPass(nw *network.Network, opts Options, accepted *int) (bool, error) {
-	base, err := totalTreeCost(nw, opts)
+func dupPass(nw *network.Network, opts Options, cm *costMemo, accepted *int) (bool, error) {
+	base, err := totalTreeCost(nw, opts, cm)
 	if err != nil {
 		return false, err
 	}
@@ -95,7 +100,7 @@ func dupPass(nw *network.Network, opts Options, accepted *int) (bool, error) {
 		if err := trial.Validate(); err != nil {
 			continue
 		}
-		cost, err := totalTreeCost(trial, opts)
+		cost, err := totalTreeCost(trial, opts, cm)
 		if err != nil {
 			continue
 		}

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
-	"sync"
 
 	"chortle/internal/forest"
 	"chortle/internal/lut"
@@ -59,6 +57,10 @@ type mapper struct {
 	ckt  *lut.Circuit
 	sig  map[*network.Node]string // realized signal of PIs and tree roots
 	seq  int
+
+	// rec, when non-nil, passively records the emission of the current
+	// tree as a template for structurally identical trees (template.go).
+	rec *emitRecorder
 }
 
 func (m *mapper) fresh(base string) string {
@@ -69,6 +71,16 @@ func (m *mapper) fresh(base string) string {
 			return name
 		}
 	}
+}
+
+// freshFor draws a fresh name seeded by dp's node, noting the draw for
+// the template recorder so replays can reproduce the exact sequence.
+func (m *mapper) freshFor(dp *nodeDP) string {
+	name := m.fresh(dp.node.Name)
+	if m.rec != nil {
+		m.rec.noteFresh(name, dp.nodeIdx)
+	}
+	return name
 }
 
 func (m *mapper) cktHasInput(name string) bool {
@@ -93,23 +105,35 @@ func addInput(inputs *[]string, sig string) int {
 	return len(*inputs) - 1
 }
 
+// leafSignal resolves a leaf edge's node to its finished signal: the PI
+// name, or the signal of an already-mapped tree root.
+func (m *mapper) leafSignal(n *network.Node) (string, error) {
+	if n.IsInput() {
+		return n.Name, nil
+	}
+	sig, ok := m.sig[n]
+	if !ok {
+		return "", fmt.Errorf("core: tree root %q not yet realized", n.Name)
+	}
+	return sig, nil
+}
+
 // signalOf realizes fanin fr as a finished signal: leaf edges resolve to
 // the PI or previously mapped tree root; internal children emit their
 // best mapping rooted at a fresh LUT.
 func (m *mapper) signalOf(fr faninRef) (string, error) {
 	if fr.child == nil {
-		n := fr.edge.Node
-		if n.IsInput() {
-			return n.Name, nil
+		sig, err := m.leafSignal(fr.edge.Node)
+		if err != nil {
+			return "", err
 		}
-		sig, ok := m.sig[n]
-		if !ok {
-			return "", fmt.Errorf("core: tree root %q not yet realized", n.Name)
+		if m.rec != nil {
+			m.rec.noteLeaf(sig, fr.leafIdx)
 		}
 		return sig, nil
 	}
 	c := fr.child
-	return m.emitLUT(c, c.full, c.bestU, m.fresh(c.node.Name))
+	return m.emitLUT(c, c.full, c.bestU, m.freshFor(c))
 }
 
 // collectGroups walks the DP choices for (dp, s, u), returning the
@@ -121,7 +145,7 @@ func (m *mapper) collectGroups(dp *nodeDP, s uint32, u int, inputs *[]string) ([
 		if u < 1 {
 			return nil, fmt.Errorf("core: utilization underflow reconstructing %q", dp.node.Name)
 		}
-		ch := dp.choice[s][u]
+		ch := dp.choiceAt(s, u)
 		switch ch.kind {
 		case choiceSingleton:
 			pivot := bits.TrailingZeros32(s)
@@ -143,7 +167,7 @@ func (m *mapper) collectGroups(dp *nodeDP, s uint32, u int, inputs *[]string) ([
 			s &^= 1 << uint(pivot)
 			u -= int(ch.v)
 		case choiceIntermediate:
-			sig, err := m.emitLUT(dp, ch.d, int(dp.mmBestU[ch.d]), m.fresh(dp.node.Name))
+			sig, err := m.emitLUT(dp, ch.d, int(dp.mmBestU[ch.d]), m.freshFor(dp))
 			if err != nil {
 				return nil, err
 			}
@@ -174,16 +198,13 @@ func (m *mapper) emitLUT(dp *nodeDP, s uint32, u int, name string) (string, erro
 	}
 	table := truth.FromFunc(len(inputs), func(assign uint) bool { return evalExpr(root, assign) })
 	m.ckt.AddLUT(name, inputs, table)
+	if m.rec != nil {
+		m.rec.noteLUT(name, inputs, table)
+	}
 	return name, nil
 }
 
-// realizeTree maps the tree rooted at root and registers its signal.
-func (m *mapper) realizeTree(root *network.Node) (int32, error) {
-	return m.realizeTreeFromDP(root, buildDP(m.f, root, m.opts))
-}
-
-// realizeTreeFromDP reconstructs a tree's circuit from an already
-// computed DP (used by the parallel path).
+// realizeTreeFromDP reconstructs a tree's circuit from a computed DP.
 func (m *mapper) realizeTreeFromDP(root *network.Node, dp *nodeDP) (int32, error) {
 	if dp == nil {
 		return 0, fmt.Errorf("core: missing DP for tree %q", root.Name)
@@ -203,30 +224,69 @@ func (m *mapper) realizeTreeFromDP(root *network.Node, dp *nodeDP) (int32, error
 	return dp.bestCost, nil
 }
 
-// buildDPsParallel computes every tree's DP concurrently.
-func buildDPsParallel(f *forest.Forest, opts Options) map[*network.Node]*nodeDP {
-	type built struct {
-		root *network.Node
-		dp   *nodeDP
+// realizeTreeCtx maps the tree rooted at root using the per-Map context:
+// through the shape memo when memoization is on, from the parallel
+// prepass's DP when one exists, or with a fresh solve in the context's
+// sequential arena.
+func (m *mapper) realizeTreeCtx(root *network.Node, ctx *mapCtx) (int32, error) {
+	if ctx.memo != nil {
+		return m.realizeTreeMemo(root, ctx)
 	}
-	results := make(chan built, len(f.Roots))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, root := range f.Roots {
-		root := root
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results <- built{root: root, dp: buildDP(f, root, opts)}
-		}()
+	if dp, ok := ctx.prebuilt[root]; ok {
+		return m.realizeTreeFromDP(root, dp)
 	}
-	wg.Wait()
-	close(results)
-	out := make(map[*network.Node]*nodeDP, len(f.Roots))
-	for b := range results {
-		out[b.root] = b.dp
+	var nodeCtr, leafCtr int32
+	return m.realizeTreeFromDP(root, buildDPIn(ctx.seqArena, m.f, root, m.opts, &nodeCtr, &leafCtr))
+}
+
+// realizeTreeMemo maps one tree through the shape memo. A shape hit
+// reuses the cached DP tables (rebound to this tree's nodes); a
+// (shape, leaf-pattern) hit replays the recorded emission outright. On
+// a full miss the tree is solved and reconstructed normally with no
+// further memo machinery: most shapes never repeat, so templates are
+// recorded only from a shape's second instance on, once repetition is
+// proven. (A shape seen exactly twice reconstructs twice; from the
+// third instance on it replays.)
+func (m *mapper) realizeTreeMemo(root *network.Node, ctx *mapCtx) (int32, error) {
+	h := ctx.hashFor(root)
+	e := ctx.memo.lookup(m.f, root, h)
+	if e == nil {
+		e = &shapeEntry{f: m.f, rep: root, templates: make(map[string]*emitTemplate)}
+		var nodeCtr, leafCtr int32
+		e.dp = buildDPIn(ctx.seqArena, m.f, root, m.opts, &nodeCtr, &leafCtr)
+		ctx.memo.insert(h, e)
 	}
-	return out
+	if e.dp.bestCost >= infinity {
+		return 0, errUnmappable(root.Name, m.opts.K)
+	}
+	dp := e.dp
+	if e.rep != root {
+		dp = rebindDP(ctx.seqArena, e.dp, m.f, root)
+	}
+	if !e.seen {
+		e.seen = true
+		return m.realizeTreeFromDP(root, dp)
+	}
+	names, leafSigs, err := m.treeNamesAndLeafSigs(root)
+	if err != nil {
+		return 0, err
+	}
+	pattern := patternOf(leafSigs)
+	if t := e.templates[pattern]; t != nil {
+		if _, err := m.replayTemplate(root, t, names, leafSigs); err != nil {
+			return 0, err
+		}
+		return e.dp.bestCost, nil
+	}
+	m.rec = newEmitRecorder()
+	cost, err := m.realizeTreeFromDP(root, dp)
+	rec := m.rec
+	m.rec = nil
+	if err != nil {
+		return 0, err
+	}
+	if t := rec.template(); t != nil {
+		e.templates[pattern] = t
+	}
+	return cost, nil
 }

@@ -75,11 +75,16 @@ func Map(input *network.Network, opts Options) (*Result, error) {
 	arrivals := make(map[*network.Node]int32)
 	// With the default strategy and objective, per-tree DPs are
 	// independent (tree costs never depend on other trees' results), so
-	// they can run concurrently; reconstruction stays sequential for
-	// deterministic naming.
-	var prebuilt map[*network.Node]*nodeDP
-	if opts.Parallel && opts.Strategy == StrategyExhaustive && !opts.OptimizeDepth {
-		prebuilt = buildDPsParallel(f, opts)
+	// they can run concurrently and identical shapes can share one solve;
+	// reconstruction stays sequential for deterministic naming. The
+	// bin-packing and depth paths keep their own per-tree state.
+	var ctx *mapCtx
+	if opts.Strategy == StrategyExhaustive && !opts.OptimizeDepth {
+		ctx = newMapCtx(f, opts)
+		defer ctx.release()
+		if opts.Parallel {
+			ctx.buildDPsParallel()
+		}
 	}
 	for _, root := range f.Roots {
 		var cost int32
@@ -89,10 +94,8 @@ func Map(input *network.Network, opts Options) (*Result, error) {
 			cost, err = m.realizeTreeCRF(root, arrivals)
 		case opts.OptimizeDepth:
 			cost, err = m.realizeTreeDepth(root, arrivals)
-		case prebuilt != nil:
-			cost, err = m.realizeTreeFromDP(root, prebuilt[root])
 		default:
-			cost, err = m.realizeTree(root)
+			cost, err = m.realizeTreeCtx(root, ctx)
 		}
 		if err != nil {
 			return nil, err
@@ -148,8 +151,17 @@ func Map(input *network.Network, opts Options) (*Result, error) {
 
 // TreeCosts maps the network and returns the per-tree optimal LUT
 // counts, keyed by tree root name — the quantity the optimality tests
-// compare against exhaustive reference enumeration.
+// compare against exhaustive reference enumeration. With
+// Options.Parallel set, tree DPs are solved on the worker pool.
 func TreeCosts(input *network.Network, opts Options) (map[string]int, error) {
+	return treeCosts(input, opts, nil)
+}
+
+// treeCosts is TreeCosts with an optional cross-network cost memo: trees
+// whose shape is already known (from a previous network sharing most of
+// its structure, as the duplication search's trial clones do) skip the
+// DP solve entirely.
+func treeCosts(input *network.Network, opts Options, cm *costMemo) (map[string]int, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -164,13 +176,56 @@ func TreeCosts(input *network.Network, opts Options) (map[string]int, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	ctx := newMapCtx(f, opts)
+	defer ctx.release()
+	costs := make([]int32, len(f.Roots))
+	var hs []uint64
+	unknown := make([]int, 0, len(f.Roots))
+	if cm != nil {
+		hs = make([]uint64, len(f.Roots))
+		for i, root := range f.Roots {
+			hs[i] = treeHash(f, root, ctx.seed)
+			if c, ok := cm.lookup(f, root, hs[i]); ok {
+				costs[i] = c
+			} else {
+				unknown = append(unknown, i)
+			}
+		}
+	} else {
+		for i := range f.Roots {
+			unknown = append(unknown, i)
+		}
+	}
+
+	solved := make([]int32, len(unknown))
+	if opts.Parallel {
+		ctx.runPool(len(unknown), func(a *dpArena, j int) {
+			var nodeCtr, leafCtr int32
+			solved[j] = buildDPIn(a, f, f.Roots[unknown[j]], opts, &nodeCtr, &leafCtr).bestCost
+		})
+	} else {
+		for j, i := range unknown {
+			// Only the cost survives each solve, so the arena can be
+			// recycled tree by tree.
+			ctx.seqArena.reset()
+			var nodeCtr, leafCtr int32
+			solved[j] = buildDPIn(ctx.seqArena, f, f.Roots[i], opts, &nodeCtr, &leafCtr).bestCost
+		}
+	}
+	for j, i := range unknown {
+		costs[i] = solved[j]
+		if cm != nil {
+			cm.insert(hs[i], f, f.Roots[i], solved[j])
+		}
+	}
+
 	out := make(map[string]int, len(f.Roots))
-	for _, root := range f.Roots {
-		dp := buildDP(f, root, opts)
-		if dp.bestCost >= infinity {
+	for i, root := range f.Roots {
+		if costs[i] >= infinity {
 			return nil, fmt.Errorf("core: tree %q unmappable", root.Name)
 		}
-		out[root.Name] = int(dp.bestCost)
+		out[root.Name] = int(costs[i])
 	}
 	return out, nil
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strconv"
+
+	"chortle/internal/forest"
+	"chortle/internal/network"
+)
+
+// Isomorphic-tree memoization: per-Map caches keyed by the structural
+// tree hash (treehash.go). A shapeEntry owns the DP tables solved for
+// the first tree of a shape plus the emission templates recorded while
+// reconstructing trees of that shape; later trees rebind the tables to
+// their own nodes (rebindDP) or replay a template outright, skipping
+// both the 3^fanin DP and the per-LUT truth-table evaluation.
+
+// shapeEntry is the memoized state of one tree shape.
+type shapeEntry struct {
+	f   *forest.Forest
+	rep *network.Node // representative tree whose nodes dp is bound to
+	dp  *nodeDP
+
+	// seen is set once a tree of this shape has been reconstructed. Most
+	// shapes never repeat, so the template machinery (leaf-signal walk,
+	// emission recording) is engaged only from the second instance on.
+	seen bool
+
+	// templates maps a leaf-coincidence pattern (patternOf) to the
+	// recorded emission for that pattern. The emitted LUT structure
+	// depends not only on the tree shape but on which leaf edges happen
+	// to resolve to the same signal (the LUT input list deduplicates
+	// repeated signals), so templates are keyed by that partition.
+	templates map[string]*emitTemplate
+}
+
+// shapeMemo is the per-Map shape cache. Buckets hold every distinct
+// shape that hashed to the same value; lookups verify the full structure
+// so hash collisions degrade to cache misses, never to wrong reuse.
+type shapeMemo struct {
+	buckets map[uint64][]*shapeEntry
+}
+
+func newShapeMemo() *shapeMemo { return &shapeMemo{buckets: make(map[uint64][]*shapeEntry)} }
+
+func (m *shapeMemo) lookup(f *forest.Forest, root *network.Node, h uint64) *shapeEntry {
+	for _, e := range m.buckets[h] {
+		if e.rep == root || sameTreeShape(e.f, e.rep, f, root) {
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *shapeMemo) insert(h uint64, e *shapeEntry) {
+	m.buckets[h] = append(m.buckets[h], e)
+}
+
+// rebindDP binds cached DP tables — solved on a structurally identical
+// tree — to the nodes of the tree rooted at root. The flat table slabs
+// are shared read-only; only the nodeDP skeleton and fanin references
+// (which name actual network nodes for reconstruction) are rebuilt, so a
+// cache hit costs O(tree) pointer work instead of an O(3^fanin) solve.
+func rebindDP(a *dpArena, cached *nodeDP, f *forest.Forest, root *network.Node) *nodeDP {
+	var leafCtr int32
+	var walk func(c *nodeDP, n *network.Node) *nodeDP
+	walk = func(c *nodeDP, n *network.Node) *nodeDP {
+		dp := a.allocNode()
+		frs := a.allocFanins(len(n.Fanins))
+		for i, e := range n.Fanins {
+			fr := faninRef{edge: e, leafIdx: -1}
+			if cc := c.fanins[i].child; cc != nil {
+				fr.child = walk(cc, e.Node)
+			} else {
+				fr.leafIdx = leafCtr
+				leafCtr++
+			}
+			frs[i] = fr
+		}
+		*dp = nodeDP{
+			node: n, fanins: frs, full: c.full,
+			nodeIdx: c.nodeIdx, stride: c.stride,
+			g: c.g, choice: c.choice, mmBest: c.mmBest, mmBestU: c.mmBestU,
+			bestCost: c.bestCost, bestU: c.bestU,
+		}
+		return dp
+	}
+	return walk(cached, root)
+}
+
+// patternOf canonicalizes which leaf signals coincide: entry i is the
+// first leaf index carrying the same signal as leaf i. Two same-shaped
+// trees with equal patterns emit identical LUT structure.
+func patternOf(sigs []string) string {
+	buf := make([]byte, 0, 3*len(sigs))
+	first := make(map[string]int, len(sigs))
+	for i, s := range sigs {
+		j, ok := first[s]
+		if !ok {
+			j = i
+			first[s] = i
+		}
+		buf = strconv.AppendInt(buf, int64(j), 10)
+		buf = append(buf, '.')
+	}
+	return string(buf)
+}
+
+// costMemo caches tree costs by shape across networks — the cost-aware
+// duplication search maps hundreds of trial networks that differ from
+// the base network in only a couple of trees, so almost every tree of a
+// trial resolves here in O(tree) hashing instead of an O(3^fanin) solve.
+// Entries remember their origin forest so verification can compare
+// shapes across networks.
+type costMemo struct {
+	buckets map[uint64][]costEntry
+}
+
+type costEntry struct {
+	f    *forest.Forest
+	rep  *network.Node
+	cost int32
+}
+
+func newCostMemo() *costMemo { return &costMemo{buckets: make(map[uint64][]costEntry)} }
+
+func (m *costMemo) lookup(f *forest.Forest, root *network.Node, h uint64) (int32, bool) {
+	for _, e := range m.buckets[h] {
+		if sameTreeShape(e.f, e.rep, f, root) {
+			return e.cost, true
+		}
+	}
+	return 0, false
+}
+
+func (m *costMemo) insert(h uint64, f *forest.Forest, rep *network.Node, cost int32) {
+	m.buckets[h] = append(m.buckets[h], costEntry{f: f, rep: rep, cost: cost})
+}

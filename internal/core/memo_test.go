@@ -1,0 +1,192 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"chortle/internal/forest"
+	"chortle/internal/network"
+)
+
+// chain builds a named network of the shape
+// root = op(leaf, op(leaf, ... )) with the given depth and edge
+// inversions, returning the decomposed forest and the root node.
+func chainTree(t *testing.T, name string, depth int, invert bool, op network.Op) (*forest.Forest, *network.Node) {
+	t.Helper()
+	nw := network.New(name)
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	cur := nw.AddGate("g0", op, network.Fanin{Node: a}, network.Fanin{Node: b, Invert: invert})
+	for i := 1; i < depth; i++ {
+		in := nw.AddInput("x" + string(rune('0'+i)))
+		cur = nw.AddGate("g"+string(rune('0'+i)), op,
+			network.Fanin{Node: cur}, network.Fanin{Node: in, Invert: invert})
+	}
+	nw.MarkOutput("y", cur, false)
+	f, err := forest.Decompose(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, f.Roots[len(f.Roots)-1]
+}
+
+func TestTreeHashShapeOnly(t *testing.T) {
+	seed := shapeSeed(DefaultOptions(4))
+
+	// Same shape, different leaf identities: the second network renames
+	// every input, which must not affect the hash.
+	fa, ra := chainTree(t, "a", 3, false, network.OpAnd)
+	fb, rb := chainTree(t, "b", 3, false, network.OpAnd)
+	if treeHash(fa, ra, seed) != treeHash(fb, rb, seed) {
+		t.Fatalf("identical shapes hash differently")
+	}
+	if !sameTreeShape(fa, ra, fb, rb) {
+		t.Fatalf("sameTreeShape rejects identical shapes")
+	}
+
+	// Structural differences that must change the hash.
+	variants := []struct {
+		name string
+		f    *forest.Forest
+		r    *network.Node
+	}{}
+	fInv, rInv := chainTree(t, "inv", 3, true, network.OpAnd)
+	variants = append(variants, struct {
+		name string
+		f    *forest.Forest
+		r    *network.Node
+	}{"inverted edges", fInv, rInv})
+	fOp, rOp := chainTree(t, "op", 3, false, network.OpOr)
+	variants = append(variants, struct {
+		name string
+		f    *forest.Forest
+		r    *network.Node
+	}{"different op", fOp, rOp})
+	fDeep, rDeep := chainTree(t, "deep", 4, false, network.OpAnd)
+	variants = append(variants, struct {
+		name string
+		f    *forest.Forest
+		r    *network.Node
+	}{"extra level", fDeep, rDeep})
+
+	base := treeHash(fa, ra, seed)
+	for _, v := range variants {
+		if treeHash(v.f, v.r, seed) == base {
+			t.Errorf("%s: hash collides with base shape", v.name)
+		}
+		if sameTreeShape(fa, ra, v.f, v.r) {
+			t.Errorf("%s: sameTreeShape accepts different shape", v.name)
+		}
+	}
+
+	// Different K must produce a different seed (one memo may never serve
+	// two K values).
+	if shapeSeed(DefaultOptions(4)) == shapeSeed(DefaultOptions(5)) {
+		t.Errorf("shape seeds for K=4 and K=5 coincide")
+	}
+}
+
+// TestShapeMemoCollisionSafety force-inserts a cache entry for one shape
+// under another shape's hash — simulating a 64-bit collision — and
+// checks that lookup refuses to serve it: a collision must degrade to a
+// miss, never to reuse of the wrong DP.
+func TestShapeMemoCollisionSafety(t *testing.T) {
+	fa, ra := chainTree(t, "a", 3, false, network.OpAnd)
+	fb, rb := chainTree(t, "b", 4, false, network.OpOr) // different shape
+
+	seed := shapeSeed(DefaultOptions(4))
+	ha := treeHash(fa, ra, seed)
+
+	memo := newShapeMemo()
+	memo.insert(ha, &shapeEntry{f: fb, rep: rb}) // wrong shape under ra's hash
+	if e := memo.lookup(fa, ra, ha); e != nil {
+		t.Fatalf("lookup served a colliding entry of different shape")
+	}
+
+	// The genuine entry is still found behind the impostor in the bucket.
+	real := &shapeEntry{f: fa, rep: ra}
+	memo.insert(ha, real)
+	if e := memo.lookup(fa, ra, ha); e != real {
+		t.Fatalf("lookup failed to find the matching entry in a collided bucket")
+	}
+
+	// Same guard on the cost memo.
+	cm := newCostMemo()
+	cm.insert(ha, fb, rb, 7)
+	if _, ok := cm.lookup(fa, ra, ha); ok {
+		t.Fatalf("cost memo served a colliding entry of different shape")
+	}
+	cm.insert(ha, fa, ra, 3)
+	if c, ok := cm.lookup(fa, ra, ha); !ok || c != 3 {
+		t.Fatalf("cost memo missed the matching entry, got (%d, %v)", c, ok)
+	}
+}
+
+func TestPatternOf(t *testing.T) {
+	cases := []struct {
+		sigs []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"a", "b", "c"}, "0.1.2."},
+		{[]string{"a", "a", "c"}, "0.0.2."},
+		{[]string{"a", "b", "a", "b"}, "0.1.0.1."},
+	}
+	for _, c := range cases {
+		if got := patternOf(c.sigs); got != c.want {
+			t.Errorf("patternOf(%v) = %q, want %q", c.sigs, got, c.want)
+		}
+	}
+	// Distinct coincidence structures must key distinct templates even
+	// when the signal sets overlap.
+	if patternOf([]string{"a", "a", "b"}) == patternOf([]string{"a", "b", "b"}) {
+		t.Errorf("different coincidence structures share a pattern key")
+	}
+}
+
+// TestMemoizedMapMatchesPlain checks LUT counts agree between memoized
+// and plain mapping on a network built to contain many isomorphic trees
+// with varying leaf coincidence (the template cache's hard case).
+func TestMemoizedMapMatchesPlain(t *testing.T) {
+	nw := network.New("iso")
+	var ins []*network.Node
+	for i := 0; i < 8; i++ {
+		ins = append(ins, nw.AddInput("i"+string(rune('a'+i))))
+	}
+	for g := 0; g < 24; g++ {
+		x := ins[g%8]
+		y := ins[(g*3+1)%8]
+		z := ins[(g*5+2)%8] // sometimes y == z: different leaf pattern, same shape
+		a := nw.AddGate("a"+string(rune('a'+g%26))+string(rune('0'+g/26)), network.OpAnd,
+			network.Fanin{Node: x}, network.Fanin{Node: y, Invert: g%2 == 0})
+		o := nw.AddGate("o"+string(rune('a'+g%26))+string(rune('0'+g/26)), network.OpOr,
+			network.Fanin{Node: a}, network.Fanin{Node: z})
+		nw.MarkOutput("y"+string(rune('a'+g%26))+string(rune('0'+g/26)), o, false)
+	}
+
+	for k := 2; k <= 5; k++ {
+		plain := Options{K: k, SplitThreshold: 10}
+		memo := Options{K: k, SplitThreshold: 10, Memoize: true}
+		rp, err := Map(nw, plain)
+		if err != nil {
+			t.Fatalf("K=%d plain: %v", k, err)
+		}
+		rm, err := Map(nw, memo)
+		if err != nil {
+			t.Fatalf("K=%d memoized: %v", k, err)
+		}
+		if rp.LUTs != rm.LUTs {
+			t.Errorf("K=%d: plain %d LUTs, memoized %d", k, rp.LUTs, rm.LUTs)
+		}
+		var a, b strings.Builder
+		if err := rp.Circuit.WriteBLIF(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := rm.Circuit.WriteBLIF(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("K=%d: memoized BLIF differs from plain", k)
+		}
+	}
+}

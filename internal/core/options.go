@@ -56,12 +56,20 @@ type Options struct {
 	// mapping's count and no longer matches any optimality claim.
 	OptimizeDepth bool
 
-	// Parallel computes the per-tree dynamic programs concurrently
-	// (reconstruction stays sequential, so results and naming are
-	// deterministic). Only effective with the default strategy and the
-	// area objective: bin packing emits while mapping, and the depth
-	// objective threads arrival times between trees.
+	// Parallel computes the per-tree dynamic programs concurrently on a
+	// bounded worker pool (reconstruction stays sequential, so results
+	// and naming are deterministic). Only effective with the default
+	// strategy and the area objective: bin packing emits while mapping,
+	// and the depth objective threads arrival times between trees.
 	Parallel bool
+
+	// Memoize reuses DP solves and recorded emissions across structurally
+	// identical trees within one Map call (real netlists repeat bit-slice
+	// shapes heavily). Every hash hit is verified against the full tree
+	// structure before reuse, and the emitted circuit is byte-identical
+	// with or without the flag. Effective under the same conditions as
+	// Parallel.
+	Memoize bool
 
 	// RepackLUTs enables the post-mapping peephole that merges
 	// single-fanout LUTs into consumers when the combined distinct
@@ -75,8 +83,10 @@ type Options struct {
 }
 
 // DefaultOptions returns the paper's configuration for a given K.
+// Parallel and Memoize are pure performance switches — the mapping and
+// its emitted circuit are identical with them off — so they default on.
 func DefaultOptions(k int) Options {
-	return Options{K: k, SplitThreshold: 10}
+	return Options{K: k, SplitThreshold: 10, Parallel: true, Memoize: true}
 }
 
 // validate rejects out-of-range configurations.

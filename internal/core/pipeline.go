@@ -1,0 +1,149 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"chortle/internal/forest"
+	"chortle/internal/network"
+)
+
+// The parallel mapping pipeline. Tree DPs are independent under the
+// default strategy and area objective, so a bounded worker pool
+// (GOMAXPROCS workers, one arena each) computes them concurrently; with
+// memoization on, the pool solves one DP per *distinct* tree shape and
+// reconstruction rebinds the shared tables to each duplicate tree.
+// Reconstruction itself stays sequential, so the emitted circuit is
+// byte-identical to the sequential mapper's output.
+
+// mapCtx carries the per-Map performance machinery: the recycled
+// arenas, the shape memo, and the root hashes. It exists only for the
+// exhaustive-strategy area objective; the bin-packing and depth paths
+// keep their own state.
+type mapCtx struct {
+	opts Options
+	f    *forest.Forest
+	seed uint64
+
+	memo   *shapeMemo               // nil when opts.Memoize is off
+	hashes map[*network.Node]uint64 // cached per tree root
+
+	prebuilt map[*network.Node]*nodeDP // parallel path without memoization
+
+	seqArena *dpArena
+	mu       sync.Mutex // guards arenas during the parallel build
+	arenas   []*dpArena
+}
+
+func newMapCtx(f *forest.Forest, opts Options) *mapCtx {
+	ctx := &mapCtx{opts: opts, f: f, seed: shapeSeed(opts), seqArena: acquireArena()}
+	ctx.arenas = append(ctx.arenas, ctx.seqArena)
+	if opts.Memoize {
+		ctx.memo = newShapeMemo()
+		ctx.hashes = make(map[*network.Node]uint64, len(f.Roots))
+	}
+	return ctx
+}
+
+// release returns every arena to the pool. No nodeDP reached through the
+// context may be used afterwards.
+func (ctx *mapCtx) release() {
+	for _, a := range ctx.arenas {
+		a.release()
+	}
+	ctx.arenas = nil
+}
+
+func (ctx *mapCtx) hashFor(root *network.Node) uint64 {
+	if h, ok := ctx.hashes[root]; ok {
+		return h
+	}
+	h := treeHash(ctx.f, root, ctx.seed)
+	ctx.hashes[root] = h
+	return h
+}
+
+// workerArena hands each pool worker its own arena, registered with the
+// context so the slabs live until the whole Map completes.
+func (ctx *mapCtx) workerArena() *dpArena {
+	a := acquireArena()
+	ctx.mu.Lock()
+	ctx.arenas = append(ctx.arenas, a)
+	ctx.mu.Unlock()
+	return a
+}
+
+// runPool executes fn(arena, i) for i in [0, n) on a bounded worker
+// pool. The WaitGroup forms the happens-before edge that publishes the
+// workers' writes to the caller.
+func (ctx *mapCtx) runPool(n int, fn func(a *dpArena, i int)) {
+	if n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(ctx.seqArena, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := ctx.workerArena()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(a, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildDPsParallel computes the tree DPs up front on the worker pool.
+// With memoization, only one DP is solved per distinct shape — workers
+// share the dedup performed (sequentially, it is O(trees) hashing) on
+// the main goroutine; duplicates are rebound lazily during sequential
+// reconstruction. Without memoization every tree gets its own DP, as
+// the sequential non-memoized path would produce.
+func (ctx *mapCtx) buildDPsParallel() {
+	roots := ctx.f.Roots
+	if ctx.memo != nil {
+		var reps []*network.Node
+		entries := make([]*shapeEntry, 0, len(roots))
+		for _, r := range roots {
+			h := ctx.hashFor(r)
+			if ctx.memo.lookup(ctx.f, r, h) != nil {
+				continue
+			}
+			e := &shapeEntry{f: ctx.f, rep: r, templates: make(map[string]*emitTemplate)}
+			ctx.memo.insert(h, e)
+			reps = append(reps, r)
+			entries = append(entries, e)
+		}
+		ctx.runPool(len(reps), func(a *dpArena, i int) {
+			var nodeCtr, leafCtr int32
+			entries[i].dp = buildDPIn(a, ctx.f, reps[i], ctx.opts, &nodeCtr, &leafCtr)
+		})
+		return
+	}
+	dps := make([]*nodeDP, len(roots))
+	ctx.runPool(len(roots), func(a *dpArena, i int) {
+		var nodeCtr, leafCtr int32
+		dps[i] = buildDPIn(a, ctx.f, roots[i], ctx.opts, &nodeCtr, &leafCtr)
+	})
+	ctx.prebuilt = make(map[*network.Node]*nodeDP, len(roots))
+	for i, r := range roots {
+		ctx.prebuilt[r] = dps[i]
+	}
+}

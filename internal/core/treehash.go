@@ -1,0 +1,94 @@
+package core
+
+import (
+	"chortle/internal/forest"
+	"chortle/internal/network"
+)
+
+// Structural hashing of fanout-free trees. Real netlists are full of
+// structurally identical trees (bit slices of adders, repeated control
+// cones), and the tree DP's result depends only on the tree's *shape*:
+// node operations, fanin order, edge polarities, and which edges are
+// leaves — never on which primary input or mapped root a leaf edge
+// happens to reference (a leaf edge always costs zero and can never be
+// merged). treeHash fingerprints exactly that shape, so one DP solve can
+// be reused for every tree with the same fingerprint.
+//
+// The hash is order-sensitive on purpose: reusing a DP across trees
+// whose fanins are permuted would require re-canonicalizing fanin order
+// everywhere to keep reconstruction deterministic, changing emitted
+// circuits relative to the plain sequential mapper. Hash hits are always
+// confirmed with a full structural walk (sameTreeShape) before any
+// reuse, so a 64-bit collision can cost a missed reuse, never a wrong
+// circuit.
+
+const (
+	hashBasis = 0xcbf29ce484222325 // FNV-64 offset basis
+	hashPrime = 0x00000100000001b3 // FNV-64 prime
+	hashLeaf  = 0x9e3779b97f4a7c15 // leaf-edge marker (any odd constant)
+)
+
+func hashStep(h, v uint64) uint64 {
+	h ^= v
+	h *= hashPrime
+	// One extra shuffle keeps single-bit input differences (op codes,
+	// invert flags) from landing in nearby output bits.
+	h ^= h >> 29
+	return h
+}
+
+// shapeSeed folds the option fields the DP result depends on into the
+// hash, so one memo table could never conflate runs at different K or
+// with the decomposition search ablated.
+func shapeSeed(opts Options) uint64 {
+	h := hashStep(hashBasis, uint64(opts.K))
+	if opts.DisableDecomposition {
+		h = hashStep(h, 1)
+	} else {
+		h = hashStep(h, 2)
+	}
+	return h
+}
+
+// treeHash fingerprints the shape of the fanout-free tree rooted at n.
+func treeHash(f *forest.Forest, n *network.Node, seed uint64) uint64 {
+	h := hashStep(seed, uint64(n.Op))
+	h = hashStep(h, uint64(len(n.Fanins)))
+	for _, e := range n.Fanins {
+		if e.Invert {
+			h = hashStep(h, 3)
+		} else {
+			h = hashStep(h, 5)
+		}
+		if f.IsLeafEdge(e.Node) {
+			h = hashStep(h, hashLeaf)
+		} else {
+			h = hashStep(h, treeHash(f, e.Node, seed))
+		}
+	}
+	return h
+}
+
+// sameTreeShape reports whether the trees rooted at a (in forest fa) and
+// b (in forest fb) have identical shape: same ops, same fanin order and
+// arity, same edge polarities, and leaf edges in the same positions.
+// This is the collision guard behind every hash hit.
+func sameTreeShape(fa *forest.Forest, a *network.Node, fb *forest.Forest, b *network.Node) bool {
+	if a.Op != b.Op || len(a.Fanins) != len(b.Fanins) {
+		return false
+	}
+	for i := range a.Fanins {
+		ea, eb := a.Fanins[i], b.Fanins[i]
+		if ea.Invert != eb.Invert {
+			return false
+		}
+		la, lb := fa.IsLeafEdge(ea.Node), fb.IsLeafEdge(eb.Node)
+		if la != lb {
+			return false
+		}
+		if !la && !sameTreeShape(fa, ea.Node, fb, eb.Node) {
+			return false
+		}
+	}
+	return true
+}
