@@ -5,6 +5,17 @@ import (
 	"testing"
 )
 
+// mustMap maps or fails the test (the package's former MustMap,
+// now test-local: the public API is panic-free).
+func mustMap(t *testing.T, nw *Network, opts Options) *Result {
+	t.Helper()
+	res, err := Map(nw, opts)
+	if err != nil {
+		t.Fatalf("chortle: %v", err)
+	}
+	return res
+}
+
 const adderBLIF = `
 .model adder
 .inputs a b cin
@@ -44,7 +55,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// (the structural bias inherent to library mapping) — it only
 	// recovers the inner XOR2 shapes. Both facts are part of the
 	// paper's story, pinned down here.
-	res := MustMap(nw, DefaultOptions(3))
+	res := mustMap(t, nw, DefaultOptions(3))
 	if res.LUTs > 7 {
 		t.Fatalf("full adder mapped to %d LUTs at K=3, expected at most 7", res.LUTs)
 	}
@@ -238,7 +249,7 @@ func TestSequentialMapping(t *testing.T) {
 			t.Fatalf("K=%d baseline: %v", k, err)
 		}
 	}
-	res := MustMap(nw, DefaultOptions(4))
+	res := mustMap(t, nw, DefaultOptions(4))
 	var sb strings.Builder
 	if err := res.Circuit.WriteBLIF(&sb); err != nil {
 		t.Fatal(err)

@@ -16,7 +16,7 @@
 package chortle
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"chortle/internal/blif"
@@ -41,7 +41,14 @@ type Circuit = lut.Circuit
 // Options configures the Chortle mapper (see DefaultOptions).
 type Options = core.Options
 
-// Result is a mapping outcome: the circuit plus area statistics.
+// Budget bounds the exhaustive decomposition search (Options.Budget):
+// per-tree work units and/or a soft wall-clock deadline. Exhausted
+// trees degrade to StrategyBinPack and are listed in Result.Degraded —
+// a budgeted mapping always produces a valid circuit.
+type Budget = core.Budget
+
+// Result is a mapping outcome: the circuit plus area statistics, and —
+// for budgeted runs — the list of trees that degraded to bin packing.
 type Result = core.Result
 
 // DefaultOptions returns the paper's configuration for K-input LUTs:
@@ -60,12 +67,20 @@ const (
 )
 
 // ReadBLIF parses a combinational BLIF model into a Boolean network.
-func ReadBLIF(r io.Reader) (*Network, error) { return blif.Read(r) }
+// Malformed input is rejected with a structured error (see the
+// sentinels in errors.go); parser bugs surface as *InternalError, never
+// as a panic.
+func ReadBLIF(r io.Reader) (nw *Network, err error) {
+	defer guard(&err)
+	return blif.Read(r)
+}
 
 // ReadPLA parses an espresso-format two-level PLA (the native format of
 // the MCNC benchmarks) and lowers its factored form to a Boolean
-// network.
-func ReadPLA(r io.Reader) (*Network, error) {
+// network. Like ReadBLIF, it is panic-free: malformed input yields a
+// structured error, parser bugs an *InternalError.
+func ReadPLA(r io.Reader) (nw *Network, err error) {
+	defer guard(&err)
 	p, err := pla.Read(r)
 	if err != nil {
 		return nil, err
@@ -81,8 +96,31 @@ func ReadPLA(r io.Reader) (*Network, error) {
 func WriteBLIF(w io.Writer, nw *Network) error { return blif.Write(w, nw) }
 
 // Map runs the Chortle algorithm: optimal (per fanout-free tree)
-// covering of the network with K-input lookup tables.
-func Map(nw *Network, opts Options) (*Result, error) { return core.Map(nw, opts) }
+// covering of the network with K-input lookup tables. It is
+// MapCtx(context.Background(), nw, opts).
+func Map(nw *Network, opts Options) (*Result, error) {
+	return MapCtx(context.Background(), nw, opts)
+}
+
+// MapCtx is Map under a context.Context. Cancellation or deadline
+// expiry aborts the mapping promptly — the parallel pipeline observes
+// the context between trees and the DP inner loops observe it every
+// few thousand work units — returning ctx.Err() with all worker
+// goroutines joined and all internal arenas returned to their pool.
+//
+// Search budgets (Options.Budget) are orthogonal to the context: a
+// budget never fails the call, it degrades over-budget trees to the
+// bin-packing strategy and lists them in Result.Degraded.
+//
+// MapCtx is panic-free: invalid inputs return structured errors
+// (errors.Is-able against ErrCycle, ErrDuplicateName, ErrBadK, ...);
+// an internal panic — in the calling goroutine or in a worker — is
+// recovered into an *InternalError carrying its stack.
+func MapCtx(ctx context.Context, nw *Network, opts Options) (res *Result, err error) {
+	defer guard(&err)
+	res, err = core.MapCtx(ctx, nw, opts)
+	return res, wrapInternal(err)
+}
 
 // BaselineResult is the outcome of the MIS II-style baseline mapper.
 type BaselineResult = mismap.Result
@@ -90,7 +128,8 @@ type BaselineResult = mismap.Result
 // MapBaseline maps the network with the paper's baseline: a DAGON/MIS-
 // style structural tree coverer using the Section 4.1 library for K
 // (complete for K = 2, 3; level-0-kernel incomplete for K = 4, 5).
-func MapBaseline(nw *Network, k int) (*BaselineResult, error) {
+func MapBaseline(nw *Network, k int) (res *BaselineResult, err error) {
+	defer guard(&err)
 	lib, err := mislib.ForK(k)
 	if err != nil {
 		return nil, err
@@ -102,7 +141,8 @@ func MapBaseline(nw *Network, k int) (*BaselineResult, error) {
 // the re-optimized equivalent — the preprocessing the paper applies to
 // every benchmark before mapping ("optimized by the standard MIS II
 // script").
-func Optimize(nw *Network) (*Network, error) {
+func Optimize(nw *Network) (out *Network, err error) {
+	defer guard(&err)
 	nt, err := opt.FromNetwork(nw)
 	if err != nil {
 		return nil, err
@@ -132,7 +172,18 @@ func VerifyNetworks(a, b *Network, patterns int, seed int64) error {
 // duplications accepted. Slower than Map (it re-costs the network per
 // candidate).
 func MapDuplicateCostAware(nw *Network, opts Options) (*Result, int, error) {
-	return core.MapDuplicateCostAware(nw, opts)
+	return MapDuplicateCostAwareCtx(context.Background(), nw, opts)
+}
+
+// MapDuplicateCostAwareCtx is MapDuplicateCostAware under a context.
+// Cancellation aborts both the candidate search and the final mapping.
+// A wall-clock budget (Options.Budget.WallClock) bounds the search
+// phase: when it expires the candidates accepted so far are kept and
+// the final mapping proceeds, so the call still returns a valid result.
+func MapDuplicateCostAwareCtx(ctx context.Context, nw *Network, opts Options) (res *Result, accepted int, err error) {
+	defer guard(&err)
+	res, accepted, err = core.MapDuplicateCostAwareCtx(ctx, nw, opts)
+	return res, accepted, wrapInternal(err)
 }
 
 // CLBSpec describes a commercial logic block (LUT pair with a shared
@@ -142,12 +193,3 @@ type CLBSpec = lut.CLBSpec
 
 // XC3000 is the Xilinx 3000-series block profile (5 inputs, 2 LUTs).
 var XC3000 = lut.XC3000
-
-// MustMap is a convenience for examples and tests: Map or panic.
-func MustMap(nw *Network, opts Options) *Result {
-	res, err := Map(nw, opts)
-	if err != nil {
-		panic(fmt.Sprintf("chortle: %v", err))
-	}
-	return res
-}

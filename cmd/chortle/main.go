@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify] [in.blif]
+//	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify]
+//	        [-timeout 30s] [-budget N] [in.blif]
 //
 // With no input file the network is read from standard input.
+// -timeout is a hard wall-clock limit: when it expires the mapping is
+// cancelled and the command fails. -budget bounds the per-tree
+// exhaustive search in DP work units; over-budget trees degrade to the
+// bin-packing strategy (still correct, possibly more LUTs) and are
+// counted on stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +46,8 @@ func main() {
 		path     = flag.Bool("path", false, "print the critical path to stderr")
 		parallel = flag.Bool("parallel", true, "compute tree DPs on the worker pool (identical output either way)")
 		memo     = flag.Bool("memo", true, "reuse DP solves across isomorphic trees (identical output either way)")
+		timeout  = flag.Duration("timeout", 0, "hard wall-clock limit for the mapping (0 = none); expiry cancels and fails")
+		budget   = flag.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
 	)
 	flag.Parse()
 
@@ -72,6 +81,13 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var ckt *chortle.Circuit
 	start := time.Now()
 	if *baseline {
@@ -88,12 +104,20 @@ func main() {
 		opts.DuplicateFanoutLogic = *dup
 		opts.RepackLUTs = *repack
 		opts.OptimizeDepth = *depth
+		opts.Budget.WorkUnits = *budget
 		if *binpack {
 			opts.Strategy = chortle.StrategyBinPack
 		}
-		res, err := chortle.Map(nw, opts)
+		res, err := chortle.MapCtx(ctx, nw, opts)
 		if err != nil {
+			if ctx.Err() != nil {
+				fatal(fmt.Errorf("mapping timed out after %s: %w", *timeout, err))
+			}
 			fatal(err)
+		}
+		if len(res.Degraded) > 0 {
+			fmt.Fprintf(os.Stderr, "budget exhausted on %d tree(s); degraded to bin packing\n",
+				len(res.Degraded))
 		}
 		ckt = res.Circuit
 	}

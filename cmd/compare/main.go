@@ -10,6 +10,8 @@
 //	compare -k 4            # Table 3 only
 //	compare -circuits alu2,rot -k 5
 //	compare -noverify       # skip simulation cross-checks (faster)
+//	compare -timeout 30s    # hard per-circuit limit on the Chortle map
+//	compare -budget 1000000 # per-tree search budget in DP work units
 package main
 
 import (
@@ -27,6 +29,8 @@ func main() {
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all twelve)")
 		noverify = flag.Bool("noverify", false, "skip simulation verification of the mapped circuits")
 		parallel = flag.Bool("parallel", true, "compute tree DPs on the worker pool (identical output either way)")
+		timeout  = flag.Duration("timeout", 0, "hard per-circuit wall-clock limit for the Chortle map (0 = none)")
+		budget   = flag.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
 	)
 	flag.Parse()
 
@@ -36,7 +40,12 @@ func main() {
 	} else {
 		ks = []int{2, 3, 4, 5}
 	}
-	opts := chortle.CompareOptions{Verify: !*noverify, Sequential: !*parallel}
+	opts := chortle.CompareOptions{
+		Verify:     !*noverify,
+		Sequential: !*parallel,
+		Timeout:    *timeout,
+		Budget:     *budget,
+	}
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
 	}

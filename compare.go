@@ -1,6 +1,7 @@
 package chortle
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,6 +84,15 @@ type CompareOptions struct {
 	// timing the single-threaded mapper (the emitted circuits are
 	// identical either way).
 	Sequential bool
+	// Timeout is a hard per-circuit wall-clock limit on the Chortle
+	// mapping (0 = none). A circuit that exceeds it fails the run with
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// Budget bounds the per-tree exhaustive search in DP work units
+	// (0 = unlimited). Over-budget trees degrade to bin packing; the
+	// comparison still verifies and reports them, so a budgeted table
+	// is an upper bound on Chortle's LUT counts.
+	Budget int64
 }
 
 // CompareSuite maps the benchmark suite at the given K with both
@@ -131,8 +141,15 @@ func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
 	if o.Sequential {
 		copts.Parallel = false
 	}
+	copts.Budget.WorkUnits = o.Budget
+	ctx := context.Background()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
 	t1 := time.Now()
-	cres, err := Map(nw, copts)
+	cres, err := MapCtx(ctx, nw, copts)
 	if err != nil {
 		return Row{}, err
 	}

@@ -48,6 +48,31 @@ func mapToBLIF(t *testing.T, nw *Network, opts Options) string {
 	return sb.String()
 }
 
+// TestBudgetedMappingDeterministic pins the determinism guarantee of
+// Options.Budget: a work budget generous enough never to be exhausted
+// must leave the emitted BLIF byte-identical to an unbudgeted run —
+// the metering counters may not influence any search decision — in all
+// four Parallel x Memoize modes.
+func TestBudgetedMappingDeterministic(t *testing.T) {
+	nets := determinismSuite(t)
+	for _, c := range bench.Suite() {
+		nw := nets[c.Name]
+		for _, par := range []bool{false, true} {
+			for _, memo := range []bool{false, true} {
+				opts := DefaultOptions(4)
+				opts.Parallel, opts.Memoize = par, memo
+				ref := mapToBLIF(t, nw, opts)
+				opts.Budget.WorkUnits = 1 << 40
+				got := mapToBLIF(t, nw, opts)
+				if got != ref {
+					t.Errorf("%s parallel=%v memoize=%v: budgeted BLIF differs from unbudgeted",
+						c.Name, par, memo)
+				}
+			}
+		}
+	}
+}
+
 func TestMappingDeterministicAcrossModes(t *testing.T) {
 	nets := determinismSuite(t)
 	modes := []struct {

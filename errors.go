@@ -1,0 +1,92 @@
+package chortle
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"chortle/internal/cerrs"
+)
+
+// The public error taxonomy. Every error the package returns falls into
+// one of three classes:
+//
+//   - Structured input errors: conditions reachable from user input
+//     (malformed files, invalid networks, out-of-range options). These
+//     wrap the sentinel values below, so callers can classify them with
+//     errors.Is no matter which layer detected the problem.
+//   - Context errors: a cancelled or expired context.Context makes
+//     MapCtx return context.Canceled / context.DeadlineExceeded.
+//   - *InternalError: a bug inside the mapper (a recovered panic),
+//     carrying the stack trace captured at the recovery point. The
+//     public entry points never let an internal panic escape.
+//
+// Search-budget exhaustion (Options.Budget) is deliberately NOT an
+// error: budgeted mappings degrade per-tree to the bin-packing strategy
+// and report the affected trees in Result.Degraded.
+
+// Sentinel errors for user-input-reachable failure conditions. Match
+// with errors.Is; the concrete error wraps them with file/line/name
+// context.
+var (
+	// ErrCycle: the input network (or BLIF model) contains a
+	// combinational cycle.
+	ErrCycle = cerrs.ErrCycle
+	// ErrDuplicateName: a node, signal, or label name is declared
+	// twice (or collides across namespaces, e.g. an input reusing a
+	// gate name).
+	ErrDuplicateName = cerrs.ErrDuplicateName
+	// ErrBadK: the requested lookup-table input count is outside the
+	// supported range.
+	ErrBadK = cerrs.ErrBadK
+	// ErrArityMismatch: declared and actual widths disagree (cube rows
+	// vs. declared inputs, label lists vs. .i/.o counts, ...).
+	ErrArityMismatch = cerrs.ErrArityMismatch
+)
+
+// InternalError is a panic recovered at the public API boundary (or in
+// a mapping worker): a bug in the mapper, not a problem with the input.
+// It carries the panic value and the stack captured at recovery, so a
+// service embedding the mapper can log the stack and keep serving
+// instead of crashing. If the panic value was itself an error, Unwrap
+// exposes it (and through it any sentinel it wraps).
+type InternalError struct {
+	// Value is the value the internal code passed to panic.
+	Value any
+	// Stack is the goroutine stack captured where the panic was
+	// recovered.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("chortle: internal error: %v", e.Value)
+}
+
+// Unwrap exposes panic values that are themselves errors.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// guard is deferred by every public entry point that crosses into the
+// internal packages: it converts an escaping panic into *InternalError.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = &InternalError{Value: r, Stack: debug.Stack()}
+	}
+}
+
+// wrapInternal normalizes errors crossing the API boundary: a worker
+// panic recovered inside the execution layer travels as an internal
+// *cerrs.PanicError and is converted here to the public *InternalError,
+// so callers see one type for "the mapper broke" regardless of which
+// goroutine broke it.
+func wrapInternal(err error) error {
+	var pe *cerrs.PanicError
+	if errors.As(err, &pe) {
+		return &InternalError{Value: pe.Value, Stack: pe.Stack}
+	}
+	return err
+}

@@ -14,6 +14,14 @@ import (
 	"chortle"
 )
 
+func mustMap(nw *chortle.Network, opts chortle.Options) *chortle.Result {
+	res, err := chortle.Map(nw, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
 func main() {
 	name := "count"
 	if len(os.Args) > 1 {
@@ -29,30 +37,30 @@ func main() {
 
 	fmt.Println("K sweep (paper defaults):")
 	for k := 2; k <= 6; k++ {
-		res := chortle.MustMap(nw, chortle.DefaultOptions(k))
+		res := mustMap(nw, chortle.DefaultOptions(k))
 		st, _ := res.Circuit.Stats()
 		fmt.Printf("  K=%d: %4d LUTs, depth %2d\n", k, res.LUTs, st.Depth)
 	}
 
 	fmt.Println("\nAblations at K=4:")
-	base := chortle.MustMap(nw, chortle.DefaultOptions(4))
+	base := mustMap(nw, chortle.DefaultOptions(4))
 	fmt.Printf("  %-42s %4d LUTs\n", "paper defaults", base.LUTs)
 
 	noDecomp := chortle.DefaultOptions(4)
 	noDecomp.DisableDecomposition = true
-	res := chortle.MustMap(nw, noDecomp)
+	res := mustMap(nw, noDecomp)
 	fmt.Printf("  %-42s %4d LUTs\n", "decomposition search disabled", res.LUTs)
 
 	for _, thr := range []int{4, 6, 10, 14} {
 		o := chortle.DefaultOptions(4)
 		o.SplitThreshold = thr
-		res = chortle.MustMap(nw, o)
+		res = mustMap(nw, o)
 		fmt.Printf("  node splitting threshold %-17d %4d LUTs\n", thr, res.LUTs)
 	}
 
 	dup := chortle.DefaultOptions(4)
 	dup.DuplicateFanoutLogic = true
-	res = chortle.MustMap(nw, dup)
+	res = mustMap(nw, dup)
 	if err := chortle.Verify(nw, res.Circuit, 32, 7); err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +68,7 @@ func main() {
 
 	rp := chortle.DefaultOptions(4)
 	rp.RepackLUTs = true
-	res = chortle.MustMap(nw, rp)
+	res = mustMap(nw, rp)
 	if err := chortle.Verify(nw, res.Circuit, 32, 7); err != nil {
 		log.Fatal(err)
 	}

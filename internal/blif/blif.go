@@ -16,6 +16,7 @@ import (
 	"io"
 	"strings"
 
+	"chortle/internal/cerrs"
 	"chortle/internal/network"
 )
 
@@ -168,7 +169,7 @@ func Read(r io.Reader) (*network.Network, error) {
 				inPlane, outPlane = fields[0], fields[1]
 			}
 			if len(inPlane) != len(cur.inputs) {
-				return nil, fmt.Errorf("blif line %d: cube width %d != %d inputs", lineNo, len(inPlane), len(cur.inputs))
+				return nil, fmt.Errorf("blif line %d: %w: cube width %d != %d inputs", lineNo, cerrs.ErrArityMismatch, len(inPlane), len(cur.inputs))
 			}
 			for _, c := range inPlane {
 				if c != '0' && c != '1' && c != '-' {
@@ -223,7 +224,7 @@ func lower(model string, inputs, outputs []string, decls []*decl, latches []latc
 	byOutput := make(map[string]*decl, len(decls))
 	for _, d := range decls {
 		if prev, dup := byOutput[d.output]; dup {
-			return nil, fmt.Errorf("blif line %d: signal %q already defined at line %d", d.line, d.output, prev.line)
+			return nil, fmt.Errorf("blif line %d: %w: signal %q already defined at line %d", d.line, cerrs.ErrDuplicateName, d.output, prev.line)
 		}
 		byOutput[d.output] = d
 	}
@@ -231,10 +232,10 @@ func lower(model string, inputs, outputs []string, decls []*decl, latches []latc
 	vals := make(map[string]lit)
 	for _, name := range inputs {
 		if _, dup := vals[name]; dup {
-			return nil, fmt.Errorf("blif: duplicate input %q", name)
+			return nil, fmt.Errorf("blif: %w: input %q", cerrs.ErrDuplicateName, name)
 		}
 		if _, isGate := byOutput[name]; isGate {
-			return nil, fmt.Errorf("blif: signal %q is both an input and a .names output", name)
+			return nil, fmt.Errorf("blif: %w: signal %q is both an input and a .names output", cerrs.ErrDuplicateName, name)
 		}
 		vals[name] = lit{node: nw.AddInput(name)}
 	}
@@ -303,7 +304,7 @@ func lower(model string, inputs, outputs []string, decls []*decl, latches []latc
 			return lit{}, fmt.Errorf("blif: undefined signal %q", name)
 		}
 		if stack[name] {
-			return lit{}, fmt.Errorf("blif line %d: combinational cycle through %q", d.line, name)
+			return lit{}, fmt.Errorf("blif line %d: %w through %q", d.line, cerrs.ErrCycle, name)
 		}
 		stack[name] = true
 		defer delete(stack, name)

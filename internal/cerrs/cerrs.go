@@ -1,0 +1,58 @@
+// Package cerrs holds the error taxonomy shared across the chortle
+// packages: sentinel errors for user-input-reachable failure conditions
+// (so callers can errors.Is against a stable value no matter which
+// layer detected the problem) and the PanicError carrier that the
+// execution layer uses to surface a recovered worker panic as an
+// ordinary error. It has no dependencies so every internal package can
+// import it without cycles.
+package cerrs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for conditions reachable from user input. Each layer
+// wraps these with its own context via fmt.Errorf("...: %w", ...);
+// errors.Is sees through the wrapping.
+var (
+	// ErrCycle reports a combinational cycle in an input network.
+	ErrCycle = errors.New("combinational cycle")
+	// ErrDuplicateName reports a name collision (node, signal, label).
+	ErrDuplicateName = errors.New("duplicate name")
+	// ErrBadK reports a lookup-table input count outside the supported
+	// range.
+	ErrBadK = errors.New("K out of range")
+	// ErrArityMismatch reports a width disagreement between a declared
+	// arity and the data supplied for it (cube rows, label lists, truth
+	// tables).
+	ErrArityMismatch = errors.New("arity mismatch")
+	// ErrBudgetExhausted reports that a bounded search ran out of its
+	// work-unit or wall-clock budget. The mapper handles it internally
+	// by degrading to a cheaper strategy; it escapes only from
+	// cost-probe paths that have no fallback.
+	ErrBudgetExhausted = errors.New("search budget exhausted")
+)
+
+// PanicError is a panic recovered inside the execution layer (a DP
+// worker, or the public API boundary), carried as an error with the
+// stack captured at the recovery point. The public package converts it
+// to *chortle.InternalError; it exists here so internal/core can
+// return it without importing the root package.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // debug.Stack() captured where the panic was recovered
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("internal panic: %v", p.Value)
+}
+
+// Unwrap exposes panic values that are themselves errors, so sentinel
+// wrapping survives a panic/recover round trip.
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // dpArena is a bump allocator for the tree DP's working memory. The
 // exhaustive DP wants one 2^fanin x (K+1) table pair per tree node; with
@@ -26,17 +29,30 @@ type dpArena struct {
 
 var arenaPool = sync.Pool{New: func() any { return new(dpArena) }}
 
+// arenasLive counts arenas checked out of the pool and not yet
+// released. Fault-injection tests assert it returns to zero after a
+// cancelled or panicking Map, proving the cleanup path ran.
+var arenasLive atomic.Int64
+
+// liveArenas reports the number of outstanding (acquired, unreleased)
+// arenas — a test-only leak probe.
+func liveArenas() int64 { return arenasLive.Load() }
+
 // acquireArena takes a recycled arena from the pool (offsets reset;
 // slab capacity retained from earlier use).
 func acquireArena() *dpArena {
 	a := arenaPool.Get().(*dpArena)
 	a.reset()
+	arenasLive.Add(1)
 	return a
 }
 
 // release returns the arena and its slabs to the pool. The caller must
 // not retain references into the arena after releasing it.
-func (a *dpArena) release() { arenaPool.Put(a) }
+func (a *dpArena) release() {
+	arenasLive.Add(-1)
+	arenaPool.Put(a)
+}
 
 // reset rewinds the arena so its slabs can be reused. Outstanding
 // sub-slices keep referencing the old backing arrays and stay valid;

@@ -65,19 +65,21 @@ type depthState struct {
 
 // buildDepthDP mirrors buildDP with the lexicographic objective.
 // leafArr supplies arrivals for leaf edges (PIs and mapped tree roots).
-func buildDepthDP(f *forest.Forest, n *network.Node, opts Options, leafArr func(*network.Node) int32) *depthState {
+// gov (nil = unmetered) observes cancellation and budgets exactly as in
+// buildDPIn; enter through solveDepthDP when it is non-nil.
+func buildDepthDP(f *forest.Forest, n *network.Node, opts Options, leafArr func(*network.Node) int32, gov *governor) *depthState {
 	ds := &depthState{nodeDP: &nodeDP{node: n}}
 	for _, e := range n.Fanins {
 		fr := faninRef{edge: e, leafIdx: -1}
 		var child *depthState
 		if !f.IsLeafEdge(e.Node) {
-			child = buildDepthDP(f, e.Node, opts, leafArr)
+			child = buildDepthDP(f, e.Node, opts, leafArr, gov)
 			fr.child = child.nodeDP
 		}
 		ds.fanins = append(ds.fanins, fr)
 		ds.children = append(ds.children, child)
 	}
-	ds.computeDepth(opts, leafArr)
+	ds.computeDepth(opts, leafArr, gov)
 	return ds
 }
 
@@ -102,7 +104,7 @@ func (ds *depthState) mergeValue(i, v int) dvalue {
 	return c.gd[c.full][v]
 }
 
-func (ds *depthState) computeDepth(opts Options, leafArr func(*network.Node) int32) {
+func (ds *depthState) computeDepth(opts Options, leafArr func(*network.Node) int32, gov *governor) {
 	f := len(ds.fanins)
 	K := opts.K
 	size := uint32(1) << uint(f)
@@ -123,6 +125,13 @@ func (ds *depthState) computeDepth(opts Options, leafArr func(*network.Node) int
 	ds.gd[0] = base
 
 	for s := uint32(1); s < size; s++ {
+		if gov != nil {
+			work := int64((K + 1) * (K + 1))
+			if !opts.DisableDecomposition {
+				work += int64(K-1) << uint(bits.OnesCount32(s))
+			}
+			gov.charge(work)
+		}
 		row := make([]dvalue, K+1)
 		ch := ds.choice[int(s)*(K+1) : (int(s)+1)*(K+1)]
 		row[0] = dInfinity
@@ -226,15 +235,19 @@ func errUnmappable(name string, k int) error {
 }
 
 // realizeTreeDepth maps one tree depth-first and registers its signal
-// and arrival.
-func (m *mapper) realizeTreeDepth(root *network.Node, arr map[*network.Node]int32) (int32, error) {
+// and arrival. A governor abort (cancellation, budget) surfaces as the
+// returned error; Map degrades budget-exhausted trees to bin packing.
+func (m *mapper) realizeTreeDepth(root *network.Node, arr map[*network.Node]int32, gov *governor) (int32, error) {
 	leafArr := func(n *network.Node) int32 {
 		if n.IsInput() {
 			return 0
 		}
 		return arr[n]
 	}
-	ds := buildDepthDP(m.f, root, m.opts, leafArr)
+	ds, err := solveDepthDP(m.f, root, m.opts, leafArr, gov)
+	if err != nil {
+		return 0, err
+	}
 	if ds.bestCost >= infinity {
 		return 0, errUnmappable(root.Name, m.opts.K)
 	}

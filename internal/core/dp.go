@@ -96,17 +96,20 @@ func (dp *nodeDP) choiceAt(s uint32, u int) gChoice { return dp.choice[int(s)*in
 
 // buildDP constructs DP tables for the tree rooted at n (which must be a
 // gate inside the tree), recursively building children first. This
-// standalone form allocates a private arena; the mapping hot path goes
-// through buildDPIn with a recycled one.
+// standalone form allocates a private arena and runs unmetered; the
+// mapping hot path goes through buildDPIn with a recycled arena and a
+// governor.
 func buildDP(f *forest.Forest, n *network.Node, opts Options) *nodeDP {
 	var nodeCtr, leafCtr int32
-	return buildDPIn(new(dpArena), f, n, opts, &nodeCtr, &leafCtr)
+	return buildDPIn(new(dpArena), f, n, opts, &nodeCtr, &leafCtr, nil)
 }
 
 // buildDPIn constructs the tree DP with all state carved from arena a.
 // nodeCtr and leafCtr thread the preorder numbering of gates and leaf
-// edges through the recursion.
-func buildDPIn(a *dpArena, f *forest.Forest, n *network.Node, opts Options, nodeCtr, leafCtr *int32) *nodeDP {
+// edges through the recursion. gov (nil = unmetered) observes
+// cancellation and search budgets; on a trip it unwinds the whole solve
+// with a *solveAbort panic, so callers must enter through solveDP.
+func buildDPIn(a *dpArena, f *forest.Forest, n *network.Node, opts Options, nodeCtr, leafCtr *int32, gov *governor) *nodeDP {
 	dp := a.allocNode()
 	idx := *nodeCtr
 	*nodeCtr++
@@ -114,7 +117,7 @@ func buildDPIn(a *dpArena, f *forest.Forest, n *network.Node, opts Options, node
 	for i, e := range n.Fanins {
 		fr := faninRef{edge: e, leafIdx: -1}
 		if !f.IsLeafEdge(e.Node) {
-			fr.child = buildDPIn(a, f, e.Node, opts, nodeCtr, leafCtr)
+			fr.child = buildDPIn(a, f, e.Node, opts, nodeCtr, leafCtr, gov)
 		} else {
 			fr.leafIdx = *leafCtr
 			*leafCtr++
@@ -122,7 +125,7 @@ func buildDPIn(a *dpArena, f *forest.Forest, n *network.Node, opts Options, node
 		frs[i] = fr
 	}
 	*dp = nodeDP{node: n, fanins: frs, nodeIdx: idx}
-	dp.compute(a, opts)
+	dp.compute(a, opts, gov)
 	return dp
 }
 
@@ -145,7 +148,7 @@ func (dp *nodeDP) costMerge(i, v int) int32 {
 	return c.gAt(c.full, v) // (1 + g) - 1
 }
 
-func (dp *nodeDP) compute(a *dpArena, opts Options) {
+func (dp *nodeDP) compute(a *dpArena, opts Options, gov *governor) {
 	f := len(dp.fanins)
 	K := opts.K
 	stride := K + 1
@@ -168,6 +171,16 @@ func (dp *nodeDP) compute(a *dpArena, opts Options) {
 	}
 
 	for s := 1; s < size; s++ {
+		// One budget charge per subset row, sized to the row's search
+		// effort: the singleton scan is O(K^2) and the intermediate-group
+		// scan is O(K * 2^|s|) submask probes.
+		if gov != nil {
+			work := int64(stride * stride)
+			if !opts.DisableDecomposition {
+				work += int64(K-1) << uint(bits.OnesCount32(uint32(s)))
+			}
+			gov.charge(work)
+		}
 		row := g[s*stride : (s+1)*stride]
 		ch := choices[s*stride : (s+1)*stride]
 		row[0] = infinity

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 
+	"chortle/internal/cerrs"
 	"chortle/internal/network"
 )
 
@@ -20,6 +23,16 @@ import (
 // then maps. The returned Result reflects the final mapping; the int is
 // the number of duplications accepted.
 func MapDuplicateCostAware(input *network.Network, opts Options) (*Result, int, error) {
+	return MapDuplicateCostAwareCtx(context.Background(), input, opts)
+}
+
+// MapDuplicateCostAwareCtx is MapDuplicateCostAware under a context.
+// The search observes cancellation between candidates and inside every
+// cost probe; a cancelled context aborts with its error. A wall-clock
+// budget (Options.Budget.WallClock) instead stops the search gracefully
+// — duplications accepted so far are kept and the final mapping
+// degrades per-tree like any budgeted MapCtx call.
+func MapDuplicateCostAwareCtx(ctx context.Context, input *network.Network, opts Options) (*Result, int, error) {
 	if err := opts.validate(); err != nil {
 		return nil, 0, err
 	}
@@ -31,20 +44,39 @@ func MapDuplicateCostAware(input *network.Network, opts Options) (*Result, int, 
 	accepted := 0
 	// One cost memo for the entire search: the trial networks differ from
 	// the base in only the trees a duplication touches, so nearly every
-	// tree cost of a trial is a memo hit instead of a DP solve.
+	// tree cost of a trial is a memo hit instead of a DP solve. Cost
+	// probes run unbudgeted (work units bound the final mapping, not the
+	// search's cost oracle) but still observe ctx and the deadline.
 	cm := newCostMemo()
+	probeOpts := opts
+	probeOpts.Budget = Budget{}
+	// The soft wall-clock budget bounds the search phase through a
+	// derived deadline (per-probe budgets would restart the clock every
+	// trial); the final mapping below then gets its own budget window.
+	searchCtx := ctx
+	if opts.Budget.WallClock > 0 {
+		var cancel context.CancelFunc
+		searchCtx, cancel = context.WithTimeout(ctx, opts.Budget.WallClock)
+		defer cancel()
+	}
 	// Iterate to a fixed point with a safety bound: each accepted
 	// duplication strictly reduces the DP cost, which is bounded below.
 	for pass := 0; pass < 8; pass++ {
-		changed, err := dupPass(nw, opts, cm, &accepted)
+		changed, err := dupPass(searchCtx, nw, probeOpts, cm, &accepted)
 		if err != nil {
+			// The search-phase deadline stops the search, keeping the
+			// duplications found so far; the caller's own cancellation
+			// aborts outright.
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				break
+			}
 			return nil, 0, err
 		}
 		if !changed {
 			break
 		}
 	}
-	res, err := Map(nw, opts)
+	res, err := MapCtx(ctx, nw, opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -53,8 +85,8 @@ func MapDuplicateCostAware(input *network.Network, opts Options) (*Result, int, 
 
 // totalTreeCost maps (cost only) the whole network, resolving known
 // tree shapes through the cost memo.
-func totalTreeCost(nw *network.Network, opts Options, cm *costMemo) (int, error) {
-	costs, err := treeCosts(nw, opts, cm)
+func totalTreeCost(ctx context.Context, nw *network.Network, opts Options, cm *costMemo) (int, error) {
+	costs, err := treeCosts(ctx, nw, opts, cm)
 	if err != nil {
 		return 0, err
 	}
@@ -66,8 +98,8 @@ func totalTreeCost(nw *network.Network, opts Options, cm *costMemo) (int, error)
 }
 
 // dupPass tries every candidate once, committing improvements.
-func dupPass(nw *network.Network, opts Options, cm *costMemo, accepted *int) (bool, error) {
-	base, err := totalTreeCost(nw, opts, cm)
+func dupPass(ctx context.Context, nw *network.Network, opts Options, cm *costMemo, accepted *int) (bool, error) {
+	base, err := totalTreeCost(ctx, nw, opts, cm)
 	if err != nil {
 		return false, err
 	}
@@ -88,6 +120,9 @@ func dupPass(nw *network.Network, opts Options, cm *costMemo, accepted *int) (bo
 
 	changed := false
 	for _, name := range candidates {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		n := nw.Find(name)
 		if n == nil {
 			continue // removed by an earlier accepted duplication
@@ -100,8 +135,14 @@ func dupPass(nw *network.Network, opts Options, cm *costMemo, accepted *int) (bo
 		if err := trial.Validate(); err != nil {
 			continue
 		}
-		cost, err := totalTreeCost(trial, opts, cm)
+		cost, err := totalTreeCost(ctx, trial, opts, cm)
 		if err != nil {
+			// Cancellation and deadline expiry must abort the pass; any
+			// other probe failure just disqualifies this candidate.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, cerrs.ErrBudgetExhausted) {
+				return false, err
+			}
 			continue
 		}
 		if cost < base {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
+	"chortle/internal/cerrs"
 	"chortle/internal/forest"
 	"chortle/internal/lut"
 	"chortle/internal/network"
@@ -224,19 +226,34 @@ func (m *mapper) realizeTreeFromDP(root *network.Node, dp *nodeDP) (int32, error
 	return dp.bestCost, nil
 }
 
+// errDegraded marks a tree whose exhaustive solve ran out of budget;
+// Map catches it (via cerrs.ErrBudgetExhausted) and remaps the tree
+// with the bin-packing strategy.
+func errDegraded(name string) error {
+	return fmt.Errorf("core: tree %q: %w", name, cerrs.ErrBudgetExhausted)
+}
+
 // realizeTreeCtx maps the tree rooted at root using the per-Map context:
 // through the shape memo when memoization is on, from the parallel
 // prepass's DP when one exists, or with a fresh solve in the context's
-// sequential arena.
-func (m *mapper) realizeTreeCtx(root *network.Node, ctx *mapCtx) (int32, error) {
-	if ctx.memo != nil {
-		return m.realizeTreeMemo(root, ctx)
+// sequential arena. An error wrapping cerrs.ErrBudgetExhausted means
+// the tree's solve ran out of budget and the caller should degrade it;
+// any other error aborts the mapping.
+func (m *mapper) realizeTreeCtx(root *network.Node, mc *mapCtx) (int32, error) {
+	if mc.memo != nil {
+		return m.realizeTreeMemo(root, mc)
 	}
-	if dp, ok := ctx.prebuilt[root]; ok {
+	if dp, ok := mc.prebuilt[root]; ok {
+		if dp == nil {
+			return 0, errDegraded(root.Name)
+		}
 		return m.realizeTreeFromDP(root, dp)
 	}
-	var nodeCtr, leafCtr int32
-	return m.realizeTreeFromDP(root, buildDPIn(ctx.seqArena, m.f, root, m.opts, &nodeCtr, &leafCtr))
+	dp, err := solveDP(mc.seqArena, m.f, root, m.opts, mc.newGov())
+	if err != nil {
+		return 0, err
+	}
+	return m.realizeTreeFromDP(root, dp)
 }
 
 // realizeTreeMemo maps one tree through the shape memo. A shape hit
@@ -247,21 +264,30 @@ func (m *mapper) realizeTreeCtx(root *network.Node, ctx *mapCtx) (int32, error) 
 // recorded only from a shape's second instance on, once repetition is
 // proven. (A shape seen exactly twice reconstructs twice; from the
 // third instance on it replays.)
-func (m *mapper) realizeTreeMemo(root *network.Node, ctx *mapCtx) (int32, error) {
-	h := ctx.hashFor(root)
-	e := ctx.memo.lookup(m.f, root, h)
+func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) {
+	h := mc.hashFor(root)
+	e := mc.memo.lookup(m.f, root, h)
 	if e == nil {
 		e = &shapeEntry{f: m.f, rep: root, templates: make(map[string]*emitTemplate)}
-		var nodeCtr, leafCtr int32
-		e.dp = buildDPIn(ctx.seqArena, m.f, root, m.opts, &nodeCtr, &leafCtr)
-		ctx.memo.insert(h, e)
+		dp, err := solveDP(mc.seqArena, m.f, root, m.opts, mc.newGov())
+		if err != nil {
+			if !errors.Is(err, cerrs.ErrBudgetExhausted) {
+				return 0, err
+			}
+			e.degraded = true
+		}
+		e.dp = dp
+		mc.memo.insert(h, e)
+	}
+	if e.degraded {
+		return 0, errDegraded(root.Name)
 	}
 	if e.dp.bestCost >= infinity {
 		return 0, errUnmappable(root.Name, m.opts.K)
 	}
 	dp := e.dp
 	if e.rep != root {
-		dp = rebindDP(ctx.seqArena, e.dp, m.f, root)
+		dp = rebindDP(mc.seqArena, e.dp, m.f, root)
 	}
 	if !e.seen {
 		e.seen = true

@@ -1,0 +1,17 @@
+package core
+
+// FaultHook, when non-nil, is invoked at instrumented points of the
+// mapping pipeline: ("solve", nodeID) at the start of every tree DP
+// solve, and ("worker", item) before each item a pool worker picks up.
+// It exists only for fault-injection tests — forcing a mid-map
+// cancellation or a worker panic at a precise point — and must be nil
+// in production use. Tests that set it must restore nil before other
+// tests run (it is read without synchronization beyond the usual
+// happens-before of test setup).
+var FaultHook func(site string, i int)
+
+func fireFaultHook(site string, i int) {
+	if h := FaultHook; h != nil {
+		h(site, i)
+	}
+}

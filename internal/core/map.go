@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
+	"chortle/internal/cerrs"
 	"chortle/internal/forest"
 	"chortle/internal/lut"
 	"chortle/internal/network"
@@ -22,6 +25,12 @@ type Result struct {
 	PredictedCost int
 	// SplitNodes counts nodes added by the wide-fanin pre-split.
 	SplitNodes int
+	// Degraded lists, in mapping order, the root names of trees whose
+	// exhaustive search exhausted Options.Budget and were remapped with
+	// the bin-packing strategy instead. Empty means every tree got the
+	// full search (the circuit is tree-optimal as usual); non-empty
+	// means the circuit is valid but best-effort on those trees.
+	Degraded []string
 }
 
 // Map runs the Chortle algorithm on the network, producing a circuit of
@@ -31,7 +40,20 @@ type Result struct {
 // paper's (no logic duplication at fanout nodes unless
 // Options.DuplicateFanoutLogic is set).
 func Map(input *network.Network, opts Options) (*Result, error) {
+	return MapCtx(context.Background(), input, opts)
+}
+
+// MapCtx is Map under a context: cancellation or deadline expiry makes
+// the mapping return ctx.Err() promptly — the worker pool observes the
+// context between trees and the DP inner loops observe it every few
+// thousand work units — with all goroutines joined and all arenas
+// returned. Budgets (Options.Budget) are independent of the context:
+// they degrade trees instead of failing, see Result.Degraded.
+func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := input.Validate(); err != nil {
@@ -59,6 +81,9 @@ func Map(input *network.Network, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	m := &mapper{
 		opts: opts,
@@ -72,30 +97,44 @@ func Map(input *network.Network, opts Options) (*Result, error) {
 	}
 
 	predicted := 0
+	var degraded []string
 	arrivals := make(map[*network.Node]int32)
 	// With the default strategy and objective, per-tree DPs are
 	// independent (tree costs never depend on other trees' results), so
 	// they can run concurrently and identical shapes can share one solve;
 	// reconstruction stays sequential for deterministic naming. The
-	// bin-packing and depth paths keep their own per-tree state.
-	var ctx *mapCtx
-	if opts.Strategy == StrategyExhaustive && !opts.OptimizeDepth {
-		ctx = newMapCtx(f, opts)
-		defer ctx.release()
-		if opts.Parallel {
-			ctx.buildDPsParallel()
+	// bin-packing and depth paths keep their own per-tree state. mctx
+	// also carries the run's cancellation/budget plumbing, which the
+	// depth path borrows for its governors.
+	mctx := newMapCtx(ctx, f, opts)
+	defer mctx.release()
+	exhaustiveArea := opts.Strategy == StrategyExhaustive && !opts.OptimizeDepth
+	if exhaustiveArea && opts.Parallel {
+		if err := mctx.buildDPsParallel(); err != nil {
+			return nil, err
 		}
 	}
 	for _, root := range f.Roots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var cost int32
 		var err error
 		switch {
 		case opts.Strategy == StrategyBinPack:
 			cost, err = m.realizeTreeCRF(root, arrivals)
 		case opts.OptimizeDepth:
-			cost, err = m.realizeTreeDepth(root, arrivals)
+			cost, err = m.realizeTreeDepth(root, arrivals, mctx.newGov())
 		default:
-			cost, err = m.realizeTreeCtx(root, ctx)
+			cost, err = m.realizeTreeCtx(root, mctx)
+		}
+		if err != nil && errors.Is(err, cerrs.ErrBudgetExhausted) {
+			// Budget ran out on this tree: degrade it to the bin-packing
+			// strategy, which needs no search budget, and keep going.
+			cost, err = m.realizeTreeCRF(root, arrivals)
+			if err == nil {
+				degraded = append(degraded, root.Name)
+			}
 		}
 		if err != nil {
 			return nil, err
@@ -146,6 +185,7 @@ func Map(input *network.Network, opts Options) (*Result, error) {
 		Trees:         len(f.Roots),
 		PredictedCost: predicted,
 		SplitNodes:    split,
+		Degraded:      degraded,
 	}, nil
 }
 
@@ -154,15 +194,20 @@ func Map(input *network.Network, opts Options) (*Result, error) {
 // compare against exhaustive reference enumeration. With
 // Options.Parallel set, tree DPs are solved on the worker pool.
 func TreeCosts(input *network.Network, opts Options) (map[string]int, error) {
-	return treeCosts(input, opts, nil)
+	return treeCosts(context.Background(), input, opts, nil)
 }
 
-// treeCosts is TreeCosts with an optional cross-network cost memo: trees
-// whose shape is already known (from a previous network sharing most of
-// its structure, as the duplication search's trial clones do) skip the
-// DP solve entirely.
-func treeCosts(input *network.Network, opts Options, cm *costMemo) (map[string]int, error) {
+// treeCosts is TreeCosts with a context and an optional cross-network
+// cost memo: trees whose shape is already known (from a previous network
+// sharing most of its structure, as the duplication search's trial
+// clones do) skip the DP solve entirely. Cost probes have no bin-packing
+// fallback, so cancellation, deadline expiry and budget exhaustion all
+// surface as errors here (the latter wrapping cerrs.ErrBudgetExhausted).
+func treeCosts(ctx context.Context, input *network.Network, opts Options, cm *costMemo) (map[string]int, error) {
 	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	nw := input.Clone()
@@ -177,15 +222,15 @@ func treeCosts(input *network.Network, opts Options, cm *costMemo) (map[string]i
 		return nil, err
 	}
 
-	ctx := newMapCtx(f, opts)
-	defer ctx.release()
+	mctx := newMapCtx(ctx, f, opts)
+	defer mctx.release()
 	costs := make([]int32, len(f.Roots))
 	var hs []uint64
 	unknown := make([]int, 0, len(f.Roots))
 	if cm != nil {
 		hs = make([]uint64, len(f.Roots))
 		for i, root := range f.Roots {
-			hs[i] = treeHash(f, root, ctx.seed)
+			hs[i] = treeHash(f, root, mctx.seed)
 			if c, ok := cm.lookup(f, root, hs[i]); ok {
 				costs[i] = c
 			} else {
@@ -200,17 +245,27 @@ func treeCosts(input *network.Network, opts Options, cm *costMemo) (map[string]i
 
 	solved := make([]int32, len(unknown))
 	if opts.Parallel {
-		ctx.runPool(len(unknown), func(a *dpArena, j int) {
-			var nodeCtr, leafCtr int32
-			solved[j] = buildDPIn(a, f, f.Roots[unknown[j]], opts, &nodeCtr, &leafCtr).bestCost
+		err := mctx.runPool(len(unknown), func(a *dpArena, j int) error {
+			dp, err := solveDP(a, f, f.Roots[unknown[j]], opts, mctx.newGov())
+			if err != nil {
+				return err
+			}
+			solved[j] = dp.bestCost
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		for j, i := range unknown {
 			// Only the cost survives each solve, so the arena can be
 			// recycled tree by tree.
-			ctx.seqArena.reset()
-			var nodeCtr, leafCtr int32
-			solved[j] = buildDPIn(ctx.seqArena, f, f.Roots[i], opts, &nodeCtr, &leafCtr).bestCost
+			mctx.seqArena.reset()
+			dp, err := solveDP(mctx.seqArena, f, f.Roots[i], opts, mctx.newGov())
+			if err != nil {
+				return nil, err
+			}
+			solved[j] = dp.bestCost
 		}
 	}
 	for j, i := range unknown {

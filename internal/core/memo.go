@@ -20,6 +20,12 @@ type shapeEntry struct {
 	rep *network.Node // representative tree whose nodes dp is bound to
 	dp  *nodeDP
 
+	// degraded marks a shape whose solve exhausted its search budget
+	// (dp is nil). Every tree of the shape degrades to bin packing —
+	// the work cost of a shape is deterministic, so this keeps the
+	// degraded set identical with memoization on or off.
+	degraded bool
+
 	// seen is set once a tree of this shape has been reconstructed. Most
 	// shapes never repeat, so the template machinery (leaf-signal walk,
 	// emission recording) is engaged only from the second instance on.

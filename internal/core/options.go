@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"chortle/internal/cerrs"
 	"chortle/internal/truth"
 )
 
@@ -71,6 +72,13 @@ type Options struct {
 	// Parallel.
 	Memoize bool
 
+	// Budget bounds the exhaustive decomposition search per tree
+	// (work units) and per run (soft wall-clock deadline). Trees that
+	// exhaust it are remapped with StrategyBinPack and listed in
+	// Result.Degraded; the mapping never fails on a budget. The zero
+	// value is unlimited. See Budget.
+	Budget Budget
+
 	// RepackLUTs enables the post-mapping peephole that merges
 	// single-fanout LUTs into consumers when the combined distinct
 	// inputs fit K. It recovers part of the reconvergent-fanout loss
@@ -92,10 +100,16 @@ func DefaultOptions(k int) Options {
 // validate rejects out-of-range configurations.
 func (o Options) validate() error {
 	if o.K < 2 || o.K > truth.MaxVars {
-		return fmt.Errorf("core: K=%d out of range [2,%d]", o.K, truth.MaxVars)
+		return fmt.Errorf("core: K=%d out of range [2,%d]: %w", o.K, truth.MaxVars, cerrs.ErrBadK)
 	}
 	if o.SplitThreshold < 2 {
 		return fmt.Errorf("core: split threshold %d must be at least 2", o.SplitThreshold)
+	}
+	if o.Budget.WorkUnits < 0 {
+		return fmt.Errorf("core: negative work-unit budget %d", o.Budget.WorkUnits)
+	}
+	if o.Budget.WallClock < 0 {
+		return fmt.Errorf("core: negative wall-clock budget %s", o.Budget.WallClock)
 	}
 	return nil
 }

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"chortle/internal/cerrs"
 	"chortle/internal/forest"
 	"chortle/internal/network"
 )
@@ -16,70 +21,100 @@ import (
 // reconstruction rebinds the shared tables to each duplicate tree.
 // Reconstruction itself stays sequential, so the emitted circuit is
 // byte-identical to the sequential mapper's output.
+//
+// The pipeline is also the execution layer's resilience boundary: every
+// pool run observes context cancellation between items (and, through
+// the per-solve governors, inside a solve), and a panicking worker is
+// recovered into an error — the pool always drains its goroutines and
+// the per-Map arenas are always returned, whatever kills the run.
 
-// mapCtx carries the per-Map performance machinery: the recycled
-// arenas, the shape memo, and the root hashes. It exists only for the
-// exhaustive-strategy area objective; the bin-packing and depth paths
-// keep their own state.
+// mapCtx carries the per-Map performance and control machinery: the
+// recycled arenas, the shape memo, the root hashes, and the
+// cancellation/budget state. It exists only for the exhaustive-strategy
+// area objective; the bin-packing and depth paths keep their own state.
 type mapCtx struct {
 	opts Options
 	f    *forest.Forest
 	seed uint64
 
+	// ctx is the caller's cancellation signal (never nil; Background
+	// when the caller used the context-free API).
+	ctx context.Context
+	// deadline is the soft wall-clock budget boundary; zero when no
+	// WallClock budget is set. Trees solved past it degrade.
+	deadline time.Time
+
 	memo   *shapeMemo               // nil when opts.Memoize is off
 	hashes map[*network.Node]uint64 // cached per tree root
 
-	prebuilt map[*network.Node]*nodeDP // parallel path without memoization
+	// prebuilt holds the parallel path's per-tree DPs when memoization
+	// is off. A present nil entry records a tree whose solve exhausted
+	// its budget and must degrade.
+	prebuilt map[*network.Node]*nodeDP
 
 	seqArena *dpArena
 	mu       sync.Mutex // guards arenas during the parallel build
 	arenas   []*dpArena
 }
 
-func newMapCtx(f *forest.Forest, opts Options) *mapCtx {
-	ctx := &mapCtx{opts: opts, f: f, seed: shapeSeed(opts), seqArena: acquireArena()}
-	ctx.arenas = append(ctx.arenas, ctx.seqArena)
-	if opts.Memoize {
-		ctx.memo = newShapeMemo()
-		ctx.hashes = make(map[*network.Node]uint64, len(f.Roots))
+func newMapCtx(ctx context.Context, f *forest.Forest, opts Options) *mapCtx {
+	mc := &mapCtx{opts: opts, f: f, ctx: ctx, seed: shapeSeed(opts), seqArena: acquireArena()}
+	if opts.Budget.WallClock > 0 {
+		mc.deadline = time.Now().Add(opts.Budget.WallClock)
 	}
-	return ctx
+	mc.arenas = append(mc.arenas, mc.seqArena)
+	if opts.Memoize {
+		mc.memo = newShapeMemo()
+		mc.hashes = make(map[*network.Node]uint64, len(f.Roots))
+	}
+	return mc
+}
+
+// newGov creates the per-solve governor wiring one tree solve to the
+// run's cancellation and budget state.
+func (mc *mapCtx) newGov() *governor {
+	return &governor{ctx: mc.ctx, limit: mc.opts.Budget.WorkUnits, deadline: mc.deadline}
 }
 
 // release returns every arena to the pool. No nodeDP reached through the
 // context may be used afterwards.
-func (ctx *mapCtx) release() {
-	for _, a := range ctx.arenas {
+func (mc *mapCtx) release() {
+	for _, a := range mc.arenas {
 		a.release()
 	}
-	ctx.arenas = nil
+	mc.arenas = nil
 }
 
-func (ctx *mapCtx) hashFor(root *network.Node) uint64 {
-	if h, ok := ctx.hashes[root]; ok {
+func (mc *mapCtx) hashFor(root *network.Node) uint64 {
+	if h, ok := mc.hashes[root]; ok {
 		return h
 	}
-	h := treeHash(ctx.f, root, ctx.seed)
-	ctx.hashes[root] = h
+	h := treeHash(mc.f, root, mc.seed)
+	mc.hashes[root] = h
 	return h
 }
 
 // workerArena hands each pool worker its own arena, registered with the
-// context so the slabs live until the whole Map completes.
-func (ctx *mapCtx) workerArena() *dpArena {
+// context so the slabs live until the whole Map completes (and are
+// returned by release even when the worker dies).
+func (mc *mapCtx) workerArena() *dpArena {
 	a := acquireArena()
-	ctx.mu.Lock()
-	ctx.arenas = append(ctx.arenas, a)
-	ctx.mu.Unlock()
+	mc.mu.Lock()
+	mc.arenas = append(mc.arenas, a)
+	mc.mu.Unlock()
 	return a
 }
 
 // runPool executes fn(arena, i) for i in [0, n) on a bounded worker
-// pool. The WaitGroup forms the happens-before edge that publishes the
-// workers' writes to the caller.
-func (ctx *mapCtx) runPool(n int, fn func(a *dpArena, i int)) {
+// pool and returns the first error any item produced. The pool drains
+// unconditionally: cancellation and item errors stop further pickup but
+// every started goroutine is joined before runPool returns, and a
+// panicking worker is recovered into a *cerrs.PanicError instead of
+// crashing the process. The WaitGroup forms the happens-before edge
+// that publishes the workers' writes to the caller.
+func (mc *mapCtx) runPool(n int, fn func(a *dpArena, i int) error) error {
 	if n == 0 {
-		return
+		return nil
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -87,27 +122,70 @@ func (ctx *mapCtx) runPool(n int, fn func(a *dpArena, i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(ctx.seqArena, i)
+			if err := mc.ctx.Err(); err != nil {
+				return err
+			}
+			fireFaultHook("worker", i)
+			if err := fn(mc.seqArena, i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			a := ctx.workerArena()
+			defer func() {
+				if r := recover(); r != nil {
+					// A solveAbort escaping here means fn skipped the
+					// solveDP boundary; keep its error rather than
+					// reporting a panic.
+					if ab, ok := r.(*solveAbort); ok {
+						fail(ab.err)
+						return
+					}
+					fail(&cerrs.PanicError{Value: r, Stack: debug.Stack()})
+				}
+			}()
+			a := mc.workerArena()
 			for {
+				if stop.Load() {
+					return
+				}
+				if err := mc.ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(a, i)
+				fireFaultHook("worker", i)
+				if err := fn(a, i); err != nil {
+					fail(err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // buildDPsParallel computes the tree DPs up front on the worker pool.
@@ -115,35 +193,59 @@ func (ctx *mapCtx) runPool(n int, fn func(a *dpArena, i int)) {
 // share the dedup performed (sequentially, it is O(trees) hashing) on
 // the main goroutine; duplicates are rebound lazily during sequential
 // reconstruction. Without memoization every tree gets its own DP, as
-// the sequential non-memoized path would produce.
-func (ctx *mapCtx) buildDPsParallel() {
-	roots := ctx.f.Roots
-	if ctx.memo != nil {
+// the sequential non-memoized path would produce. Budget-exhausted
+// solves are recorded (degraded shape entries / nil prebuilt DPs) so
+// sequential reconstruction degrades those trees; cancellation or a
+// worker panic aborts the whole prepass with the error.
+func (mc *mapCtx) buildDPsParallel() error {
+	roots := mc.f.Roots
+	solveOne := func(a *dpArena, root *network.Node) (*nodeDP, bool, error) {
+		dp, err := solveDP(a, mc.f, root, mc.opts, mc.newGov())
+		if err != nil {
+			if errors.Is(err, cerrs.ErrBudgetExhausted) {
+				return nil, true, nil
+			}
+			return nil, false, err
+		}
+		return dp, false, nil
+	}
+	if mc.memo != nil {
 		var reps []*network.Node
 		entries := make([]*shapeEntry, 0, len(roots))
 		for _, r := range roots {
-			h := ctx.hashFor(r)
-			if ctx.memo.lookup(ctx.f, r, h) != nil {
+			h := mc.hashFor(r)
+			if mc.memo.lookup(mc.f, r, h) != nil {
 				continue
 			}
-			e := &shapeEntry{f: ctx.f, rep: r, templates: make(map[string]*emitTemplate)}
-			ctx.memo.insert(h, e)
+			e := &shapeEntry{f: mc.f, rep: r, templates: make(map[string]*emitTemplate)}
+			mc.memo.insert(h, e)
 			reps = append(reps, r)
 			entries = append(entries, e)
 		}
-		ctx.runPool(len(reps), func(a *dpArena, i int) {
-			var nodeCtr, leafCtr int32
-			entries[i].dp = buildDPIn(a, ctx.f, reps[i], ctx.opts, &nodeCtr, &leafCtr)
+		return mc.runPool(len(reps), func(a *dpArena, i int) error {
+			dp, degraded, err := solveOne(a, reps[i])
+			if err != nil {
+				return err
+			}
+			entries[i].dp, entries[i].degraded = dp, degraded
+			return nil
 		})
-		return
 	}
 	dps := make([]*nodeDP, len(roots))
-	ctx.runPool(len(roots), func(a *dpArena, i int) {
-		var nodeCtr, leafCtr int32
-		dps[i] = buildDPIn(a, ctx.f, roots[i], ctx.opts, &nodeCtr, &leafCtr)
+	err := mc.runPool(len(roots), func(a *dpArena, i int) error {
+		dp, _, err := solveOne(a, roots[i])
+		if err != nil {
+			return err
+		}
+		dps[i] = dp // nil when degraded
+		return nil
 	})
-	ctx.prebuilt = make(map[*network.Node]*nodeDP, len(roots))
-	for i, r := range roots {
-		ctx.prebuilt[r] = dps[i]
+	if err != nil {
+		return err
 	}
+	mc.prebuilt = make(map[*network.Node]*nodeDP, len(roots))
+	for i, r := range roots {
+		mc.prebuilt[r] = dps[i]
+	}
+	return nil
 }

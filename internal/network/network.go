@@ -10,6 +10,8 @@ package network
 import (
 	"fmt"
 	"sort"
+
+	"chortle/internal/cerrs"
 )
 
 // Op is the Boolean operation of a node.
@@ -129,7 +131,11 @@ func (nw *Network) insert(n *Node) {
 		nw.byName = make(map[string]*Node)
 	}
 	if _, dup := nw.byName[n.Name]; dup {
-		panic(fmt.Sprintf("network: duplicate node name %q", n.Name))
+		// A programming error at this layer, but reachable from user
+		// input through builder paths; the panic value is an error
+		// wrapping the sentinel so the public API boundary can recover
+		// it into something errors.Is can classify.
+		panic(fmt.Errorf("network: %w: node %q", cerrs.ErrDuplicateName, n.Name))
 	}
 	n.ID = len(nw.Nodes)
 	nw.Nodes = append(nw.Nodes, n)
@@ -201,7 +207,7 @@ func (nw *Network) TopoSort() ([]*Node, error) {
 	visit = func(n *Node) error {
 		switch state[n.ID] {
 		case gray:
-			return fmt.Errorf("network %q: cycle through node %q", nw.Name, n.Name)
+			return fmt.Errorf("network %q: %w through node %q", nw.Name, cerrs.ErrCycle, n.Name)
 		case black:
 			return nil
 		}
@@ -248,7 +254,7 @@ func (nw *Network) Validate() error {
 	seen := make(map[string]bool, len(nw.Nodes))
 	for _, n := range nw.Nodes {
 		if seen[n.Name] {
-			return fmt.Errorf("network %q: duplicate node name %q", nw.Name, n.Name)
+			return fmt.Errorf("network %q: %w: node %q", nw.Name, cerrs.ErrDuplicateName, n.Name)
 		}
 		seen[n.Name] = true
 		switch n.Op {
@@ -273,7 +279,7 @@ func (nw *Network) Validate() error {
 			return fmt.Errorf("network %q: output %q references nil node", nw.Name, o.Name)
 		}
 		if outNames[o.Name] {
-			return fmt.Errorf("network %q: duplicate output name %q", nw.Name, o.Name)
+			return fmt.Errorf("network %q: %w: output %q", nw.Name, cerrs.ErrDuplicateName, o.Name)
 		}
 		outNames[o.Name] = true
 	}

@@ -2,8 +2,10 @@ package pla
 
 import "testing"
 
-// FuzzRead: mangled PLA inputs must never panic; accepted PLAs must
-// round-trip through Write.
+// FuzzRead: mangled PLA inputs must never panic anywhere on the intake
+// path — not in the parser, and not downstream in ToNet/Lower, which
+// the public ReadPLA drives on every accepted parse. Accepted PLAs must
+// also round-trip through Write.
 func FuzzRead(f *testing.F) {
 	seeds := []string{
 		sample,
@@ -13,6 +15,20 @@ func FuzzRead(f *testing.F) {
 		".i 0\n.o 0\n",
 		".i 2\n.o 2\n.ilb a b\n.ob x y\n1- 10\n-0 01\n.type f\n.e",
 		".i 2\n.o 1\n1 1 1\n",
+		// MCNC-style corpus: the shapes the real two-level benchmarks
+		// use — comments, .p counts, .type fr, shared-cube rows,
+		// output-plane don't-cares, espresso's ~ marker.
+		"# rd53-style\n.i 5\n.o 3\n.p 3\n.ilb a b c d e\n.ob s0 s1 s2\n11--- 100\n--111 010\n10101 001\n.e\n",
+		".i 4\n.o 2\n.type fr\n.p 4\n1--0 10\n-11- 01\n0--1 11\n1001 00\n.end\n",
+		".i 3\n.o 2\n110 1~\n-01 ~1\n111 --\n.e\n",
+		".i 9\n.o 1\n.p 2\n111111111 1\n000000000 1\n.e\n",
+		// Namespace traps: output names colliding with inputs or with
+		// the generated node names.
+		".i 2\n.o 1\n.ilb a b\n.ob a$n\n11 1\n.e\n",
+		".i 2\n.o 2\n.ilb x y$n\n.ob y q\n11 10\n00 01\n.e\n",
+		// Constant outputs (no gate realization) and wide don't-cares.
+		".i 2\n.o 1\n-- 1\n.e\n",
+		".i 2\n.o 1\n.p 0\n.e\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -28,6 +44,20 @@ func FuzzRead(f *testing.F) {
 		}
 		if _, err := ReadString(sb.String()); err != nil {
 			t.Fatalf("written PLA fails to re-read: %v\n%s", err, sb.String())
+		}
+		// Drive the full intake path: factored network, lowering,
+		// structural validation. Errors are fine (constant outputs are
+		// rejected, for instance); panics are the bug being hunted.
+		nt, err := p.ToNet("")
+		if err != nil {
+			return
+		}
+		nw, err := nt.Lower()
+		if err != nil {
+			return
+		}
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("lowered network invalid: %v", err)
 		}
 	})
 }

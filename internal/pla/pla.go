@@ -17,9 +17,16 @@ import (
 	"strconv"
 	"strings"
 
+	"chortle/internal/cerrs"
 	"chortle/internal/opt"
 	"chortle/internal/sop"
 )
+
+// maxOutputs bounds .o: real PLAs have at most a few hundred outputs,
+// and an unbounded count is a memory-exhaustion vector (the parser
+// materializes one cover and one label per output) whose synthesized
+// .ob line could not round-trip through the line scanner anyway.
+const maxOutputs = 1 << 16
 
 // PLA is a two-level cover with named inputs and outputs.
 type PLA struct {
@@ -68,11 +75,14 @@ func Read(r io.Reader) (*PLA, error) {
 				return nil, fmt.Errorf("pla line %d: .o needs a count", lineNo)
 			}
 			v, err := strconv.Atoi(fields[1])
-			if err != nil || v <= 0 {
+			if err != nil || v <= 0 || v > maxOutputs {
 				return nil, fmt.Errorf("pla line %d: bad output count %q", lineNo, fields[1])
 			}
 			no = v
 		case ".p":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla line %d: .p needs a count", lineNo)
+			}
 			v, err := strconv.Atoi(fields[1])
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("pla line %d: bad product count", lineNo)
@@ -103,7 +113,7 @@ func Read(r io.Reader) (*PLA, error) {
 				return nil, fmt.Errorf("pla line %d: cube before .i/.o", lineNo)
 			}
 			if len(joined) != ni+no {
-				return nil, fmt.Errorf("pla line %d: cube width %d, want %d+%d", lineNo, len(joined), ni, no)
+				return nil, fmt.Errorf("pla line %d: %w: cube width %d, want %d+%d", lineNo, cerrs.ErrArityMismatch, len(joined), ni, no)
 			}
 			var c sop.Cube
 			for i := 0; i < ni; i++ {
@@ -164,8 +174,24 @@ func Read(r io.Reader) (*PLA, error) {
 		}
 	}
 	if len(p.Inputs) != ni || len(p.Outputs) != no {
-		return nil, fmt.Errorf("pla: label counts (.ilb %d, .ob %d) disagree with .i %d/.o %d",
-			len(p.Inputs), len(p.Outputs), ni, no)
+		return nil, fmt.Errorf("pla: %w: label counts (.ilb %d, .ob %d) disagree with .i %d/.o %d",
+			cerrs.ErrArityMismatch, len(p.Inputs), len(p.Outputs), ni, no)
+	}
+	// Input and output labels share one signal namespace downstream
+	// (ToNet builds them into a single network); collisions would panic
+	// deep inside the optimizer, so reject them here.
+	seen := make(map[string]bool, ni+no)
+	for _, l := range p.Inputs {
+		if seen[l] {
+			return nil, fmt.Errorf("pla: %w: input label %q", cerrs.ErrDuplicateName, l)
+		}
+		seen[l] = true
+	}
+	for _, l := range p.Outputs {
+		if seen[l] {
+			return nil, fmt.Errorf("pla: %w: output label %q", cerrs.ErrDuplicateName, l)
+		}
+		seen[l] = true
 	}
 	for o := range p.Cover {
 		p.Cover[o].MinimizeSCC()
@@ -236,15 +262,24 @@ func (p *PLA) ToNet(name string) (*opt.Net, error) {
 		name = p.Name
 	}
 	nt := opt.NewNet(name)
+	taken := make(map[string]bool, len(p.Inputs)+len(p.Outputs))
 	for _, in := range p.Inputs {
 		nt.AddInput(in)
+		taken[in] = true
 	}
 	for o, out := range p.Outputs {
 		cover := p.Cover[o]
 		if cover.IsZero() || cover.IsOne() {
 			return nil, fmt.Errorf("pla: output %q is constant; constants have no gate realization", out)
 		}
+		// The node name must not collide with any input or earlier node
+		// (an input literally named "x$n" next to an output "x" would
+		// otherwise panic inside the optimizer's namespace check).
 		node := out + "$n"
+		for taken[node] {
+			node += "$"
+		}
+		taken[node] = true
 		nt.AddNode(node, p.Inputs, cover)
 		nt.MarkOutput(out, node, false)
 	}
