@@ -25,6 +25,7 @@ import (
 	"chortle/internal/mislib"
 	"chortle/internal/mismap"
 	"chortle/internal/network"
+	"chortle/internal/obs"
 	"chortle/internal/opt"
 	"chortle/internal/pla"
 	"chortle/internal/verify"
@@ -185,6 +186,68 @@ func MapDuplicateCostAwareCtx(ctx context.Context, nw *Network, opts Options) (r
 	res, accepted, err = core.MapDuplicateCostAwareCtx(ctx, nw, opts)
 	return res, accepted, wrapInternal(err)
 }
+
+// Observability. Setting Options.Observer streams structured events
+// from every phase of a mapping run — phase boundaries, per-tree solves
+// with metered work units, memo hits, budget degradations, per-LUT
+// detail — to any Observer implementation. Observation is strictly
+// read-only: the mapped circuit is byte-identical with or without an
+// observer, and a nil Observer costs the hot path nothing.
+
+// Event is one structured observation from a mapping run; its Kind
+// determines which fields are meaningful.
+type Event = obs.Event
+
+// EventKind discriminates observability events (EventTreeSolve,
+// EventMemoHit, ...).
+type EventKind = obs.Kind
+
+// Event kinds, re-exported for sinks that switch on Event.Kind.
+const (
+	EventMapStart        = obs.KindMapStart
+	EventMapEnd          = obs.KindMapEnd
+	EventPhaseStart      = obs.KindPhaseStart
+	EventPhaseEnd        = obs.KindPhaseEnd
+	EventTreeSolve       = obs.KindTreeSolve
+	EventMemoHit         = obs.KindMemoHit
+	EventTemplateReplay  = obs.KindTemplateReplay
+	EventBudgetExhausted = obs.KindBudgetExhausted
+	EventTreeDegraded    = obs.KindTreeDegraded
+	EventLUT             = obs.KindLUT
+	EventArenaStats      = obs.KindArenaStats
+	EventDupAccepted     = obs.KindDupAccepted
+)
+
+// Observer receives mapping events (Options.Observer). Implementations
+// must tolerate concurrent calls: the parallel pipeline emits from
+// worker goroutines.
+type Observer = obs.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = obs.Func
+
+// MultiObserver fans events out to several observers in order.
+type MultiObserver = obs.Multi
+
+// Collector is a concurrency-safe in-memory Observer that records every
+// event and can aggregate them into a MapReport.
+type Collector = obs.Collector
+
+// MapReport aggregates an event stream into per-phase wall times, LUT
+// histograms, memo hit rates, and degradation detail (see
+// Collector.Report and AggregateEvents).
+type MapReport = obs.Report
+
+// AggregateEvents folds a recorded event stream into a MapReport.
+func AggregateEvents(events []Event) *MapReport { return obs.Aggregate(events) }
+
+// JSONLObserver streams each event as one JSON line to a writer (the
+// cmd/chortle -trace format).
+type JSONLObserver = obs.JSONL
+
+// NewJSONLObserver returns a JSONLObserver writing to w. Check Err
+// after the run for the first write error, if any.
+func NewJSONLObserver(w io.Writer) *JSONLObserver { return obs.NewJSONL(w) }
 
 // CLBSpec describes a commercial logic block (LUT pair with a shared
 // input budget) for post-mapping block packing — the paper's

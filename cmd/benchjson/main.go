@@ -25,12 +25,31 @@ import (
 )
 
 type record struct {
-	Circuit     string `json:"circuit"`
-	K           int    `json:"k"`
-	LUTs        int    `json:"luts"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
+	Circuit     string     `json:"circuit"`
+	K           int        `json:"k"`
+	LUTs        int        `json:"luts"`
+	NsPerOp     int64      `json:"ns_per_op"`
+	AllocsPerOp int64      `json:"allocs_per_op"`
+	BytesPerOp  int64      `json:"bytes_per_op"`
+	Stats       *statBlock `json:"stats,omitempty"`
+}
+
+// statBlock is the machine-readable slice of the mapper's observability
+// report, captured from a separate observed run so the timed reps stay
+// unobserved. Phase times come from that observed run and are in
+// nanoseconds.
+type statBlock struct {
+	Depth           int              `json:"depth"`
+	Trees           int              `json:"trees"`
+	PhaseNs         map[string]int64 `json:"phase_ns"`
+	Solves          int              `json:"solves"`
+	WorkUnits       int64            `json:"work_units"`
+	MemoHits        int              `json:"memo_hits"`
+	MemoHitRate     float64          `json:"memo_hit_rate"`
+	TemplateReplays int              `json:"template_replays"`
+	Degraded        int              `json:"degraded"`
+	ArenaBytes      int64            `json:"arena_bytes"`
+	LUTInputHist    map[string]int   `json:"lut_input_hist"`
 }
 
 type report struct {
@@ -64,7 +83,7 @@ func main() {
 	sort.Strings(names)
 
 	var rep report
-	rep.Schema = "chortle-bench-map/v1"
+	rep.Schema = "chortle-bench-map/v2"
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Options.Parallel = !*seq
 	rep.Options.Memoize = !*seq
@@ -102,8 +121,13 @@ func main() {
 
 func measure(name string, nw *chortle.Network, opts chortle.Options, reps int) (record, error) {
 	// Warm up: pulls the arena pool to steady state and gives a LUT count
-	// to anchor against.
-	res, err := chortle.Map(nw, opts)
+	// to anchor against. The warm-up run is also the observed one — the
+	// timed reps below map with a nil observer, so the stats block never
+	// taxes the numbers it rides along with.
+	var col chortle.Collector
+	obsOpts := opts
+	obsOpts.Observer = &col
+	res, err := chortle.Map(nw, obsOpts)
 	if err != nil {
 		return record{}, fmt.Errorf("%s K=%d: %w", name, opts.K, err)
 	}
@@ -120,6 +144,27 @@ func measure(name string, nw *chortle.Network, opts chortle.Options, reps int) (
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
+	r := col.Report()
+	stats := &statBlock{
+		Depth:           r.Depth,
+		Trees:           r.Trees,
+		PhaseNs:         make(map[string]int64, len(r.Phases)),
+		Solves:          r.Solves,
+		WorkUnits:       r.WorkUnits,
+		MemoHits:        r.MemoHits,
+		MemoHitRate:     r.MemoHitRate(),
+		TemplateReplays: r.TemplateReplays,
+		Degraded:        len(r.Degraded),
+		ArenaBytes:      r.ArenaBytes,
+		LUTInputHist:    make(map[string]int, len(r.LUTInputHist)),
+	}
+	for _, p := range r.Phases {
+		stats.PhaseNs[p.Name] = p.Wall.Nanoseconds()
+	}
+	for in, n := range r.LUTInputHist {
+		stats.LUTInputHist[fmt.Sprint(in)] = n
+	}
+
 	return record{
 		Circuit:     name,
 		K:           opts.K,
@@ -127,6 +172,7 @@ func measure(name string, nw *chortle.Network, opts chortle.Options, reps int) (
 		NsPerOp:     elapsed.Nanoseconds() / int64(reps),
 		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(reps),
 		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
+		Stats:       stats,
 	}, nil
 }
 

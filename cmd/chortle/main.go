@@ -5,14 +5,17 @@
 // Usage:
 //
 //	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify]
-//	        [-timeout 30s] [-budget N] [in.blif]
+//	        [-trace trace.jsonl] [-timeout 30s] [-budget N] [in.blif]
 //
 // With no input file the network is read from standard input.
 // -timeout is a hard wall-clock limit: when it expires the mapping is
 // cancelled and the command fails. -budget bounds the per-tree
 // exhaustive search in DP work units; over-budget trees degrade to the
 // bin-packing strategy (still correct, possibly more LUTs) and are
-// counted on stderr.
+// counted on stderr. -stats prints the mapper's observability report
+// (phase wall times, memo hit rates, LUT histograms) to stderr;
+// -trace streams every mapping event as one JSON line to the named
+// file. Neither changes the emitted circuit.
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 		memo     = flag.Bool("memo", true, "reuse DP solves across isomorphic trees (identical output either way)")
 		timeout  = flag.Duration("timeout", 0, "hard wall-clock limit for the mapping (0 = none); expiry cancels and fails")
 		budget   = flag.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
+		trace    = flag.String("trace", "", "stream mapping events as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -89,8 +93,12 @@ func main() {
 	}
 
 	var ckt *chortle.Circuit
+	var report *chortle.MapReport
 	start := time.Now()
 	if *baseline {
+		if *trace != "" {
+			fatal(fmt.Errorf("-trace is not supported with -baseline (the library mapper is unobserved)"))
+		}
 		res, err := chortle.MapBaseline(nw, *k)
 		if err != nil {
 			fatal(err)
@@ -108,6 +116,30 @@ func main() {
 		if *binpack {
 			opts.Strategy = chortle.StrategyBinPack
 		}
+		// Observability wiring: -stats aggregates through a collector,
+		// -trace streams JSON lines; both can be active at once.
+		var observers []chortle.Observer
+		var col *chortle.Collector
+		if *stats {
+			col = &chortle.Collector{}
+			observers = append(observers, col)
+		}
+		var traceSink *chortle.JSONLObserver
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			traceSink = chortle.NewJSONLObserver(f)
+			observers = append(observers, traceSink)
+		}
+		switch len(observers) {
+		case 1:
+			opts.Observer = observers[0]
+		case 2:
+			opts.Observer = chortle.MultiObserver(observers)
+		}
 		res, err := chortle.MapCtx(ctx, nw, opts)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -115,9 +147,17 @@ func main() {
 			}
 			fatal(err)
 		}
+		if traceSink != nil {
+			if err := traceSink.Err(); err != nil {
+				fatal(fmt.Errorf("writing %s: %w", *trace, err))
+			}
+		}
 		if len(res.Degraded) > 0 {
 			fmt.Fprintf(os.Stderr, "budget exhausted on %d tree(s); degraded to bin packing\n",
 				len(res.Degraded))
+		}
+		if col != nil {
+			report = col.Report()
 		}
 		ckt = res.Circuit
 	}
@@ -130,19 +170,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "verification passed")
 	}
 	if *stats {
-		s, err := ckt.Stats()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "%d LUTs (K=%d), depth %d, mapped in %s\n",
-			s.LUTs, *k, s.Depth, elapsed.Round(time.Millisecond/10))
-		var us []int
-		for u := range s.Utilization {
-			us = append(us, u)
-		}
-		sort.Ints(us)
-		for _, u := range us {
-			fmt.Fprintf(os.Stderr, "  %d-input LUTs: %d\n", u, s.Utilization[u])
+		if report != nil {
+			// The mapper's own observability report: phase wall times,
+			// search effort, memo hit rates, histograms.
+			fmt.Fprint(os.Stderr, report.Format())
+		} else {
+			s, err := ckt.Stats()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%d LUTs (K=%d), depth %d, mapped in %s\n",
+				s.LUTs, *k, s.Depth, elapsed.Round(time.Millisecond/10))
+			var us []int
+			for u := range s.Utilization {
+				us = append(us, u)
+			}
+			sort.Ints(us)
+			for _, u := range us {
+				fmt.Fprintf(os.Stderr, "  %d-input LUTs: %d\n", u, s.Utilization[u])
+			}
 		}
 	}
 	if *clb {

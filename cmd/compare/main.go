@@ -2,7 +2,9 @@
 // benchmark and each K it optimizes the network with the mini-MIS
 // standard script, maps it with both the MIS II-style baseline and
 // Chortle, verifies both mapped circuits by simulation, and prints the
-// paper's table layout (LUT counts, % difference, times).
+// paper's table layout (LUT counts, % difference, times). The per-K
+// averages and speedup ranges are collected into one summary block
+// after all tables rather than interleaved between them.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	compare -k 4            # Table 3 only
 //	compare -circuits alu2,rot -k 5
 //	compare -noverify       # skip simulation cross-checks (faster)
+//	compare -stats          # per-circuit mapper observability to stderr
+//	compare -trace t.jsonl  # stream all mapping events as JSON lines
 //	compare -timeout 30s    # hard per-circuit limit on the Chortle map
 //	compare -budget 1000000 # per-tree search budget in DP work units
 package main
@@ -17,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,15 +29,27 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the command body, factored out of main so tests can drive it
+// with captured streams. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kFlag    = flag.Int("k", 0, "single K to run (default: 2,3,4,5)")
-		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all twelve)")
-		noverify = flag.Bool("noverify", false, "skip simulation verification of the mapped circuits")
-		parallel = flag.Bool("parallel", true, "compute tree DPs on the worker pool (identical output either way)")
-		timeout  = flag.Duration("timeout", 0, "hard per-circuit wall-clock limit for the Chortle map (0 = none)")
-		budget   = flag.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
+		kFlag    = fs.Int("k", 0, "single K to run (default: 2,3,4,5)")
+		circuits = fs.String("circuits", "", "comma-separated circuit subset (default: all twelve)")
+		noverify = fs.Bool("noverify", false, "skip simulation verification of the mapped circuits")
+		parallel = fs.Bool("parallel", true, "compute tree DPs on the worker pool (identical output either way)")
+		stats    = fs.Bool("stats", false, "print each Chortle mapping's observability report to stderr")
+		trace    = fs.String("trace", "", "stream every Chortle mapping's events as JSON lines to this file")
+		timeout  = fs.Duration("timeout", 0, "hard per-circuit wall-clock limit for the Chortle map (0 = none)")
+		budget   = fs.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var ks []int
 	if *kFlag != 0 {
@@ -45,19 +62,54 @@ func main() {
 		Sequential: !*parallel,
 		Timeout:    *timeout,
 		Budget:     *budget,
+		Stats:      *stats,
 	}
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
 	}
-	for i, k := range ks {
+	var traceSink *chortle.JSONLObserver
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "compare:", err)
+			return 1
+		}
+		defer f.Close()
+		traceSink = chortle.NewJSONLObserver(f)
+		opts.Observer = traceSink
+	}
+	var tables []chortle.Table
+	synthetic := false
+	for _, k := range ks {
 		tbl, err := chortle.CompareSuite(k, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "compare:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "compare:", err)
+			return 1
 		}
-		fmt.Print(tbl.Format())
-		if i != len(ks)-1 {
-			fmt.Println()
+		fmt.Fprint(stdout, tbl.FormatRows())
+		fmt.Fprintln(stdout)
+		for _, r := range tbl.Rows {
+			if r.Synthetic {
+				synthetic = true
+			}
+			if r.Report != nil {
+				fmt.Fprintf(stderr, "--- %s K=%d ---\n%s", r.Circuit, k, r.Report.Format())
+			}
+		}
+		tables = append(tables, tbl)
+	}
+	fmt.Fprintln(stdout, "Summary")
+	for _, tbl := range tables {
+		fmt.Fprint(stdout, tbl.FormatSummary())
+	}
+	if synthetic {
+		fmt.Fprintln(stdout, "(* synthetic stand-in; see DESIGN.md)")
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintf(stderr, "compare: writing %s: %v\n", *trace, err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSummaryAfterAllTables covers the summary-routing fix: with two K
+// values, every table's rows must print before the first summary line,
+// and the summary block must carry one line per K.
+func TestSummaryAfterAllTables(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-circuits", "count", "-k", "0", "-noverify"}, &stdout, &stderr)
+	// -k 0 means all of 2..5; keep the run cheap with a single circuit.
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	sumIdx := strings.Index(out, "Summary")
+	if sumIdx < 0 {
+		t.Fatalf("no Summary block in output:\n%s", out)
+	}
+	head, tail := out[:sumIdx], out[sumIdx:]
+	for k := 2; k <= 5; k++ {
+		table := "Table: Results, K=" + string(rune('0'+k))
+		if !strings.Contains(head, table) {
+			t.Errorf("table for K=%d missing before the summary block", k)
+		}
+		sum := "K=" + string(rune('0'+k)) + ": average"
+		if !strings.Contains(tail, sum) {
+			t.Errorf("summary line for K=%d missing after the Summary header", k)
+		}
+	}
+	if strings.Contains(head, "average") {
+		t.Errorf("summary text interleaved between tables:\n%s", head)
+	}
+}
+
+// TestStatsFlag checks that -stats routes per-circuit observability
+// reports to stderr and keeps stdout's table format unchanged.
+func TestStatsFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-circuits", "count", "-k", "4", "-noverify", "-stats"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	errOut := stderr.String()
+	for _, want := range []string{"--- count K=4 ---", "phases:", "search:"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	if strings.Contains(stdout.String(), "phases:") {
+		t.Error("observability report leaked to stdout")
+	}
+}
+
+// TestTraceFlag checks that -trace writes a parseable JSONL event
+// stream covering the mapping bracket.
+func TestTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-circuits", "count", "-k", "3", "-noverify", "-trace", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d lines, want several", len(lines))
+	}
+	var starts, ends int
+	for _, line := range lines {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		switch e["kind"] {
+		case "map-start":
+			starts++
+		case "map-end":
+			ends++
+		}
+	}
+	if starts == 0 || ends == 0 {
+		t.Errorf("trace has %d map-start and %d map-end events, want at least one of each", starts, ends)
+	}
+}
+
+// TestBadFlagExitCode pins the flag-error path.
+func TestBadFlagExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d for a bad flag, want 2", code)
+	}
+}

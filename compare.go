@@ -29,6 +29,9 @@ type Row struct {
 	MISTime     time.Duration
 	ChortleTime time.Duration
 	Synthetic   bool
+	// Report carries the Chortle run's aggregated observability report
+	// when CompareOptions.Stats is set (nil otherwise).
+	Report *MapReport
 }
 
 // Table is a full comparison table for one K.
@@ -93,6 +96,15 @@ type CompareOptions struct {
 	// comparison still verifies and reports them, so a budgeted table
 	// is an upper bound on Chortle's LUT counts.
 	Budget int64
+	// Stats attaches an observer to every Chortle mapping and stores the
+	// aggregated report in Row.Report (phase times, memo hit rates,
+	// degradations). Observation never changes the mapped circuit, but
+	// the collector adds a little overhead to ChortleTime.
+	Stats bool
+	// Observer, when non-nil, additionally receives every Chortle
+	// mapping's event stream (all circuits, in row order) — the CLI's
+	// -trace sink. Composes with Stats.
+	Observer Observer
 }
 
 // CompareSuite maps the benchmark suite at the given K with both
@@ -142,6 +154,18 @@ func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
 		copts.Parallel = false
 	}
 	copts.Budget.WorkUnits = o.Budget
+	var col *Collector
+	if o.Stats {
+		col = &Collector{}
+	}
+	switch {
+	case col != nil && o.Observer != nil:
+		copts.Observer = MultiObserver{col, o.Observer}
+	case col != nil:
+		copts.Observer = col
+	case o.Observer != nil:
+		copts.Observer = o.Observer
+	}
 	ctx := context.Background()
 	if o.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -168,7 +192,7 @@ func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
 	if mres.LUTs > 0 {
 		diff = 100 * float64(mres.LUTs-cres.LUTs) / float64(mres.LUTs)
 	}
-	return Row{
+	row := Row{
 		Circuit:     c.Name,
 		MISLUTs:     mres.LUTs,
 		ChortleLUTs: cres.LUTs,
@@ -176,11 +200,16 @@ func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
 		MISTime:     misTime,
 		ChortleTime: chTime,
 		Synthetic:   c.Synthetic,
-	}, nil
+	}
+	if col != nil {
+		row.Report = col.Report()
+	}
+	return row, nil
 }
 
-// Format renders the table in the paper's layout.
-func (t Table) Format() string {
+// FormatRows renders the table's header and benchmark rows in the
+// paper's layout, without the trailing summary (see FormatSummary).
+func (t Table) FormatRows() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table: Results, K=%d\n", t.K)
 	fmt.Fprintf(&sb, "%-8s %9s %9s %7s %10s %10s\n",
@@ -194,6 +223,24 @@ func (t Table) Format() string {
 			r.Circuit+mark, r.MISLUTs, r.ChortleLUTs, r.DiffPct,
 			fmtDur(r.MISTime), fmtDur(r.ChortleTime))
 	}
+	return sb.String()
+}
+
+// FormatSummary renders the table's average-difference and speedup line
+// — the paper's per-K quote. When printing several tables, emit every
+// table's rows first and collect the summaries into one final block so
+// they are not interleaved between tables.
+func (t Table) FormatSummary() string {
+	lo, hi := t.SpeedupRange()
+	return fmt.Sprintf("K=%d: average %5.1f%%   speedup %.1fx..%.1fx\n",
+		t.K, t.AverageDiffPct(), lo, hi)
+}
+
+// Format renders the table in the paper's layout: rows followed by the
+// summary and the synthetic-circuit footnote.
+func (t Table) Format() string {
+	var sb strings.Builder
+	sb.WriteString(t.FormatRows())
 	lo, hi := t.SpeedupRange()
 	fmt.Fprintf(&sb, "%-8s %27.1f%%   speedup %.1fx..%.1fx\n", "average",
 		t.AverageDiffPct(), lo, hi)

@@ -73,6 +73,39 @@ func TestBudgetedMappingDeterministic(t *testing.T) {
 	}
 }
 
+// TestObservedMappingDeterministic pins the observability layer's
+// read-only guarantee: with Options.Observer attached (and pprof labels
+// on), the emitted BLIF is byte-identical to the unobserved run in
+// every Parallel x Memoize x Budget combination.
+func TestObservedMappingDeterministic(t *testing.T) {
+	nets := determinismSuite(t)
+	for _, c := range bench.Suite() {
+		nw := nets[c.Name]
+		for _, par := range []bool{false, true} {
+			for _, memo := range []bool{false, true} {
+				for _, budget := range []int64{0, 1 << 40} {
+					opts := DefaultOptions(4)
+					opts.Parallel, opts.Memoize = par, memo
+					opts.Budget.WorkUnits = budget
+					ref := mapToBLIF(t, nw, opts)
+					var col Collector
+					opts.Observer = &col
+					opts.PprofLabels = true
+					got := mapToBLIF(t, nw, opts)
+					if got != ref {
+						t.Errorf("%s parallel=%v memoize=%v budget=%d: observed BLIF differs from unobserved",
+							c.Name, par, memo, budget)
+					}
+					if col.Len() == 0 {
+						t.Errorf("%s parallel=%v memoize=%v budget=%d: observer saw no events",
+							c.Name, par, memo, budget)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestMappingDeterministicAcrossModes(t *testing.T) {
 	nets := determinismSuite(t)
 	modes := []struct {

@@ -1,0 +1,134 @@
+package chortle
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"chortle/internal/bench"
+)
+
+// The golden-file regression harness: for every bundled benchmark, the
+// LUT count, depth and tree count at each K in 2..5 — in both plain Map
+// and MapDuplicateCostAware modes — are pinned in testdata/golden/.
+// Any mapper change that shifts a number fails here first, with the
+// exact drift in the diff. After an intentional quality change, rerun
+// with -update and commit the new files:
+//
+//	go test -run TestGolden -update .
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from current mapper output")
+
+// goldenEntry pins one (K, mode) mapping outcome.
+type goldenEntry struct {
+	LUTs  int `json:"luts"`
+	Depth int `json:"depth"`
+	Trees int `json:"trees"`
+	// Accepted is the duplication count (dup mode only).
+	Accepted int `json:"accepted,omitempty"`
+}
+
+// goldenFile is one circuit's pinned results, keyed "k<K>/<mode>".
+type goldenFile struct {
+	Schema  string                 `json:"schema"`
+	Circuit string                 `json:"circuit"`
+	Results map[string]goldenEntry `json:"results"`
+}
+
+const goldenSchema = "chortle-golden/v1"
+
+func goldenPath(circuit string) string {
+	return filepath.Join("testdata", "golden", circuit+".json")
+}
+
+// goldenCircuits is the full bundled set: the paper's twelve plus the
+// extended MCNC functions.
+func goldenCircuits() []bench.Circuit {
+	return append(bench.Suite(), bench.ExtendedSuite()...)
+}
+
+// computeGolden maps one circuit across the whole (K, mode) grid.
+func computeGolden(t *testing.T, c bench.Circuit) goldenFile {
+	t.Helper()
+	nw, err := bench.Optimized(c)
+	if err != nil {
+		t.Fatalf("preparing %s: %v", c.Name, err)
+	}
+	gf := goldenFile{Schema: goldenSchema, Circuit: c.Name, Results: make(map[string]goldenEntry)}
+	for k := 2; k <= 5; k++ {
+		res, err := Map(nw, DefaultOptions(k))
+		if err != nil {
+			t.Fatalf("%s K=%d map: %v", c.Name, k, err)
+		}
+		gf.Results[fmt.Sprintf("k%d/map", k)] = entryOf(t, c.Name, k, res, 0)
+
+		dres, accepted, err := MapDuplicateCostAware(nw, DefaultOptions(k))
+		if err != nil {
+			t.Fatalf("%s K=%d dup: %v", c.Name, k, err)
+		}
+		gf.Results[fmt.Sprintf("k%d/dup", k)] = entryOf(t, c.Name, k, dres, accepted)
+	}
+	return gf
+}
+
+func entryOf(t *testing.T, name string, k int, res *Result, accepted int) goldenEntry {
+	t.Helper()
+	s, err := res.Circuit.Stats()
+	if err != nil {
+		t.Fatalf("%s K=%d stats: %v", name, k, err)
+	}
+	return goldenEntry{LUTs: res.LUTs, Depth: s.Depth, Trees: res.Trees, Accepted: accepted}
+}
+
+func TestGolden(t *testing.T) {
+	for _, c := range goldenCircuits() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			got := computeGolden(t, c)
+			path := goldenPath(c.Name)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file for %s (run with -update to create): %v", c.Name, err)
+			}
+			var want goldenFile
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			if want.Schema != goldenSchema {
+				t.Fatalf("%s has schema %q, this harness speaks %q", path, want.Schema, goldenSchema)
+			}
+			var keys []string
+			for key := range want.Results {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				if got.Results[key] != want.Results[key] {
+					t.Errorf("%s %s: got %+v, golden %+v", c.Name, key, got.Results[key], want.Results[key])
+				}
+			}
+			for key := range got.Results {
+				if _, ok := want.Results[key]; !ok {
+					t.Errorf("%s %s: result not pinned in golden file (rerun with -update)", c.Name, key)
+				}
+			}
+		})
+	}
+}

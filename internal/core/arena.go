@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // dpArena is a bump allocator for the tree DP's working memory. The
@@ -74,6 +75,17 @@ func grown(old, need, floor int) int {
 		n = floor
 	}
 	return n
+}
+
+// slabBytes reports the arena's current backing-slab footprint — what
+// the observability layer's arena-stats event carries. Capacity, not
+// use: recycled slabs keep their high-water size.
+func (a *dpArena) slabBytes() int64 {
+	return int64(len(a.i32))*int64(unsafe.Sizeof(int32(0))) +
+		int64(len(a.ch))*int64(unsafe.Sizeof(gChoice{})) +
+		int64(len(a.i8)) +
+		int64(len(a.nodes))*int64(unsafe.Sizeof(nodeDP{})) +
+		int64(len(a.frs))*int64(unsafe.Sizeof(faninRef{}))
 }
 
 func (a *dpArena) allocI32(n int) []int32 {

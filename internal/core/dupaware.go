@@ -42,14 +42,19 @@ func MapDuplicateCostAwareCtx(ctx context.Context, input *network.Network, opts 
 	nw := input.Clone()
 	nw.Sweep()
 	accepted := 0
+	tr := tracer{opts.Observer}
+	tr.mapStart(opts.K, len(nw.Nodes))
 	// One cost memo for the entire search: the trial networks differ from
 	// the base in only the trees a duplication touches, so nearly every
 	// tree cost of a trial is a memo hit instead of a DP solve. Cost
 	// probes run unbudgeted (work units bound the final mapping, not the
-	// search's cost oracle) but still observe ctx and the deadline.
+	// search's cost oracle) but still observe ctx and the deadline. They
+	// are also unobserved: a probe is a cost oracle, not a mapping run,
+	// and emitting its thousands of solves would drown the trace.
 	cm := newCostMemo()
 	probeOpts := opts
 	probeOpts.Budget = Budget{}
+	probeOpts.Observer = nil
 	// The soft wall-clock budget bounds the search phase through a
 	// derived deadline (per-probe budgets would restart the clock every
 	// trial); the final mapping below then gets its own budget window.
@@ -61,8 +66,9 @@ func MapDuplicateCostAwareCtx(ctx context.Context, input *network.Network, opts 
 	}
 	// Iterate to a fixed point with a safety bound: each accepted
 	// duplication strictly reduces the DP cost, which is bounded below.
+	endPhase := tr.phase("dup-search")
 	for pass := 0; pass < 8; pass++ {
-		changed, err := dupPass(searchCtx, nw, probeOpts, cm, &accepted)
+		changed, err := dupPass(searchCtx, nw, probeOpts, cm, &accepted, tr)
 		if err != nil {
 			// The search-phase deadline stops the search, keeping the
 			// duplications found so far; the caller's own cancellation
@@ -70,12 +76,14 @@ func MapDuplicateCostAwareCtx(ctx context.Context, input *network.Network, opts 
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				break
 			}
+			endPhase()
 			return nil, 0, err
 		}
 		if !changed {
 			break
 		}
 	}
+	endPhase()
 	res, err := MapCtx(ctx, nw, opts)
 	if err != nil {
 		return nil, 0, err
@@ -98,7 +106,7 @@ func totalTreeCost(ctx context.Context, nw *network.Network, opts Options, cm *c
 }
 
 // dupPass tries every candidate once, committing improvements.
-func dupPass(ctx context.Context, nw *network.Network, opts Options, cm *costMemo, accepted *int) (bool, error) {
+func dupPass(ctx context.Context, nw *network.Network, opts Options, cm *costMemo, accepted *int, tr tracer) (bool, error) {
 	base, err := totalTreeCost(ctx, nw, opts, cm)
 	if err != nil {
 		return false, err
@@ -152,6 +160,7 @@ func dupPass(ctx context.Context, nw *network.Network, opts Options, cm *costMem
 				base = cost
 				*accepted++
 				changed = true
+				tr.dupAccepted(name)
 			}
 		}
 	}

@@ -249,10 +249,12 @@ func (m *mapper) realizeTreeCtx(root *network.Node, mc *mapCtx) (int32, error) {
 		}
 		return m.realizeTreeFromDP(root, dp)
 	}
-	dp, err := solveDP(mc.seqArena, m.f, root, m.opts, mc.newGov())
+	gov := mc.newGov()
+	dp, err := solveDP(mc.seqArena, m.f, root, m.opts, gov)
 	if err != nil {
 		return 0, err
 	}
+	mc.tr.treeSolve(root.Name, gov.units, dp.bestCost)
 	return m.realizeTreeFromDP(root, dp)
 }
 
@@ -269,12 +271,16 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 	e := mc.memo.lookup(m.f, root, h)
 	if e == nil {
 		e = &shapeEntry{f: m.f, rep: root, templates: make(map[string]*emitTemplate)}
-		dp, err := solveDP(mc.seqArena, m.f, root, m.opts, mc.newGov())
+		gov := mc.newGov()
+		dp, err := solveDP(mc.seqArena, m.f, root, m.opts, gov)
 		if err != nil {
 			if !errors.Is(err, cerrs.ErrBudgetExhausted) {
 				return 0, err
 			}
 			e.degraded = true
+		}
+		if !e.degraded {
+			mc.tr.treeSolve(root.Name, gov.units, dp.bestCost)
 		}
 		e.dp = dp
 		mc.memo.insert(h, e)
@@ -287,6 +293,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 	}
 	dp := e.dp
 	if e.rep != root {
+		mc.tr.memoHit(root.Name, e.dp.bestCost)
 		dp = rebindDP(mc.seqArena, e.dp, m.f, root)
 	}
 	if !e.seen {
@@ -302,6 +309,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 		if _, err := m.replayTemplate(root, t, names, leafSigs); err != nil {
 			return 0, err
 		}
+		mc.tr.templateReplay(root.Name)
 		return e.dp.bestCost, nil
 	}
 	m.rec = newEmitRecorder()

@@ -59,6 +59,9 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 	if err := input.Validate(); err != nil {
 		return nil, err
 	}
+	tr := tracer{opts.Observer}
+	tr.mapStart(opts.K, len(input.Nodes))
+	endPhase := tr.phase("prepare")
 	nw := input.Clone()
 	nw.Sweep()
 
@@ -76,8 +79,11 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 	if opts.DuplicateFanoutLogic {
 		duplicateFanoutLogic(nw, opts)
 	}
+	endPhase()
 
+	endPhase = tr.phase("forest")
 	f, err := forest.Decompose(nw)
+	endPhase()
 	if err != nil {
 		return nil, err
 	}
@@ -110,12 +116,17 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 	defer mctx.release()
 	exhaustiveArea := opts.Strategy == StrategyExhaustive && !opts.OptimizeDepth
 	if exhaustiveArea && opts.Parallel {
-		if err := mctx.buildDPsParallel(); err != nil {
+		endPhase = tr.phase("solve")
+		err := mctx.buildDPsParallel()
+		endPhase()
+		if err != nil {
 			return nil, err
 		}
 	}
+	endPhase = tr.phase("reconstruct")
 	for _, root := range f.Roots {
 		if err := ctx.Err(); err != nil {
+			endPhase()
 			return nil, err
 		}
 		var cost int32
@@ -124,24 +135,33 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 		case opts.Strategy == StrategyBinPack:
 			cost, err = m.realizeTreeCRF(root, arrivals)
 		case opts.OptimizeDepth:
-			cost, err = m.realizeTreeDepth(root, arrivals, mctx.newGov())
+			gov := mctx.newGov()
+			cost, err = m.realizeTreeDepth(root, arrivals, gov)
+			if err == nil {
+				tr.treeSolve(root.Name, gov.units, cost)
+			}
 		default:
 			cost, err = m.realizeTreeCtx(root, mctx)
 		}
 		if err != nil && errors.Is(err, cerrs.ErrBudgetExhausted) {
 			// Budget ran out on this tree: degrade it to the bin-packing
 			// strategy, which needs no search budget, and keep going.
+			tr.budgetExhausted(root.Name, opts.Budget.WorkUnits)
 			cost, err = m.realizeTreeCRF(root, arrivals)
 			if err == nil {
 				degraded = append(degraded, root.Name)
+				tr.treeDegraded(root.Name, cost)
 			}
 		}
 		if err != nil {
+			endPhase()
 			return nil, err
 		}
 		predicted += int(cost)
 	}
+	endPhase()
 
+	endPhase = tr.phase("finalize")
 	for _, o := range nw.Outputs {
 		if o.Node.IsInput() {
 			m.ckt.MarkOutput(o.Name, o.Node.Name, o.Invert)
@@ -166,19 +186,27 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 	}
 
 	if err := m.ckt.Validate(); err != nil {
+		endPhase()
 		return nil, fmt.Errorf("core: mapped circuit invalid: %w", err)
 	}
 	if m.ckt.Count() != predicted {
+		endPhase()
 		return nil, fmt.Errorf("core: reconstruction emitted %d LUTs but DP predicted %d", m.ckt.Count(), predicted)
 	}
+	endPhase()
 	if opts.RepackLUTs {
+		endPhase = tr.phase("repack")
 		if _, err := m.ckt.Repack(); err != nil {
+			endPhase()
 			return nil, fmt.Errorf("core: repacking: %w", err)
 		}
 		if err := m.ckt.Validate(); err != nil {
+			endPhase()
 			return nil, fmt.Errorf("core: repacked circuit invalid: %w", err)
 		}
+		endPhase()
 	}
+	tr.circuit(m.ckt, len(f.Roots))
 	return &Result{
 		Circuit:       m.ckt,
 		LUTs:          m.ckt.Count(),

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"chortle/internal/cerrs"
+	"chortle/internal/obs"
 	"chortle/internal/truth"
 )
 
@@ -78,6 +79,25 @@ type Options struct {
 	// Result.Degraded; the mapping never fails on a budget. The zero
 	// value is unlimited. See Budget.
 	Budget Budget
+
+	// Observer, when non-nil, receives structured events from the
+	// mapping pipeline: phase boundaries with wall times, per-tree DP
+	// solves with their metered work units, memo hits and template
+	// replays, budget trips and degradations, arena statistics, and a
+	// per-LUT summary of the finished circuit (see internal/obs). The
+	// zero value disables all instrumentation: every emission site is a
+	// single nil check and the hot path allocates nothing extra.
+	// Observation is strictly read-only — the emitted circuit is
+	// byte-identical with or without an observer, in every
+	// Parallel x Memoize x Budget combination. Sinks must tolerate
+	// concurrent calls: the parallel pipeline emits from its workers.
+	Observer obs.Observer
+
+	// PprofLabels tags the parallel pipeline's worker goroutines with
+	// the pprof label chortle=dp-worker, so CPU profiles attribute DP
+	// solve time to the pool rather than to anonymous goroutines. Off
+	// by default; purely observational.
+	PprofLabels bool
 
 	// RepackLUTs enables the post-mapping peephole that merges
 	// single-fanout LUTs into consumers when the combined distinct

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,9 @@ type mapCtx struct {
 	f    *forest.Forest
 	seed uint64
 
+	// tr emits observability events (no-op when opts.Observer is nil).
+	tr tracer
+
 	// ctx is the caller's cancellation signal (never nil; Background
 	// when the caller used the context-free API).
 	ctx context.Context
@@ -58,7 +62,7 @@ type mapCtx struct {
 }
 
 func newMapCtx(ctx context.Context, f *forest.Forest, opts Options) *mapCtx {
-	mc := &mapCtx{opts: opts, f: f, ctx: ctx, seed: shapeSeed(opts), seqArena: acquireArena()}
+	mc := &mapCtx{opts: opts, f: f, ctx: ctx, seed: shapeSeed(opts), seqArena: acquireArena(), tr: tracer{opts.Observer}}
 	if opts.Budget.WallClock > 0 {
 		mc.deadline = time.Now().Add(opts.Budget.WallClock)
 	}
@@ -79,6 +83,13 @@ func (mc *mapCtx) newGov() *governor {
 // release returns every arena to the pool. No nodeDP reached through the
 // context may be used afterwards.
 func (mc *mapCtx) release() {
+	if mc.tr.on() && len(mc.arenas) > 0 {
+		var bytes int64
+		for _, a := range mc.arenas {
+			bytes += a.slabBytes()
+		}
+		mc.tr.arenaStats(len(mc.arenas), bytes)
+	}
 	for _, a := range mc.arenas {
 		a.release()
 	}
@@ -164,23 +175,31 @@ func (mc *mapCtx) runPool(n int, fn func(a *dpArena, i int) error) error {
 				}
 			}()
 			a := mc.workerArena()
-			for {
-				if stop.Load() {
-					return
+			work := func() {
+				for {
+					if stop.Load() {
+						return
+					}
+					if err := mc.ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fireFaultHook("worker", i)
+					if err := fn(a, i); err != nil {
+						fail(err)
+						return
+					}
 				}
-				if err := mc.ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fireFaultHook("worker", i)
-				if err := fn(a, i); err != nil {
-					fail(err)
-					return
-				}
+			}
+			if mc.opts.PprofLabels {
+				pprof.Do(mc.ctx, pprof.Labels("chortle", "dp-worker"),
+					func(context.Context) { work() })
+			} else {
+				work()
 			}
 		}()
 	}
@@ -200,13 +219,15 @@ func (mc *mapCtx) runPool(n int, fn func(a *dpArena, i int) error) error {
 func (mc *mapCtx) buildDPsParallel() error {
 	roots := mc.f.Roots
 	solveOne := func(a *dpArena, root *network.Node) (*nodeDP, bool, error) {
-		dp, err := solveDP(a, mc.f, root, mc.opts, mc.newGov())
+		gov := mc.newGov()
+		dp, err := solveDP(a, mc.f, root, mc.opts, gov)
 		if err != nil {
 			if errors.Is(err, cerrs.ErrBudgetExhausted) {
 				return nil, true, nil
 			}
 			return nil, false, err
 		}
+		mc.tr.treeSolve(root.Name, gov.units, dp.bestCost)
 		return dp, false, nil
 	}
 	if mc.memo != nil {

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"time"
+
+	"chortle/internal/lut"
+	"chortle/internal/obs"
+)
+
+// tracer is the core's emission shim over obs.Observer. Every method is
+// a no-op when no observer is attached — a single nil check, no
+// time.Now call, no event construction, no allocation — which is what
+// lets DefaultOptions leave observability compiled into the hot path.
+// With an observer attached, every emission is read-only with respect
+// to the mapping: sinks see data, they never influence a search
+// decision, so the emitted circuit is byte-identical either way.
+type tracer struct {
+	o obs.Observer
+}
+
+// on reports whether an observer is attached; callers use it to skip
+// preparing data (circuit stats, level maps) that only events consume.
+func (t tracer) on() bool { return t.o != nil }
+
+// noopDone is the pre-allocated closure phase returns when disabled.
+var noopDone = func() {}
+
+// phase opens a pipeline phase and returns the closure that closes it.
+// The end event carries the phase's wall time, so aggregation needs no
+// start/end pairing.
+func (t tracer) phase(name string) func() {
+	if t.o == nil {
+		return noopDone
+	}
+	start := time.Now()
+	t.o.Observe(obs.Event{Kind: obs.KindPhaseStart, Time: start, Phase: name})
+	return func() {
+		now := time.Now()
+		t.o.Observe(obs.Event{Kind: obs.KindPhaseEnd, Time: now, Phase: name, Units: int64(now.Sub(start))})
+	}
+}
+
+func (t tracer) mapStart(k, nodes int) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindMapStart, Time: time.Now(), K: k, N: nodes})
+}
+
+// treeSolve records one completed tree DP solve and the work units its
+// governor metered.
+func (t tracer) treeSolve(tree string, units int64, cost int32) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindTreeSolve, Time: time.Now(), Tree: tree, Units: units, Cost: int(cost)})
+}
+
+// memoHit records a tree that reused the DP of a structurally identical
+// tree instead of solving its own.
+func (t tracer) memoHit(tree string, cost int32) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindMemoHit, Time: time.Now(), Tree: tree, Cost: int(cost)})
+}
+
+func (t tracer) templateReplay(tree string) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindTemplateReplay, Time: time.Now(), Tree: tree})
+}
+
+func (t tracer) budgetExhausted(tree string, limit int64) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindBudgetExhausted, Time: time.Now(), Tree: tree, Units: limit})
+}
+
+func (t tracer) treeDegraded(tree string, cost int32) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindTreeDegraded, Time: time.Now(), Tree: tree, Cost: int(cost)})
+}
+
+func (t tracer) arenaStats(count int, bytes int64) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindArenaStats, Time: time.Now(), N: count, Units: bytes})
+}
+
+func (t tracer) dupAccepted(node string) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindDupAccepted, Time: time.Now(), Tree: node})
+}
+
+// circuit closes a run: one KindLUT event per emitted lookup table
+// (input count and level) and the KindMapEnd summary. Emitted only when
+// an observer is attached, so the level computation never runs on an
+// unobserved map.
+func (t tracer) circuit(ckt *lut.Circuit, trees int) {
+	if t.o == nil {
+		return
+	}
+	levels, err := ckt.Levels()
+	if err != nil {
+		// The circuit was validated just before; a cycle here cannot
+		// happen. Emit the summary without per-LUT detail regardless —
+		// instrumentation must not fail the mapping.
+		levels = nil
+	}
+	depth := 0
+	now := time.Now()
+	for _, l := range ckt.LUTs {
+		lv := levels[l.Name]
+		if lv > depth {
+			depth = lv
+		}
+		t.o.Observe(obs.Event{Kind: obs.KindLUT, Time: now, Tree: l.Name, N: len(l.Inputs), Depth: lv})
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindMapEnd, Time: time.Now(), Cost: ckt.Count(), Depth: depth, N: trees})
+}

@@ -273,6 +273,28 @@ func (c *Circuit) Stats() (Stats, error) {
 	return s, nil
 }
 
+// Levels returns every LUT's level — 1 + the maximum level of its LUT
+// fanins, with primary inputs at level 0 — in topological order
+// alongside the LUTs themselves. The observability layer uses it to
+// histogram a mapped circuit by depth.
+func (c *Circuit) Levels() (map[string]int, error) {
+	order, err := c.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	levels := make(map[string]int, len(order))
+	for _, l := range order {
+		d := 0
+		for _, in := range l.Inputs {
+			if dd := levels[in]; dd > d {
+				d = dd
+			}
+		}
+		levels[l.Name] = d + 1
+	}
+	return levels, nil
+}
+
 // WriteBLIF emits the circuit as a BLIF model whose .names tables are
 // the LUT truth tables (minterm form). Inverted outputs get an explicit
 // inverter table.

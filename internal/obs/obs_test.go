@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for k := KindMapStart; k <= KindDupAccepted; k++ {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		if !strings.Contains(string(data), k.String()) {
+			t.Errorf("kind %v marshaled to %s", k, data)
+		}
+		var back Kind
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %v", k, back)
+		}
+	}
+	var bad Kind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &bad); err == nil {
+		t.Error("unknown kind name unmarshaled without error")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Observe(Event{Kind: KindTreeSolve, Units: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Len(); got != workers*per {
+		t.Fatalf("collected %d events, want %d", got, workers*per)
+	}
+	r := c.Report()
+	if r.Solves != workers*per || r.WorkUnits != workers*per {
+		t.Fatalf("report solves=%d units=%d, want %d", r.Solves, r.WorkUnits, workers*per)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset left events behind")
+	}
+}
+
+func TestJSONLStream(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Observe(Event{Kind: KindMapStart, K: 4, N: 10})
+	j.Observe(Event{Kind: KindTreeSolve, Tree: "n1", Units: 42, Cost: 3})
+	j.Observe(Event{Kind: KindMapEnd, Cost: 7, Depth: 2, N: 3})
+	if err := j.Err(); err != nil {
+		t.Fatalf("write error: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("wrote %d lines, want 3", lines)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWrite
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "disk full" }
+
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 1})
+	j.Observe(Event{Kind: KindMapStart})
+	j.Observe(Event{Kind: KindMapEnd}) // fails
+	j.Observe(Event{Kind: KindMapEnd}) // silently dropped
+	if j.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+func TestMultiAndFunc(t *testing.T) {
+	var got []Kind
+	f := Func(func(e Event) { got = append(got, e.Kind) })
+	var c Collector
+	m := Multi{f, nil, &c}
+	m.Observe(Event{Kind: KindMapStart})
+	m.Observe(Event{Kind: KindMapEnd})
+	if len(got) != 2 || c.Len() != 2 {
+		t.Fatalf("fan-out reached func %d times, collector %d times", len(got), c.Len())
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	events := []Event{
+		{Kind: KindMapStart, Time: t0, K: 4, N: 100},
+		{Kind: KindPhaseEnd, Phase: "forest", Units: int64(2 * time.Millisecond)},
+		{Kind: KindPhaseEnd, Phase: "solve", Units: int64(5 * time.Millisecond)},
+		{Kind: KindPhaseEnd, Phase: "solve", Units: int64(3 * time.Millisecond)},
+		{Kind: KindTreeSolve, Tree: "a", Units: 10, Cost: 2},
+		{Kind: KindTreeSolve, Tree: "b", Units: 30, Cost: 2},
+		{Kind: KindMemoHit, Tree: "c", Cost: 2},
+		{Kind: KindTemplateReplay, Tree: "c"},
+		{Kind: KindBudgetExhausted, Tree: "d", Units: 100},
+		{Kind: KindTreeDegraded, Tree: "d", Cost: 5},
+		{Kind: KindLUT, Tree: "a$l1", N: 4, Depth: 1},
+		{Kind: KindLUT, Tree: "a$l2", N: 3, Depth: 2},
+		{Kind: KindArenaStats, N: 2, Units: 4096},
+		{Kind: KindDupAccepted, Tree: "g"},
+		{Kind: KindMapEnd, Time: t0.Add(10 * time.Millisecond), Cost: 9, Depth: 2, N: 4},
+	}
+	r := Aggregate(events)
+	if r.K != 4 || r.LUTs != 9 || r.Depth != 2 || r.Trees != 4 {
+		t.Fatalf("totals wrong: %+v", r)
+	}
+	if r.Wall != 10*time.Millisecond {
+		t.Errorf("wall = %s, want 10ms", r.Wall)
+	}
+	if len(r.Phases) != 2 || r.Phases[1].Name != "solve" ||
+		r.Phases[1].Wall != 8*time.Millisecond || r.Phases[1].Count != 2 {
+		t.Errorf("phase aggregation wrong: %+v", r.Phases)
+	}
+	if r.Solves != 2 || r.WorkUnits != 40 {
+		t.Errorf("solves=%d units=%d", r.Solves, r.WorkUnits)
+	}
+	if r.MemoHits != 1 || r.TemplateReplays != 1 {
+		t.Errorf("memo hits=%d replays=%d", r.MemoHits, r.TemplateReplays)
+	}
+	if want := 1.0 / 3; r.MemoHitRate() != want {
+		t.Errorf("hit rate %f, want %f", r.MemoHitRate(), want)
+	}
+	if r.BudgetTrips != 1 || len(r.Degraded) != 1 || r.Degraded[0] != "d" {
+		t.Errorf("budget detail wrong: trips=%d degraded=%v", r.BudgetTrips, r.Degraded)
+	}
+	if r.TreeCostHist[2] != 3 || r.TreeCostHist[5] != 1 {
+		t.Errorf("tree cost hist %v", r.TreeCostHist)
+	}
+	if r.LUTInputHist[4] != 1 || r.LUTDepthHist[2] != 1 {
+		t.Errorf("LUT hists %v %v", r.LUTInputHist, r.LUTDepthHist)
+	}
+	if r.ArenaCount != 2 || r.ArenaBytes != 4096 || r.DupAccepted != 1 {
+		t.Errorf("arena/dup wrong: %+v", r)
+	}
+
+	text := r.Format()
+	for _, want := range []string{"9 LUTs (K=4)", "forest", "solve", "memo hits", "degraded", "tree costs"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMemoHitRateEmpty(t *testing.T) {
+	if r := Aggregate(nil); r.MemoHitRate() != 0 {
+		t.Fatal("empty report should have zero hit rate")
+	}
+}

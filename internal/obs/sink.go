@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Collector is an in-memory sink: it appends every event to a slice
+// under a mutex. Aggregate a finished run with Report. One Collector
+// should observe one mapping run at a time; concurrent emission from
+// the run's own worker goroutines is fine, interleaving two runs makes
+// the report meaningless (but is still memory-safe).
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Observe appends the event.
+func (c *Collector) Observe(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything observed so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Len returns the number of events observed so far.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Reset discards all collected events, readying the Collector for
+// another run.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = nil
+	c.mu.Unlock()
+}
+
+// Report aggregates the collected events (see Aggregate).
+func (c *Collector) Report() *Report {
+	return Aggregate(c.Events())
+}
+
+// JSONL streams every event as one JSON object per line — the mapper's
+// machine-readable trace format (cmd/chortle -trace). Writes are
+// serialized by a mutex; errors are sticky and reported by Err, never
+// surfaced into the mapping (a failing trace file cannot fail a map).
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink streaming to w. The caller owns w and any
+// buffering/closing it needs.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Observe writes the event as a JSON line. After the first write error
+// the sink goes quiet and Err reports the error.
+func (j *JSONL) Observe(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

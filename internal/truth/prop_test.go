@@ -1,0 +1,242 @@
+package truth
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// Property-based tests: the canonicalization and structural operators
+// are checked against algebraic invariants on seeded random tables, and
+// the paper's unique-function counts (10 for K=2, 78 for K=3) are
+// re-derived by two independent routes — brute-force orbit partition
+// and Burnside's lemma — neither of which shares code with PClasses.
+
+// randTable draws a uniform n-variable table.
+func randTable(rng *rand.Rand, n int) Table {
+	return New(n, rng.Uint64())
+}
+
+// randPerm draws a uniform permutation of n elements.
+func randPerm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// TestCanonPInvariantUnderPermutation: permuting inputs never changes
+// the permutation-class representative, and canonicalization is
+// idempotent and never increases the packed bits (it is the orbit
+// minimum).
+func TestCanonPInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(MaxVars)
+		tab := randTable(rng, n)
+		canon := tab.CanonP()
+		if got := tab.Permute(randPerm(rng, n)).CanonP(); got != canon {
+			t.Fatalf("n=%d %v: permuted canon %v != %v", n, tab, got, canon)
+		}
+		if canon.CanonP() != canon {
+			t.Fatalf("n=%d %v: CanonP not idempotent", n, tab)
+		}
+		if canon.Bits > tab.Bits {
+			t.Fatalf("n=%d %v: canon bits %#x exceed original %#x", n, tab, canon.Bits, tab.Bits)
+		}
+	}
+}
+
+// TestCanonNPNInvariant: the NPN representative is unchanged by input
+// permutation, input negation, and output negation — including all
+// three composed, which is the full acceptance identity
+// canon(permute(negate(f))) == canon(f).
+func TestCanonNPNInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	// NPN canonicalization of a 6-variable table scans 720 permutations
+	// x 64 negations x 2 phases; keep the trial count moderate.
+	for trial := 0; trial < 250; trial++ {
+		n := 1 + rng.Intn(MaxVars)
+		tab := randTable(rng, n)
+		canon := tab.CanonNPN()
+		mangled := tab.NegateInputs(uint(rng.Intn(1 << n))).Permute(randPerm(rng, n))
+		if rng.Intn(2) == 1 {
+			mangled = mangled.Not()
+		}
+		if got := mangled.CanonNPN(); got != canon {
+			t.Fatalf("n=%d %v: mangled canon %v != %v", n, tab, got, canon)
+		}
+		if canon.CanonNPN() != canon {
+			t.Fatalf("n=%d %v: CanonNPN not idempotent", n, tab)
+		}
+	}
+}
+
+// TestCanonPReachable: for small n, the representative is actually in
+// the orbit — some explicit permutation maps the table onto it.
+func TestCanonPReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(3)
+		tab := randTable(rng, n)
+		canon := tab.CanonP()
+		found := false
+		for _, p := range enumPerms(n) {
+			if tab.Permute(p) == canon {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("n=%d %v: canon %v not reachable by any permutation", n, tab, canon)
+		}
+	}
+}
+
+// TestShannonExpansionAllWidths: f = x_i·f|x_i=1 + x_i'·f|x_i=0 for
+// every variable of random tables at every width 1..MaxVars (the
+// table_test version fixes n=5).
+func TestShannonExpansionAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(MaxVars)
+		tab := randTable(rng, n)
+		for i := 0; i < n; i++ {
+			x := Var(i, n)
+			rebuilt := x.And(tab.Cofactor(i, true)).Or(x.Not().And(tab.Cofactor(i, false)))
+			if rebuilt != tab {
+				t.Fatalf("n=%d %v: Shannon expansion on x%d gives %v", n, tab, i, rebuilt)
+			}
+		}
+	}
+}
+
+// TestSupportConsistency ties DependsOn, Support, SupportSize, Cofactor
+// and Shrink/Grow together on random tables.
+func TestSupportConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(MaxVars)
+		tab := randTable(rng, n)
+		support := tab.Support()
+		for i := 0; i < n; i++ {
+			dep := tab.DependsOn(i)
+			if dep != (support>>uint(i)&1 == 1) {
+				t.Fatalf("n=%d %v: DependsOn(%d)=%v disagrees with Support %#b", n, tab, i, dep, support)
+			}
+			if dep == (tab.Cofactor(i, true) == tab.Cofactor(i, false)) {
+				t.Fatalf("n=%d %v: DependsOn(%d)=%v but cofactors say otherwise", n, tab, i, dep)
+			}
+		}
+		if tab.SupportSize() != bits.OnesCount(support) {
+			t.Fatalf("n=%d %v: SupportSize %d != popcount(%#b)", n, tab, tab.SupportSize(), support)
+		}
+		shrunk, vars := tab.Shrink()
+		if len(vars) != tab.SupportSize() {
+			t.Fatalf("n=%d %v: Shrink kept %d vars, support is %d", n, tab, len(vars), tab.SupportSize())
+		}
+		if shrunk.SupportSize() != shrunk.N {
+			t.Fatalf("n=%d %v: shrunk table %v does not depend on all its variables", n, tab, shrunk)
+		}
+		if regrown := shrunk.Grow(n, vars); regrown != tab {
+			t.Fatalf("n=%d %v: Shrink+Grow round trip gives %v", n, tab, regrown)
+		}
+	}
+}
+
+// enumPerms enumerates all permutations of n elements with its own
+// recursion, independent of canon.go's enumeration.
+func enumPerms(n int) [][]int {
+	var out [][]int
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), p...))
+			return
+		}
+		for i := k; i < n; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// permuteMinterm applies permutation p to a minterm's variable bits:
+// bit i of the result is bit p[i] of m — the same action Permute uses
+// on table rows.
+func permuteMinterm(m uint, p []int) uint {
+	var out uint
+	for i, pi := range p {
+		out |= (m >> uint(pi) & 1) << uint(i)
+	}
+	return out
+}
+
+// TestUniqueFunctionCountsByEnumeration re-derives the paper's unique
+// n-input function counts two independent ways and checks both against
+// CountPClasses and PClasses:
+//
+//  1. brute force: canonicalize all 2^2^n functions by explicit orbit
+//     minimum over the enumerated permutations (no CanonP);
+//  2. Burnside's lemma: classes = (1/n!) * sum over permutations of
+//     2^(cycles of the permutation's action on minterms).
+//
+// The paper's counts are 10 unique 2-input and 78 unique 3-input
+// functions, constants excluded.
+func TestUniqueFunctionCountsByEnumeration(t *testing.T) {
+	want := map[int]int{2: 10, 3: 78}
+	for n := 1; n <= 3; n++ {
+		perms := enumPerms(n)
+		rows := uint(1) << uint(n)
+
+		// Route 1: explicit orbit partition.
+		distinct := make(map[uint64]bool)
+		for bitsVal := uint64(0); bitsVal < 1<<(1<<uint(n)); bitsVal++ {
+			tab := New(n, bitsVal)
+			min := tab.Bits
+			for _, p := range perms {
+				if b := tab.Permute(p).Bits; b < min {
+					min = b
+				}
+			}
+			distinct[min] = true
+		}
+		bruteClasses := len(distinct) - 2 // drop the two constants
+
+		// Route 2: Burnside. Count, for each permutation, the cycles of
+		// its action on the 2^n minterms; it fixes 2^cycles functions.
+		var fixedSum uint64
+		for _, p := range perms {
+			seen := make([]bool, rows)
+			cycles := 0
+			for m := uint(0); m < rows; m++ {
+				if seen[m] {
+					continue
+				}
+				cycles++
+				for x := m; !seen[x]; x = permuteMinterm(x, p) {
+					seen[x] = true
+				}
+			}
+			fixedSum += 1 << uint(cycles)
+		}
+		burnsideClasses := int(fixedSum/uint64(len(perms))) - 2
+
+		if bruteClasses != burnsideClasses {
+			t.Fatalf("n=%d: brute force says %d classes, Burnside says %d", n, bruteClasses, burnsideClasses)
+		}
+		if got := CountPClasses(n); got != bruteClasses {
+			t.Errorf("n=%d: CountPClasses=%d, independent derivations say %d", n, got, bruteClasses)
+		}
+		if got := len(PClasses(n, false)); got != bruteClasses {
+			t.Errorf("n=%d: len(PClasses)=%d, independent derivations say %d", n, got, bruteClasses)
+		}
+		if w, ok := want[n]; ok && bruteClasses != w {
+			t.Errorf("n=%d: derived %d unique functions, paper says %d", n, bruteClasses, w)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Coverage gate for the mapper core: fails if internal/core statement
+# coverage drops below the pinned floor. The floor sits a little under
+# the measured baseline (90.1% as of the observability PR) so routine
+# refactors don't flap, but a real coverage regression trips it.
+# Raise the floor when coverage improves durably.
+set -eu
+
+FLOOR="${COVERAGE_FLOOR:-88.0}"
+PROFILE="$(mktemp)"
+trap 'rm -f "$PROFILE"' EXIT
+
+go test -coverprofile="$PROFILE" -coverpkg=chortle/internal/core ./internal/core
+
+TOTAL="$(go tool cover -func="$PROFILE" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
+echo "internal/core statement coverage: ${TOTAL}% (floor: ${FLOOR}%)"
+if awk -v t="$TOTAL" -v f="$FLOOR" 'BEGIN { exit !(t < f) }'; then
+    echo "FAIL: coverage ${TOTAL}% is below the ${FLOOR}% floor" >&2
+    exit 1
+fi

@@ -1,0 +1,71 @@
+package chortle
+
+import (
+	"testing"
+
+	"chortle/internal/bench"
+)
+
+// End-to-end functional cross-check riding on the golden suite: every
+// bundled benchmark's mapped circuit must implement its source network.
+// Circuits with at most 16 primary inputs are checked exhaustively;
+// wider ones with 157 random 64-pattern blocks (~10k vectors). This is
+// the semantic complement of TestGolden, which only pins statistics.
+
+const simBlocks = 157 // 157 * 64 > 10000 vectors for non-exhaustive circuits
+
+func TestMappedCircuitsImplementNetworks(t *testing.T) {
+	for _, c := range goldenCircuits() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			nw, err := bench.Optimized(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Map(nw, DefaultOptions(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(nw, res.Circuit, simBlocks, 42); err != nil {
+				t.Errorf("mapped circuit diverges from network: %v", err)
+			}
+		})
+	}
+}
+
+// TestBudgetDegradedCircuitsImplementNetworks covers the degraded path
+// end to end: a starvation-level work budget forces trees onto the
+// bin-packing fallback, and the resulting circuit must still be
+// functionally equivalent.
+func TestBudgetDegradedCircuitsImplementNetworks(t *testing.T) {
+	degradedSomewhere := false
+	for _, name := range []string{"9symml", "alu2", "count", "rd73"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw, err := bench.Optimized(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions(5)
+			opts.Budget.WorkUnits = 60 // starve: most nontrivial trees trip this
+			res, err := Map(nw, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Degraded) > 0 {
+				degradedSomewhere = true
+			}
+			if err := Verify(nw, res.Circuit, simBlocks, 43); err != nil {
+				t.Errorf("degraded circuit diverges from network (%d trees degraded): %v",
+					len(res.Degraded), err)
+			}
+		})
+	}
+	if !degradedSomewhere {
+		t.Error("work budget of 60 units degraded no trees anywhere; the test is not exercising the fallback path")
+	}
+}
