@@ -1,0 +1,150 @@
+// Command benchdiff compares two benchjson reports (BENCH_map.json)
+// and gates on performance regressions — the CI perf gate.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-v] old.json new.json
+//
+// Records are matched by (circuit, K). For every pair the ns/op ratio,
+// allocation delta and LUT count are compared; LUT drift is flagged as
+// a correctness problem (the mapper is deterministic — the same input
+// must produce the same LUT count regardless of speed). The command
+// exits nonzero when the median ns/op ratio across all matched pairs
+// exceeds 1+threshold, or when any LUT count drifts. A median over
+// per-pair ratios — rather than any single pair — keeps the gate
+// stable on noisy CI machines while still catching real slowdowns.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Circuit     string `json:"circuit"`
+	K           int    `json:"k"`
+	LUTs        int    `json:"luts"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type report struct {
+	Schema  string   `json:"schema"`
+	Results []record `json:"results"`
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	}
+	os.Exit(code)
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+func key(r record) string { return fmt.Sprintf("%s/K=%d", r.Circuit, r.K) }
+
+// run executes the comparison; exit code 0 = within threshold,
+// 1 = regression or LUT drift, 2 = usage/input error.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	threshold := fs.Float64("threshold", 0.10, "allowed median ns/op regression (0.10 = 10%)")
+	verbose := fs.Bool("v", false, "print every matched pair, not just regressions")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("usage: benchdiff [-threshold 0.10] [-v] old.json new.json")
+	}
+	oldRep, err := load(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+
+	oldBy := map[string]record{}
+	for _, r := range oldRep.Results {
+		oldBy[key(r)] = r
+	}
+
+	var (
+		ratios   []float64
+		drifted  int
+		matched  int
+		unpaired int
+	)
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[key(nr)]
+		if !ok {
+			unpaired++
+			fmt.Fprintf(stdout, "NEW   %-16s %10d ns/op (no baseline)\n", key(nr), nr.NsPerOp)
+			continue
+		}
+		delete(oldBy, key(nr))
+		matched++
+		ratio := float64(nr.NsPerOp) / float64(or.NsPerOp)
+		ratios = append(ratios, ratio)
+		drift := nr.LUTs != or.LUTs
+		if drift {
+			drifted++
+			fmt.Fprintf(stdout, "DRIFT %-16s LUTs %d -> %d (correctness: deterministic mapper changed its output)\n",
+				key(nr), or.LUTs, nr.LUTs)
+		}
+		if *verbose || drift || ratio > 1+*threshold {
+			fmt.Fprintf(stdout, "      %-16s %10d -> %10d ns/op (%+6.1f%%)  allocs %d -> %d\n",
+				key(nr), or.NsPerOp, nr.NsPerOp, (ratio-1)*100, or.AllocsPerOp, nr.AllocsPerOp)
+		}
+	}
+	for k := range oldBy {
+		unpaired++
+		fmt.Fprintf(stdout, "GONE  %-16s (in baseline only)\n", k)
+	}
+	if matched == 0 {
+		return 2, fmt.Errorf("no (circuit, K) pairs in common")
+	}
+
+	med := median(ratios)
+	fmt.Fprintf(stdout, "%d pairs compared (%d unpaired), median ns/op ratio %.3f (threshold %.3f)\n",
+		matched, unpaired, med, 1+*threshold)
+	if drifted > 0 {
+		return 1, fmt.Errorf("%d benchmark(s) changed LUT count — mapping output drifted", drifted)
+	}
+	if med > 1+*threshold {
+		return 1, fmt.Errorf("median ns/op regressed %.1f%% (allowed %.1f%%)", (med-1)*100, *threshold*100)
+	}
+	fmt.Fprintln(stdout, "PASS")
+	return 0, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a fixture report to a temp file.
+func writeReport(t *testing.T, dir, name string, recs []record) string {
+	t.Helper()
+	rep := report{Schema: "chortle-bench-map/v2", Results: recs}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseline() []record {
+	return []record{
+		{Circuit: "9symml", K: 4, LUTs: 51, NsPerOp: 180000, AllocsPerOp: 1354},
+		{Circuit: "rot", K: 4, LUTs: 300, NsPerOp: 900000, AllocsPerOp: 5000},
+		{Circuit: "des", K: 4, LUTs: 1200, NsPerOp: 4000000, AllocsPerOp: 20000},
+	}
+}
+
+// scale returns the baseline with every ns/op multiplied by f.
+func scale(f float64) []record {
+	recs := baseline()
+	for i := range recs {
+		recs[i].NsPerOp = int64(float64(recs[i].NsPerOp) * f)
+	}
+	return recs
+}
+
+func diff(t *testing.T, threshold string, oldRecs, newRecs []record) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldRecs)
+	newPath := writeReport(t, dir, "new.json", newRecs)
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", threshold, oldPath, newPath}, &out)
+	t.Logf("exit %d, err %v\n%s", code, err, out.String())
+	return code, out.String()
+}
+
+func TestIdenticalPasses(t *testing.T) {
+	code, out := diff(t, "0.10", baseline(), baseline())
+	if code != 0 {
+		t.Fatalf("identical reports: exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Error("missing PASS line")
+	}
+}
+
+// TestRegressionFails is the acceptance pin: an injected >10% median
+// slowdown must exit nonzero.
+func TestRegressionFails(t *testing.T) {
+	code, out := diff(t, "0.10", baseline(), scale(1.25))
+	if code == 0 {
+		t.Fatal("25% regression passed a 10% gate")
+	}
+	if !strings.Contains(out, "median ns/op ratio 1.250") {
+		t.Errorf("ratio not reported:\n%s", out)
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	if code, _ := diff(t, "0.10", baseline(), scale(1.05)); code != 0 {
+		t.Fatal("5% drift failed a 10% gate")
+	}
+	// Speedups always pass.
+	if code, _ := diff(t, "0.10", baseline(), scale(0.5)); code != 0 {
+		t.Fatal("a 2x speedup failed the gate")
+	}
+}
+
+// TestMedianNotMax: one outlier pair does not trip the gate; the
+// median across pairs does.
+func TestMedianNotMax(t *testing.T) {
+	recs := baseline()
+	recs[0].NsPerOp *= 3 // one noisy pair
+	if code, _ := diff(t, "0.10", baseline(), recs); code != 0 {
+		t.Fatal("single outlier tripped the median gate")
+	}
+}
+
+func TestLUTDriftFails(t *testing.T) {
+	recs := baseline()
+	recs[1].LUTs++
+	code, out := diff(t, "0.10", baseline(), recs)
+	if code == 0 {
+		t.Fatal("LUT drift passed")
+	}
+	if !strings.Contains(out, "DRIFT") {
+		t.Errorf("drift not flagged:\n%s", out)
+	}
+}
+
+func TestUnpairedReported(t *testing.T) {
+	newRecs := append(baseline()[:2], record{Circuit: "extra", K: 5, LUTs: 9, NsPerOp: 1000})
+	code, out := diff(t, "0.10", baseline(), newRecs)
+	if code != 0 {
+		t.Fatalf("unpaired records should not fail the gate: exit %d", code)
+	}
+	if !strings.Contains(out, "NEW") || !strings.Contains(out, "GONE") {
+		t.Errorf("unpaired records not reported:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run(nil, &out); code != 2 || err == nil {
+		t.Errorf("no args: code %d err %v, want 2 + error", code, err)
+	}
+	if code, _ := run([]string{"a.json"}, &out); code != 2 {
+		t.Error("one arg accepted")
+	}
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", baseline())
+	missing := filepath.Join(dir, "missing.json")
+	if code, _ := run([]string{good, missing}, &out); code != 2 {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if code, _ := run([]string{good, bad}, &out); code != 2 {
+		t.Error("malformed file accepted")
+	}
+	empty := writeReport(t, dir, "empty.json", nil)
+	if code, _ := run([]string{good, empty}, &out); code != 2 {
+		t.Error("empty results accepted")
+	}
+	disjoint := writeReport(t, dir, "disjoint.json",
+		[]record{{Circuit: "other", K: 9, NsPerOp: 1}})
+	if code, _ := run([]string{good, disjoint}, &out); code != 2 {
+		t.Error("no common pairs accepted")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}

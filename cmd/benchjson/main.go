@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -69,8 +70,25 @@ func main() {
 		reps     = flag.Int("reps", 5, "timed repetitions per (circuit, K); the mean is reported")
 		out      = flag.String("o", "BENCH_map.json", "output file (- for stdout)")
 		seq      = flag.Bool("sequential", false, "measure with Parallel and Memoize off")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while benchmarking")
 	)
 	flag.Parse()
+
+	// The metrics bridge only rides the observed warm-up runs: the timed
+	// reps keep a nil observer so the numbers stay undisturbed, but pprof
+	// covers the whole process either way. metricsObs stays a nil
+	// interface (not a typed-nil pointer) when -debug-addr is unset.
+	var metricsObs chortle.Observer
+	if *debug != "" {
+		reg := chortle.NewMetricsRegistry()
+		metricsObs = chortle.NewMetricsObserverWithRuntime(reg)
+		srv, err := chortle.ServeDebug(*debug, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", srv.Addr())
+		defer srv.Shutdown(context.Background())
+	}
 
 	ks := []int{2, 3, 4, 5}
 	if *kFlag != 0 {
@@ -97,7 +115,7 @@ func main() {
 			opts := chortle.DefaultOptions(k)
 			opts.Parallel = !*seq
 			opts.Memoize = !*seq
-			rec, err := measure(name, nw, opts, *reps)
+			rec, err := measure(name, nw, opts, *reps, metricsObs)
 			if err != nil {
 				fatal(err)
 			}
@@ -119,7 +137,7 @@ func main() {
 	}
 }
 
-func measure(name string, nw *chortle.Network, opts chortle.Options, reps int) (record, error) {
+func measure(name string, nw *chortle.Network, opts chortle.Options, reps int, extra chortle.Observer) (record, error) {
 	// Warm up: pulls the arena pool to steady state and gives a LUT count
 	// to anchor against. The warm-up run is also the observed one — the
 	// timed reps below map with a nil observer, so the stats block never
@@ -127,6 +145,9 @@ func measure(name string, nw *chortle.Network, opts chortle.Options, reps int) (
 	var col chortle.Collector
 	obsOpts := opts
 	obsOpts.Observer = &col
+	if extra != nil {
+		obsOpts.Observer = chortle.MultiObserver{&col, extra}
+	}
 	res, err := chortle.Map(nw, obsOpts)
 	if err != nil {
 		return record{}, fmt.Errorf("%s K=%d: %w", name, opts.K, err)

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify]
-//	        [-trace trace.jsonl] [-timeout 30s] [-budget N] [in.blif]
+//	        [-trace trace.jsonl] [-timeout 30s] [-budget N]
+//	        [-debug-addr :6060] [in.blif]
 //
 // With no input file the network is read from standard input.
 // -timeout is a hard wall-clock limit: when it expires the mapping is
@@ -15,7 +16,10 @@
 // counted on stderr. -stats prints the mapper's observability report
 // (phase wall times, memo hit rates, LUT histograms) to stderr;
 // -trace streams every mapping event as one JSON line to the named
-// file. Neither changes the emitted circuit.
+// file (convert it with cmd/traceview for Perfetto); -debug-addr
+// serves /metrics (Prometheus text), /debug/vars (expvar) and
+// /debug/pprof while the command runs. None of them change the
+// emitted circuit.
 package main
 
 import (
@@ -52,8 +56,21 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "hard wall-clock limit for the mapping (0 = none); expiry cancels and fails")
 		budget   = flag.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
 		trace    = flag.String("trace", "", "stream mapping events as JSON lines to this file")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while mapping")
 	)
 	flag.Parse()
+
+	var metricsObs *chortle.MetricsObserver
+	if *debug != "" {
+		reg := chortle.NewMetricsRegistry()
+		metricsObs = chortle.NewMetricsObserverWithRuntime(reg)
+		srv, err := chortle.ServeDebug(*debug, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", srv.Addr())
+		defer srv.Shutdown(context.Background())
+	}
 
 	in := os.Stdin
 	isPLA := *plaIn
@@ -117,7 +134,8 @@ func main() {
 			opts.Strategy = chortle.StrategyBinPack
 		}
 		// Observability wiring: -stats aggregates through a collector,
-		// -trace streams JSON lines; both can be active at once.
+		// -trace streams JSON lines, -debug-addr feeds the metrics
+		// registry; any combination can be active at once.
 		var observers []chortle.Observer
 		var col *chortle.Collector
 		if *stats {
@@ -134,10 +152,14 @@ func main() {
 			traceSink = chortle.NewJSONLObserver(f)
 			observers = append(observers, traceSink)
 		}
+		if metricsObs != nil {
+			observers = append(observers, metricsObs)
+		}
 		switch len(observers) {
+		case 0:
 		case 1:
 			opts.Observer = observers[0]
-		case 2:
+		default:
 			opts.Observer = chortle.MultiObserver(observers)
 		}
 		res, err := chortle.MapCtx(ctx, nw, opts)

@@ -16,9 +16,11 @@
 //	compare -trace t.jsonl  # stream all mapping events as JSON lines
 //	compare -timeout 30s    # hard per-circuit limit on the Chortle map
 //	compare -budget 1000000 # per-tree search budget in DP work units
+//	compare -debug-addr :6060  # /metrics, expvar and pprof while running
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,9 +48,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace    = fs.String("trace", "", "stream every Chortle mapping's events as JSON lines to this file")
 		timeout  = fs.Duration("timeout", 0, "hard per-circuit wall-clock limit for the Chortle map (0 = none)")
 		budget   = fs.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
+		debug    = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while comparing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var observers []chortle.Observer
+	if *debug != "" {
+		reg := chortle.NewMetricsRegistry()
+		srv, err := chortle.ServeDebug(*debug, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "compare:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s\n", srv.Addr())
+		defer srv.Shutdown(context.Background())
+		observers = append(observers, chortle.NewMetricsObserverWithRuntime(reg))
 	}
 
 	var ks []int
@@ -76,7 +92,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer f.Close()
 		traceSink = chortle.NewJSONLObserver(f)
-		opts.Observer = traceSink
+		observers = append(observers, traceSink)
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		opts.Observer = observers[0]
+	default:
+		opts.Observer = chortle.MultiObserver(observers)
 	}
 	var tables []chortle.Table
 	synthetic := false

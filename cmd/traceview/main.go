@@ -1,0 +1,80 @@
+// Command traceview converts a chortle JSONL event trace (the
+// cmd/chortle -trace output) into the Chrome trace_event JSON format,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Usage:
+//
+//	traceview [-o out.json] [trace.jsonl]
+//
+// With no input file the trace is read from standard input; with no -o
+// the Chrome trace is written to standard output. The conversion lays
+// the pipeline's map bracket and phases out as nested spans, spreads
+// overlapping per-tree DP solves across "solver lane" tracks (the lane
+// count is the run's achieved solve concurrency), and marks memo hits,
+// budget trips and degradations as instants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"chortle"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	out := fs.String("o", "", "output Chrome trace file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one input trace, got %d", fs.NArg())
+	}
+
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := chortle.ReadEventsJSONL(in)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	w := stdout
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		w = f
+	}
+	if err := chortle.WriteChromeTrace(w, events); err != nil {
+		if outFile != nil {
+			outFile.Close()
+		}
+		return err
+	}
+	if outFile != nil {
+		return outFile.Close()
+	}
+	return nil
+}

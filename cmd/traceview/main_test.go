@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chortle"
+)
+
+const testBLIF = `.model t
+.inputs a b c d e f
+.outputs y z
+.names a b t1
+11 1
+.names c d t2
+01 1
+.names t1 t2 y
+10 1
+.names e f z
+11 1
+.end
+`
+
+// traceFixture maps a small network with a -trace style JSONL sink and
+// returns the trace file path.
+func traceFixture(t *testing.T) string {
+	t.Helper()
+	nw, err := chortle.ReadBLIF(strings.NewReader(testBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := chortle.NewJSONLObserver(f)
+	opts := chortle.DefaultOptions(4)
+	opts.Observer = sink
+	if _, err := chortle.Map(nw, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+type record struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+// checkBalance verifies per-track B/E nesting: every E closes the most
+// recently opened B of the same name, and no track ends open.
+func checkBalance(t *testing.T, recs []record) {
+	t.Helper()
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
+	for i, r := range recs {
+		k := track{r.Pid, r.Tid}
+		switch r.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], r.Name)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				t.Fatalf("record %d: E %q with no open span on track %v", i, r.Name, k)
+			}
+			if top := st[len(st)-1]; top != r.Name {
+				t.Fatalf("record %d: E %q does not close open %q", i, r.Name, top)
+			}
+			stacks[k] = st[:len(st)-1]
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("track %v left open: %v", k, st)
+		}
+	}
+}
+
+// TestEndToEnd runs the real pipeline: map with a JSONL trace, convert
+// with run(), and structurally validate the Chrome trace.
+func TestEndToEnd(t *testing.T) {
+	trace := traceFixture(t)
+	out := filepath.Join(t.TempDir(), "chrome.json")
+	if err := run([]string{"-o", out, trace}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("output is not a JSON array of trace records: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace output")
+	}
+	checkBalance(t, recs)
+
+	names := map[string]bool{}
+	for _, r := range recs {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"process_name", "thread_name", "prepare", "solve"} {
+		if !names[want] {
+			t.Errorf("trace missing %q record", want)
+		}
+	}
+}
+
+func TestStdinStdout(t *testing.T) {
+	data, err := os.ReadFile(traceFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+	var recs []record
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("stdout is not a trace array: %v", err)
+	}
+	checkBalance(t, recs)
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := run(nil, strings.NewReader("not json\n"), nil); err == nil {
+		t.Error("malformed trace accepted")
+	}
+	if err := run([]string{"a", "b"}, nil, nil); err == nil {
+		t.Error("two positional args accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, nil, nil); err == nil {
+		t.Error("missing input file accepted")
+	}
+}

@@ -250,11 +250,12 @@ func (m *mapper) realizeTreeCtx(root *network.Node, mc *mapCtx) (int32, error) {
 		return m.realizeTreeFromDP(root, dp)
 	}
 	gov := mc.newGov()
+	start := mc.tr.now()
 	dp, err := solveDP(mc.seqArena, m.f, root, m.opts, gov)
 	if err != nil {
 		return 0, err
 	}
-	mc.tr.treeSolve(root.Name, gov.units, dp.bestCost)
+	mc.tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 	return m.realizeTreeFromDP(root, dp)
 }
 
@@ -272,6 +273,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 	if e == nil {
 		e = &shapeEntry{f: m.f, rep: root, templates: make(map[string]*emitTemplate)}
 		gov := mc.newGov()
+		start := mc.tr.now()
 		dp, err := solveDP(mc.seqArena, m.f, root, m.opts, gov)
 		if err != nil {
 			if !errors.Is(err, cerrs.ErrBudgetExhausted) {
@@ -280,7 +282,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 			e.degraded = true
 		}
 		if !e.degraded {
-			mc.tr.treeSolve(root.Name, gov.units, dp.bestCost)
+			mc.tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 		}
 		e.dp = dp
 		mc.memo.insert(h, e)

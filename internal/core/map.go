@@ -136,9 +136,10 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 			cost, err = m.realizeTreeCRF(root, arrivals)
 		case opts.OptimizeDepth:
 			gov := mctx.newGov()
+			solveStart := tr.now()
 			cost, err = m.realizeTreeDepth(root, arrivals, gov)
 			if err == nil {
-				tr.treeSolve(root.Name, gov.units, cost)
+				tr.treeSolve(root.Name, gov.units, cost, solveStart)
 			}
 		default:
 			cost, err = m.realizeTreeCtx(root, mctx)

@@ -220,6 +220,7 @@ func (mc *mapCtx) buildDPsParallel() error {
 	roots := mc.f.Roots
 	solveOne := func(a *dpArena, root *network.Node) (*nodeDP, bool, error) {
 		gov := mc.newGov()
+		start := mc.tr.now()
 		dp, err := solveDP(a, mc.f, root, mc.opts, gov)
 		if err != nil {
 			if errors.Is(err, cerrs.ErrBudgetExhausted) {
@@ -227,7 +228,7 @@ func (mc *mapCtx) buildDPsParallel() error {
 			}
 			return nil, false, err
 		}
-		mc.tr.treeSolve(root.Name, gov.units, dp.bestCost)
+		mc.tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 		return dp, false, nil
 	}
 	if mc.memo != nil {

@@ -47,13 +47,29 @@ func (t tracer) mapStart(k, nodes int) {
 	t.o.Observe(obs.Event{Kind: obs.KindMapStart, Time: time.Now(), K: k, N: nodes})
 }
 
-// treeSolve records one completed tree DP solve and the work units its
-// governor metered.
-func (t tracer) treeSolve(tree string, units int64, cost int32) {
+// now is the tracer's clock: the zero time with no observer attached
+// (no time.Now call on the disabled path), the wall clock otherwise.
+// Solve sites read it before the DP so treeSolve can report a duration.
+func (t tracer) now() time.Time {
+	if t.o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// treeSolve records one completed tree DP solve, the work units its
+// governor metered, and — when the caller bracketed the solve with
+// t.now() — its wall time.
+func (t tracer) treeSolve(tree string, units int64, cost int32, start time.Time) {
 	if t.o == nil {
 		return
 	}
-	t.o.Observe(obs.Event{Kind: obs.KindTreeSolve, Time: time.Now(), Tree: tree, Units: units, Cost: int(cost)})
+	now := time.Now()
+	var d time.Duration
+	if !start.IsZero() {
+		d = now.Sub(start)
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindTreeSolve, Time: now, Tree: tree, Units: units, Cost: int(cost), Dur: d})
 }
 
 // memoHit records a tree that reused the DP of a structurally identical

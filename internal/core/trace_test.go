@@ -23,7 +23,7 @@ func TestTracerNoopZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() {
 		end := tr.phase("reconstruct")
 		tr.mapStart(4, 100)
-		tr.treeSolve("tree", 123, 4)
+		tr.treeSolve("tree", 123, 4, tr.now())
 		tr.memoHit("tree", 4)
 		tr.templateReplay("tree")
 		tr.budgetExhausted("tree", 1000)
@@ -76,11 +76,12 @@ func TestSolvePathNoObserverZeroAddedAllocs(t *testing.T) {
 	traced := testing.AllocsPerRun(200, func() {
 		a.reset()
 		gov := &governor{}
+		start := tr.now()
 		dp, err := solveDP(a, f, root, opts, gov)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr.treeSolve(root.Name, gov.units, dp.bestCost)
+		tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 	})
 	if traced != bare {
 		t.Fatalf("solve path with nil observer allocates %v allocs/op, bare solve %v — tracing added allocations", traced, bare)
@@ -113,11 +114,12 @@ func BenchmarkPerTreeSolve(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			a.reset()
 			gov := &governor{}
+			start := tr.now()
 			dp, err := solveDP(a, f, root, opts, gov)
 			if err != nil {
 				b.Fatal(err)
 			}
-			tr.treeSolve(root.Name, gov.units, dp.bestCost)
+			tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 		}
 	})
 	b.Run("collector", func(b *testing.B) {
@@ -126,11 +128,12 @@ func BenchmarkPerTreeSolve(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			a.reset()
 			gov := &governor{}
+			start := tr.now()
 			dp, err := solveDP(a, f, root, opts, gov)
 			if err != nil {
 				b.Fatal(err)
 			}
-			tr.treeSolve(root.Name, gov.units, dp.bestCost)
+			tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 		}
 	})
 }

@@ -1,0 +1,394 @@
+// Package metrics is the export half of the mapper's observability
+// stack: a zero-dependency, concurrency-safe registry of counters,
+// gauges and fixed-bucket duration histograms, populated from the
+// internal/obs event stream by the Observer bridge and exposed to
+// operator tooling as Prometheus text exposition (WritePrometheus), an
+// expvar tree (PublishExpvar), and a debug HTTP server (Serve) that
+// also mounts net/http/pprof.
+//
+// The registry follows the internal/obs contract: feeding it never
+// perturbs the mapping. All metric updates are lock-free atomics; the
+// bridge pre-creates every series it touches, so the per-event path
+// allocates nothing.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name/value pair attached to a metric series at
+// registration (e.g. phase="solve" on a phase-duration histogram).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// metricKind discriminates the series types a family can hold.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one registered time series: a family name plus a fixed
+// label set and the live value behind it.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	gfn    func() float64
+	hist   *Histogram
+}
+
+// family groups every series registered under one metric name; the
+// exposition writer emits one HELP/TYPE header per family with its
+// series contiguous, as the Prometheus text format requires.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry is a concurrency-safe collection of metric families.
+// Registration methods are get-or-create: asking for the same
+// (name, labels) twice returns the same series, so packages can share
+// a registry without coordinating initialization order. Registering a
+// name twice with different types panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// labelKey renders a label set into a map key. Labels are kept in the
+// order given — callers use consistent orders — so the key is cheap.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	key := ""
+	for _, l := range labels {
+		key += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return key
+}
+
+// lookup finds or creates the family and the series slot for
+// (name, labels), enforcing type consistency.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) (*family, *series, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %q registered as %s, requested as %s",
+			name, f.kind.promType(), kind.promType()))
+	}
+	key := labelKey(labels)
+	if s := f.byKey[key]; s != nil {
+		return f, s, false
+	}
+	s := &series{labels: append([]Label(nil), labels...)}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return f, s, true
+}
+
+// Counter returns the monotonically increasing counter registered
+// under (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	_, s, fresh := r.lookup(name, help, kindCounter, labels)
+	if fresh {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	_, s, fresh := r.lookup(name, help, kindGauge, labels)
+	if fresh {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time — for derived quantities (hit rates) and live
+// process state (goroutine counts). Re-registering the same
+// (name, labels) replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	_, s, _ := r.lookup(name, help, kindGaugeFunc, labels)
+	s.gfn = fn
+}
+
+// Histogram returns the duration histogram registered under
+// (name, labels), creating it on first use with the given bucket upper
+// bounds (DefaultDurationBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []time.Duration, labels ...Label) *Histogram {
+	_, s, fresh := r.lookup(name, help, kindHistogram, labels)
+	if fresh {
+		s.hist = NewHistogram(buckets)
+	}
+	return s.hist
+}
+
+// Counter is a monotonically increasing float64 (atomic CAS update).
+// The zero value is ready to use.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by v; negative or NaN deltas are ignored
+// (a counter only goes up).
+func (c *Counter) Add(v float64) {
+	if !(v > 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an instantaneous float64 value (atomic store/CAS). The zero
+// value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultDurationBuckets is the histogram bucket ladder used when no
+// explicit buckets are given: a 1-2-5 progression from 1µs to 10s —
+// wide enough to straddle both a microsecond tree solve and a
+// multi-second suite phase.
+var DefaultDurationBuckets = []time.Duration{
+	time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+}
+
+// Histogram is a fixed-bucket duration histogram: per-bucket atomic
+// counts plus an atomic sum, so Observe is lock-free and
+// allocation-free. Quantiles are estimated from the bucket counts.
+type Histogram struct {
+	bounds []float64 // bucket upper bounds in seconds, ascending
+	counts []atomic.Uint64
+	sum    Counter // total observed seconds
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds
+// (DefaultDurationBuckets when nil). Bounds are sorted and
+// deduplicated; an implicit +Inf bucket catches overflow.
+func NewHistogram(buckets []time.Duration) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefaultDurationBuckets
+	}
+	bounds := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		bounds = append(bounds, b.Seconds())
+	}
+	sort.Float64s(bounds)
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != bounds[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveSeconds(d.Seconds()) }
+
+// ObserveSeconds records one observation given in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	i := sort.SearchFloat64s(h.bounds, s) // first bound >= s
+	h.counts[i].Add(1)
+	h.sum.Add(s)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	return time.Duration(h.sum.Value() * float64(time.Second))
+}
+
+// Quantile estimates the p-quantile (0 < p <= 1) from the bucket
+// counts: the bucket holding the p-ranked observation is located and
+// the position inside it interpolated linearly. Estimates are bounded
+// by the bucket ladder — observations past the last bound report the
+// last bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			var lo float64
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[len(h.bounds)-1]
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			} else {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return secondsToDuration(hi)
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return secondsToDuration(lo + (hi-lo)*frac)
+		}
+		cum += c
+	}
+	return secondsToDuration(h.bounds[len(h.bounds)-1])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// snapshotSeries is the point-in-time value of one series, used by the
+// exposition writers.
+type snapshotSeries struct {
+	labels []Label
+	value  float64   // counter / gauge / gauge-func value
+	hist   *histSnap // non-nil for histograms
+}
+
+type histSnap struct {
+	bounds []float64
+	counts []uint64 // cumulative, per bound; last entry includes +Inf
+	sum    float64
+	count  uint64
+}
+
+type snapshotFamily struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []snapshotSeries
+}
+
+// snapshot captures every family under the registry lock; values are
+// read from the atomics afterward-consistent (each series is
+// individually consistent, the set is not a global atomic cut — the
+// usual scrape semantics).
+func (r *Registry) snapshot() []snapshotFamily {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	out := make([]snapshotFamily, 0, len(fams))
+	for _, f := range fams {
+		sf := snapshotFamily{name: f.name, help: f.help, kind: f.kind}
+		for _, s := range f.series {
+			ss := snapshotSeries{labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				ss.value = s.ctr.Value()
+			case kindGauge:
+				ss.value = s.gauge.Value()
+			case kindGaugeFunc:
+				if s.gfn != nil {
+					ss.value = s.gfn()
+				}
+			case kindHistogram:
+				h := s.hist
+				hs := &histSnap{bounds: h.bounds, sum: h.sum.Value()}
+				hs.counts = make([]uint64, len(h.counts))
+				var cum uint64
+				for i := range h.counts {
+					cum += h.counts[i].Load()
+					hs.counts[i] = cum
+				}
+				hs.count = cum
+				ss.hist = hs
+			}
+			sf.series = append(sf.series, ss)
+		}
+		out = append(out, sf)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+
+	labeled := r.Counter("c2_total", "labeled", Label{"phase", "solve"})
+	other := r.Counter("c2_total", "labeled", Label{"phase", "forest"})
+	if labeled == other {
+		t.Fatal("different label sets shared a series")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("concurrent counter = %v, want %d", got, workers*per)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		h.Observe(500 * time.Microsecond) // bucket 0
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(5 * time.Millisecond) // bucket 1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second) // overflow
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	// p50 falls on the boundary of bucket 0: interpolation stays within
+	// (0, 1ms].
+	if p := h.Quantile(0.50); p <= 0 || p > time.Millisecond {
+		t.Errorf("p50 = %s, want in (0, 1ms]", p)
+	}
+	if p := h.Quantile(0.90); p <= time.Millisecond || p > 10*time.Millisecond {
+		t.Errorf("p90 = %s, want in (1ms, 10ms]", p)
+	}
+	// Overflow observations clamp to the last bound.
+	if p := h.Quantile(0.99); p != 100*time.Millisecond {
+		t.Errorf("p99 = %s, want 100ms (clamped)", p)
+	}
+	if h.Quantile(1) != 100*time.Millisecond {
+		t.Errorf("p100 = %s, want clamp", h.Quantile(1))
+	}
+	if NewHistogram(nil).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+// promLine matches one exposition sample line: name, optional labels,
+// a float value.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+// checkPromFormat structurally validates Prometheus text exposition:
+// every line is a comment or a sample; TYPE precedes its family's
+// samples; sample names belong to the most recent TYPE'd family
+// (allowing _bucket/_sum/_count suffixes for histograms); values parse.
+// Returns the set of sample names seen.
+func checkPromFormat(t *testing.T, text string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	var curFamily, curType string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", n, line)
+			}
+			curFamily, curType = parts[2], parts[3]
+			switch curType {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", n, curType)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid sample line: %q", n, line)
+		}
+		name := m[1]
+		names[name] = true
+		base := name
+		if curType == "histogram" {
+			base = strings.TrimSuffix(base, "_bucket")
+			base = strings.TrimSuffix(base, "_sum")
+			base = strings.TrimSuffix(base, "_count")
+		}
+		if base != curFamily {
+			t.Fatalf("line %d: sample %q outside its TYPE'd family %q", n, name, curFamily)
+		}
+		if v := m[3]; v != "NaN" && !strings.Contains(v, "Inf") {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Fatalf("line %d: value %q: %v", n, v, err)
+			}
+		}
+	}
+	return names
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("chortle_events_total", "Events seen.").Add(42)
+	r.Gauge("chortle_last_luts", "Last LUT count.").Set(135)
+	r.GaugeFunc("chortle_ratio", "A derived ratio.", func() float64 { return 0.5 })
+	h := r.Histogram("chortle_phase_duration_seconds", "Phase wall times.", nil, Label{"phase", "solve"})
+	h.Observe(3 * time.Millisecond)
+	h.Observe(300 * time.Millisecond)
+	r.Histogram("chortle_phase_duration_seconds", "Phase wall times.", nil, Label{"phase", `we"ird\p`}).
+		Observe(time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	names := checkPromFormat(t, text)
+	for _, want := range []string{
+		"chortle_events_total", "chortle_last_luts", "chortle_ratio",
+		"chortle_phase_duration_seconds_bucket",
+		"chortle_phase_duration_seconds_sum",
+		"chortle_phase_duration_seconds_count",
+	} {
+		if !names[want] {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Error("histogram missing +Inf bucket")
+	}
+	if !strings.Contains(text, `phase="we\"ird\\p"`) {
+		t.Errorf("label escaping wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "chortle_events_total 42") {
+		t.Errorf("counter value missing:\n%s", text)
+	}
+	// Cumulative bucket counts: the +Inf bucket equals _count.
+	if !strings.Contains(text, `chortle_phase_duration_seconds_bucket{phase="solve",le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket not cumulative:\n%s", text)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", "", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(time.Microsecond)
+	h.Observe(100 * time.Millisecond)
+	h.Observe(time.Minute)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.001"} 1`,
+		`h_seconds_bucket{le="1"} 2`,
+		`h_seconds_bucket{le="+Inf"} 3`,
+		`h_seconds_count 3`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for v, want := range map[float64]string{
+		42:          "42",
+		0.5:         "0.5",
+		math.Inf(1): "+Inf",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestExpvarVar(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "").Add(3)
+	r.Histogram("h_seconds", "", nil, Label{"phase", "solve"}).Observe(time.Millisecond)
+	s := r.ExpvarVar().String()
+	for _, want := range []string{`"a_total":3`, `h_seconds;phase=solve`, `"count":1`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("expvar JSON missing %q: %s", want, s)
+		}
+	}
+	if err := r.PublishExpvar("chortle_test_reg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PublishExpvar("chortle_test_reg"); err != nil {
+		t.Fatalf("re-publishing same registry not idempotent: %v", err)
+	}
+	if err := New().PublishExpvar("chortle_test_reg"); err == nil {
+		t.Fatal("publishing a second registry under a taken name should fail")
+	}
+}

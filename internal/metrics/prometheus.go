@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per
+// family, series contiguous under it, histograms expanded into
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind.promType())
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(s.labels, "", ""), formatValue(s.value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, name string, s snapshotSeries) {
+	h := s.hist
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			renderLabels(s.labels, "le", formatValue(b)), h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+		renderLabels(s.labels, "le", "+Inf"), h.count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.labels, "", ""), formatValue(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels, "", ""), h.count)
+}
+
+// renderLabels formats a label set, optionally appending one extra
+// pair (the histogram le bound), as {k="v",...}; empty sets render as
+// nothing.
+func renderLabels(labels []Label, extraKey, extraValue string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// expvarPublished guards expvar.Publish, which panics on duplicate
+// names; PublishExpvar must stay idempotent across CLI invocations in
+// tests that construct several servers in one process.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]*Registry{}
+)
+
+// ExpvarVar adapts the registry to the expvar.Var interface: its
+// String method renders every series as one JSON object, histograms as
+// {count, sum_seconds, p50/p95/p99 seconds}.
+func (r *Registry) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any {
+		out := map[string]any{}
+		for _, f := range r.snapshot() {
+			for _, s := range f.series {
+				key := f.name
+				for _, l := range s.labels {
+					key += ";" + l.Key + "=" + l.Value
+				}
+				if f.kind == kindHistogram {
+					out[key] = map[string]any{
+						"count":       s.hist.count,
+						"sum_seconds": s.hist.sum,
+					}
+					continue
+				}
+				out[key] = s.value
+			}
+		}
+		return out
+	})
+}
+
+// PublishExpvar publishes the registry in the process-global expvar
+// namespace under the given name (served by /debug/vars). Publishing
+// the same registry under the same name again is a no-op; publishing a
+// different registry under a taken name returns an error — expvar has
+// no unpublish, so the slot is permanent.
+func (r *Registry) PublishExpvar(name string) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if prev, ok := expvarPublished[name]; ok {
+		if prev == r {
+			return nil
+		}
+		return fmt.Errorf("metrics: expvar name %q already published by another registry", name)
+	}
+	expvar.Publish(name, r.ExpvarVar())
+	expvarPublished[name] = r
+	return nil
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	rm "runtime/metrics"
+	"sync"
+)
+
+// The runtime/metrics sample names the sampler reads. All exist in the
+// Go version pinned by go.mod; readRuntime tolerates a missing one
+// (KindBad) by reporting zero rather than failing.
+const (
+	rmGCPause    = "/cpu/classes/gc/pause:cpu-seconds" // cumulative
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles" // cumulative
+	rmAllocBytes = "/gc/heap/allocs:bytes"      // cumulative
+)
+
+// runtimeSnap is one point-in-time read of the sampled runtime state.
+type runtimeSnap struct {
+	gcPauseSeconds float64 // cumulative process GC pause
+	heapBytes      float64
+	goroutines     float64
+	gcCycles       float64 // cumulative
+	allocBytes     float64 // cumulative
+}
+
+// RuntimeSampler brackets mapping runs with runtime/metrics snapshots:
+// Begin before a run, End after it. The deltas — bytes allocated, GC
+// cycles completed and GC pause time suffered while mapping — feed
+// run-scoped counters, and the end-of-run heap/goroutine state feeds
+// gauges, so an operator can tell mapper-induced memory pressure from
+// ambient process noise. Nested Begin/End pairs (the duplication
+// search maps inside an outer bracket) collapse into the outermost
+// pair. Safe for concurrent use.
+type RuntimeSampler struct {
+	mu      sync.Mutex
+	depth   int
+	begin   runtimeSnap
+	samples []rm.Sample // reused across reads
+
+	runs           *Counter
+	runGCPause     *Counter
+	runGCCycles    *Counter
+	runAllocs      *Counter
+	heapGauge      *Gauge
+	goroutineGauge *Gauge
+}
+
+// NewRuntimeSampler registers the sampler's run-scoped metrics on reg
+// and live process gauges (current goroutines, heap bytes, cumulative
+// GC pause) computed fresh at scrape time via GaugeFunc.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	s := &RuntimeSampler{
+		samples: []rm.Sample{
+			{Name: rmGCPause},
+			{Name: rmHeapBytes},
+			{Name: rmGoroutines},
+			{Name: rmGCCycles},
+			{Name: rmAllocBytes},
+		},
+		runs:           reg.Counter("chortle_runtime_sampled_runs_total", "Mapping runs bracketed by the runtime sampler."),
+		runGCPause:     reg.Counter("chortle_run_gc_pause_seconds_total", "GC pause time suffered inside mapping runs."),
+		runGCCycles:    reg.Counter("chortle_run_gc_cycles_total", "GC cycles completed inside mapping runs."),
+		runAllocs:      reg.Counter("chortle_run_alloc_bytes_total", "Heap bytes allocated inside mapping runs."),
+		heapGauge:      reg.Gauge("chortle_run_heap_bytes", "Live heap bytes at the end of the last mapping run."),
+		goroutineGauge: reg.Gauge("chortle_run_goroutines", "Goroutine count at the end of the last mapping run."),
+	}
+	reg.GaugeFunc("chortle_process_gc_pause_seconds_total", "Cumulative process GC pause time (runtime/metrics).",
+		func() float64 { return readRuntimeOne(rmGCPause) })
+	reg.GaugeFunc("chortle_process_goroutines", "Current goroutine count.",
+		func() float64 { return readRuntimeOne(rmGoroutines) })
+	reg.GaugeFunc("chortle_process_heap_bytes", "Current live heap bytes.",
+		func() float64 { return readRuntimeOne(rmHeapBytes) })
+	return s
+}
+
+// Begin snapshots the runtime at the start of a mapping run. Only the
+// outermost Begin of a nested set samples.
+func (s *RuntimeSampler) Begin() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.depth++
+	if s.depth > 1 {
+		return
+	}
+	s.begin = s.readLocked()
+}
+
+// End snapshots the runtime at the end of a mapping run and records
+// the run-scoped deltas. Unmatched Ends are ignored.
+func (s *RuntimeSampler) End() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.depth == 0 {
+		return
+	}
+	s.depth--
+	if s.depth > 0 {
+		return
+	}
+	end := s.readLocked()
+	s.runs.Inc()
+	s.runGCPause.Add(end.gcPauseSeconds - s.begin.gcPauseSeconds)
+	s.runGCCycles.Add(end.gcCycles - s.begin.gcCycles)
+	s.runAllocs.Add(end.allocBytes - s.begin.allocBytes)
+	s.heapGauge.Set(end.heapBytes)
+	s.goroutineGauge.Set(end.goroutines)
+}
+
+// readLocked reads all samples with the reused slice (no allocation
+// after the first call). Callers hold mu.
+func (s *RuntimeSampler) readLocked() runtimeSnap {
+	rm.Read(s.samples)
+	var snap runtimeSnap
+	for _, smp := range s.samples {
+		v := sampleValue(smp)
+		switch smp.Name {
+		case rmGCPause:
+			snap.gcPauseSeconds = v
+		case rmHeapBytes:
+			snap.heapBytes = v
+		case rmGoroutines:
+			snap.goroutines = v
+		case rmGCCycles:
+			snap.gcCycles = v
+		case rmAllocBytes:
+			snap.allocBytes = v
+		}
+	}
+	return snap
+}
+
+// sampleValue flattens a runtime/metrics sample to float64; KindBad
+// (name unknown to this runtime) reads as zero.
+func sampleValue(s rm.Sample) float64 {
+	switch s.Value.Kind() {
+	case rm.KindUint64:
+		return float64(s.Value.Uint64())
+	case rm.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// readRuntimeOne reads a single runtime/metrics sample — the scrape-
+// time path of the process gauges, where a small allocation is fine.
+func readRuntimeOne(name string) float64 {
+	smp := []rm.Sample{{Name: name}}
+	rm.Read(smp)
+	return sampleValue(smp[0])
+}

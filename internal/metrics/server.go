@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the mapper's debug/observability endpoint: /metrics
+// (Prometheus text exposition), /debug/vars (expvar, including the
+// published registry), and the full net/http/pprof surface under
+// /debug/pprof/. It binds its own mux — nothing leaks into
+// http.DefaultServeMux — and serves on a side goroutine until Shutdown.
+type Server struct {
+	reg *Registry
+	srv *http.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	err    error // first Serve error, if any (after Shutdown: ErrServerClosed is filtered)
+	closed bool
+	done   chan struct{}
+}
+
+// Serve starts the debug server on addr (host:port; :0 picks a free
+// port — read it back from Addr). The registry is also published into
+// the process expvar namespace under "chortle" on first use, so
+// /debug/vars carries the same numbers as /metrics. The server runs on
+// a side goroutine; stop it with Shutdown.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: debug server: %w", err)
+	}
+	// Best-effort: a second registry in the same process keeps its
+	// /metrics endpoint but cannot take the expvar slot.
+	_ = reg.PublishExpvar("chortle")
+
+	s := &Server{reg: reg, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		err := s.srv.Serve(ln)
+		if err != nil && err != http.ErrServerClosed {
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// Addr returns the bound listen address (useful with :0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server: in-flight requests get until
+// the context deadline to finish, then the listener and connections
+// close. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return s.err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

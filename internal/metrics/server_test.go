@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"chortle/internal/core"
+	"chortle/internal/network"
+)
+
+// mapFixture builds a small multi-output network with repeated tree
+// shapes (so memo hits occur) and maps it with the metrics bridge
+// attached, populating reg the way a -debug-addr CLI run would.
+func mapFixture(t *testing.T, reg *Registry) {
+	t.Helper()
+	nw := network.New("fixture")
+	for c := 0; c < 6; c++ {
+		p := fmt.Sprintf("c%d", c)
+		var ins [4]*network.Node
+		for i := range ins {
+			ins[i] = nw.AddInput(fmt.Sprintf("x%s_%d", p, i))
+		}
+		a := nw.AddGate("a"+p, network.OpAnd,
+			network.Fanin{Node: ins[0]}, network.Fanin{Node: ins[1]})
+		b := nw.AddGate("b"+p, network.OpAnd,
+			network.Fanin{Node: ins[2]}, network.Fanin{Node: ins[3], Invert: true})
+		r := nw.AddGate("r"+p, network.OpOr,
+			network.Fanin{Node: a}, network.Fanin{Node: b})
+		nw.MarkOutput("y"+p, r, false)
+	}
+	opts := core.DefaultOptions(4)
+	opts.Observer = NewObserverWithRuntime(reg)
+	if _, err := core.Map(nw, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpoints is the debug server's end-to-end smoke test: a
+// real observed mapping run, then every endpoint the -debug-addr flag
+// promises, with /metrics validated against the Prometheus text format
+// and checked for the acceptance-criteria series.
+func TestServeEndpoints(t *testing.T) {
+	reg := New()
+	mapFixture(t, reg)
+
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	base := "http://" + s.Addr()
+
+	// /metrics: parses as Prometheus text exposition and carries the
+	// required families.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	names := checkPromFormat(t, body)
+	for _, want := range []string{
+		"chortle_phase_duration_seconds_bucket", // mapper phase durations
+		"chortle_memo_hit_rate",                 // memo hit rate
+		"chortle_degraded_trees_total",          // degraded-tree count
+		"chortle_run_gc_pause_seconds_total",    // GC pause totals (run-scoped)
+		"chortle_process_gc_pause_seconds_total",
+		"chortle_maps_total",
+		"chortle_solve_duration_seconds_count",
+	} {
+		if !names[want] {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "chortle_maps_total 1") {
+		t.Errorf("/metrics did not count the mapping run:\n%s", body)
+	}
+	if !strings.Contains(body, `chortle_phase_duration_seconds_bucket{phase="solve"`) {
+		t.Error("/metrics missing the solve phase series")
+	}
+
+	// /debug/vars: valid JSON including the published registry.
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["chortle"]; !ok {
+		t.Error("/debug/vars missing the published chortle registry")
+	}
+
+	// pprof surface.
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+	} {
+		if code, _ := get(t, base+path); code != http.StatusOK {
+			t.Errorf("%s status %d, want 200", path, code)
+		}
+	}
+
+	// Graceful shutdown: returns cleanly, then the port stops answering.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+	// Second shutdown is a safe no-op.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", New()); err == nil {
+		t.Fatal("bad address did not fail")
+	}
+}

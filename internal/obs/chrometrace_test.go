@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses a Chrome trace as the strict JSON array of records
+// Perfetto expects.
+func decodeTrace(t *testing.T, data []byte) []traceRecord {
+	t.Helper()
+	var recs []traceRecord
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&recs); err != nil {
+		t.Fatalf("trace is not a JSON array of trace_event records: %v", err)
+	}
+	return recs
+}
+
+// checkTraceBalance is the acceptance-criteria structural check: within
+// every (pid, tid) track, B/E records in stream order must form a
+// properly nested stack — each E closes the most recently opened B with
+// the same name, and no track ends with an open span.
+func checkTraceBalance(t *testing.T, recs []traceRecord) {
+	t.Helper()
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
+	lastTs := map[track]int64{}
+	for i, r := range recs {
+		switch r.Ph {
+		case "B", "E", "i", "C", "M":
+		default:
+			t.Fatalf("record %d: unknown phase type %q", i, r.Ph)
+		}
+		if r.Ph != "B" && r.Ph != "E" {
+			continue
+		}
+		k := track{r.Pid, r.Tid}
+		if prev, ok := lastTs[k]; ok && r.Ts < prev {
+			t.Fatalf("record %d: track %v goes backwards in time (%d after %d)", i, k, r.Ts, prev)
+		}
+		lastTs[k] = r.Ts
+		st := stacks[k]
+		switch r.Ph {
+		case "B":
+			stacks[k] = append(st, r.Name)
+		case "E":
+			if len(st) == 0 {
+				t.Fatalf("record %d: E %q on track %v with no open span", i, r.Name, k)
+			}
+			if top := st[len(st)-1]; top != r.Name {
+				t.Fatalf("record %d: E %q does not close the open span %q on track %v", i, r.Name, top, k)
+			}
+			stacks[k] = st[:len(st)-1]
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("track %v ends with open spans %v", k, st)
+		}
+	}
+}
+
+// syntheticRun builds a deliberately awkward stream: nested map
+// brackets (dup-search shape), a phase sharing its start instant with
+// the map bracket, and overlapping solves that need two lanes.
+func syntheticRun(t0 time.Time) []Event {
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+	return []Event{
+		{Kind: KindMapStart, Time: at(0), K: 4, N: 40},
+		{Kind: KindPhaseStart, Time: at(0), Phase: "prepare"}, // same instant as map start
+		{Kind: KindPhaseEnd, Time: at(1 * time.Millisecond), Phase: "prepare", Units: int64(time.Millisecond)},
+		{Kind: KindPhaseStart, Time: at(1 * time.Millisecond), Phase: "solve"},
+		// Two solves overlapping in wall time: forces a second lane.
+		{Kind: KindTreeSolve, Time: at(3 * time.Millisecond), Tree: "a", Units: 20, Cost: 2, Dur: 2 * time.Millisecond},
+		{Kind: KindTreeSolve, Time: at(4 * time.Millisecond), Tree: "b", Units: 30, Cost: 3, Dur: 2 * time.Millisecond},
+		// A third solve that fits back into lane 0.
+		{Kind: KindTreeSolve, Time: at(5 * time.Millisecond), Tree: "c", Units: 10, Cost: 1, Dur: time.Millisecond},
+		{Kind: KindMemoHit, Time: at(5 * time.Millisecond), Tree: "d", Cost: 1},
+		{Kind: KindPhaseEnd, Time: at(6 * time.Millisecond), Phase: "solve", Units: int64(5 * time.Millisecond)},
+		// Inner dup-search map bracket.
+		{Kind: KindPhaseStart, Time: at(6 * time.Millisecond), Phase: "dup-search"},
+		{Kind: KindMapStart, Time: at(6 * time.Millisecond), K: 4, N: 40},
+		{Kind: KindTreeDegraded, Time: at(7 * time.Millisecond), Tree: "e", Cost: 9},
+		{Kind: KindMapEnd, Time: at(8 * time.Millisecond), Cost: 11, Depth: 3, N: 4},
+		{Kind: KindDupAccepted, Time: at(8 * time.Millisecond), Tree: "e"},
+		{Kind: KindPhaseEnd, Time: at(9 * time.Millisecond), Phase: "dup-search", Units: int64(3 * time.Millisecond)},
+		{Kind: KindArenaStats, Time: at(9 * time.Millisecond), N: 2, Units: 4096},
+		{Kind: KindMapEnd, Time: at(10 * time.Millisecond), Cost: 10, Depth: 3, N: 4},
+	}
+}
+
+func TestChromeTraceBalanced(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, syntheticRun(t0)); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, buf.Bytes())
+	checkTraceBalance(t, recs)
+
+	lanes := map[int]bool{}
+	var maps, instants, counterRecs int
+	names := map[string]bool{}
+	for _, r := range recs {
+		names[r.Name] = true
+		switch {
+		case r.Ph == "B" && r.Tid >= laneTid0:
+			lanes[r.Tid] = true
+		case r.Ph == "B" && strings.HasPrefix(r.Name, "map K="):
+			maps++
+		case r.Ph == "i":
+			instants++
+		case r.Ph == "C":
+			counterRecs++
+		}
+	}
+	if len(lanes) != 2 {
+		t.Errorf("overlapping solves used %d lanes, want 2", len(lanes))
+	}
+	if maps != 2 {
+		t.Errorf("map bracket spans = %d, want 2 (outer + dup-search inner)", maps)
+	}
+	if instants != 3 {
+		t.Errorf("instant markers = %d, want 3 (memo-hit, degraded, dup-accepted)", instants)
+	}
+	if counterRecs != 1 {
+		t.Errorf("counter records = %d, want 1 (arena bytes)", counterRecs)
+	}
+	for _, want := range []string{"prepare", "solve", "dup-search", "a", "b", "c", "process_name", "thread_name"} {
+		if !names[want] {
+			t.Errorf("trace missing record %q", want)
+		}
+	}
+}
+
+// TestChromeTraceRealRun exercises the exporter against an actual
+// observed event stream shape rather than a synthetic one, via the
+// tracer-level helpers: whatever the mapper emits must stay balanced.
+func TestChromeTraceUnfinished(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	events := []Event{
+		{Kind: KindMapStart, Time: t0, K: 4, N: 10},
+		{Kind: KindPhaseStart, Time: t0.Add(time.Millisecond), Phase: "solve"},
+		{Kind: KindTreeSolve, Time: t0.Add(2 * time.Millisecond), Tree: "a", Units: 5, Cost: 1, Dur: time.Millisecond},
+		// Cancelled run: no PhaseEnd, no MapEnd.
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, buf.Bytes())
+	checkTraceBalance(t, recs)
+	if !strings.Contains(buf.String(), "unfinished") {
+		t.Error("cancelled run's open brackets not marked unfinished")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, buf.Bytes())
+	checkTraceBalance(t, recs)
+}
+
+func TestReadJSONLRoundTrip(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	events := syntheticRun(t0)
+
+	var jl bytes.Buffer
+	sink := NewJSONL(&jl)
+	for _, e := range events {
+		sink.Observe(e)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].Kind != events[i].Kind || !got[i].Time.Equal(events[i].Time) ||
+			got[i].Tree != events[i].Tree || got[i].Dur != events[i].Dur {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+
+	// The replayed stream exports identically to the live one.
+	var live, replay bytes.Buffer
+	if err := WriteChromeTrace(&live, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&replay, got); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != replay.String() {
+		t.Error("replayed trace differs from live trace")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"kind\":\"map-start\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line error = %v, want line 2 mention", err)
+	}
+	if evs, err := ReadJSONL(strings.NewReader("\n\n")); err != nil || len(evs) != 0 {
+		t.Fatalf("blank-only input: %v, %d events", err, len(evs))
+	}
+}
+
+func TestAssignLanes(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+	spans := []span{
+		{name: "a", start: at(0), end: at(4)},
+		{name: "b", start: at(1), end: at(3)},
+		{name: "c", start: at(2), end: at(5)}, // overlaps both a and b
+		{name: "d", start: at(4), end: at(6)}, // reuses lane 0 after a
+	}
+	if n := assignLanes(spans); n != 3 {
+		t.Fatalf("lanes = %d, want 3", n)
+	}
+	if spans[0].tid != laneTid0 || spans[3].tid != laneTid0 {
+		t.Errorf("a/d should share lane 0: got %d and %d", spans[0].tid, spans[3].tid)
+	}
+	if spans[1].tid == spans[0].tid || spans[2].tid == spans[0].tid || spans[2].tid == spans[1].tid {
+		t.Errorf("overlapping spans share a lane: %d %d %d", spans[0].tid, spans[1].tid, spans[2].tid)
+	}
+}

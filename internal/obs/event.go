@@ -122,6 +122,11 @@ type Event struct {
 	Cost  int       `json:"cost,omitempty"`
 	Depth int       `json:"depth,omitempty"`
 	N     int       `json:"n,omitempty"`
+	// Dur is the wall time of the work the event closes: a tree-solve
+	// carries its DP solve duration (Time is the solve's end). Zero for
+	// kinds that record an instant, and for solves observed on paths
+	// that do not meter wall time.
+	Dur time.Duration `json:"dur,omitempty"`
 }
 
 // Observer receives pipeline events. Implementations must tolerate

@@ -83,9 +83,13 @@ func TestJSONLStream(t *testing.T) {
 	}
 }
 
-type failWriter struct{ n int }
+type failWriter struct {
+	n     int // successful writes remaining
+	calls int // total Write calls observed
+}
 
 func (f *failWriter) Write(p []byte) (int, error) {
+	f.calls++
 	if f.n <= 0 {
 		return 0, errWrite
 	}
@@ -99,13 +103,26 @@ type writeError struct{}
 
 func (*writeError) Error() string { return "disk full" }
 
+// TestJSONLStickyError pins the sink's failure contract: the first
+// write error is sticky in Err, identity-preserved for errors.Is-style
+// checks, and the sink goes quiet — the broken writer is never touched
+// again, so a full disk cannot slow the rest of the run.
 func TestJSONLStickyError(t *testing.T) {
-	j := NewJSONL(&failWriter{n: 1})
+	fw := &failWriter{n: 1}
+	j := NewJSONL(fw)
 	j.Observe(Event{Kind: KindMapStart})
+	if err := j.Err(); err != nil {
+		t.Fatalf("first write failed unexpectedly: %v", err)
+	}
 	j.Observe(Event{Kind: KindMapEnd}) // fails
+	callsAtFailure := fw.calls
 	j.Observe(Event{Kind: KindMapEnd}) // silently dropped
-	if j.Err() == nil {
-		t.Fatal("write error not surfaced")
+	j.Observe(Event{Kind: KindTreeSolve, Tree: "a"})
+	if err := j.Err(); err != errWrite {
+		t.Fatalf("Err() = %v, want the writer's own error", err)
+	}
+	if fw.calls != callsAtFailure {
+		t.Fatalf("sink touched the writer %d more times after the error", fw.calls-callsAtFailure)
 	}
 }
 
@@ -184,5 +201,135 @@ func TestAggregate(t *testing.T) {
 func TestMemoHitRateEmpty(t *testing.T) {
 	if r := Aggregate(nil); r.MemoHitRate() != 0 {
 		t.Fatal("empty report should have zero hit rate")
+	}
+}
+
+// TestSolvePercentiles checks the p50/p95/p99 aggregation over timed
+// solves: 100 solves with durations 1ms..100ms give exact
+// nearest-rank percentiles, and Format surfaces them.
+func TestSolvePercentiles(t *testing.T) {
+	var events []Event
+	// Shuffle-ish order: percentiles must not depend on arrival order.
+	for i := 99; i >= 0; i-- {
+		events = append(events, Event{
+			Kind: KindTreeSolve, Tree: "t", Units: 1,
+			Dur: time.Duration(i+1) * time.Millisecond,
+		})
+	}
+	r := Aggregate(events)
+	if r.TimedSolves != 100 {
+		t.Fatalf("timed solves = %d, want 100", r.TimedSolves)
+	}
+	if r.SolveP50 != 50*time.Millisecond {
+		t.Errorf("p50 = %s, want 50ms", r.SolveP50)
+	}
+	if r.SolveP95 != 95*time.Millisecond {
+		t.Errorf("p95 = %s, want 95ms", r.SolveP95)
+	}
+	if r.SolveP99 != 99*time.Millisecond {
+		t.Errorf("p99 = %s, want 99ms", r.SolveP99)
+	}
+	if text := r.Format(); !strings.Contains(text, "solve times: p50 50ms, p95 95ms, p99 99ms (100 timed)") {
+		t.Errorf("Format() missing percentile line:\n%s", text)
+	}
+
+	// Untimed solves (Dur zero, e.g. replayed from an old trace) leave
+	// the percentiles zero and the line out of Format.
+	r = Aggregate([]Event{{Kind: KindTreeSolve, Tree: "t"}})
+	if r.TimedSolves != 0 || r.SolveP50 != 0 {
+		t.Errorf("untimed solves produced percentiles: %+v", r)
+	}
+	if strings.Contains(r.Format(), "solve times") {
+		t.Error("Format() printed percentiles with no timed solves")
+	}
+	// Single observation: every percentile is that observation.
+	r = Aggregate([]Event{{Kind: KindTreeSolve, Dur: 7 * time.Millisecond}})
+	if r.SolveP50 != 7*time.Millisecond || r.SolveP99 != 7*time.Millisecond {
+		t.Errorf("single-solve percentiles wrong: %+v", r)
+	}
+}
+
+// TestBoundedCollector exercises the ring: only the newest cap events
+// survive, in order, with the eviction count reported.
+func TestBoundedCollector(t *testing.T) {
+	c := NewBoundedCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Observe(Event{Kind: KindTreeSolve, Units: int64(i)})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4", c.Len())
+	}
+	if c.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", c.Dropped())
+	}
+	got := c.Events()
+	for i, e := range got {
+		if want := int64(6 + i); e.Units != want {
+			t.Fatalf("event %d has units %d, want %d (events %v)", i, e.Units, want, got)
+		}
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+	// The bound survives a Reset.
+	for i := 0; i < 5; i++ {
+		c.Observe(Event{Units: int64(i)})
+	}
+	if c.Len() != 4 || c.Dropped() != 1 {
+		t.Fatalf("after reset: len=%d dropped=%d, want 4/1", c.Len(), c.Dropped())
+	}
+}
+
+// TestBoundedCollectorSetCapacity covers late bounding: shrinking an
+// over-full collector drops the oldest events immediately.
+func TestBoundedCollectorSetCapacity(t *testing.T) {
+	var c Collector
+	for i := 0; i < 8; i++ {
+		c.Observe(Event{Units: int64(i)})
+	}
+	c.SetCapacity(3)
+	if c.Len() != 3 || c.Dropped() != 5 {
+		t.Fatalf("after shrink: len=%d dropped=%d, want 3/5", c.Len(), c.Dropped())
+	}
+	got := c.Events()
+	if got[0].Units != 5 || got[2].Units != 7 {
+		t.Fatalf("shrink kept wrong events: %v", got)
+	}
+	c.Observe(Event{Units: 8})
+	got = c.Events()
+	if len(got) != 3 || got[0].Units != 6 || got[2].Units != 8 {
+		t.Fatalf("ring after shrink misbehaved: %v", got)
+	}
+	// Unbounding stops eviction.
+	c.SetCapacity(0)
+	for i := 9; i < 20; i++ {
+		c.Observe(Event{Units: int64(i)})
+	}
+	if c.Len() != 14 {
+		t.Fatalf("unbounded len = %d, want 14", c.Len())
+	}
+}
+
+// TestBoundedCollectorConcurrent is the race check for the ring path.
+func TestBoundedCollectorConcurrent(t *testing.T) {
+	c := NewBoundedCollector(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Observe(Event{Kind: KindTreeSolve, Units: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 64 {
+		t.Fatalf("len = %d, want 64", c.Len())
+	}
+	if got := c.Dropped(); got != workers*per-64 {
+		t.Fatalf("dropped = %d, want %d", got, workers*per-64)
 	}
 }

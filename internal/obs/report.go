@@ -43,6 +43,15 @@ type Report struct {
 	MemoHits        int
 	TemplateReplays int
 
+	// SolveP50/P95/P99 are percentiles of the per-tree DP solve wall
+	// times, over the solves that carried a duration (TimedSolves of
+	// them). Zero when no solve was timed — tree-solve events emitted
+	// before durations existed, or replayed from an old trace.
+	SolveP50    time.Duration
+	SolveP95    time.Duration
+	SolveP99    time.Duration
+	TimedSolves int
+
 	// BudgetTrips counts solves that exhausted their search budget;
 	// Degraded lists the trees remapped with bin packing as a result.
 	BudgetTrips int
@@ -83,6 +92,7 @@ func Aggregate(events []Event) *Report {
 	}
 	phaseIdx := make(map[string]int)
 	var start, end time.Time
+	var solveDurs []time.Duration
 	for _, e := range events {
 		switch e.Kind {
 		case KindMapStart:
@@ -106,6 +116,9 @@ func Aggregate(events []Event) *Report {
 			r.Solves++
 			r.WorkUnits += e.Units
 			r.TreeCostHist[e.Cost]++
+			if e.Dur > 0 {
+				solveDurs = append(solveDurs, e.Dur)
+			}
 		case KindMemoHit:
 			r.MemoHits++
 			r.TreeCostHist[e.Cost]++
@@ -129,7 +142,35 @@ func Aggregate(events []Event) *Report {
 	if !start.IsZero() && !end.IsZero() {
 		r.Wall = end.Sub(start)
 	}
+	if len(solveDurs) > 0 {
+		sort.Slice(solveDurs, func(i, j int) bool { return solveDurs[i] < solveDurs[j] })
+		r.TimedSolves = len(solveDurs)
+		r.SolveP50 = percentile(solveDurs, 0.50)
+		r.SolveP95 = percentile(solveDurs, 0.95)
+		r.SolveP99 = percentile(solveDurs, 0.99)
+	}
 	return r
+}
+
+// percentile reads the p-quantile from a sorted slice using the
+// nearest-rank method (the value at ceil(p*n), 1-indexed) — exact for
+// the small populations a single run produces, and it always returns an
+// observed value rather than an interpolation.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p * float64(len(sorted)))
+	if float64(rank) < p*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // Format renders the report as the human-readable block -stats prints.
@@ -153,6 +194,11 @@ func (r *Report) Format() string {
 			r.MemoHits, 100*r.MemoHitRate(), r.TemplateReplays)
 	}
 	sb.WriteByte('\n')
+	if r.TimedSolves > 0 {
+		fmt.Fprintf(&sb, "solve times: p50 %s, p95 %s, p99 %s (%d timed)\n",
+			r.SolveP50.Round(time.Microsecond), r.SolveP95.Round(time.Microsecond),
+			r.SolveP99.Round(time.Microsecond), r.TimedSolves)
+	}
 	if r.BudgetTrips > 0 || len(r.Degraded) > 0 {
 		fmt.Fprintf(&sb, "budget: %d trips, %d trees degraded to bin packing", r.BudgetTrips, len(r.Degraded))
 		if n := len(r.Degraded); n > 0 {

@@ -11,37 +11,107 @@ import (
 // should observe one mapping run at a time; concurrent emission from
 // the run's own worker goroutines is fine, interleaving two runs makes
 // the report meaningless (but is still memory-safe).
+//
+// The zero value retains every event. A capacity set with
+// NewBoundedCollector (or SetCapacity before the run) turns the store
+// into a ring that keeps only the newest cap events, so tracing a huge
+// suite cannot grow memory without bound; Dropped counts what the ring
+// overwrote.
 type Collector struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	cap     int   // 0 = unbounded
+	head    int   // ring start when len(events) == cap
+	dropped int64 // events overwritten by the ring
 }
 
-// Observe appends the event.
+// NewBoundedCollector returns a Collector that retains at most cap
+// events, evicting the oldest first. cap <= 0 means unbounded — the
+// same behavior as a zero-value Collector.
+func NewBoundedCollector(cap int) *Collector {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Collector{cap: cap}
+}
+
+// SetCapacity bounds the collector to the newest cap events (<= 0 for
+// unbounded). Call it before the run it observes: shrinking below the
+// current length discards oldest events immediately.
+func (c *Collector) SetCapacity(cap int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cap < 0 {
+		cap = 0
+	}
+	if cap > 0 && len(c.events) > cap {
+		ordered := c.orderedLocked()
+		drop := len(ordered) - cap
+		c.dropped += int64(drop)
+		c.events = append([]Event(nil), ordered[drop:]...)
+		c.head = 0
+	}
+	c.cap = cap
+}
+
+// Observe appends the event, evicting the oldest one when the
+// collector is bounded and full.
 func (c *Collector) Observe(e Event) {
 	c.mu.Lock()
-	c.events = append(c.events, e)
+	if c.cap > 0 && len(c.events) == c.cap {
+		c.events[c.head] = e
+		c.head++
+		if c.head == c.cap {
+			c.head = 0
+		}
+		c.dropped++
+	} else {
+		c.events = append(c.events, e)
+	}
 	c.mu.Unlock()
 }
 
-// Events returns a copy of everything observed so far.
+// orderedLocked returns the events oldest-first without copying when
+// the ring has not wrapped. Callers must hold mu and copy the result
+// if it escapes the lock.
+func (c *Collector) orderedLocked() []Event {
+	if c.head == 0 {
+		return c.events
+	}
+	out := make([]Event, 0, len(c.events))
+	out = append(out, c.events[c.head:]...)
+	out = append(out, c.events[:c.head]...)
+	return out
+}
+
+// Events returns a copy of everything retained so far, oldest first.
 func (c *Collector) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]Event(nil), c.events...)
+	return append([]Event(nil), c.orderedLocked()...)
 }
 
-// Len returns the number of events observed so far.
+// Len returns the number of events retained so far.
 func (c *Collector) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.events)
 }
 
-// Reset discards all collected events, readying the Collector for
-// another run.
+// Dropped returns how many events a bounded collector has evicted.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Reset discards all collected events and the dropped count, readying
+// the Collector for another run. The capacity bound is kept.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.events = nil
+	c.head = 0
+	c.dropped = 0
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,69 @@
+package chortle
+
+import (
+	"io"
+
+	"chortle/internal/metrics"
+	"chortle/internal/obs"
+)
+
+// Metrics and exposition. A MetricsRegistry holds counters, gauges and
+// duration histograms; NewMetricsObserver bridges a mapping run's event
+// stream into one, and ServeDebug exposes it over HTTP as Prometheus
+// text (/metrics), expvar (/debug/vars) and the net/http/pprof surface
+// — the cmd/chortle -debug-addr flag in library form.
+
+// MetricsRegistry is a concurrency-safe collection of named metric
+// series with Prometheus text and expvar exposition.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MetricsObserver folds mapping events into a registry: run and phase
+// wall-time histograms, solve durations, memo hit rate, degraded-tree
+// and LUT counters. It is an Observer — set it (possibly inside a
+// MultiObserver) as Options.Observer. Once constructed it allocates
+// nothing per event, so it may ride on the parallel solve path.
+type MetricsObserver = metrics.Observer
+
+// NewMetricsObserver returns a bridge writing into reg.
+func NewMetricsObserver(reg *MetricsRegistry) *MetricsObserver {
+	return metrics.NewObserver(reg)
+}
+
+// NewMetricsObserverWithRuntime is NewMetricsObserver plus a
+// runtime/metrics sampler that brackets each outermost mapping run with
+// heap, GC-pause and goroutine snapshots (chortle_run_* series) and
+// registers live process-level gauges (chortle_process_*).
+func NewMetricsObserverWithRuntime(reg *MetricsRegistry) *MetricsObserver {
+	return metrics.NewObserverWithRuntime(reg)
+}
+
+// DebugServer is the handle returned by ServeDebug.
+type DebugServer = metrics.Server
+
+// ServeDebug starts the debug/observability HTTP server on addr
+// (host:port; :0 picks a free port) serving /metrics, /debug/vars and
+// /debug/pprof/ from its own mux on a side goroutine. Stop it with
+// Shutdown.
+func ServeDebug(addr string, reg *MetricsRegistry) (*DebugServer, error) {
+	return metrics.Serve(addr, reg)
+}
+
+// NewBoundedCollector returns a Collector that retains only the most
+// recent capacity events (older ones are dropped, counted by Dropped) —
+// bounded memory for long-running or server processes.
+func NewBoundedCollector(capacity int) *Collector { return obs.NewBoundedCollector(capacity) }
+
+// ReadEventsJSONL parses a JSONL event trace (the cmd/chortle -trace
+// format) back into events, for replay through AggregateEvents or
+// WriteChromeTrace.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
+
+// WriteChromeTrace converts an event stream into the Chrome
+// trace_event JSON array loaded by Perfetto and chrome://tracing:
+// map brackets and phases as nested spans on a pipeline track, per-tree
+// DP solves laid out across solver-lane tracks, memo hits and
+// degradations as instant markers.
+func WriteChromeTrace(w io.Writer, events []Event) error { return obs.WriteChromeTrace(w, events) }
