@@ -6,7 +6,8 @@
 //
 //	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify]
 //	        [-trace trace.jsonl] [-timeout 30s] [-budget N]
-//	        [-debug-addr :6060] [in.blif]
+//	        [-debug-addr :6060] [-explain report.html] [-dot out.dot]
+//	        [-v] [-log-format text|json] [in.blif]
 //
 // With no input file the network is read from standard input.
 // -timeout is a hard wall-clock limit: when it expires the mapping is
@@ -18,14 +19,21 @@
 // -trace streams every mapping event as one JSON line to the named
 // file (convert it with cmd/traceview for Perfetto); -debug-addr
 // serves /metrics (Prometheus text), /debug/vars (expvar) and
-// /debug/pprof while the command runs. None of them change the
-// emitted circuit.
+// /debug/pprof while the command runs. -explain records per-LUT
+// provenance during the mapping and writes a self-contained HTML run
+// report; -dot writes the mapped circuit as a Graphviz digraph,
+// clustered by tree and colored by origin when provenance is on.
+// -v / -log-format narrate the run through log/slog on stderr (-v
+// opens Debug-level per-tree detail). None of them change the emitted
+// circuit.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -57,8 +65,30 @@ func main() {
 		budget   = flag.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
 		trace    = flag.String("trace", "", "stream mapping events as JSON lines to this file")
 		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while mapping")
+		explain  = flag.String("explain", "", "record per-LUT provenance and write a self-contained HTML run report to this file")
+		dotOut   = flag.String("dot", "", "write the mapped circuit as a Graphviz DOT file")
+		verbose  = flag.Bool("v", false, "log per-tree mapping detail to stderr (implies -log-format text)")
+		logFmt   = flag.String("log-format", "", "narrate the run on stderr via log/slog: text or json")
 	)
 	flag.Parse()
+
+	var slogObs chortle.Observer
+	if *verbose || *logFmt != "" {
+		lvl := slog.LevelInfo
+		if *verbose {
+			lvl = slog.LevelDebug
+		}
+		var h slog.Handler
+		switch *logFmt {
+		case "", "text":
+			h = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+		case "json":
+			h = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+		default:
+			fatal(fmt.Errorf("-log-format must be text or json, got %q", *logFmt))
+		}
+		slogObs = chortle.NewSlogObserver(slog.New(h))
+	}
 
 	var metricsObs *chortle.MetricsObserver
 	if *debug != "" {
@@ -116,6 +146,9 @@ func main() {
 		if *trace != "" {
 			fatal(fmt.Errorf("-trace is not supported with -baseline (the library mapper is unobserved)"))
 		}
+		if *explain != "" || *dotOut != "" {
+			fatal(fmt.Errorf("-explain/-dot are not supported with -baseline (provenance is a Chortle-mapper feature)"))
+		}
 		res, err := chortle.MapBaseline(nw, *k)
 		if err != nil {
 			fatal(err)
@@ -133,14 +166,22 @@ func main() {
 		if *binpack {
 			opts.Strategy = chortle.StrategyBinPack
 		}
-		// Observability wiring: -stats aggregates through a collector,
-		// -trace streams JSON lines, -debug-addr feeds the metrics
-		// registry; any combination can be active at once.
+		// Provenance is what -explain and -dot render; recording it does
+		// not change the emitted circuit.
+		opts.Provenance = *explain != "" || *dotOut != ""
+		// Observability wiring: -stats aggregates through a collector
+		// (-explain needs one too, for the report's charts), -trace
+		// streams JSON lines, -v/-log-format narrate through slog,
+		// -debug-addr feeds the metrics registry; any combination can be
+		// active at once.
 		var observers []chortle.Observer
 		var col *chortle.Collector
-		if *stats {
+		if *stats || *explain != "" {
 			col = &chortle.Collector{}
 			observers = append(observers, col)
+		}
+		if slogObs != nil {
+			observers = append(observers, slogObs)
 		}
 		var traceSink *chortle.JSONLObserver
 		if *trace != "" {
@@ -182,6 +223,52 @@ func main() {
 			report = col.Report()
 		}
 		ckt = res.Circuit
+
+		var dotSrc string
+		if *dotOut != "" || *explain != "" {
+			var db bytes.Buffer
+			if err := chortle.WriteCircuitDOT(&db, ckt); err != nil {
+				fatal(err)
+			}
+			dotSrc = db.String()
+			if *dotOut != "" {
+				if err := os.WriteFile(*dotOut, db.Bytes(), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if *explain != "" {
+			st, err := ckt.Stats()
+			if err != nil {
+				fatal(err)
+			}
+			rep := &chortle.RunReport{
+				Title:     fmt.Sprintf("chortle mapping report: %s (K=%d)", ckt.Name, *k),
+				Generated: "generated " + time.Now().Format(time.RFC1123),
+				Sections: []chortle.ReportSection{{
+					Name:     ckt.Name,
+					K:        *k,
+					LUTs:     res.LUTs,
+					Depth:    st.Depth,
+					Trees:    res.Trees,
+					Degraded: len(res.Degraded),
+					Origins:  ckt.OriginCounts(),
+					Stats:    report,
+					DOT:      dotSrc,
+				}},
+			}
+			f, err := os.Create(*explain)
+			if err != nil {
+				fatal(err)
+			}
+			if err := chortle.WriteRunReport(f, rep); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	elapsed := time.Since(start)
 

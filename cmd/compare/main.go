@@ -17,6 +17,7 @@
 //	compare -timeout 30s    # hard per-circuit limit on the Chortle map
 //	compare -budget 1000000 # per-tree search budget in DP work units
 //	compare -debug-addr :6060  # /metrics, expvar and pprof while running
+//	compare -report cmp.html   # self-contained HTML report of the tables
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"chortle"
 )
@@ -49,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "hard per-circuit wall-clock limit for the Chortle map (0 = none)")
 		budget   = fs.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
 		debug    = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while comparing")
+		report   = fs.String("report", "", "write the comparison as a self-contained HTML report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,7 +81,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Sequential: !*parallel,
 		Timeout:    *timeout,
 		Budget:     *budget,
-		Stats:      *stats,
+		// -report needs each run's aggregated stats for its charts, so it
+		// turns collection on even without -stats (which only controls the
+		// stderr dump).
+		Stats: *stats || *report != "",
 	}
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
@@ -115,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if r.Synthetic {
 				synthetic = true
 			}
-			if r.Report != nil {
+			if *stats && r.Report != nil {
 				fmt.Fprintf(stderr, "--- %s K=%d ---\n%s", r.Circuit, k, r.Report.Format())
 			}
 		}
@@ -134,5 +140,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *report != "" {
+		if err := writeReport(*report, tables); err != nil {
+			fmt.Fprintf(stderr, "compare: writing %s: %v\n", *report, err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeReport renders the comparison tables as one self-contained HTML
+// file: the paper's table as the comparison header, then one section
+// per circuit-K pair with the run's aggregated observability charts.
+func writeReport(path string, tables []chortle.Table) error {
+	data := &chortle.RunReport{
+		Title:     "chortle vs MIS baseline",
+		Generated: "generated " + time.Now().Format(time.RFC1123) + " by compare -report",
+	}
+	for _, tbl := range tables {
+		for _, r := range tbl.Rows {
+			data.Compare = append(data.Compare, chortle.ReportCompareRow{
+				Circuit:      fmt.Sprintf("%s (K=%d)", r.Circuit, tbl.K),
+				BaselineLUTs: r.MISLUTs,
+				ChortleLUTs:  r.ChortleLUTs,
+				// The table's "%" column is positive when Chortle wins;
+				// the report's diff is a signed LUT delta (negative =
+				// fewer LUTs), so flip the sign.
+				DiffPct:      -r.DiffPct,
+				BaselineTime: r.MISTime,
+				ChortleTime:  r.ChortleTime,
+				Synthetic:    r.Synthetic,
+			})
+			if r.Report != nil {
+				data.Sections = append(data.Sections, chortle.ReportSection{
+					Name:     r.Circuit,
+					K:        tbl.K,
+					LUTs:     r.ChortleLUTs,
+					Depth:    r.Report.Depth,
+					Trees:    r.Report.Trees,
+					Degraded: len(r.Report.Degraded),
+					Stats:    r.Report,
+				})
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := chortle.WriteRunReport(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

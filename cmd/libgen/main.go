@@ -9,13 +9,22 @@
 //
 //	libgen -count          # reproduce the Section 4.1 function counts
 //	libgen -k 4 -list      # list the K=4 incomplete library cells
+//
+// Like cmd/chortle, -debug-addr serves /metrics, /debug/vars and
+// /debug/pprof while the command runs (the K=5 library build is the
+// slow part worth profiling), and -trace streams the command's own
+// phase events — function counting and library construction — as JSON
+// lines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"chortle"
 	"chortle/internal/mislib"
 	"chortle/internal/truth"
 )
@@ -25,10 +34,45 @@ func main() {
 		k     = flag.Int("k", 4, "lookup table input count (2..5)")
 		count = flag.Bool("count", false, "print unique-function counts per K")
 		list  = flag.Bool("list", false, "list the library cells for -k")
+		debug = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while running")
+		trace = flag.String("trace", "", "stream the command's phase events as JSON lines to this file")
 	)
 	flag.Parse()
 
+	if *debug != "" {
+		reg := chortle.NewMetricsRegistry()
+		srv, err := chortle.ServeDebug(*debug, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", srv.Addr())
+		// Shutdown is idempotent, so the deferred call is safe even if a
+		// failure path already tore the server down.
+		defer srv.Shutdown(context.Background())
+	}
+	var traceSink *chortle.JSONLObserver
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceSink = chortle.NewJSONLObserver(f)
+	}
+	// emit streams the command's own phase timeline when -trace is
+	// active; a nil sink costs nothing.
+	emit := func(e chortle.Event) {
+		if traceSink != nil {
+			e.Time = time.Now()
+			traceSink.Observe(e)
+		}
+	}
+	emit(chortle.Event{Kind: chortle.EventMapStart, K: *k})
+
 	if *count {
+		t0 := time.Now()
 		fmt.Println("Unique functions (input-permutation classes, constants excluded):")
 		for n := 2; n <= 4; n++ {
 			total := uint64(1) << (uint64(1) << uint(n))
@@ -40,14 +84,19 @@ func main() {
 		for n := 2; n <= 4; n++ {
 			fmt.Printf("  K=%d: %5d classes\n", n, truth.CountNPNClasses(n))
 		}
+		emit(chortle.Event{Kind: chortle.EventPhaseEnd, Phase: "count",
+			Units: int64(time.Since(t0))})
 	}
 
 	if *list || !*count {
+		t0 := time.Now()
 		lib, err := mislib.ForK(*k)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "libgen:", err)
 			os.Exit(1)
 		}
+		emit(chortle.Event{Kind: chortle.EventPhaseEnd, Phase: "library",
+			Units: int64(time.Since(t0))})
 		kind := "incomplete (level-0 kernels + duals)"
 		if lib.Complete {
 			kind = "complete (one cell per NPN class)"
@@ -58,6 +107,13 @@ func main() {
 				fmt.Printf("  %-8s %d inputs  %v  SOP: %v\n",
 					c.Name, c.Vars, c.F, mislib.MinimizeSOP(c.F))
 			}
+		}
+	}
+	emit(chortle.Event{Kind: chortle.EventMapEnd})
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "libgen: writing %s: %v\n", *trace, err)
+			os.Exit(1)
 		}
 	}
 }

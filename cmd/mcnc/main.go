@@ -6,13 +6,21 @@
 //	mcnc -list                # show the suite
 //	mcnc 9symml               # write 9symml (raw) to stdout
 //	mcnc -opt -dir out/ all   # write all circuits, mini-MIS optimized
+//
+// Like cmd/chortle, -debug-addr serves /metrics, /debug/vars and
+// /debug/pprof while the command runs (useful when optimizing the whole
+// suite), and -trace streams the command's own phase events — one
+// map-start/phase-end/map-end bracket per circuit built — as JSON
+// lines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"chortle"
 	"chortle/internal/bench"
@@ -25,8 +33,33 @@ func main() {
 		extended = flag.Bool("extended", false, "include the extended (non-paper) circuits in -list")
 		optimize = flag.Bool("opt", false, "run the mini-MIS script before emitting")
 		dir      = flag.String("dir", "", "write <circuit>.blif files into this directory instead of stdout")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while running")
+		trace    = flag.String("trace", "", "stream the command's phase events as JSON lines to this file")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		reg := chortle.NewMetricsRegistry()
+		srv, err := chortle.ServeDebug(*debug, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcnc:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", srv.Addr())
+		// Shutdown is idempotent, so the deferred call is safe even if a
+		// failure path already tore the server down.
+		defer srv.Shutdown(context.Background())
+	}
+	var traceSink *chortle.JSONLObserver
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcnc:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceSink = chortle.NewJSONLObserver(f)
+	}
 
 	if *list {
 		suites := bench.Suite()
@@ -54,7 +87,18 @@ func main() {
 	if len(names) == 1 && names[0] == "all" {
 		names = chortle.SuiteNames()
 	}
+	// emit streams the command's own phase timeline — one
+	// map-start/phase-end/map-end bracket per circuit — when -trace is
+	// active; a nil sink costs nothing.
+	emit := func(e chortle.Event) {
+		if traceSink != nil {
+			e.Time = time.Now()
+			traceSink.Observe(e)
+		}
+	}
 	for _, name := range names {
+		emit(chortle.Event{Kind: chortle.EventMapStart, Tree: name})
+		t0 := time.Now()
 		var nw *chortle.Network
 		var err error
 		if *optimize {
@@ -66,6 +110,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcnc:", err)
 			os.Exit(1)
 		}
+		emit(chortle.Event{Kind: chortle.EventPhaseEnd, Phase: "build",
+			Tree: name, Units: int64(time.Since(t0))})
+		t1 := time.Now()
 		w := os.Stdout
 		if *dir != "" {
 			f, err := os.Create(filepath.Join(*dir, name+".blif"))
@@ -81,6 +128,15 @@ func main() {
 		}
 		if w != os.Stdout {
 			w.Close()
+		}
+		emit(chortle.Event{Kind: chortle.EventPhaseEnd, Phase: "write",
+			Tree: name, Units: int64(time.Since(t1))})
+		emit(chortle.Event{Kind: chortle.EventMapEnd, N: nw.Stats().Gates})
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcnc: writing %s: %v\n", *trace, err)
+			os.Exit(1)
 		}
 	}
 }

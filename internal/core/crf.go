@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
+	"chortle/internal/lut"
 	"chortle/internal/network"
 	"chortle/internal/truth"
 )
@@ -68,6 +70,10 @@ type crfItem struct {
 	expr    *crfExpr
 	inputs  []string
 	arrival int32 // max arrival of inputs (depth bookkeeping)
+	// nodes lists the gate nodes whose function this item fully absorbs
+	// (populated only when provenance recording is on). Whichever LUT
+	// finally emits the item covers them.
+	nodes []string
 }
 
 func (it crfItem) size() int { return len(it.inputs) }
@@ -105,6 +111,10 @@ func (cs *crfState) mapNode(n *network.Node) (crfMapping, error) {
 			return crfMapping{}, err
 		}
 		it := sub.item
+		if cs.m.opts.Provenance {
+			// The child node's function is now complete inside this item.
+			it.nodes = append(it.nodes, e.Node.Name)
+		}
 		if e.Invert {
 			// Wrap so the inversion rides into whichever LUT absorbs
 			// it (a single-child AND is an identity, so this is safe
@@ -113,11 +123,12 @@ func (cs *crfState) mapNode(n *network.Node) (crfMapping, error) {
 		}
 		items = append(items, it)
 	}
-	return cs.pack(n.Op, items)
+	return cs.pack(n.Op, n.Name, items)
 }
 
 // pack runs first-fit-decreasing rounds until everything fits one bin.
-func (cs *crfState) pack(op network.Op, items []crfItem) (crfMapping, error) {
+// owner names the node being packed, for attributing under-filled bins.
+func (cs *crfState) pack(op network.Op, owner string, items []crfItem) (crfMapping, error) {
 	K := cs.m.opts.K
 	for {
 		total := 0
@@ -179,7 +190,7 @@ func (cs *crfState) pack(op network.Op, items []crfItem) (crfMapping, error) {
 			next = next[:0]
 		}
 		for _, it := range emit {
-			sig, err := cs.emitItem(op, it)
+			sig, err := cs.emitItem(op, it, owner)
 			if err != nil {
 				return crfMapping{}, err
 			}
@@ -216,11 +227,17 @@ func (cs *crfState) combine(op network.Op, items []crfItem) crfItem {
 			arrv = it.arrival
 		}
 	}
-	return crfItem{expr: &crfExpr{op: op, kids: kids}, inputs: inputs, arrival: arrv}
+	var nodes []string
+	for _, it := range items {
+		nodes = append(nodes, it.nodes...)
+	}
+	return crfItem{expr: &crfExpr{op: op, kids: kids}, inputs: inputs, arrival: arrv, nodes: nodes}
 }
 
-// emitItem materializes an item as a LUT and returns its signal.
-func (cs *crfState) emitItem(op network.Op, it crfItem) (string, error) {
+// emitItem materializes an item as a LUT and returns its signal. partOf
+// attributes an under-filled bin (one covering no complete node) to the
+// node whose packing produced it.
+func (cs *crfState) emitItem(op network.Op, it crfItem, partOf string) (string, error) {
 	if len(it.inputs) > cs.m.opts.K {
 		return "", fmt.Errorf("core: bin emitted with %d inputs (K=%d)", len(it.inputs), cs.m.opts.K)
 	}
@@ -233,8 +250,30 @@ func (cs *crfState) emitItem(op network.Op, it crfItem) (string, error) {
 	})
 	name := cs.m.fresh("crf")
 	cs.m.ckt.AddLUT(name, it.inputs, table)
+	cs.recordCRFProv(name, it, partOf)
 	cs.cost++
 	return name, nil
+}
+
+// recordCRFProv writes the provenance record of one bin-packed LUT.
+func (cs *crfState) recordCRFProv(name string, it crfItem, partOf string) {
+	m := cs.m
+	if !m.opts.Provenance {
+		return
+	}
+	if len(it.nodes) > 0 {
+		partOf = ""
+	}
+	p := &lut.Provenance{
+		Tree:      m.provTree,
+		Origin:    m.provOrigin,
+		Covers:    it.nodes,
+		PartOf:    partOf,
+		Shape:     "pack(" + strconv.Itoa(len(it.inputs)) + ")",
+		FaninLUTs: m.faninLUTs(it.inputs),
+		WorkUnits: m.provUnits,
+	}
+	m.ckt.SetProvenance(name, p)
 }
 
 func (cs *crfState) leafSignal(n *network.Node) (string, int32, error) {
@@ -268,6 +307,11 @@ func (m *mapper) realizeTreeCRF(root *network.Node, arr map[*network.Node]int32)
 		return crfEval(mp.item.expr, val)
 	})
 	m.ckt.AddLUT(name, mp.item.inputs, table)
+	if m.opts.Provenance {
+		it := mp.item
+		it.nodes = append(it.nodes, root.Name)
+		cs.recordCRFProv(name, it, "")
+	}
 	cs.cost++
 	m.sig[root] = name
 	arr[root] = mp.item.arrival + 1

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"chortle/internal/forest"
+	"chortle/internal/lut"
 	"chortle/internal/network"
 )
 
@@ -251,11 +252,16 @@ func (m *mapper) realizeTreeDepth(root *network.Node, arr map[*network.Node]int3
 	if ds.bestCost >= infinity {
 		return 0, errUnmappable(root.Name, m.opts.K)
 	}
+	var units int64
+	if gov != nil {
+		units = gov.units
+	}
+	m.setProvTree(root.Name, lut.OriginFresh, units)
 	name := root.Name
 	if m.ckt.Find(name) != nil || m.cktHasInput(name) {
 		name = m.fresh(root.Name)
 	}
-	sig, err := m.emitLUT(ds.nodeDP, ds.full, ds.bestU, name)
+	sig, err := m.emitLUT(ds.nodeDP, ds.full, ds.bestU, name, m.provFor(ds.nodeDP))
 	if err != nil {
 		return 0, err
 	}

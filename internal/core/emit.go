@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"chortle/internal/cerrs"
 	"chortle/internal/forest"
@@ -63,6 +64,13 @@ type mapper struct {
 	// rec, when non-nil, passively records the emission of the current
 	// tree as a template for structurally identical trees (template.go).
 	rec *emitRecorder
+
+	// Per-tree provenance context (provenance.go), meaningful only when
+	// opts.Provenance is set: the tree being realized, how it was
+	// realized, and its solve's metered work units.
+	provTree   string
+	provOrigin lut.Origin
+	provUnits  int64
 }
 
 func (m *mapper) fresh(base string) string {
@@ -135,13 +143,14 @@ func (m *mapper) signalOf(fr faninRef) (string, error) {
 		return sig, nil
 	}
 	c := fr.child
-	return m.emitLUT(c, c.full, c.bestU, m.freshFor(c))
+	return m.emitLUT(c, c.full, c.bestU, m.freshFor(c), m.provFor(c))
 }
 
 // collectGroups walks the DP choices for (dp, s, u), returning the
 // group expressions of the covering LUT and extending inputs with the
-// signals it consumes.
-func (m *mapper) collectGroups(dp *nodeDP, s uint32, u int, inputs *[]string) ([]*exprNode, error) {
+// signals it consumes. pf (nil when provenance is off) accumulates the
+// covered nodes and shape tokens of the LUT being collected.
+func (m *mapper) collectGroups(dp *nodeDP, s uint32, u int, inputs *[]string, pf *provFrame) ([]*exprNode, error) {
 	var groups []*exprNode
 	for s != 0 {
 		if u < 1 {
@@ -157,21 +166,28 @@ func (m *mapper) collectGroups(dp *nodeDP, s uint32, u int, inputs *[]string) ([
 				if err != nil {
 					return nil, err
 				}
+				pf.token("pin")
 				groups = append(groups, &exprNode{leaf: true, inputIdx: addInput(inputs, sig), invert: fr.edge.Invert})
 			} else {
 				c := fr.child
-				kids, err := m.collectGroups(c, c.full, int(ch.v), inputs)
+				pf.open("merge")
+				pf.cover(c.node.Name, c.nodeIdx)
+				kids, err := m.collectGroups(c, c.full, int(ch.v), inputs, pf)
 				if err != nil {
 					return nil, err
 				}
+				pf.close()
 				groups = append(groups, &exprNode{op: c.node.Op, kids: kids, invert: fr.edge.Invert})
 			}
 			s &^= 1 << uint(pivot)
 			u -= int(ch.v)
 		case choiceIntermediate:
-			sig, err := m.emitLUT(dp, ch.d, int(dp.mmBestU[ch.d]), m.freshFor(dp))
+			sig, err := m.emitLUT(dp, ch.d, int(dp.mmBestU[ch.d]), m.freshFor(dp), m.provGroupFor(dp))
 			if err != nil {
 				return nil, err
+			}
+			if pf != nil {
+				pf.token("grp" + strconv.Itoa(bits.OnesCount32(ch.d)))
 			}
 			groups = append(groups, &exprNode{leaf: true, inputIdx: addInput(inputs, sig)})
 			s &^= ch.d
@@ -187,10 +203,11 @@ func (m *mapper) collectGroups(dp *nodeDP, s uint32, u int, inputs *[]string) ([
 }
 
 // emitLUT materializes one lookup table computing op(dp.node) over the
-// fanin subset s with utilization u, returning its signal name.
-func (m *mapper) emitLUT(dp *nodeDP, s uint32, u int, name string) (string, error) {
+// fanin subset s with utilization u, returning its signal name. pf, when
+// non-nil, becomes the LUT's provenance record.
+func (m *mapper) emitLUT(dp *nodeDP, s uint32, u int, name string, pf *provFrame) (string, error) {
 	var inputs []string
-	groups, err := m.collectGroups(dp, s, u, &inputs)
+	groups, err := m.collectGroups(dp, s, u, &inputs, pf)
 	if err != nil {
 		return "", err
 	}
@@ -203,6 +220,7 @@ func (m *mapper) emitLUT(dp *nodeDP, s uint32, u int, name string) (string, erro
 	if m.rec != nil {
 		m.rec.noteLUT(name, inputs, table)
 	}
+	m.recordProv(pf, name, inputs, dp.node.Op.String(), u)
 	return name, nil
 }
 
@@ -218,7 +236,7 @@ func (m *mapper) realizeTreeFromDP(root *network.Node, dp *nodeDP) (int32, error
 	if m.ckt.Find(name) != nil || m.cktHasInput(name) {
 		name = m.fresh(root.Name)
 	}
-	sig, err := m.emitLUT(dp, dp.full, dp.bestU, name)
+	sig, err := m.emitLUT(dp, dp.full, dp.bestU, name, m.provFor(dp))
 	if err != nil {
 		return 0, err
 	}
@@ -247,6 +265,7 @@ func (m *mapper) realizeTreeCtx(root *network.Node, mc *mapCtx) (int32, error) {
 		if dp == nil {
 			return 0, errDegraded(root.Name)
 		}
+		m.setProvTree(root.Name, lut.OriginFresh, mc.prebuiltUnits[root])
 		return m.realizeTreeFromDP(root, dp)
 	}
 	gov := mc.newGov()
@@ -256,6 +275,7 @@ func (m *mapper) realizeTreeCtx(root *network.Node, mc *mapCtx) (int32, error) {
 		return 0, err
 	}
 	mc.tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
+	m.setProvTree(root.Name, lut.OriginFresh, gov.units)
 	return m.realizeTreeFromDP(root, dp)
 }
 
@@ -285,6 +305,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 			mc.tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 		}
 		e.dp = dp
+		e.units = gov.units
 		mc.memo.insert(h, e)
 	}
 	if e.degraded {
@@ -297,6 +318,11 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 	if e.rep != root {
 		mc.tr.memoHit(root.Name, e.dp.bestCost)
 		dp = rebindDP(mc.seqArena, e.dp, m.f, root)
+		// A memo hit did no search of its own; its records carry the
+		// reuse origin and zero work units.
+		m.setProvTree(root.Name, lut.OriginMemo, 0)
+	} else {
+		m.setProvTree(root.Name, lut.OriginFresh, e.units)
 	}
 	if !e.seen {
 		e.seen = true
@@ -308,6 +334,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 	}
 	pattern := patternOf(leafSigs)
 	if t := e.templates[pattern]; t != nil {
+		m.setProvTree(root.Name, lut.OriginReplay, 0)
 		if _, err := m.replayTemplate(root, t, names, leafSigs); err != nil {
 			return 0, err
 		}

@@ -31,6 +31,13 @@ type Result struct {
 	// full search (the circuit is tree-optimal as usual); non-empty
 	// means the circuit is valid but best-effort on those trees.
 	Degraded []string
+	// Prepared is the preprocessed network the mapper actually covered
+	// — cloned, swept, wide nodes split, optional fanout duplication
+	// applied — recorded only when Options.Provenance is set, so the
+	// circuit's provenance records (which name this network's gates)
+	// and the explainability exporters have the graph they refer to.
+	// Nil otherwise.
+	Prepared *network.Network
 }
 
 // Map runs the Chortle algorithm on the network, producing a circuit of
@@ -133,6 +140,7 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 		var err error
 		switch {
 		case opts.Strategy == StrategyBinPack:
+			m.setProvTree(root.Name, lut.OriginBinPack, 0)
 			cost, err = m.realizeTreeCRF(root, arrivals)
 		case opts.OptimizeDepth:
 			gov := mctx.newGov()
@@ -148,6 +156,7 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 			// Budget ran out on this tree: degrade it to the bin-packing
 			// strategy, which needs no search budget, and keep going.
 			tr.budgetExhausted(root.Name, opts.Budget.WorkUnits)
+			m.setProvTree(root.Name, lut.OriginDegraded, 0)
 			cost, err = m.realizeTreeCRF(root, arrivals)
 			if err == nil {
 				degraded = append(degraded, root.Name)
@@ -208,14 +217,18 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 		endPhase()
 	}
 	tr.circuit(m.ckt, len(f.Roots))
-	return &Result{
+	res := &Result{
 		Circuit:       m.ckt,
 		LUTs:          m.ckt.Count(),
 		Trees:         len(f.Roots),
 		PredictedCost: predicted,
 		SplitNodes:    split,
 		Degraded:      degraded,
-	}, nil
+	}
+	if opts.Provenance {
+		res.Prepared = nw
+	}
+	return res, nil
 }
 
 // TreeCosts maps the network and returns the per-tree optimal LUT

@@ -20,6 +20,10 @@ type shapeEntry struct {
 	rep *network.Node // representative tree whose nodes dp is bound to
 	dp  *nodeDP
 
+	// units is the metered work of the shape's one solve, kept for the
+	// representative tree's provenance records (reused trees record 0).
+	units int64
+
 	// degraded marks a shape whose solve exhausted its search budget
 	// (dp is nil). Every tree of the shape degrades to bin packing —
 	// the work cost of a shape is deterministic, so this keeps the

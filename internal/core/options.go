@@ -99,6 +99,20 @@ type Options struct {
 	// by default; purely observational.
 	PprofLabels bool
 
+	// Provenance records, on the emitted lut.Circuit, a per-LUT
+	// ancestry record: the covered network gate nodes (a partition of
+	// the prepared network's gates), the decomposition shape the DP
+	// chose at the LUT's root, the owning tree with its solve's work
+	// units, and the realization origin (fresh solve, memo reuse,
+	// template replay, bin packing, budget degradation). Result.Prepared
+	// additionally carries the preprocessed network the records refer
+	// to. Recording is strictly passive — the circuit is byte-identical
+	// with or without it — and with the flag off every hook is a nil
+	// check that allocates nothing, the same discipline as the nil
+	// Observer. Consumed by the explainability exporters
+	// (internal/explain: DOT graphs, HTML run reports).
+	Provenance bool
+
 	// RepackLUTs enables the post-mapping peephole that merges
 	// single-fanout LUTs into consumers when the combined distinct
 	// inputs fit K. It recovers part of the reconvergent-fanout loss

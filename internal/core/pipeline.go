@@ -53,8 +53,10 @@ type mapCtx struct {
 
 	// prebuilt holds the parallel path's per-tree DPs when memoization
 	// is off. A present nil entry records a tree whose solve exhausted
-	// its budget and must degrade.
-	prebuilt map[*network.Node]*nodeDP
+	// its budget and must degrade. prebuiltUnits carries each solve's
+	// metered work units for the trees' provenance records.
+	prebuilt      map[*network.Node]*nodeDP
+	prebuiltUnits map[*network.Node]int64
 
 	seqArena *dpArena
 	mu       sync.Mutex // guards arenas during the parallel build
@@ -218,18 +220,18 @@ func (mc *mapCtx) runPool(n int, fn func(a *dpArena, i int) error) error {
 // worker panic aborts the whole prepass with the error.
 func (mc *mapCtx) buildDPsParallel() error {
 	roots := mc.f.Roots
-	solveOne := func(a *dpArena, root *network.Node) (*nodeDP, bool, error) {
+	solveOne := func(a *dpArena, root *network.Node) (*nodeDP, int64, bool, error) {
 		gov := mc.newGov()
 		start := mc.tr.now()
 		dp, err := solveDP(a, mc.f, root, mc.opts, gov)
 		if err != nil {
 			if errors.Is(err, cerrs.ErrBudgetExhausted) {
-				return nil, true, nil
+				return nil, gov.units, true, nil
 			}
-			return nil, false, err
+			return nil, gov.units, false, err
 		}
 		mc.tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
-		return dp, false, nil
+		return dp, gov.units, false, nil
 	}
 	if mc.memo != nil {
 		var reps []*network.Node
@@ -245,29 +247,33 @@ func (mc *mapCtx) buildDPsParallel() error {
 			entries = append(entries, e)
 		}
 		return mc.runPool(len(reps), func(a *dpArena, i int) error {
-			dp, degraded, err := solveOne(a, reps[i])
+			dp, units, degraded, err := solveOne(a, reps[i])
 			if err != nil {
 				return err
 			}
-			entries[i].dp, entries[i].degraded = dp, degraded
+			entries[i].dp, entries[i].units, entries[i].degraded = dp, units, degraded
 			return nil
 		})
 	}
 	dps := make([]*nodeDP, len(roots))
+	units := make([]int64, len(roots))
 	err := mc.runPool(len(roots), func(a *dpArena, i int) error {
-		dp, _, err := solveOne(a, roots[i])
+		dp, u, _, err := solveOne(a, roots[i])
 		if err != nil {
 			return err
 		}
 		dps[i] = dp // nil when degraded
+		units[i] = u
 		return nil
 	})
 	if err != nil {
 		return err
 	}
 	mc.prebuilt = make(map[*network.Node]*nodeDP, len(roots))
+	mc.prebuiltUnits = make(map[*network.Node]int64, len(roots))
 	for i, r := range roots {
 		mc.prebuilt[r] = dps[i]
+		mc.prebuiltUnits[r] = units[i]
 	}
 	return nil
 }

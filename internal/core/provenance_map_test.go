@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"chortle/internal/network"
+	"chortle/internal/verify"
+)
+
+// preparedGates returns the names of the prepared network's non-input
+// nodes — the set provenance Covers must partition exactly.
+func preparedGates(t *testing.T, res *Result) map[string]bool {
+	t.Helper()
+	if res.Prepared == nil {
+		t.Fatal("Result.Prepared not recorded with Provenance on")
+	}
+	gates := make(map[string]bool)
+	for _, n := range res.Prepared.Nodes {
+		if !n.IsInput() {
+			gates[n.Name] = true
+		}
+	}
+	return gates
+}
+
+func checkProvenance(t *testing.T, res *Result) {
+	t.Helper()
+	if err := res.Circuit.CheckProvenance(preparedGates(t, res)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProvenanceRandomDAGs maps random reconvergent DAGs with
+// provenance recording on, in every mode the mapper has, and checks
+// the coverage invariant each time: every prepared gate is covered by
+// exactly one LUT, every LUT carries a complete record.
+func TestProvenanceRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	modes := []struct {
+		name string
+		tune func(*Options)
+	}{
+		{"sequential", func(o *Options) { o.Parallel, o.Memoize = false, false }},
+		{"memo", func(o *Options) { o.Parallel, o.Memoize = false, true }},
+		{"parallel", func(o *Options) { o.Parallel, o.Memoize = true, true }},
+		{"binpack", func(o *Options) { o.Strategy = StrategyBinPack }},
+		{"depth", func(o *Options) { o.OptimizeDepth = true }},
+		{"repack", func(o *Options) { o.RepackLUTs = true }},
+		{"degraded", func(o *Options) { o.Budget.WorkUnits = 1 }},
+	}
+	for trial := 0; trial < 6; trial++ {
+		nw := randomDAG(rng, 5+rng.Intn(4), 10+rng.Intn(20))
+		for k := 3; k <= 5; k++ {
+			for _, mode := range modes {
+				opts := DefaultOptions(k)
+				opts.Provenance = true
+				mode.tune(&opts)
+				res, err := Map(nw, opts)
+				if err != nil {
+					t.Fatalf("trial %d K=%d %s: %v", trial, k, mode.name, err)
+				}
+				checkProvenance(t, res)
+				if err := verify.NetworkVsCircuit(nw, res.Circuit, 16, int64(trial)); err != nil {
+					t.Fatalf("trial %d K=%d %s: %v", trial, k, mode.name, err)
+				}
+			}
+		}
+	}
+}
+
+// identicalTrees builds a network of count structurally identical
+// multi-level trees, each its own output — the shape memo's best case,
+// forcing the rebind path (second instance) and the template replay
+// path (third instance onward).
+func identicalTrees(count int) *network.Network {
+	nw := network.New("iso")
+	for i := 0; i < count; i++ {
+		p := string(rune('a'+i)) + "_"
+		var ins []*network.Node
+		for j := 0; j < 6; j++ {
+			ins = append(ins, nw.AddInput(p+inName(j)))
+		}
+		l1 := nw.AddGate(p+"l1", network.OpAnd,
+			network.Fanin{Node: ins[0]}, network.Fanin{Node: ins[1], Invert: true})
+		l2 := nw.AddGate(p+"l2", network.OpOr,
+			network.Fanin{Node: ins[2]}, network.Fanin{Node: ins[3]})
+		l3 := nw.AddGate(p+"l3", network.OpAnd,
+			network.Fanin{Node: l1}, network.Fanin{Node: l2},
+			network.Fanin{Node: ins[4]})
+		root := nw.AddGate(p+"root", network.OpOr,
+			network.Fanin{Node: l3}, network.Fanin{Node: ins[5], Invert: true})
+		nw.MarkOutput(p+"y", root, false)
+	}
+	return nw
+}
+
+// TestProvenanceMemoOrigins drives the memo machinery through all
+// three of its branches — fresh solve, DP rebind, template replay —
+// and checks that origins land accordingly while coverage stays exact.
+func TestProvenanceMemoOrigins(t *testing.T) {
+	nw := identicalTrees(5)
+	opts := DefaultOptions(4)
+	opts.Provenance = true
+	opts.Parallel = false
+	opts.Memoize = true
+	res, err := Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProvenance(t, res)
+	counts := res.Circuit.OriginCounts()
+	if counts["fresh"] == 0 || counts["memo"] == 0 || counts["replay"] == 0 {
+		t.Fatalf("want fresh, memo and replay origins across 5 identical trees, got %v", counts)
+	}
+	// Mode independence: same trees, same shapes, same covers without
+	// memoization — only the origins may differ.
+	opts2 := opts
+	opts2.Memoize = false
+	res2, err := Map(nw, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProvenance(t, res2)
+	for _, l := range res.Circuit.LUTs {
+		p, q := res.Circuit.ProvenanceOf(l.Name), res2.Circuit.ProvenanceOf(l.Name)
+		if q == nil {
+			t.Fatalf("LUT %s missing from non-memo run", l.Name)
+		}
+		if p.Shape != q.Shape || p.Tree != q.Tree {
+			t.Fatalf("LUT %s: shape/tree differ across memoize: %q/%q vs %q/%q",
+				l.Name, p.Shape, p.Tree, q.Shape, q.Tree)
+		}
+		if !p.Origin.Searched() || !q.Origin.Searched() {
+			t.Fatalf("LUT %s: non-searched origin %v/%v", l.Name, p.Origin, q.Origin)
+		}
+	}
+}
+
+// TestProvenanceDuplication covers the cost-aware duplication path
+// with provenance on.
+func TestProvenanceDuplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	nw := randomDAG(rng, 6, 18)
+	opts := DefaultOptions(4)
+	opts.Provenance = true
+	res, _, err := MapDuplicateCostAwareCtx(t.Context(), nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProvenance(t, res)
+}
+
+// TestProvenanceOffNoPrepared pins that the prepared network is only
+// retained when provenance asks for it.
+func TestProvenanceOffNoPrepared(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	nw := randomDAG(rng, 5, 10)
+	res, err := Map(nw, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prepared != nil {
+		t.Fatal("Result.Prepared retained with Provenance off")
+	}
+	if res.Circuit.HasProvenance() {
+		t.Fatal("provenance records present with Provenance off")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"chortle/internal/lut"
 	"chortle/internal/network"
 	"chortle/internal/truth"
 )
@@ -28,6 +29,15 @@ type lutSpec struct {
 	// same template.
 	inputs []int32
 	table  truth.Table
+
+	// Provenance, recorded only when Options.Provenance is on (shape is
+	// then non-empty): the preorder indices of the covered tree nodes,
+	// the partially-computed node's index (-1 = none), and the shape
+	// string — everything a replayed tree needs to rebuild the record
+	// against its own node names.
+	covers  []int32
+	partIdx int32
+	shape   string
 }
 
 // emitTemplate is the recorded emission of one (shape, leaf-pattern)
@@ -96,6 +106,23 @@ func (r *emitRecorder) noteLUT(name string, inputs []string, table truth.Table) 
 	r.sigTok[name] = -int32(len(r.specs)) // LUT j-1 -> token -j
 }
 
+// noteProv attaches the provenance of the most recently recorded LUT to
+// its spec, keyed by preorder node indices so replay can rebind it.
+func (r *emitRecorder) noteProv(pf *provFrame, shape string) {
+	if r.failed || len(r.specs) == 0 {
+		return
+	}
+	spec := &r.specs[len(r.specs)-1]
+	spec.shape = shape
+	spec.partIdx = pf.partIdx
+	if len(pf.covers) > 0 {
+		spec.covers = make([]int32, len(pf.covers))
+		for i, c := range pf.covers {
+			spec.covers[i] = c.idx
+		}
+	}
+}
+
 // template returns the finished template, or nil if recording failed or
 // produced nothing.
 func (r *emitRecorder) template() *emitTemplate {
@@ -157,6 +184,25 @@ func (m *mapper) replayTemplate(root *network.Node, t *emitTemplate, names []str
 			}
 		}
 		m.ckt.AddLUT(name, inputs, spec.table)
+		if m.opts.Provenance && spec.shape != "" {
+			covers := make([]string, len(spec.covers))
+			for i, idx := range spec.covers {
+				covers[i] = names[idx]
+			}
+			partOf := ""
+			if spec.partIdx >= 0 {
+				partOf = names[spec.partIdx]
+			}
+			m.ckt.SetProvenance(name, &lut.Provenance{
+				Tree:      m.provTree,
+				Origin:    m.provOrigin,
+				Covers:    covers,
+				PartOf:    partOf,
+				Shape:     spec.shape,
+				FaninLUTs: m.faninLUTs(inputs),
+				WorkUnits: m.provUnits,
+			})
+		}
 		emitted[j] = name
 	}
 	sig := emitted[len(emitted)-1]

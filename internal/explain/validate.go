@@ -1,0 +1,104 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidateDOT structurally checks a DOT document without needing the
+// Graphviz dot(1) binary: the header, brace balance, and the rule the
+// exporters follow — every node id is declared (a node statement or a
+// cluster) before any edge uses it. It understands exactly the subset
+// of DOT this package emits (quoted ids, one statement per line), which
+// is what makes it a meaningful round-trip check for the golden files.
+func ValidateDOT(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	depth := 0
+	sawGraph := false
+	declared := make(map[string]bool)
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "digraph "):
+			if sawGraph {
+				return fmt.Errorf("dot line %d: second digraph header", lineNo)
+			}
+			if !strings.HasSuffix(line, "{") {
+				return fmt.Errorf("dot line %d: digraph header missing {", lineNo)
+			}
+			sawGraph = true
+			depth++
+		case strings.HasPrefix(line, "subgraph "):
+			if !strings.HasSuffix(line, "{") {
+				return fmt.Errorf("dot line %d: subgraph header missing {", lineNo)
+			}
+			depth++
+		case line == "}":
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("dot line %d: unbalanced closing brace", lineNo)
+			}
+		case strings.HasPrefix(line, "\""):
+			if !sawGraph || depth == 0 {
+				return fmt.Errorf("dot line %d: statement outside graph body", lineNo)
+			}
+			id, rest, err := readQuoted(line)
+			if err != nil {
+				return fmt.Errorf("dot line %d: %v", lineNo, err)
+			}
+			rest = strings.TrimSpace(rest)
+			if strings.HasPrefix(rest, "->") {
+				// Edge statement: both endpoints must already exist.
+				to, _, err := readQuoted(strings.TrimSpace(rest[2:]))
+				if err != nil {
+					return fmt.Errorf("dot line %d: edge target: %v", lineNo, err)
+				}
+				if !declared[id] {
+					return fmt.Errorf("dot line %d: edge source %q used before declaration", lineNo, id)
+				}
+				if !declared[to] {
+					return fmt.Errorf("dot line %d: edge target %q used before declaration", lineNo, to)
+				}
+			} else {
+				declared[id] = true
+			}
+		default:
+			// Attribute statements (rankdir=..., node [...], label=...).
+		}
+	}
+	if !sawGraph {
+		return fmt.Errorf("dot: no digraph header")
+	}
+	if depth != 0 {
+		return fmt.Errorf("dot: %d unclosed braces", depth)
+	}
+	return nil
+}
+
+// readQuoted parses a leading quoted DOT id, returning it unescaped
+// plus the remainder of the line.
+func readQuoted(s string) (id, rest string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted id in %q", s)
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			i++
+			b.WriteByte(s[i])
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted id in %q", s)
+}

@@ -52,6 +52,9 @@ type Circuit struct {
 	Latches []Latch
 
 	byName map[string]*LUT
+	// prov holds per-LUT provenance records when the mapper ran with
+	// provenance recording on (see provenance.go). Nil otherwise.
+	prov map[string]*Provenance
 }
 
 // New returns an empty LUT circuit for K-input lookup tables.

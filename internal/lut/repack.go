@@ -121,12 +121,39 @@ func (c *Circuit) repackOnce() (int, error) {
 		})
 		m.Inputs = inputs
 		m.Table = table
+		c.foldProvenance(l.Name, m)
 		c.removeLUT(l.Name)
 		merged++
 		// Recompute bookkeeping lazily: restart this pass.
 		return merged, nil
 	}
 	return merged, nil
+}
+
+// foldProvenance moves the merged LUT's covered gates into the
+// consumer's provenance record and refreshes the consumer's fanin-LUT
+// edges, so repacking keeps the cover partition intact. No-op when the
+// circuit carries no provenance.
+func (c *Circuit) foldProvenance(merged string, into *LUT) {
+	if c.prov == nil {
+		return
+	}
+	mp, ip := c.prov[merged], c.prov[into.Name]
+	if ip != nil {
+		if mp != nil {
+			ip.Covers = append(ip.Covers, mp.Covers...)
+		}
+		if len(ip.Covers) > 0 {
+			ip.PartOf = ""
+		}
+		ip.FaninLUTs = ip.FaninLUTs[:0]
+		for _, in := range into.Inputs {
+			if c.byName[in] != nil {
+				ip.FaninLUTs = append(ip.FaninLUTs, in)
+			}
+		}
+	}
+	delete(c.prov, merged)
 }
 
 // removeLUT deletes the named LUT (which must be unreferenced).

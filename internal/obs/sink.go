@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Collector is an in-memory sink: it appends every event to a slice
@@ -18,11 +19,15 @@ import (
 // suite cannot grow memory without bound; Dropped counts what the ring
 // overwrote.
 type Collector struct {
-	mu      sync.Mutex
-	events  []Event
-	cap     int   // 0 = unbounded
-	head    int   // ring start when len(events) == cap
-	dropped int64 // events overwritten by the ring
+	mu     sync.Mutex
+	events []Event
+	cap    int // 0 = unbounded
+	head   int // ring start when len(events) == cap
+	// dropped counts events overwritten by the ring. It is atomic, not
+	// mutex-guarded, so Dropped can be polled lock-free while worker
+	// goroutines are still emitting (a progress display reading it must
+	// not contend with the mapping's hot path).
+	dropped atomic.Int64
 }
 
 // NewBoundedCollector returns a Collector that retains at most cap
@@ -47,7 +52,7 @@ func (c *Collector) SetCapacity(cap int) {
 	if cap > 0 && len(c.events) > cap {
 		ordered := c.orderedLocked()
 		drop := len(ordered) - cap
-		c.dropped += int64(drop)
+		c.dropped.Add(int64(drop))
 		c.events = append([]Event(nil), ordered[drop:]...)
 		c.head = 0
 	}
@@ -64,7 +69,7 @@ func (c *Collector) Observe(e Event) {
 		if c.head == c.cap {
 			c.head = 0
 		}
-		c.dropped++
+		c.dropped.Add(1)
 	} else {
 		c.events = append(c.events, e)
 	}
@@ -98,11 +103,10 @@ func (c *Collector) Len() int {
 	return len(c.events)
 }
 
-// Dropped returns how many events a bounded collector has evicted.
+// Dropped returns how many events a bounded collector has evicted. It
+// is safe to call concurrently with Observe, without blocking emitters.
 func (c *Collector) Dropped() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped
+	return c.dropped.Load()
 }
 
 // Reset discards all collected events and the dropped count, readying
@@ -111,7 +115,7 @@ func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.events = nil
 	c.head = 0
-	c.dropped = 0
+	c.dropped.Store(0)
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlogObserverLevels(t *testing.T) {
+	var info, debug bytes.Buffer
+	infoSink := NewSlogObserver(slog.New(slog.NewTextHandler(&info, &slog.HandlerOptions{Level: slog.LevelInfo})))
+	debugSink := NewSlogObserver(slog.New(slog.NewTextHandler(&debug, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	events := []Event{
+		{Kind: KindMapStart, K: 4, N: 100},
+		{Kind: KindPhaseEnd, Phase: "solve", Units: int64(3 * time.Millisecond)},
+		{Kind: KindTreeSolve, Tree: "t1", Units: 42, Cost: 3, Dur: time.Millisecond},
+		{Kind: KindMemoHit, Tree: "t2", Cost: 3},
+		{Kind: KindLUT, Tree: "l1", N: 4, Depth: 2},
+		{Kind: KindMapEnd, Cost: 12, Depth: 3, N: 5},
+	}
+	for _, e := range events {
+		infoSink.Observe(e)
+		debugSink.Observe(e)
+	}
+	for _, want := range []string{"msg=map-start", "msg=phase-end", "msg=map-end", "k=4", "phase=solve"} {
+		if !strings.Contains(info.String(), want) {
+			t.Errorf("info log missing %q:\n%s", want, info.String())
+		}
+	}
+	for _, chatty := range []string{"msg=tree-solve", "msg=memo-hit", "msg=lut"} {
+		if strings.Contains(info.String(), chatty) {
+			t.Errorf("info log leaked debug-level event %q", chatty)
+		}
+		if !strings.Contains(debug.String(), chatty) {
+			t.Errorf("debug log missing %q", chatty)
+		}
+	}
+	if !strings.Contains(debug.String(), "tree=t1") || !strings.Contains(debug.String(), "units=42") {
+		t.Errorf("tree-solve attrs missing:\n%s", debug.String())
+	}
+}
+
+func TestSlogObserverJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSlogObserver(slog.New(slog.NewJSONHandler(&buf, nil)))
+	s.Observe(Event{Kind: KindMapEnd, Cost: 7, Depth: 2, N: 3})
+	out := buf.String()
+	for _, want := range []string{`"msg":"map-end"`, `"luts":7`, `"depth":2`, `"trees":3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json log missing %s: %s", want, out)
+		}
+	}
+}
+
+// TestCollectorDroppedConcurrent hammers a bounded collector from many
+// goroutines while another polls Dropped/Len/Events — the scenario the
+// atomic drop counter exists for. Run under -race this pins the absence
+// of data races; the final count check pins that no increment is lost.
+func TestCollectorDroppedConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		each    = 2000
+		bound   = 64
+	)
+	c := NewBoundedCollector(bound)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Dropped()
+				_ = c.Len()
+				_ = c.Events()
+			}
+		}
+	}()
+	var emit sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		emit.Add(1)
+		go func() {
+			defer emit.Done()
+			for i := 0; i < each; i++ {
+				c.Observe(Event{Kind: KindTreeSolve, Units: int64(i)})
+			}
+		}()
+	}
+	emit.Wait()
+	close(stop)
+	wg.Wait()
+	if got, want := c.Dropped(), int64(workers*each-bound); got != want {
+		t.Fatalf("Dropped() = %d, want %d", got, want)
+	}
+	if c.Len() != bound {
+		t.Fatalf("Len() = %d, want %d", c.Len(), bound)
+	}
+}

@@ -1,12 +1,12 @@
 #!/usr/bin/env sh
 # Coverage gate for the mapper core: fails if internal/core statement
 # coverage drops below the pinned floor. The floor sits a little under
-# the measured baseline (90.1% as of the observability PR) so routine
+# the measured baseline (90.8% as of the explainability PR) so routine
 # refactors don't flap, but a real coverage regression trips it.
 # Raise the floor when coverage improves durably.
 set -eu
 
-FLOOR="${COVERAGE_FLOOR:-88.0}"
+FLOOR="${COVERAGE_FLOOR:-89.0}"
 PROFILE="$(mktemp)"
 trap 'rm -f "$PROFILE"' EXIT
 
