@@ -28,6 +28,7 @@ import (
 	"chortle/internal/obs"
 	"chortle/internal/opt"
 	"chortle/internal/pla"
+	"chortle/internal/shapecache"
 	"chortle/internal/verify"
 )
 
@@ -248,6 +249,30 @@ type JSONLObserver = obs.JSONL
 // NewJSONLObserver returns a JSONLObserver writing to w. Check Err
 // after the run for the first write error, if any.
 func NewJSONLObserver(w io.Writer) *JSONLObserver { return obs.NewJSONL(w) }
+
+// SharedCache is a process-wide, concurrency-safe cache of tree-shape
+// solutions, shared across Map calls through Options.SharedCache. A
+// warm cache turns the per-shape DP solve and most of reconstruction
+// into O(tree) pointer work; every hit is verified against a canonical
+// shape encoding before reuse, and cached state is immutable after
+// publish, so any number of concurrent Map calls may share one cache.
+// The emitted circuit is byte-identical with the cache warm, cold, or
+// absent.
+type SharedCache = core.SharedShapeCache
+
+// SharedCacheConfig bounds a SharedCache: shard count (lock striping),
+// resident entry count, and accounted bytes. Zero fields take defaults
+// (16 shards, 65536 entries, 256 MiB).
+type SharedCacheConfig = core.SharedCacheConfig
+
+// CacheStats is a point-in-time snapshot of a SharedCache: hit, miss,
+// insert and eviction counters plus resident entry and byte totals.
+type CacheStats = shapecache.Stats
+
+// NewSharedCache returns an empty cross-run shape cache honoring cfg.
+func NewSharedCache(cfg SharedCacheConfig) *SharedCache {
+	return core.NewSharedShapeCache(cfg)
+}
 
 // CLBSpec describes a commercial logic block (LUT pair with a shared
 // input budget) for post-mapping block packing — the paper's

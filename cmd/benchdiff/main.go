@@ -31,6 +31,14 @@ type record struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
+	// SharedCache arrived with schema v3; nil in older reports. It is
+	// informational — the regression gate stays on ns_per_op, since
+	// warm-cache time is a different (and much flatter) distribution.
+	SharedCache *struct {
+		ColdNsPerOp int64   `json:"cold_ns_per_op"`
+		WarmNsPerOp int64   `json:"warm_ns_per_op"`
+		Speedup     float64 `json:"speedup"`
+	} `json:"shared_cache"`
 }
 
 type report struct {
@@ -116,6 +124,10 @@ func run(args []string, stdout io.Writer) (int, error) {
 		if *verbose || drift || ratio > 1+*threshold {
 			fmt.Fprintf(stdout, "      %-16s %10d -> %10d ns/op (%+6.1f%%)  allocs %d -> %d\n",
 				key(nr), or.NsPerOp, nr.NsPerOp, (ratio-1)*100, or.AllocsPerOp, nr.AllocsPerOp)
+			if *verbose && nr.SharedCache != nil {
+				fmt.Fprintf(stdout, "      %-16s warm cache %d ns/op (%.1fx over cold)\n",
+					"", nr.SharedCache.WarmNsPerOp, nr.SharedCache.Speedup)
+			}
 		}
 	}
 	for k := range oldBy {

@@ -2,7 +2,10 @@
 // suite and writes the results as JSON — the repository's machine-
 // readable performance trajectory file (BENCH_map.json). Each record
 // carries the LUT count (a correctness anchor: it must never drift),
-// the mapping wall time, and the allocation profile per Map call.
+// the mapping wall time, the allocation profile per Map call, and —
+// since schema v3 — the cross-run shape cache's cold-versus-warm wall
+// time on the same circuit (readers of v2 reports ignore the extra
+// field).
 //
 // Usage:
 //
@@ -26,13 +29,27 @@ import (
 )
 
 type record struct {
-	Circuit     string     `json:"circuit"`
-	K           int        `json:"k"`
-	LUTs        int        `json:"luts"`
-	NsPerOp     int64      `json:"ns_per_op"`
-	AllocsPerOp int64      `json:"allocs_per_op"`
-	BytesPerOp  int64      `json:"bytes_per_op"`
-	Stats       *statBlock `json:"stats,omitempty"`
+	Circuit     string      `json:"circuit"`
+	K           int         `json:"k"`
+	LUTs        int         `json:"luts"`
+	NsPerOp     int64       `json:"ns_per_op"`
+	AllocsPerOp int64       `json:"allocs_per_op"`
+	BytesPerOp  int64       `json:"bytes_per_op"`
+	Stats       *statBlock  `json:"stats,omitempty"`
+	SharedCache *cacheBlock `json:"shared_cache,omitempty"`
+}
+
+// cacheBlock (schema v3) measures the cross-run shape cache on this
+// (circuit, K): mean wall time mapping through a fresh cache per rep
+// (cold) versus through a cache warmed by one prior mapping of the same
+// circuit (warm), and the warm run's hit/miss counts. The LUT count is
+// identical in both — only the time moves.
+type cacheBlock struct {
+	ColdNsPerOp int64   `json:"cold_ns_per_op"`
+	WarmNsPerOp int64   `json:"warm_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+	Hits        int     `json:"hits"`
+	Misses      int     `json:"misses"`
 }
 
 // statBlock is the machine-readable slice of the mapper's observability
@@ -101,7 +118,7 @@ func main() {
 	sort.Strings(names)
 
 	var rep report
-	rep.Schema = "chortle-bench-map/v2"
+	rep.Schema = "chortle-bench-map/v3"
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Options.Parallel = !*seq
 	rep.Options.Memoize = !*seq
@@ -186,6 +203,51 @@ func measure(name string, nw *chortle.Network, opts chortle.Options, reps int, e
 		stats.LUTInputHist[fmt.Sprint(in)] = n
 	}
 
+	// Shared-cache warm-vs-cold measurement. Cold pays publication on
+	// top of the solve (a fresh cache per rep); warm maps through a
+	// cache already holding every shape of this circuit. Only
+	// meaningful when the memo is on — the shared tier rides it.
+	var cache *cacheBlock
+	if opts.Memoize {
+		cold := time.Duration(0)
+		for i := 0; i < reps; i++ {
+			c := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+			o := opts
+			o.SharedCache = c
+			t0 := time.Now()
+			if _, err := chortle.Map(nw, o); err != nil {
+				return record{}, fmt.Errorf("%s K=%d cold: %w", name, opts.K, err)
+			}
+			cold += time.Since(t0)
+		}
+		c := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+		o := opts
+		o.SharedCache = c
+		if _, err := chortle.Map(nw, o); err != nil {
+			return record{}, fmt.Errorf("%s K=%d warmup: %w", name, opts.K, err)
+		}
+		warm := time.Duration(0)
+		var hits, misses int
+		for i := 0; i < reps; i++ {
+			t0 := time.Now()
+			wres, err := chortle.Map(nw, o)
+			if err != nil {
+				return record{}, fmt.Errorf("%s K=%d warm: %w", name, opts.K, err)
+			}
+			warm += time.Since(t0)
+			hits, misses = wres.CacheHits, wres.CacheMisses
+		}
+		cache = &cacheBlock{
+			ColdNsPerOp: cold.Nanoseconds() / int64(reps),
+			WarmNsPerOp: warm.Nanoseconds() / int64(reps),
+			Hits:        hits,
+			Misses:      misses,
+		}
+		if cache.WarmNsPerOp > 0 {
+			cache.Speedup = float64(cache.ColdNsPerOp) / float64(cache.WarmNsPerOp)
+		}
+	}
+
 	return record{
 		Circuit:     name,
 		K:           opts.K,
@@ -194,6 +256,7 @@ func measure(name string, nw *chortle.Network, opts chortle.Options, reps int, e
 		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(reps),
 		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
 		Stats:       stats,
+		SharedCache: cache,
 	}, nil
 }
 

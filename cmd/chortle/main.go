@@ -7,9 +7,17 @@
 //	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify]
 //	        [-trace trace.jsonl] [-timeout 30s] [-budget N]
 //	        [-debug-addr :6060] [-explain report.html] [-dot out.dot]
-//	        [-v] [-log-format text|json] [in.blif]
+//	        [-shared-cache] [-v] [-log-format text|json] [in.blif ...]
 //
-// With no input file the network is read from standard input.
+// With no input file the network is read from standard input. Several
+// input files map as a batch: the mapped circuits are written in order
+// as consecutive BLIF models (batch mode supports -k/-opt/-o/-stats and
+// the search flags, but not -baseline/-verify/-explain/-dot/-verilog).
+// -shared-cache routes every mapping in the process through one
+// cross-run shape cache, so isomorphic trees recurring across the batch
+// (or across -dup candidate evaluations) are solved once; -stats then
+// reports the hit rate. The emitted circuits are byte-identical with
+// the cache on or off.
 // -timeout is a hard wall-clock limit: when it expires the mapping is
 // cancelled and the command fails. -budget bounds the per-tree
 // exhaustive search in DP work units; over-budget trees degrade to the
@@ -69,8 +77,14 @@ func main() {
 		dotOut   = flag.String("dot", "", "write the mapped circuit as a Graphviz DOT file")
 		verbose  = flag.Bool("v", false, "log per-tree mapping detail to stderr (implies -log-format text)")
 		logFmt   = flag.String("log-format", "", "narrate the run on stderr via log/slog: text or json")
+		shared   = flag.Bool("shared-cache", false, "share one cross-run shape cache across all mappings in this process")
 	)
 	flag.Parse()
+
+	var cache *chortle.SharedCache
+	if *shared {
+		cache = chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	}
 
 	var slogObs chortle.Observer
 	if *verbose || *logFmt != "" {
@@ -100,6 +114,45 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", srv.Addr())
 		defer srv.Shutdown(context.Background())
+	}
+
+	// buildOpts assembles the mapper configuration shared by the single
+	// and batch paths; batch-incompatible concerns (provenance,
+	// observers) are layered on by the single path.
+	buildOpts := func() chortle.Options {
+		opts := chortle.DefaultOptions(*k)
+		opts.SplitThreshold = *split
+		opts.Parallel = *parallel
+		opts.Memoize = *memo
+		opts.DuplicateFanoutLogic = *dup
+		opts.RepackLUTs = *repack
+		opts.OptimizeDepth = *depth
+		opts.Budget.WorkUnits = *budget
+		if *binpack {
+			opts.Strategy = chortle.StrategyBinPack
+		}
+		opts.SharedCache = cache
+		return opts
+	}
+
+	if flag.NArg() > 1 {
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{*baseline, "-baseline"}, {*check, "-verify"}, {*explain != "", "-explain"},
+			{*dotOut != "", "-dot"}, {*trace != "", "-trace"}, {*clb, "-clb"}, {*path, "-path"},
+		} {
+			if bad.set {
+				fatal(fmt.Errorf("%s is not supported with multiple inputs", bad.name))
+			}
+		}
+		batchMap(flag.Args(), buildOpts, cache, batchFlags{
+			out: *out, optimize: *optimize, plaIn: *plaIn, verilog: *verilog,
+			stats: *stats, timeout: *timeout, k: *k,
+			slogObs: slogObs, metricsObs: metricsObs,
+		})
+		return
 	}
 
 	in := os.Stdin
@@ -155,17 +208,7 @@ func main() {
 		}
 		ckt = res.Circuit
 	} else {
-		opts := chortle.DefaultOptions(*k)
-		opts.SplitThreshold = *split
-		opts.Parallel = *parallel
-		opts.Memoize = *memo
-		opts.DuplicateFanoutLogic = *dup
-		opts.RepackLUTs = *repack
-		opts.OptimizeDepth = *depth
-		opts.Budget.WorkUnits = *budget
-		if *binpack {
-			opts.Strategy = chortle.StrategyBinPack
-		}
+		opts := buildOpts()
 		// Provenance is what -explain and -dot render; recording it does
 		// not change the emitted circuit.
 		opts.Provenance = *explain != "" || *dotOut != ""
@@ -221,6 +264,9 @@ func main() {
 		}
 		if col != nil {
 			report = col.Report()
+		}
+		if cache != nil && *stats {
+			fmt.Fprint(os.Stderr, cacheLine(cache, res.CacheHits, res.CacheMisses))
 		}
 		ckt = res.Circuit
 
@@ -333,6 +379,113 @@ func main() {
 	}
 	if err := ckt.WriteBLIF(w); err != nil {
 		fatal(err)
+	}
+}
+
+// cacheLine formats the shared-cache summary -stats prints: this run's
+// shape hit rate plus the cache's resident footprint.
+func cacheLine(cache *chortle.SharedCache, hits, misses int) string {
+	st := cache.Stats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	return fmt.Sprintf("shared cache: %d/%d shape hits (%.0f%%), %d entries, %d KiB resident\n",
+		hits, hits+misses, rate, st.Entries, st.Bytes>>10)
+}
+
+type batchFlags struct {
+	out        string
+	optimize   bool
+	plaIn      bool
+	verilog    bool
+	stats      bool
+	timeout    time.Duration
+	k          int
+	slogObs    chortle.Observer
+	metricsObs *chortle.MetricsObserver
+}
+
+// batchMap maps several input files in order, writing the circuits as
+// consecutive BLIF models (or Verilog modules). With -shared-cache the
+// whole batch runs through one cross-run shape cache, so trees
+// recurring across files are solved once.
+func batchMap(paths []string, buildOpts func() chortle.Options, cache *chortle.SharedCache, bf batchFlags) {
+	w := os.Stdout
+	if bf.out != "" {
+		f, err := os.Create(bf.out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	ctx := context.Background()
+	if bf.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, bf.timeout)
+		defer cancel()
+	}
+	var observers []chortle.Observer
+	if bf.slogObs != nil {
+		observers = append(observers, bf.slogObs)
+	}
+	if bf.metricsObs != nil {
+		observers = append(observers, bf.metricsObs)
+	}
+	var hits, misses int
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fatal(err)
+		}
+		var nw *chortle.Network
+		if bf.plaIn || strings.HasSuffix(p, ".pla") {
+			nw, err = chortle.ReadPLA(f)
+		} else {
+			nw, err = chortle.ReadBLIF(f)
+		}
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		if bf.optimize {
+			if nw, err = chortle.Optimize(nw); err != nil {
+				fatal(fmt.Errorf("%s: %w", p, err))
+			}
+		}
+		opts := buildOpts()
+		switch len(observers) {
+		case 0:
+		case 1:
+			opts.Observer = observers[0]
+		default:
+			opts.Observer = chortle.MultiObserver(observers)
+		}
+		res, err := chortle.MapCtx(ctx, nw, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		if len(res.Degraded) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: budget exhausted on %d tree(s); degraded to bin packing\n",
+				p, len(res.Degraded))
+		}
+		if bf.verilog {
+			err = res.Circuit.WriteVerilog(w)
+		} else {
+			err = res.Circuit.WriteBLIF(w)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		hits += res.CacheHits
+		misses += res.CacheMisses
+		if bf.stats {
+			fmt.Fprintf(os.Stderr, "%s: %d LUTs (K=%d), %d trees\n", p, res.LUTs, bf.k, res.Trees)
+		}
+	}
+	if bf.stats && cache != nil {
+		fmt.Fprint(os.Stderr, cacheLine(cache, hits, misses))
 	}
 }
 

@@ -1,0 +1,116 @@
+// Command chortled is a long-running Chortle mapping server: it keeps
+// one cross-run shape cache warm across HTTP requests, so repeated
+// mappings of similar networks run at warm-cache speed.
+//
+// Usage:
+//
+//	chortled [-addr :8080] [-debug-addr :6060] [-k 4]
+//	         [-cache-entries N] [-cache-mb MB] [-cache-shards N]
+//	         [-max-inflight N] [-queue N] [-shutdown-timeout 10s]
+//
+// Endpoints:
+//
+//	POST /map      raw BLIF body (?k=4&budget_work_units=N&deadline_ms=N)
+//	               or JSON {"blif","k","budget_work_units","deadline_ms"};
+//	               responds with the mapped circuit and cache statistics
+//	GET  /healthz  liveness; 503 once draining
+//	GET  /stats    shared-cache statistics as JSON
+//	GET  /metrics  Prometheus text (request series, mapper phase series,
+//	               chortle_shape_cache_* gauges)
+//
+// At most -max-inflight requests map concurrently; -queue more wait for
+// a slot and anything beyond that is refused with 429. SIGINT/SIGTERM
+// starts a graceful drain: new work is refused, in-flight mappings run
+// to completion (up to -shutdown-timeout), then the process exits.
+// -debug-addr additionally serves the pprof/expvar debug mux sharing
+// the same registry. The bound address is printed on stdout ("listening
+// on ...") so scripts can use -addr :0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chortle"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "host:port to serve on (:0 picks a free port)")
+		debugAddr    = flag.String("debug-addr", "", "also serve /debug/pprof and /debug/vars on this host:port")
+		defaultK     = flag.Int("k", 4, "default lookup table input count when a request names none")
+		cacheEntries = flag.Int("cache-entries", 0, "shape cache entry bound (0 = default 65536)")
+		cacheMB      = flag.Int("cache-mb", 0, "shape cache byte bound in MiB (0 = default 256)")
+		cacheShards  = flag.Int("cache-shards", 0, "shape cache shard count, rounded to a power of two (0 = default 16)")
+		maxInflight  = flag.Int("max-inflight", 4, "mapping requests served concurrently")
+		queue        = flag.Int("queue", 16, "requests allowed to wait for a slot before 429")
+		drainWait    = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight mappings on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	reg := chortle.NewMetricsRegistry()
+	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{
+		Shards:     *cacheShards,
+		MaxEntries: *cacheEntries,
+		MaxBytes:   int64(*cacheMB) << 20,
+	})
+	srv, m := newMapServer(serverConfig{
+		cache:       cache,
+		reg:         reg,
+		maxInflight: *maxInflight,
+		maxQueue:    *queue,
+		defaultK:    *defaultK,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{
+		Handler:           srv.handler(m),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if *debugAddr != "" {
+		dbg, err := chortle.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", dbg.Addr())
+		defer dbg.Shutdown(context.Background())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "chortled: %s, draining (up to %s)\n", s, *drainWait)
+	}
+
+	srv.drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("drain incomplete: %w", err))
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "chortled: drained; cache hits=%d misses=%d entries=%d bytes=%d\n",
+		st.Hits, st.Misses, st.Entries, st.Bytes)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chortled:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"chortle"
+)
+
+// The mapping server's HTTP surface, separated from main's wiring so
+// tests can drive the handler directly.
+//
+//	POST /map      map a BLIF network to K-LUTs
+//	GET  /healthz  liveness (503 while draining)
+//	GET  /stats    shared-cache statistics as JSON
+//	GET  /metrics  Prometheus text exposition
+//
+// /map accepts either a raw BLIF body with query parameters
+// (?k=4&budget_work_units=N&deadline_ms=N) or, with
+// Content-Type: application/json, a JSON object {"blif": "...", "k": 4,
+// "budget_work_units": N, "deadline_ms": N}; JSON fields override query
+// parameters. Admission is bounded: at most maxInflight requests map
+// concurrently and at most maxQueue more wait for a slot — anything
+// beyond that is refused with 429 immediately, so a traffic spike
+// degrades to fast rejections instead of memory growth.
+
+// serverConfig bounds one mapServer.
+type serverConfig struct {
+	cache       *chortle.SharedCache
+	reg         *chortle.MetricsRegistry
+	maxInflight int
+	maxQueue    int
+	defaultK    int
+}
+
+type mapServer struct {
+	cfg serverConfig
+	obs *chortle.MetricsObserver
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+}
+
+// serverMetrics holds the request-level series; structural interfaces
+// keep cmd/chortled off the internal metrics types.
+type serverMetrics struct {
+	ok, clientErr, busy, serverErr interface{ Inc() }
+	inflight                       interface{ Add(float64) }
+	duration                       interface{ Observe(time.Duration) }
+}
+
+func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
+	if cfg.maxInflight < 1 {
+		cfg.maxInflight = 1
+	}
+	if cfg.maxQueue < 0 {
+		cfg.maxQueue = 0
+	}
+	if cfg.defaultK == 0 {
+		cfg.defaultK = 4
+	}
+	s := &mapServer{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.maxInflight),
+		obs: chortle.NewMetricsObserverWithRuntime(cfg.reg),
+	}
+	m := &serverMetrics{
+		ok:        cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "200"}),
+		clientErr: cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "400"}),
+		busy:      cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "429"}),
+		serverErr: cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "503"}),
+		inflight:  cfg.reg.Gauge("chortled_inflight_requests", "Mapping requests currently being served."),
+		duration:  cfg.reg.Histogram("chortled_request_seconds", "End-to-end mapping request latency.", nil),
+	}
+	chortle.RegisterCacheMetrics(cfg.reg, cfg.cache)
+	return s, m
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns a release func and true, or false when the
+// queue is full or the caller's context ended while waiting.
+func (s *mapServer) acquire(ctx context.Context) (func(), bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.maxQueue) {
+		s.queued.Add(-1)
+		return nil, false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// mapRequest is the JSON request body (all fields optional except blif).
+type mapRequest struct {
+	BLIF            string `json:"blif"`
+	K               int    `json:"k"`
+	BudgetWorkUnits int64  `json:"budget_work_units"`
+	DeadlineMS      int64  `json:"deadline_ms"`
+}
+
+// mapResponse is the JSON success body.
+type mapResponse struct {
+	Circuit     string   `json:"circuit"`
+	K           int      `json:"k"`
+	LUTs        int      `json:"luts"`
+	Trees       int      `json:"trees"`
+	Degraded    []string `json:"degraded,omitempty"`
+	CacheHits   int      `json:"cache_hits"`
+	CacheMisses int      `json:"cache_misses"`
+	ElapsedNS   int64    `json:"elapsed_ns"`
+	BLIF        string   `json:"blif"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// parseMapRequest assembles the request from query parameters and body.
+func parseMapRequest(r *http.Request, defaultK int) (*mapRequest, error) {
+	req := &mapRequest{K: defaultK}
+	q := r.URL.Query()
+	for name, dst := range map[string]*int64{
+		"budget_work_units": &req.BudgetWorkUnits,
+		"deadline_ms":       &req.DeadlineMS,
+	} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s %q", name, v)
+			}
+			*dst = n
+		}
+	}
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad k %q", v)
+		}
+		req.K = n
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %v", err)
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var jr mapRequest
+		if err := json.Unmarshal(body, &jr); err != nil {
+			return nil, fmt.Errorf("bad JSON body: %v", err)
+		}
+		if jr.BLIF == "" {
+			return nil, errors.New("missing blif field")
+		}
+		req.BLIF = jr.BLIF
+		if jr.K != 0 {
+			req.K = jr.K
+		}
+		if jr.BudgetWorkUnits != 0 {
+			req.BudgetWorkUnits = jr.BudgetWorkUnits
+		}
+		if jr.DeadlineMS != 0 {
+			req.DeadlineMS = jr.DeadlineMS
+		}
+		return req, nil
+	}
+	if len(body) == 0 {
+		return nil, errors.New("empty body (expected BLIF text or JSON)")
+	}
+	req.BLIF = string(body)
+	return req, nil
+}
+
+func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errResponse{"POST only"})
+			return
+		}
+		if s.draining.Load() {
+			m.serverErr.Inc()
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{"draining"})
+			return
+		}
+		req, err := parseMapRequest(r, s.cfg.defaultK)
+		if err != nil {
+			m.clientErr.Inc()
+			writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
+			return
+		}
+		release, ok := s.acquire(r.Context())
+		if !ok {
+			if r.Context().Err() != nil {
+				return // client gone while queued
+			}
+			m.busy.Inc()
+			writeJSON(w, http.StatusTooManyRequests,
+				errResponse{fmt.Sprintf("at capacity (%d in flight, %d queued)", s.cfg.maxInflight, s.cfg.maxQueue)})
+			return
+		}
+		defer release()
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+
+		nw, err := chortle.ReadBLIF(strings.NewReader(req.BLIF))
+		if err != nil {
+			m.clientErr.Inc()
+			writeJSON(w, http.StatusBadRequest, errResponse{fmt.Sprintf("parsing BLIF: %v", err)})
+			return
+		}
+		opts := chortle.DefaultOptions(req.K)
+		opts.SharedCache = s.cfg.cache
+		opts.Budget.WorkUnits = req.BudgetWorkUnits
+		opts.Observer = s.obs
+
+		ctx := r.Context()
+		if req.DeadlineMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+			defer cancel()
+		}
+		start := time.Now()
+		res, err := chortle.MapCtx(ctx, nw, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.Canceled):
+				// Client disconnected mid-map; nobody is listening.
+				return
+			case errors.Is(err, context.DeadlineExceeded):
+				m.serverErr.Inc()
+				writeJSON(w, http.StatusServiceUnavailable, errResponse{"deadline exceeded"})
+			default:
+				m.clientErr.Inc()
+				writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
+			}
+			return
+		}
+		var blif strings.Builder
+		if err := res.Circuit.WriteBLIF(&blif); err != nil {
+			m.serverErr.Inc()
+			writeJSON(w, http.StatusInternalServerError, errResponse{err.Error()})
+			return
+		}
+		m.ok.Inc()
+		m.duration.Observe(elapsed)
+		writeJSON(w, http.StatusOK, mapResponse{
+			Circuit:     nw.Name,
+			K:           req.K,
+			LUTs:        res.LUTs,
+			Trees:       res.Trees,
+			Degraded:    res.Degraded,
+			CacheHits:   res.CacheHits,
+			CacheMisses: res.CacheMisses,
+			ElapsedNS:   elapsed.Nanoseconds(),
+			BLIF:        blif.String(),
+		})
+	}
+}
+
+func (s *mapServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{"draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *mapServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.cache.Stats())
+}
+
+func (s *mapServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.reg.WritePrometheus(w)
+}
+
+// handler builds the server's mux.
+func (s *mapServer) handler(m *serverMetrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/map", s.handleMap(m))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// drain flips the server into draining mode: /map and /healthz answer
+// 503 while in-flight requests run to completion under http.Server's
+// Shutdown.
+func (s *mapServer) drain() { s.draining.Store(true) }

@@ -1,0 +1,386 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chortle"
+	"chortle/internal/bench"
+)
+
+func newTestServer(t *testing.T, cfg serverConfig) (*mapServer, *httptest.Server) {
+	t.Helper()
+	if cfg.reg == nil {
+		cfg.reg = chortle.NewMetricsRegistry()
+	}
+	if cfg.cache == nil {
+		cfg.cache = chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	}
+	s, m := newMapServer(cfg)
+	ts := httptest.NewServer(s.handler(m))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// benchBLIF returns an optimized golden benchmark as BLIF text.
+func benchBLIF(t *testing.T, c bench.Circuit) string {
+	t.Helper()
+	nw, err := bench.Optimized(c)
+	if err != nil {
+		t.Fatalf("preparing %s: %v", c.Name, err)
+	}
+	var sb strings.Builder
+	if err := chortle.WriteBLIF(&sb, nw); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func postMap(t *testing.T, url, body, contentType string) (*http.Response, mapResponse) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr mapResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, mr
+}
+
+// TestServerMapTwiceSecondHits is the e2e smoke in test form: mapping
+// the same circuit twice, the second response must report shared-cache
+// hits and byte-identical output, and /stats and /metrics must agree.
+func TestServerMapTwiceSecondHits(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxInflight: 2, maxQueue: 4})
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	resp1, cold := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold map: HTTP %d", resp1.StatusCode)
+	}
+	if cold.CacheMisses == 0 || cold.LUTs == 0 {
+		t.Fatalf("cold response: %+v", cold)
+	}
+	resp2, warm := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm map: HTTP %d", resp2.StatusCode)
+	}
+	if warm.CacheHits == 0 || warm.CacheMisses != 0 {
+		t.Fatalf("warm run did not hit: hits=%d misses=%d", warm.CacheHits, warm.CacheMisses)
+	}
+	if warm.BLIF != cold.BLIF {
+		t.Fatal("warm BLIF differs from cold BLIF")
+	}
+
+	var st chortle.CacheStats
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("/stats after warm run: %+v", st)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"chortle_shape_cache_hits",
+		`chortled_requests_total{code="200"} 2`,
+		"chortled_request_seconds",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerJSONRequest drives the JSON body form, with fields
+// overriding query parameters.
+func TestServerJSONRequest(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxInflight: 1, maxQueue: 1})
+	body, err := json.Marshal(mapRequest{BLIF: benchBLIF(t, bench.Suite()[1]), K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, mr := postMap(t, ts.URL+"/map?k=5", string(body), "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if mr.K != 3 {
+		t.Fatalf("JSON k=3 should override query k=5, got %d", mr.K)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxInflight: 1, maxQueue: 1})
+	cases := []struct {
+		name, url, body, ct string
+		want                int
+	}{
+		{"empty body", ts.URL + "/map", "", "text/plain", http.StatusBadRequest},
+		{"bad blif", ts.URL + "/map", ".model oops\n", "text/plain", http.StatusBadRequest},
+		{"bad k", ts.URL + "/map?k=banana", ".model m\n.end\n", "text/plain", http.StatusBadRequest},
+		{"k out of range", ts.URL + "/map?k=99", benchBLIF(t, bench.Suite()[0]), "text/plain", http.StatusBadRequest},
+		{"bad json", ts.URL + "/map", "{", "application/json", http.StatusBadRequest},
+		{"json without blif", ts.URL + "/map", "{}", "application/json", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := postMap(t, c.url, c.body, c.ct)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: HTTP %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /map: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerAdmission exercises the bounded queue deterministically at
+// the acquire level: slot, queue, overflow, cancellation.
+func TestServerAdmission(t *testing.T) {
+	s, _ := newMapServer(serverConfig{
+		cache: chortle.NewSharedCache(chortle.SharedCacheConfig{}),
+		reg:   chortle.NewMetricsRegistry(),
+
+		maxInflight: 1,
+		maxQueue:    1,
+	})
+	release1, ok := s.acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire refused")
+	}
+
+	// Second acquire parks in the queue.
+	got := make(chan func(), 1)
+	go func() {
+		r, ok := s.acquire(context.Background())
+		if !ok {
+			got <- nil
+			return
+		}
+		got <- r
+	}()
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	// Queue full: third acquire is refused immediately.
+	if _, ok := s.acquire(context.Background()); ok {
+		t.Fatal("over-queue acquire admitted")
+	}
+
+	// A queued waiter whose context ends gives up its queue slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := s.acquire(ctx); ok {
+		t.Fatal("cancelled acquire admitted")
+	}
+
+	release1()
+	select {
+	case r := <-got:
+		if r == nil {
+			t.Fatal("queued acquire refused after slot freed")
+		}
+		r()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued acquire never admitted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerSoak is the acceptance soak: >=8 concurrent requests with
+// mixed K against one shared cache, one client cancelling mid-flight,
+// one over-budget request degrading, then a graceful drain. Run under
+// -race in CI.
+func TestServerSoak(t *testing.T) {
+	srv, ts := newTestServer(t, serverConfig{maxInflight: 8, maxQueue: 32})
+	suite := bench.Suite()
+	circuits := make([]string, 4)
+	refs := make(map[string]string) // "i/k" -> reference BLIF, no cache
+	for i := range circuits {
+		circuits[i] = benchBLIF(t, suite[i])
+		nw, err := chortle.ReadBLIF(strings.NewReader(circuits[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 5; k++ {
+			res, err := chortle.Map(nw, chortle.DefaultOptions(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := res.Circuit.WriteBLIF(&sb); err != nil {
+				t.Fatal(err)
+			}
+			refs[fmt.Sprintf("%d/%d", i, k)] = sb.String()
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ci, k := g%len(circuits), 2+g%4
+			resp, err := http.Post(fmt.Sprintf("%s/map?k=%d", ts.URL, k),
+				"text/plain", strings.NewReader(circuits[ci]))
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: %w", g, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("goroutine %d: HTTP %d", g, resp.StatusCode)
+				return
+			}
+			var mr mapResponse
+			if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+				errs <- err
+				return
+			}
+			if want := refs[fmt.Sprintf("%d/%d", ci, k)]; mr.BLIF != want {
+				errs <- fmt.Errorf("goroutine %d: circuit %d K=%d output differs under shared cache", g, ci, k)
+			}
+		}(g)
+	}
+
+	// One client cancels mid-flight; the server must shrug it off.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/map?k=5", strings.NewReader(circuits[3]))
+		if err != nil {
+			errs <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close() // mapped before the cancel landed; also fine
+		}
+	}()
+
+	// One request with a starvation budget: it must still answer 200
+	// with a valid circuit, listing its degraded trees.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/map?k=5&budget_work_units=1",
+			"text/plain", strings.NewReader(circuits[0]))
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Errorf("over-budget request: HTTP %d", resp.StatusCode)
+			return
+		}
+		var mr mapResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			errs <- err
+			return
+		}
+		if len(mr.Degraded) == 0 {
+			errs <- fmt.Errorf("budget_work_units=1 degraded nothing")
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Graceful drain: health flips to 503 and new mapping work is
+	// refused, without disturbing the completed state.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: HTTP %d", resp.StatusCode)
+	}
+	srv.drain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: HTTP %d", resp.StatusCode)
+	}
+	mresp, _ := postMap(t, ts.URL+"/map?k=4", circuits[0], "text/plain")
+	if mresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("map while draining: HTTP %d", mresp.StatusCode)
+	}
+}
+
+// TestServerBusy fills the only slot and the whole queue with parked
+// requests, then checks the next one bounces with 429.
+func TestServerBusy(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{maxInflight: 1, maxQueue: 1})
+	release, ok := s.acquire(context.Background())
+	if !ok {
+		t.Fatal("direct acquire refused")
+	}
+	defer release()
+
+	queued := make(chan struct{})
+	go func() {
+		// Parks in the queue behind the held slot.
+		close(queued)
+		r, ok := s.acquire(context.Background())
+		if ok {
+			r()
+		}
+	}()
+	<-queued
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	resp, _ := postMap(t, ts.URL+"/map?k=4", benchBLIF(t, bench.Suite()[0]), "text/plain")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered HTTP %d, want 429", resp.StatusCode)
+	}
+}

@@ -9,6 +9,14 @@
 //
 //	libgen -count          # reproduce the Section 4.1 function counts
 //	libgen -k 4 -list      # list the K=4 incomplete library cells
+//	libgen -k 4 -luts -shared-cache   # Chortle-map every library cell
+//
+// -luts lowers each library cell's minimized SOP to a two-level Boolean
+// network (AND per cube, OR of cubes) and maps it with Chortle,
+// printing the structural LUT count per cell. With -shared-cache all
+// the cell mappings run through one cross-run shape cache — cells whose
+// two-level forms are isomorphic are solved once — and the aggregate
+// hit rate is printed.
 //
 // Like cmd/chortle, -debug-addr serves /metrics, /debug/vars and
 // /debug/pprof while the command runs (the K=5 library build is the
@@ -26,6 +34,7 @@ import (
 
 	"chortle"
 	"chortle/internal/mislib"
+	"chortle/internal/network"
 	"chortle/internal/truth"
 )
 
@@ -34,8 +43,10 @@ func main() {
 		k     = flag.Int("k", 4, "lookup table input count (2..5)")
 		count = flag.Bool("count", false, "print unique-function counts per K")
 		list  = flag.Bool("list", false, "list the library cells for -k")
-		debug = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while running")
-		trace = flag.String("trace", "", "stream the command's phase events as JSON lines to this file")
+		debug  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while running")
+		trace  = flag.String("trace", "", "stream the command's phase events as JSON lines to this file")
+		luts   = flag.Bool("luts", false, "Chortle-map each library cell's network and print its LUT count")
+		shared = flag.Bool("shared-cache", false, "with -luts, share one cross-run shape cache across the cell mappings")
 	)
 	flag.Parse()
 
@@ -88,7 +99,7 @@ func main() {
 			Units: int64(time.Since(t0))})
 	}
 
-	if *list || !*count {
+	if *list || *luts || !*count {
 		t0 := time.Now()
 		lib, err := mislib.ForK(*k)
 		if err != nil {
@@ -108,6 +119,44 @@ func main() {
 					c.Name, c.Vars, c.F, mislib.MinimizeSOP(c.F))
 			}
 		}
+		if *luts {
+			var cache *chortle.SharedCache
+			if *shared {
+				cache = chortle.NewSharedCache(chortle.SharedCacheConfig{})
+			}
+			t1 := time.Now()
+			totalLUTs, hits, misses := 0, 0, 0
+			for _, c := range lib.Cells {
+				nw, ok := cellNetwork(c)
+				if !ok {
+					fmt.Printf("  %-8s constant function, nothing to map\n", c.Name)
+					continue
+				}
+				opts := chortle.DefaultOptions(*k)
+				opts.SharedCache = cache
+				res, err := chortle.Map(nw, opts)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "libgen: mapping %s: %v\n", c.Name, err)
+					os.Exit(1)
+				}
+				totalLUTs += res.LUTs
+				hits += res.CacheHits
+				misses += res.CacheMisses
+				fmt.Printf("  %-8s %d LUT(s)\n", c.Name, res.LUTs)
+			}
+			fmt.Printf("total: %d LUTs over %d cells\n", totalLUTs, len(lib.Cells))
+			if cache != nil {
+				st := cache.Stats()
+				rate := 0.0
+				if hits+misses > 0 {
+					rate = 100 * float64(hits) / float64(hits+misses)
+				}
+				fmt.Printf("shared cache: %d/%d shape hits (%.0f%%), %d entries\n",
+					hits, hits+misses, rate, st.Entries)
+			}
+			emit(chortle.Event{Kind: chortle.EventPhaseEnd, Phase: "map",
+				Units: int64(time.Since(t1))})
+		}
 	}
 	emit(chortle.Event{Kind: chortle.EventMapEnd})
 	if traceSink != nil {
@@ -116,4 +165,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// cellNetwork lowers a library cell's minimized SOP to a two-level
+// Boolean network (AND per cube, OR of the cubes). Constant cells
+// return ok=false — there is nothing to map.
+func cellNetwork(c mislib.Cell) (*chortle.Network, bool) {
+	s := mislib.MinimizeSOP(c.F)
+	if s.IsZero() || s.IsOne() {
+		return nil, false
+	}
+	nw := network.New(c.Name)
+	ins := make([]*network.Node, c.Vars)
+	for i := range ins {
+		ins[i] = nw.AddInput(fmt.Sprintf("x%d", i))
+	}
+	var terms []network.Fanin
+	for ci, cube := range s.Cubes {
+		var lits []network.Fanin
+		for v := 0; v < c.Vars; v++ {
+			if cube.Pos>>uint(v)&1 == 1 {
+				lits = append(lits, network.Fanin{Node: ins[v]})
+			}
+			if cube.Neg>>uint(v)&1 == 1 {
+				lits = append(lits, network.Fanin{Node: ins[v], Invert: true})
+			}
+		}
+		switch len(lits) {
+		case 0:
+			// A constant-true cube would have made the SOP constant.
+		case 1:
+			terms = append(terms, lits[0])
+		default:
+			terms = append(terms, network.Fanin{
+				Node: nw.AddGate(fmt.Sprintf("p%d", ci), network.OpAnd, lits...),
+			})
+		}
+	}
+	if len(terms) == 1 {
+		nw.MarkOutput("f", terms[0].Node, terms[0].Invert)
+	} else {
+		nw.MarkOutput("f", nw.AddGate("sum", network.OpOr, terms...), false)
+	}
+	return nw, true
 }

@@ -6,6 +6,14 @@
 //	mcnc -list                # show the suite
 //	mcnc 9symml               # write 9symml (raw) to stdout
 //	mcnc -opt -dir out/ all   # write all circuits, mini-MIS optimized
+//	mcnc -opt -map 4 -shared-cache all  # map the whole suite to 4-LUTs
+//
+// -map K maps each emitted circuit to K-input LUTs and writes the
+// mapped circuit instead of the network; -shared-cache routes the whole
+// batch through one cross-run shape cache (trees recurring across
+// circuits are solved once) and prints the aggregate hit rate on
+// stderr. The mapped circuits are byte-identical with the cache on or
+// off.
 //
 // Like cmd/chortle, -debug-addr serves /metrics, /debug/vars and
 // /debug/pprof while the command runs (useful when optimizing the whole
@@ -35,8 +43,15 @@ func main() {
 		dir      = flag.String("dir", "", "write <circuit>.blif files into this directory instead of stdout")
 		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while running")
 		trace    = flag.String("trace", "", "stream the command's phase events as JSON lines to this file")
+		mapK     = flag.Int("map", 0, "map each circuit to K-input LUTs and emit the mapped circuit (0 = emit the network)")
+		shared   = flag.Bool("shared-cache", false, "with -map, share one cross-run shape cache across the whole batch")
 	)
 	flag.Parse()
+
+	var cache *chortle.SharedCache
+	if *shared {
+		cache = chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	}
 
 	if *debug != "" {
 		reg := chortle.NewMetricsRegistry()
@@ -87,6 +102,7 @@ func main() {
 	if len(names) == 1 && names[0] == "all" {
 		names = chortle.SuiteNames()
 	}
+	var hits, misses int
 	// emit streams the command's own phase timeline — one
 	// map-start/phase-end/map-end bracket per circuit — when -trace is
 	// active; a nil sink costs nothing.
@@ -122,7 +138,22 @@ func main() {
 			}
 			w = f
 		}
-		if err := blif.Write(w, nw); err != nil {
+		if *mapK > 0 {
+			opts := chortle.DefaultOptions(*mapK)
+			opts.SharedCache = cache
+			res, err := chortle.Map(nw, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcnc: mapping %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			hits += res.CacheHits
+			misses += res.CacheMisses
+			fmt.Fprintf(os.Stderr, "%-8s %4d LUTs (K=%d)\n", name, res.LUTs, *mapK)
+			if err := res.Circuit.WriteBLIF(w); err != nil {
+				fmt.Fprintln(os.Stderr, "mcnc:", err)
+				os.Exit(1)
+			}
+		} else if err := blif.Write(w, nw); err != nil {
 			fmt.Fprintln(os.Stderr, "mcnc:", err)
 			os.Exit(1)
 		}
@@ -132,6 +163,15 @@ func main() {
 		emit(chortle.Event{Kind: chortle.EventPhaseEnd, Phase: "write",
 			Tree: name, Units: int64(time.Since(t1))})
 		emit(chortle.Event{Kind: chortle.EventMapEnd, N: nw.Stats().Gates})
+	}
+	if cache != nil {
+		st := cache.Stats()
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(os.Stderr, "shared cache: %d/%d shape hits (%.0f%%), %d entries, %d KiB resident\n",
+			hits, hits+misses, rate, st.Entries, st.Bytes>>10)
 	}
 	if traceSink != nil {
 		if err := traceSink.Err(); err != nil {

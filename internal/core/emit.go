@@ -258,7 +258,7 @@ func errDegraded(name string) error {
 // the tree's solve ran out of budget and the caller should degrade it;
 // any other error aborts the mapping.
 func (m *mapper) realizeTreeCtx(root *network.Node, mc *mapCtx) (int32, error) {
-	if mc.memo != nil {
+	if mc.cache != nil {
 		return m.realizeTreeMemo(root, mc)
 	}
 	if dp, ok := mc.prebuilt[root]; ok {
@@ -288,8 +288,8 @@ func (m *mapper) realizeTreeCtx(root *network.Node, mc *mapCtx) (int32, error) {
 // proven. (A shape seen exactly twice reconstructs twice; from the
 // third instance on it replays.)
 func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) {
-	h := mc.hashFor(root)
-	e := mc.memo.lookup(m.f, root, h)
+	si := mc.infoFor(root)
+	e := mc.cache.lookup(m.f, root, si)
 	if e == nil {
 		e = &shapeEntry{f: m.f, rep: root, templates: make(map[string]*emitTemplate)}
 		gov := mc.newGov()
@@ -306,7 +306,8 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 		}
 		e.dp = dp
 		e.units = gov.units
-		mc.memo.insert(h, e)
+		mc.cache.insert(si, e)
+		mc.cache.publish(root, si, e)
 	}
 	if e.degraded {
 		return 0, errDegraded(root.Name)
@@ -315,13 +316,22 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 		return 0, errUnmappable(root.Name, m.opts.K)
 	}
 	dp := e.dp
-	if e.rep != root {
+	switch {
+	case e.frozen:
+		// Cross-run hit: the cached tables are a frozen copy with no
+		// live node or edge pointers, so even this run's first instance
+		// of the shape rebinds. Its solve happened in another run —
+		// memo-reuse origin, zero work units.
+		mc.tr.memoHit(root.Name, e.dp.bestCost)
+		dp = rebindDP(mc.seqArena, e.dp, m.f, root)
+		m.setProvTree(root.Name, lut.OriginMemo, 0)
+	case e.rep != root:
 		mc.tr.memoHit(root.Name, e.dp.bestCost)
 		dp = rebindDP(mc.seqArena, e.dp, m.f, root)
 		// A memo hit did no search of its own; its records carry the
 		// reuse origin and zero work units.
 		m.setProvTree(root.Name, lut.OriginMemo, 0)
-	} else {
+	default:
 		m.setProvTree(root.Name, lut.OriginFresh, e.units)
 	}
 	if !e.seen {
@@ -333,7 +343,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 		return 0, err
 	}
 	pattern := patternOf(leafSigs)
-	if t := e.templates[pattern]; t != nil {
+	if t := e.templateFor(pattern); t != nil {
 		m.setProvTree(root.Name, lut.OriginReplay, 0)
 		if _, err := m.replayTemplate(root, t, names, leafSigs); err != nil {
 			return 0, err
@@ -349,7 +359,7 @@ func (m *mapper) realizeTreeMemo(root *network.Node, mc *mapCtx) (int32, error) 
 		return 0, err
 	}
 	if t := rec.template(); t != nil {
-		e.templates[pattern] = t
+		e.putTemplate(pattern, t)
 	}
 	return cost, nil
 }

@@ -31,6 +31,12 @@ type Result struct {
 	// full search (the circuit is tree-optimal as usual); non-empty
 	// means the circuit is valid but best-effort on those trees.
 	Degraded []string
+	// CacheHits and CacheMisses count the distinct tree shapes this run
+	// resolved from, respectively missed in, the cross-run shared cache
+	// (Options.SharedCache). Both are zero when no shared cache was in
+	// effect; within-run memo reuse is not counted here.
+	CacheHits   int
+	CacheMisses int
 	// Prepared is the preprocessed network the mapper actually covered
 	// — cloned, swept, wide nodes split, optional fanout duplication
 	// applied — recorded only when Options.Provenance is set, so the
@@ -224,6 +230,9 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 		PredictedCost: predicted,
 		SplitNodes:    split,
 		Degraded:      degraded,
+	}
+	if mctx.cache != nil {
+		res.CacheHits, res.CacheMisses = mctx.cache.stats()
 	}
 	if opts.Provenance {
 		res.Prepared = nw

@@ -20,9 +20,27 @@ type shapeEntry struct {
 	rep *network.Node // representative tree whose nodes dp is bound to
 	dp  *nodeDP
 
+	// nodes and leaves are the shape's cheap invariants (shapeInfo),
+	// compared before the full sameTreeShape walk on bucket scans.
+	nodes  int32
+	leaves int32
+
 	// units is the metered work of the shape's one solve, kept for the
 	// representative tree's provenance records (reused trees record 0).
 	units int64
+
+	// frozen marks dp as a heap-frozen cross-run copy (freezeDP) whose
+	// node and edge pointers are gone: every tree of the shape — the
+	// representative included — must rebind before reconstructing, and
+	// all of them carry the memo-reuse origin (their solve happened in
+	// another run).
+	frozen bool
+
+	// shared, when non-nil, is the cross-run shape this entry mirrors
+	// (cache hit) or published (cache insert). Template lookups fall
+	// through to it and template recordings are offered to it, so a
+	// pattern recorded by any run replays in every later run.
+	shared *sharedShape
 
 	// degraded marks a shape whose solve exhausted its search budget
 	// (dp is nil). Every tree of the shape degrades to bin packing —
@@ -43,6 +61,28 @@ type shapeEntry struct {
 	templates map[string]*emitTemplate
 }
 
+// templateFor resolves a leaf-pattern's recorded emission: run-local
+// templates first, then the shared shape's (recorded by this or any
+// earlier run).
+func (e *shapeEntry) templateFor(pattern string) *emitTemplate {
+	if t := e.templates[pattern]; t != nil {
+		return t
+	}
+	if e.shared != nil {
+		return e.shared.templateFor(pattern)
+	}
+	return nil
+}
+
+// putTemplate stores a freshly recorded template locally and offers it
+// to the shared shape, if any.
+func (e *shapeEntry) putTemplate(pattern string, t *emitTemplate) {
+	e.templates[pattern] = t
+	if e.shared != nil {
+		e.shared.addTemplate(pattern, t)
+	}
+}
+
 // shapeMemo is the per-Map shape cache. Buckets hold every distinct
 // shape that hashed to the same value; lookups verify the full structure
 // so hash collisions degrade to cache misses, never to wrong reuse.
@@ -52,18 +92,70 @@ type shapeMemo struct {
 
 func newShapeMemo() *shapeMemo { return &shapeMemo{buckets: make(map[uint64][]*shapeEntry)} }
 
-func (m *shapeMemo) lookup(f *forest.Forest, root *network.Node, h uint64) *shapeEntry {
-	for _, e := range m.buckets[h] {
-		if e.rep == root || sameTreeShape(e.f, e.rep, f, root) {
+func (m *shapeMemo) lookup(f *forest.Forest, root *network.Node, si shapeInfo) *shapeEntry {
+	for _, e := range m.buckets[si.hash] {
+		if e.rep == root {
+			return e
+		}
+		// Colliding entries of a different shape almost always differ in
+		// size; the counts reject them without walking either tree.
+		if e.nodes != si.nodes || e.leaves != si.leaves {
+			continue
+		}
+		if sameTreeShape(e.f, e.rep, f, root) {
 			return e
 		}
 	}
 	return nil
 }
 
-func (m *shapeMemo) insert(h uint64, e *shapeEntry) {
-	m.buckets[h] = append(m.buckets[h], e)
+func (m *shapeMemo) insert(si shapeInfo, e *shapeEntry) {
+	e.nodes, e.leaves = si.nodes, si.leaves
+	m.buckets[si.hash] = append(m.buckets[si.hash], e)
 }
+
+// shapeCache is the seam between one Map run and its shape storage. Two
+// implementations exist: runShapeCache, the per-run memo with exactly
+// the pre-refactor behavior (the default), and tieredShapeCache
+// (sharedcache.go), which backs the per-run memo with a process-wide
+// SharedShapeCache so solves and templates survive across Map calls.
+// All methods are called from the run's main goroutine only; the tiered
+// implementation handles cross-run concurrency internally.
+type shapeCache interface {
+	// lookup returns this run's entry for root's shape, or nil. The
+	// tiered implementation may materialize an entry from cross-run
+	// storage; either way a non-nil entry is registered in the run.
+	lookup(f *forest.Forest, root *network.Node, si shapeInfo) *shapeEntry
+	// insert registers a freshly created (possibly not yet solved)
+	// entry for root's shape.
+	insert(si shapeInfo, e *shapeEntry)
+	// publish offers a fully solved entry to cross-run storage. A no-op
+	// for the per-run cache; the tiered cache freezes and stores it
+	// unless it is degraded, unmappable, or already shared.
+	publish(root *network.Node, si shapeInfo, e *shapeEntry)
+	// stats reports the run's cross-run hit/miss counts (distinct
+	// shapes resolved from / missing in the shared tier; always zero
+	// for the per-run cache).
+	stats() (hits, misses int)
+}
+
+// runShapeCache is the default shapeCache: the per-run memo and nothing
+// else. Byte-for-byte the pre-refactor behavior.
+type runShapeCache struct {
+	memo *shapeMemo
+}
+
+func newRunShapeCache() *runShapeCache { return &runShapeCache{memo: newShapeMemo()} }
+
+func (c *runShapeCache) lookup(f *forest.Forest, root *network.Node, si shapeInfo) *shapeEntry {
+	return c.memo.lookup(f, root, si)
+}
+
+func (c *runShapeCache) insert(si shapeInfo, e *shapeEntry) { c.memo.insert(si, e) }
+
+func (c *runShapeCache) publish(*network.Node, shapeInfo, *shapeEntry) {}
+
+func (c *runShapeCache) stats() (int, int) { return 0, 0 }
 
 // rebindDP binds cached DP tables — solved on a structurally identical
 // tree — to the nodes of the tree rooted at root. The flat table slabs

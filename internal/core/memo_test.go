@@ -95,29 +95,46 @@ func TestShapeMemoCollisionSafety(t *testing.T) {
 	fb, rb := chainTree(t, "b", 4, false, network.OpOr) // different shape
 
 	seed := shapeSeed(DefaultOptions(4))
-	ha := treeHash(fa, ra, seed)
+	sa := treeShapeInfo(fa, ra, seed)
+	sb := treeShapeInfo(fb, rb, seed)
 
 	memo := newShapeMemo()
-	memo.insert(ha, &shapeEntry{f: fb, rep: rb}) // wrong shape under ra's hash
-	if e := memo.lookup(fa, ra, ha); e != nil {
+	// Wrong shape under ra's hash, carrying its own true counts: the
+	// size prefilter alone rejects it (fb is one level deeper).
+	memo.insert(shapeInfo{hash: sa.hash, nodes: sb.nodes, leaves: sb.leaves},
+		&shapeEntry{f: fb, rep: rb})
+	if e := memo.lookup(fa, ra, sa); e != nil {
 		t.Fatalf("lookup served a colliding entry of different shape")
 	}
 
-	// The genuine entry is still found behind the impostor in the bucket.
+	// A same-size collision (equal counts, different op) must fall
+	// through the prefilter and still be rejected by the structure walk.
+	fc, rc := chainTree(t, "c", 3, false, network.OpOr)
+	sc := treeShapeInfo(fc, rc, seed)
+	if sc.nodes != sa.nodes || sc.leaves != sa.leaves {
+		t.Fatalf("test premise broken: same-depth chains should have equal counts")
+	}
+	memo.insert(shapeInfo{hash: sa.hash, nodes: sc.nodes, leaves: sc.leaves},
+		&shapeEntry{f: fc, rep: rc})
+	if e := memo.lookup(fa, ra, sa); e != nil {
+		t.Fatalf("lookup served a same-size colliding entry of different shape")
+	}
+
+	// The genuine entry is still found behind the impostors in the bucket.
 	real := &shapeEntry{f: fa, rep: ra}
-	memo.insert(ha, real)
-	if e := memo.lookup(fa, ra, ha); e != real {
+	memo.insert(sa, real)
+	if e := memo.lookup(fa, ra, sa); e != real {
 		t.Fatalf("lookup failed to find the matching entry in a collided bucket")
 	}
 
 	// Same guard on the cost memo.
 	cm := newCostMemo()
-	cm.insert(ha, fb, rb, 7)
-	if _, ok := cm.lookup(fa, ra, ha); ok {
+	cm.insert(sa.hash, fb, rb, 7)
+	if _, ok := cm.lookup(fa, ra, sa.hash); ok {
 		t.Fatalf("cost memo served a colliding entry of different shape")
 	}
-	cm.insert(ha, fa, ra, 3)
-	if c, ok := cm.lookup(fa, ra, ha); !ok || c != 3 {
+	cm.insert(sa.hash, fa, ra, 3)
+	if c, ok := cm.lookup(fa, ra, sa.hash); !ok || c != 3 {
 		t.Fatalf("cost memo missed the matching entry, got (%d, %v)", c, ok)
 	}
 }

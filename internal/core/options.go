@@ -113,6 +113,18 @@ type Options struct {
 	// (internal/explain: DOT graphs, HTML run reports).
 	Provenance bool
 
+	// SharedCache, when non-nil, backs this run's shape memo with a
+	// process-wide cross-run cache (NewSharedShapeCache): DP solves and
+	// emission templates published by any earlier Map call with
+	// compatible options are reused, and this run's solves are published
+	// back. Effective only with Memoize set; ignored under a wall-clock
+	// budget (Budget.WallClock), whose degradations are timing-dependent
+	// — cache warmth never changes emitted bytes. Every hit is verified
+	// against a canonical shape encoding before reuse, so collisions
+	// degrade to misses, and cached state is immutable after publish,
+	// so any number of Map calls may share one cache concurrently.
+	SharedCache *SharedShapeCache
+
 	// RepackLUTs enables the post-mapping peephole that merges
 	// single-fanout LUTs into consumers when the combined distinct
 	// inputs fit K. It recovers part of the reconvergent-fanout loss

@@ -48,8 +48,11 @@ type mapCtx struct {
 	// WallClock budget is set. Trees solved past it degrade.
 	deadline time.Time
 
-	memo   *shapeMemo               // nil when opts.Memoize is off
-	hashes map[*network.Node]uint64 // cached per tree root
+	// cache is the run's shape storage (nil when opts.Memoize is off):
+	// the plain per-run memo, or — when Options.SharedCache is set and
+	// eligible — the tiered cache backing it with cross-run storage.
+	cache shapeCache
+	infos map[*network.Node]shapeInfo // cached per tree root
 
 	// prebuilt holds the parallel path's per-tree DPs when memoization
 	// is off. A present nil entry records a tree whose solve exhausted
@@ -70,8 +73,15 @@ func newMapCtx(ctx context.Context, f *forest.Forest, opts Options) *mapCtx {
 	}
 	mc.arenas = append(mc.arenas, mc.seqArena)
 	if opts.Memoize {
-		mc.memo = newShapeMemo()
-		mc.hashes = make(map[*network.Node]uint64, len(f.Roots))
+		// The shared tier is bypassed under a wall-clock budget: which
+		// trees such a run degrades is timing-dependent, and cache
+		// warmth must never change emitted bytes.
+		if opts.SharedCache != nil && opts.Budget.WallClock == 0 {
+			mc.cache = newTieredShapeCache(opts.SharedCache, f, mc.seed)
+		} else {
+			mc.cache = newRunShapeCache()
+		}
+		mc.infos = make(map[*network.Node]shapeInfo, len(f.Roots))
 	}
 	return mc
 }
@@ -98,13 +108,13 @@ func (mc *mapCtx) release() {
 	mc.arenas = nil
 }
 
-func (mc *mapCtx) hashFor(root *network.Node) uint64 {
-	if h, ok := mc.hashes[root]; ok {
-		return h
+func (mc *mapCtx) infoFor(root *network.Node) shapeInfo {
+	if si, ok := mc.infos[root]; ok {
+		return si
 	}
-	h := treeHash(mc.f, root, mc.seed)
-	mc.hashes[root] = h
-	return h
+	si := treeShapeInfo(mc.f, root, mc.seed)
+	mc.infos[root] = si
+	return si
 }
 
 // workerArena hands each pool worker its own arena, registered with the
@@ -233,20 +243,22 @@ func (mc *mapCtx) buildDPsParallel() error {
 		mc.tr.treeSolve(root.Name, gov.units, dp.bestCost, start)
 		return dp, gov.units, false, nil
 	}
-	if mc.memo != nil {
+	if mc.cache != nil {
 		var reps []*network.Node
+		var sis []shapeInfo
 		entries := make([]*shapeEntry, 0, len(roots))
 		for _, r := range roots {
-			h := mc.hashFor(r)
-			if mc.memo.lookup(mc.f, r, h) != nil {
+			si := mc.infoFor(r)
+			if mc.cache.lookup(mc.f, r, si) != nil {
 				continue
 			}
 			e := &shapeEntry{f: mc.f, rep: r, templates: make(map[string]*emitTemplate)}
-			mc.memo.insert(h, e)
+			mc.cache.insert(si, e)
 			reps = append(reps, r)
+			sis = append(sis, si)
 			entries = append(entries, e)
 		}
-		return mc.runPool(len(reps), func(a *dpArena, i int) error {
+		err := mc.runPool(len(reps), func(a *dpArena, i int) error {
 			dp, units, degraded, err := solveOne(a, reps[i])
 			if err != nil {
 				return err
@@ -254,6 +266,15 @@ func (mc *mapCtx) buildDPsParallel() error {
 			entries[i].dp, entries[i].units, entries[i].degraded = dp, units, degraded
 			return nil
 		})
+		if err != nil {
+			return err
+		}
+		// Publication happens here, after the pool's happens-before
+		// join, so the shared tier only ever sees fully solved entries.
+		for i := range reps {
+			mc.cache.publish(reps[i], sis[i], entries[i])
+		}
+		return nil
 	}
 	dps := make([]*nodeDP, len(roots))
 	units := make([]int64, len(roots))

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chortle/internal/network"
+	"chortle/internal/verify"
+)
+
+func blifOf(t *testing.T, res *Result) string {
+	t.Helper()
+	var b strings.Builder
+	if err := res.Circuit.WriteBLIF(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSharedCacheByteIdentical maps networks with the shared cache off,
+// cold, and warm, in every Parallel x Memoize mode, and requires the
+// emitted BLIF to be identical every time: cache warmth must be
+// invisible in the output.
+func TestSharedCacheByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nets := []*network.Network{
+		identicalTrees(6),
+		randomDAG(rng, 6, 24),
+		randomDAG(rng, 8, 40),
+	}
+	for k := 2; k <= 5; k++ {
+		for _, par := range []bool{false, true} {
+			cache := NewSharedShapeCache(SharedCacheConfig{})
+			for ni, nw := range nets {
+				base := DefaultOptions(k)
+				base.Parallel = par
+				base.Memoize = true
+				ref, err := Map(nw, base)
+				if err != nil {
+					t.Fatalf("K=%d par=%v net=%d: %v", k, par, ni, err)
+				}
+				want := blifOf(t, ref)
+
+				warm := base
+				warm.SharedCache = cache
+				cold, err := Map(nw, warm)
+				if err != nil {
+					t.Fatalf("K=%d par=%v net=%d cold: %v", k, par, ni, err)
+				}
+				if got := blifOf(t, cold); got != want {
+					t.Fatalf("K=%d par=%v net=%d: cold shared-cache BLIF differs", k, par, ni)
+				}
+				hot, err := Map(nw, warm)
+				if err != nil {
+					t.Fatalf("K=%d par=%v net=%d warm: %v", k, par, ni, err)
+				}
+				if got := blifOf(t, hot); got != want {
+					t.Fatalf("K=%d par=%v net=%d: warm shared-cache BLIF differs", k, par, ni)
+				}
+				if hot.CacheHits == 0 {
+					t.Fatalf("K=%d par=%v net=%d: warm run reported no cache hits", k, par, ni)
+				}
+				if cold.CacheHits != 0 && ni == 0 && k == 2 && !par {
+					// Only the very first run of the suite is guaranteed
+					// fully cold; later nets may legitimately share shapes.
+					t.Fatalf("first cold run reported %d hits", cold.CacheHits)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedCacheSeedNamespaces verifies that runs whose options fold
+// into different shape seeds never exchange entries: same network at
+// K=3 and K=4, with and without a work-unit budget, with and without
+// provenance.
+func TestSharedCacheSeedNamespaces(t *testing.T) {
+	nw := identicalTrees(4)
+	cache := NewSharedShapeCache(SharedCacheConfig{})
+
+	run := func(tune func(*Options)) *Result {
+		t.Helper()
+		opts := DefaultOptions(3)
+		opts.Parallel = false
+		opts.SharedCache = cache
+		tune(&opts)
+		res, err := Map(nw, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	run(func(o *Options) {})
+	variants := []func(*Options){
+		func(o *Options) { o.K = 4 },
+		func(o *Options) { o.Budget.WorkUnits = 1 << 40 },
+		func(o *Options) { o.Provenance = true },
+	}
+	for i, tune := range variants {
+		if res := run(tune); res.CacheHits != 0 {
+			t.Fatalf("variant %d: run in a different option namespace hit %d cached shapes", i, res.CacheHits)
+		}
+	}
+	// The exact same options hit.
+	if res := run(func(o *Options) {}); res.CacheHits == 0 {
+		t.Fatalf("identical re-run missed the cache")
+	}
+}
+
+// TestSharedCacheWallClockBypass: a run under a wall-clock budget must
+// neither read nor write the shared tier.
+func TestSharedCacheWallClockBypass(t *testing.T) {
+	nw := identicalTrees(3)
+	cache := NewSharedShapeCache(SharedCacheConfig{})
+	opts := DefaultOptions(4)
+	opts.SharedCache = cache
+	opts.Budget.WallClock = 1 << 40 // effectively unlimited, but set
+	res, err := Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 0 {
+		t.Fatalf("wall-clock run touched the shared cache: hits=%d misses=%d", res.CacheHits, res.CacheMisses)
+	}
+	if st := cache.Stats(); st.Entries != 0 || st.Puts != 0 {
+		t.Fatalf("wall-clock run published to the shared cache: %+v", st)
+	}
+}
+
+// TestSharedCacheProvenanceOrigins: a warm run's provenance must carry
+// the reuse origins (memo for rebinds, replay for template hits) and
+// still satisfy the coverage invariant.
+func TestSharedCacheProvenanceOrigins(t *testing.T) {
+	nw := identicalTrees(5)
+	cache := NewSharedShapeCache(SharedCacheConfig{})
+	opts := DefaultOptions(4)
+	opts.Parallel = false
+	opts.Provenance = true
+	opts.SharedCache = cache
+
+	first, err := Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProvenance(t, first)
+
+	second, err := Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProvenance(t, second)
+	counts := second.Circuit.OriginCounts()
+	if counts["fresh"] != 0 {
+		t.Fatalf("warm run re-solved %d trees fresh: %v", counts["fresh"], counts)
+	}
+	if counts["memo"]+counts["replay"] == 0 {
+		t.Fatalf("warm run carries no reuse origins: %v", counts)
+	}
+	if second.CacheHits == 0 || second.CacheMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d", second.CacheHits, second.CacheMisses)
+	}
+}
+
+// TestSharedCacheEvictionPressure: a cache far too small for the
+// workload must still map correctly — eviction costs hits, not
+// correctness.
+func TestSharedCacheEvictionPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cache := NewSharedShapeCache(SharedCacheConfig{Shards: 1, MaxEntries: 2, MaxBytes: 1 << 12})
+	for trial := 0; trial < 4; trial++ {
+		nw := randomDAG(rng, 6, 30)
+		opts := DefaultOptions(4)
+		opts.SharedCache = cache
+		ref, err := Map(nw, DefaultOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Map(nw, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blifOf(t, res) != blifOf(t, ref) {
+			t.Fatalf("trial %d: output differs under eviction pressure", trial)
+		}
+		if err := verify.NetworkVsCircuit(nw, res.Circuit, 16, int64(trial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Evictions == 0 {
+		t.Fatalf("pressure test evicted nothing: %+v", st)
+	}
+}
+
+// TestShapeEncInjective: equal shapes encode equal across networks;
+// structurally different trees encode differently.
+func TestShapeEncInjective(t *testing.T) {
+	seed := shapeSeed(DefaultOptions(4))
+	fa, ra := chainTree(t, "a", 3, false, network.OpAnd)
+	fb, rb := chainTree(t, "b", 3, false, network.OpAnd)
+	if !bytes.Equal(shapeEnc(fa, ra, seed), shapeEnc(fb, rb, seed)) {
+		t.Fatalf("identical shapes encode differently")
+	}
+	variants := []struct {
+		name string
+		enc  []byte
+	}{}
+	add := func(name string, depth int, invert bool, op network.Op) {
+		f, r := chainTree(t, name, depth, invert, op)
+		variants = append(variants, struct {
+			name string
+			enc  []byte
+		}{name, shapeEnc(f, r, seed)})
+	}
+	add("inverted", 3, true, network.OpAnd)
+	add("op", 3, false, network.OpOr)
+	add("deeper", 4, false, network.OpAnd)
+	base := shapeEnc(fa, ra, seed)
+	for _, v := range variants {
+		if bytes.Equal(v.enc, base) {
+			t.Errorf("%s: encoding collides with base shape", v.name)
+		}
+	}
+	// A different seed prefixes a different encoding for the same tree.
+	if bytes.Equal(shapeEnc(fa, ra, seed), shapeEnc(fa, ra, shapeSeed(DefaultOptions(5)))) {
+		t.Errorf("encodings for different seeds coincide")
+	}
+}
+
+// TestFreezeDPRoundTrip: a frozen copy keeps every field rebindDP needs
+// and drops every pointer into the origin network.
+func TestFreezeDPRoundTrip(t *testing.T) {
+	f, root := chainTree(t, "fz", 3, true, network.OpAnd)
+	dp := buildDP(f, root, DefaultOptions(4))
+	frozen, sz := freezeDP(dp)
+	if sz <= 0 {
+		t.Fatalf("freezeDP reported %d bytes", sz)
+	}
+	var walk func(orig, fz *nodeDP)
+	walk = func(orig, fz *nodeDP) {
+		if fz.node != nil {
+			t.Fatalf("frozen copy retains a network node pointer")
+		}
+		if fz.full != orig.full || fz.nodeIdx != orig.nodeIdx || fz.stride != orig.stride ||
+			fz.bestCost != orig.bestCost || fz.bestU != orig.bestU {
+			t.Fatalf("frozen scalar fields differ")
+		}
+		if len(fz.g) != len(orig.g) || len(fz.choice) != len(orig.choice) ||
+			len(fz.mmBest) != len(orig.mmBest) || len(fz.mmBestU) != len(orig.mmBestU) {
+			t.Fatalf("frozen table lengths differ")
+		}
+		for i := range orig.g {
+			if fz.g[i] != orig.g[i] {
+				t.Fatalf("frozen g table differs at %d", i)
+			}
+		}
+		if len(fz.fanins) != len(orig.fanins) {
+			t.Fatalf("frozen fanin count differs")
+		}
+		for i := range orig.fanins {
+			if fz.fanins[i].edge.Node != nil {
+				t.Fatalf("frozen fanin retains an edge node pointer")
+			}
+			oc, fc := orig.fanins[i].child, fz.fanins[i].child
+			if (oc == nil) != (fc == nil) {
+				t.Fatalf("frozen fanin child structure differs")
+			}
+			if oc != nil {
+				walk(oc, fc)
+			}
+		}
+	}
+	walk(dp, frozen)
+
+	// Rebinding the frozen copy onto the original tree reconstructs the
+	// same circuit a direct solve would.
+	a := acquireArena()
+	defer a.release()
+	rb := rebindDP(a, frozen, f, root)
+	if rb.bestCost != dp.bestCost || rb.node != root {
+		t.Fatalf("rebind of frozen copy: cost %d vs %d, node %v", rb.bestCost, dp.bestCost, rb.node)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"chortle/internal/forest"
 	"chortle/internal/network"
 )
@@ -37,9 +39,14 @@ func hashStep(h, v uint64) uint64 {
 	return h
 }
 
-// shapeSeed folds the option fields the DP result depends on into the
-// hash, so one memo table could never conflate runs at different K or
-// with the decomposition search ablated.
+// shapeSeed folds the option fields the cached solve and emission depend
+// on into the hash, so one memo table — and, through the shared cache,
+// one cross-run namespace — could never conflate runs whose results
+// would differ. Beyond K and the decomposition ablation it folds the
+// work-unit budget (which shapes degrade is a deterministic function of
+// the limit, and degradation must be identical warm or cold) and the
+// provenance flag (templates recorded without provenance carry no
+// ancestry payload and must not be replayed into a run that wants one).
 func shapeSeed(opts Options) uint64 {
 	h := hashStep(hashBasis, uint64(opts.K))
 	if opts.DisableDecomposition {
@@ -47,11 +54,43 @@ func shapeSeed(opts Options) uint64 {
 	} else {
 		h = hashStep(h, 2)
 	}
+	h = hashStep(h, uint64(opts.Budget.WorkUnits))
+	if opts.Provenance {
+		h = hashStep(h, 7)
+	} else {
+		h = hashStep(h, 11)
+	}
 	return h
+}
+
+// shapeInfo bundles a tree's structural hash with two invariants that
+// are free to compute during the same walk. Collision-bucket scans
+// compare the counts before paying for a full sameTreeShape walk:
+// different-shaped trees that collide on the 64-bit hash almost always
+// differ in size, so the expensive verification runs only on genuine
+// shape matches (and on the pathological same-size collision).
+type shapeInfo struct {
+	hash   uint64
+	nodes  int32 // gates in the tree
+	leaves int32 // leaf edges of the tree
+}
+
+// treeShapeInfo fingerprints the shape of the fanout-free tree rooted at
+// n, returning the structural hash plus the node and leaf-edge counts.
+func treeShapeInfo(f *forest.Forest, n *network.Node, seed uint64) shapeInfo {
+	var si shapeInfo
+	si.hash = treeHashCount(f, n, seed, &si.nodes, &si.leaves)
+	return si
 }
 
 // treeHash fingerprints the shape of the fanout-free tree rooted at n.
 func treeHash(f *forest.Forest, n *network.Node, seed uint64) uint64 {
+	var nodes, leaves int32
+	return treeHashCount(f, n, seed, &nodes, &leaves)
+}
+
+func treeHashCount(f *forest.Forest, n *network.Node, seed uint64, nodes, leaves *int32) uint64 {
+	*nodes++
 	h := hashStep(seed, uint64(n.Op))
 	h = hashStep(h, uint64(len(n.Fanins)))
 	for _, e := range n.Fanins {
@@ -61,12 +100,49 @@ func treeHash(f *forest.Forest, n *network.Node, seed uint64) uint64 {
 			h = hashStep(h, 5)
 		}
 		if f.IsLeafEdge(e.Node) {
+			*leaves++
 			h = hashStep(h, hashLeaf)
 		} else {
-			h = hashStep(h, treeHash(f, e.Node, seed))
+			h = hashStep(h, treeHashCount(f, e.Node, seed, nodes, leaves))
 		}
 	}
 	return h
+}
+
+// appendShapeEnc appends an injective canonical encoding of the tree's
+// shape: preorder, each node contributing its op and fanin count, each
+// fanin edge one marker byte packing the invert flag (bit 0) and
+// leafness (bit 1), internal edges followed by their subtree. Explicit
+// arity makes the encoding prefix-free per subtree, so byte equality of
+// two encodings implies sameTreeShape. The shared cache verifies hits by
+// comparing encodings — unlike the per-run memo it cannot keep the
+// origin network alive to walk, and the encoding is the shape with the
+// network distilled out.
+func appendShapeEnc(buf []byte, f *forest.Forest, n *network.Node) []byte {
+	buf = binary.AppendUvarint(buf, uint64(n.Op))
+	buf = binary.AppendUvarint(buf, uint64(len(n.Fanins)))
+	for _, e := range n.Fanins {
+		var m byte
+		if e.Invert {
+			m |= 1
+		}
+		if f.IsLeafEdge(e.Node) {
+			buf = append(buf, m|2)
+		} else {
+			buf = append(buf, m)
+			buf = appendShapeEnc(buf, f, e.Node)
+		}
+	}
+	return buf
+}
+
+// shapeEnc is appendShapeEnc prefixed with the run's option seed, so
+// encodings from runs at different K (or any other folded option) can
+// never compare equal even if the bare trees match.
+func shapeEnc(f *forest.Forest, root *network.Node, seed uint64) []byte {
+	buf := make([]byte, 8, 64)
+	binary.BigEndian.PutUint64(buf, seed)
+	return appendShapeEnc(buf, f, root)
 }
 
 // sameTreeShape reports whether the trees rooted at a (in forest fa) and

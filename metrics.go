@@ -51,6 +51,29 @@ func ServeDebug(addr string, reg *MetricsRegistry) (*DebugServer, error) {
 	return metrics.Serve(addr, reg)
 }
 
+// MetricsLabel is one constant name/value pair attached to a metric
+// series at registration (e.g. code="200" on a request counter).
+type MetricsLabel = metrics.Label
+
+// RegisterCacheMetrics exposes a SharedCache's live statistics on a
+// registry as chortle_shape_cache_* gauges (hits, misses, inserts,
+// evictions, resident entries and bytes), so /metrics scrapes track
+// cross-run cache effectiveness. Call once per (registry, cache) pair.
+func RegisterCacheMetrics(reg *MetricsRegistry, cache *SharedCache) {
+	reg.GaugeFunc("chortle_shape_cache_hits", "Shared shape cache hits (verified cross-run reuses).",
+		func() float64 { return float64(cache.Stats().Hits) })
+	reg.GaugeFunc("chortle_shape_cache_misses", "Shared shape cache misses.",
+		func() float64 { return float64(cache.Stats().Misses) })
+	reg.GaugeFunc("chortle_shape_cache_inserts", "Shapes published to the shared cache.",
+		func() float64 { return float64(cache.Stats().Puts) })
+	reg.GaugeFunc("chortle_shape_cache_evictions", "Shapes evicted by the LRU bound.",
+		func() float64 { return float64(cache.Stats().Evictions) })
+	reg.GaugeFunc("chortle_shape_cache_entries", "Resident shapes in the shared cache.",
+		func() float64 { return float64(cache.Stats().Entries) })
+	reg.GaugeFunc("chortle_shape_cache_bytes", "Accounted resident bytes in the shared cache.",
+		func() float64 { return float64(cache.Stats().Bytes) })
+}
+
 // NewBoundedCollector returns a Collector that retains only the most
 // recent capacity events (older ones are dropped, counted by Dropped) —
 // bounded memory for long-running or server processes.

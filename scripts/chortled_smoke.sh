@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# End-to-end smoke for cmd/chortled: start the server, map a golden
+# circuit twice through it, assert the second response reports shared-
+# cache hits, check the hit shows up at /metrics, and verify SIGTERM
+# drains gracefully (exit 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/chortled" ./cmd/chortled
+go run ./cmd/mcnc -opt rot > "$workdir/rot.blif"
+
+"$workdir/chortled" -addr 127.0.0.1:0 > "$workdir/chortled.out" 2>"$workdir/chortled.err" &
+server_pid=$!
+
+# The server prints "listening on <addr>" once bound.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$workdir/chortled.out")
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" || { cat "$workdir/chortled.err"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "chortled never reported its address"; exit 1; }
+echo "chortled on $addr"
+
+curl -sf "http://$addr/healthz" >/dev/null
+
+cold=$(curl -sf --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4")
+warm=$(curl -sf --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4")
+
+cold_luts=$(printf '%s' "$cold" | python3 -c 'import json,sys; print(json.load(sys.stdin)["luts"])')
+warm_hits=$(printf '%s' "$warm" | python3 -c 'import json,sys; print(json.load(sys.stdin)["cache_hits"])')
+warm_misses=$(printf '%s' "$warm" | python3 -c 'import json,sys; print(json.load(sys.stdin)["cache_misses"])')
+echo "cold: $cold_luts LUTs; warm: hits=$warm_hits misses=$warm_misses"
+
+[ "$cold_luts" -gt 0 ] || { echo "cold mapping produced no LUTs"; exit 1; }
+[ "$warm_hits" -gt 0 ] || { echo "second request reported no cache hits"; exit 1; }
+[ "$warm_misses" -eq 0 ] || { echo "second request missed the warm cache"; exit 1; }
+
+# Byte-identical output across the cache temperature.
+diff <(printf '%s' "$cold" | python3 -c 'import json,sys; print(json.load(sys.stdin)["blif"])') \
+     <(printf '%s' "$warm" | python3 -c 'import json,sys; print(json.load(sys.stdin)["blif"])') \
+    || { echo "warm BLIF differs from cold BLIF"; exit 1; }
+
+# Buffer the scrape before grepping: grep -q on a pipe would SIGPIPE
+# curl and trip pipefail even on a match.
+metrics=$(curl -sf "http://$addr/metrics")
+printf '%s\n' "$metrics" | grep -q '^chortle_shape_cache_hits [1-9]' \
+    || { echo "/metrics does not show cache hits"; exit 1; }
+
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "chortled did not exit cleanly on SIGTERM"; exit 1; }
+grep -q drained "$workdir/chortled.err" || { echo "chortled did not report a drain"; exit 1; }
+echo "smoke OK"
