@@ -258,6 +258,13 @@ func NewJSONLObserver(w io.Writer) *JSONLObserver { return obs.NewJSONL(w) }
 // publish, so any number of concurrent Map calls may share one cache.
 // The emitted circuit is byte-identical with the cache warm, cold, or
 // absent.
+//
+// A SharedCache can outlive its process: WriteSnapshot serializes the
+// resident shapes to a versioned, checksummed stream and
+// RestoreSnapshot loads one back, rejecting any truncated, corrupted,
+// or incompatible snapshot wholesale (the cache then simply starts
+// cold). Shed evicts a fraction of resident shapes under memory
+// pressure. cmd/chortled wires all three into its serving loop.
 type SharedCache = core.SharedShapeCache
 
 // SharedCacheConfig bounds a SharedCache: shard count (lock striping),

@@ -7,7 +7,14 @@
 //	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify]
 //	        [-trace trace.jsonl] [-timeout 30s] [-budget N]
 //	        [-debug-addr :6060] [-explain report.html] [-dot out.dot]
-//	        [-shared-cache] [-v] [-log-format text|json] [in.blif ...]
+//	        [-shared-cache] [-v] [-log-format text|json]
+//	        [-server URL[,URL...]] [-server-hedge 30ms] [in.blif ...]
+//
+// -server maps remotely through a chortled fleet instead of in-process,
+// using the resilient chortle/client (retries with backoff, circuit
+// breakers per address, Retry-After awareness; -server-hedge duplicates
+// slow requests to the next replica). The served answer is
+// byte-identical to a local map of the same network and options.
 //
 // With no input file the network is read from standard input. Several
 // input files map as a batch: the mapped circuits are written in order
@@ -78,8 +85,41 @@ func main() {
 		verbose  = flag.Bool("v", false, "log per-tree mapping detail to stderr (implies -log-format text)")
 		logFmt   = flag.String("log-format", "", "narrate the run on stderr via log/slog: text or json")
 		shared   = flag.Bool("shared-cache", false, "share one cross-run shape cache across all mappings in this process")
+		server   = flag.String("server", "", "map remotely via these chortled base URLs (comma-separated) instead of in-process")
+		hedge    = flag.Duration("server-hedge", 0, "with ≥2 -server addresses, hedge a slow request to the next replica after this delay (0 = off)")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		// Remote mode: the server owns the mapping options beyond k and
+		// budget, so flags that change the local search are rejected
+		// rather than silently ignored.
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{*baseline, "-baseline"}, {*check, "-verify"}, {*explain != "", "-explain"},
+			{*dotOut != "", "-dot"}, {*trace != "", "-trace"}, {*clb, "-clb"}, {*path, "-path"},
+			{*dup, "-dup"}, {*repack, "-repack"}, {*depth, "-depth"}, {*binpack, "-binpack"},
+			{*verilog, "-verilog"}, {*shared, "-shared-cache"},
+		} {
+			if bad.set {
+				fatal(fmt.Errorf("%s is not supported with -server (the server owns the mapping options)", bad.name))
+			}
+		}
+		remoteMap(flag.Args(), remoteFlags{
+			addrs:    strings.Split(*server, ","),
+			hedge:    *hedge,
+			out:      *out,
+			optimize: *optimize,
+			plaIn:    *plaIn,
+			stats:    *stats,
+			timeout:  *timeout,
+			k:        *k,
+			budget:   *budget,
+		})
+		return
+	}
 
 	var cache *chortle.SharedCache
 	if *shared {

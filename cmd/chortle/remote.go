@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"chortle"
+	"chortle/client"
+)
+
+// remoteFlags is the -server mode configuration.
+type remoteFlags struct {
+	addrs    []string // chortled base URLs
+	hedge    time.Duration
+	out      string
+	optimize bool
+	plaIn    bool
+	stats    bool
+	timeout  time.Duration
+	k        int
+	budget   int64
+}
+
+// remoteMap sends each input to a chortled fleet through the resilient
+// client (retries with backoff and jitter, Retry-After awareness,
+// per-address circuit breakers, optional hedging) instead of mapping
+// in-process. The server's answer is byte-identical to a local map of
+// the same network and options, so -server changes where the work runs,
+// never the result.
+func remoteMap(paths []string, rf remoteFlags) {
+	c, err := client.New(client.Config{
+		Addrs:      rf.addrs,
+		HedgeDelay: rf.hedge,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if rf.out != "" {
+		f, err := os.Create(rf.out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	ctx := context.Background()
+	if rf.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rf.timeout)
+		defer cancel()
+	}
+
+	// Stdin is the single nameless input, mirroring the local path.
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	for _, p := range paths {
+		in := os.Stdin
+		if p != "-" {
+			f, err := os.Open(p)
+			if err != nil {
+				fatal(err)
+			}
+			in = f
+		}
+		raw, err := io.ReadAll(in)
+		if p != "-" {
+			in.Close()
+		}
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		// BLIF input without local preprocessing ships verbatim, so the
+		// server parses exactly the bytes a local map would — any
+		// re-serialization here would rename uniquified signals and the
+		// answer would no longer be byte-comparable. PLA lowering and
+		// -opt run locally and send the resulting network instead.
+		text := string(raw)
+		isPLA := rf.plaIn || strings.HasSuffix(p, ".pla")
+		if isPLA || rf.optimize {
+			var nw *chortle.Network
+			if isPLA {
+				nw, err = chortle.ReadPLA(strings.NewReader(text))
+			} else {
+				nw, err = chortle.ReadBLIF(strings.NewReader(text))
+			}
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", p, err))
+			}
+			if rf.optimize {
+				if nw, err = chortle.Optimize(nw); err != nil {
+					fatal(fmt.Errorf("%s: %w", p, err))
+				}
+			}
+			var blif strings.Builder
+			if err := chortle.WriteBLIF(&blif, nw); err != nil {
+				fatal(err)
+			}
+			text = blif.String()
+		}
+		res, err := c.Map(ctx, client.MapRequest{
+			BLIF:            text,
+			K:               rf.k,
+			BudgetWorkUnits: rf.budget,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s: remote map: %w", p, err))
+		}
+		if _, err := fmt.Fprint(w, res.BLIF); err != nil {
+			fatal(err)
+		}
+		if rf.stats {
+			st := c.Stats()
+			fmt.Fprintf(os.Stderr,
+				"%s: %d LUTs (K=%d), %d trees, served by %s in %s (server cache: %d hits, %d misses; client: %d retries, %d hedges)\n",
+				p, res.LUTs, res.K, res.Trees, res.Addr,
+				time.Duration(res.ElapsedNS).Round(time.Millisecond/10),
+				res.CacheHits, res.CacheMisses, st.Retries, st.Hedges)
+		}
+	}
+}

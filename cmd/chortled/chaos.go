@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"chortle"
+)
+
+// chaosInjector is the server-side fault layer behind the -chaos flag:
+// a seeded source of latency spikes, solve panics, forced cache
+// evictions, and snapshot I/O errors. Deterministic for a given seed
+// (modulo goroutine interleaving of who draws next), so a failing soak
+// run can be replayed. A nil *chaosInjector is inert: every method is
+// a cheap no-op, which keeps the serving path free of flag checks.
+type chaosInjector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	cache *chortle.SharedCache
+
+	// Fault probabilities in [0,1], checked independently per request.
+	latencyP float64       // delay the solve by up to maxLatency
+	panicP   float64       // panic mid-request (exercises isolation)
+	evictP   float64       // shed half the shared cache
+	snapErrP float64       // fail the next snapshot write
+	maxDelay time.Duration // upper bound for injected latency
+
+	injected interface{ Inc() } // by kind, bound at construction
+	counters map[string]interface{ Inc() }
+}
+
+// newChaosInjector builds the default fault mix (~20% of requests see
+// some fault) used by the -chaos flag and the soak tests.
+func newChaosInjector(seed int64, cache *chortle.SharedCache, reg *chortle.MetricsRegistry) *chaosInjector {
+	c := &chaosInjector{
+		rng:      rand.New(rand.NewSource(seed)),
+		cache:    cache,
+		latencyP: 0.10,
+		panicP:   0.05,
+		evictP:   0.04,
+		snapErrP: 0.25,
+		maxDelay: 50 * time.Millisecond,
+		counters: map[string]interface{ Inc() }{},
+	}
+	for _, kind := range []string{"latency", "panic", "evict", "snapshot_io"} {
+		c.counters[kind] = reg.Counter("chortled_chaos_injected_total",
+			"Faults injected by the chaos layer, by kind.",
+			chortle.MetricsLabel{Key: "kind", Value: kind})
+	}
+	return c
+}
+
+// draw returns true with probability p, under the injector's lock.
+func (c *chaosInjector) draw(p float64) bool {
+	if c == nil || p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	hit := c.rng.Float64() < p
+	c.mu.Unlock()
+	return hit
+}
+
+// delay returns a random injected latency in (0, maxDelay].
+func (c *chaosInjector) delay() time.Duration {
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(c.maxDelay))) + time.Millisecond
+	c.mu.Unlock()
+	return d
+}
+
+// snapshotProbs reads the probability mix under the lock, so tests may
+// retune a live injector between requests.
+func (c *chaosInjector) snapshotProbs() (lat, pan, evt, snap float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latencyP, c.panicP, c.evictP, c.snapErrP
+}
+
+// setProbs retunes the fault mix (tests only; safe while serving).
+func (c *chaosInjector) setProbs(lat, pan, evt, snap float64) {
+	c.mu.Lock()
+	c.latencyP, c.panicP, c.evictP, c.snapErrP = lat, pan, evt, snap
+	c.mu.Unlock()
+}
+
+// beforeSolve runs the per-request fault mix. Order matters only for
+// determinism of the draw sequence; faults are independent.
+func (c *chaosInjector) beforeSolve() {
+	if c == nil {
+		return
+	}
+	lat, pan, evt, _ := c.snapshotProbs()
+	if c.draw(lat) {
+		c.counters["latency"].Inc()
+		time.Sleep(c.delay())
+	}
+	if c.draw(evt) {
+		c.counters["evict"].Inc()
+		c.cache.Shed(0.5)
+	}
+	if c.draw(pan) {
+		c.counters["panic"].Inc()
+		panic("chaos: injected solve panic")
+	}
+}
+
+// snapshotErr returns an injected error for a snapshot write with
+// probability snapErrP, or nil.
+func (c *chaosInjector) snapshotErr() error {
+	if c == nil {
+		return nil
+	}
+	_, _, _, snap := c.snapshotProbs()
+	if !c.draw(snap) {
+		return nil
+	}
+	c.counters["snapshot_io"].Inc()
+	return fmt.Errorf("chaos: injected snapshot I/O error")
+}

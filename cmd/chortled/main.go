@@ -6,7 +6,9 @@
 //
 //	chortled [-addr :8080] [-debug-addr :6060] [-k 4]
 //	         [-cache-entries N] [-cache-mb MB] [-cache-shards N]
-//	         [-max-inflight N] [-queue N] [-shutdown-timeout 10s]
+//	         [-max-inflight N] [-queue N] [-drain-timeout 10s]
+//	         [-cache-snapshot PATH] [-snapshot-interval 5m]
+//	         [-mem-watermark-mb MB] [-chaos SEED]
 //
 // Endpoints:
 //
@@ -19,12 +21,30 @@
 //	               chortle_shape_cache_* gauges)
 //
 // At most -max-inflight requests map concurrently; -queue more wait for
-// a slot and anything beyond that is refused with 429. SIGINT/SIGTERM
-// starts a graceful drain: new work is refused, in-flight mappings run
-// to completion (up to -shutdown-timeout), then the process exits.
-// -debug-addr additionally serves the pprof/expvar debug mux sharing
-// the same registry. The bound address is printed on stdout ("listening
-// on ...") so scripts can use -addr :0.
+// a slot and anything beyond that is refused with 429 (every 429/503
+// carries Retry-After). Requests carrying deadline_ms are re-checked on
+// dequeue: an expired deadline answers 504 without burning the slot,
+// and one that cannot cover the observed p95 solve time is refused with
+// 503. A panicking request becomes a 500 plus an incident log, never a
+// dead server.
+//
+// -cache-snapshot persists the shape cache: restored (if valid) at
+// boot, rewritten atomically every -snapshot-interval and once more at
+// drain. A corrupted or incompatible snapshot is rejected wholesale
+// (counted as chortle_snapshot_rejected) and the server boots cold.
+//
+// -mem-watermark-mb engages a memory-pressure valve: above the
+// watermark the server sheds half the cache and stops queueing until
+// the heap recedes. -chaos SEED injects seeded faults (latency spikes,
+// solve panics, forced evictions, snapshot I/O errors) for resilience
+// testing — never use it in production.
+//
+// SIGINT/SIGTERM starts a staged drain: new work is refused, in-flight
+// mappings run to completion up to -drain-timeout, then remaining
+// connections are force-closed; the in-flight count is logged at each
+// stage. -debug-addr additionally serves the pprof/expvar debug mux
+// sharing the same registry. The bound address is printed on stdout
+// ("listening on ...") so scripts can use -addr :0.
 package main
 
 import (
@@ -51,9 +71,15 @@ func main() {
 		cacheShards  = flag.Int("cache-shards", 0, "shape cache shard count, rounded to a power of two (0 = default 16)")
 		maxInflight  = flag.Int("max-inflight", 4, "mapping requests served concurrently")
 		queue        = flag.Int("queue", 16, "requests allowed to wait for a slot before 429")
-		drainWait    = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight mappings on SIGINT/SIGTERM")
+		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight mappings on SIGINT/SIGTERM before force-close")
+		snapPath     = flag.String("cache-snapshot", "", "persist the shape cache to this file (restore at boot, rewrite periodically and at drain)")
+		snapEvery    = flag.Duration("snapshot-interval", 5*time.Minute, "how often to rewrite -cache-snapshot")
+		memMB        = flag.Int64("mem-watermark-mb", 0, "live-heap watermark in MiB for the memory-pressure valve (0 = off)")
+		chaosSeed    = flag.Int64("chaos", 0, "inject seeded faults for resilience testing (0 = off; never use in production)")
 	)
 	flag.Parse()
+
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 
 	reg := chortle.NewMetricsRegistry()
 	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{
@@ -61,13 +87,34 @@ func main() {
 		MaxEntries: *cacheEntries,
 		MaxBytes:   int64(*cacheMB) << 20,
 	})
+	var chaos *chaosInjector
+	if *chaosSeed != 0 {
+		chaos = newChaosInjector(*chaosSeed, cache, reg)
+		logf("chortled: CHAOS MODE (seed %d): injecting faults on purpose", *chaosSeed)
+	}
 	srv, m := newMapServer(serverConfig{
-		cache:       cache,
-		reg:         reg,
-		maxInflight: *maxInflight,
-		maxQueue:    *queue,
-		defaultK:    *defaultK,
+		cache:        cache,
+		reg:          reg,
+		maxInflight:  *maxInflight,
+		maxQueue:     *queue,
+		defaultK:     *defaultK,
+		memWatermark: *memMB << 20,
+		chaos:        chaos,
+		logf:         logf,
 	})
+
+	bg, stopBg := context.WithCancel(context.Background())
+	defer stopBg()
+
+	var snap *snapshotter
+	if *snapPath != "" {
+		snap = newSnapshotter(*snapPath, cache, chaos, m, reg, logf)
+		snap.restore()
+		go snap.loop(bg, *snapEvery)
+	}
+	if *memMB > 0 {
+		go srv.runMemValve(bg, m, time.Second)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,7 +129,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", dbg.Addr())
+		logf("debug server on http://%s", dbg.Addr())
 		defer dbg.Shutdown(context.Background())
 	}
 
@@ -96,17 +143,31 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "chortled: %s, draining (up to %s)\n", s, *drainWait)
+		logf("chortled: %s: drain starting (%d in flight, %d queued; up to %s)",
+			s, srv.inflight.Load(), srv.queued.Load(), *drainWait)
 	}
 
+	// Staged drain: refuse new work, let in-flight mappings finish
+	// within the grace period, then force-close whatever remains so the
+	// process always exits by -drain-timeout (plus a final snapshot).
 	srv.drain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		fatal(fmt.Errorf("drain incomplete: %w", err))
+		logf("chortled: drain deadline hit with %d still in flight; force-closing: %v",
+			srv.inflight.Load(), err)
+		hs.Close()
+	} else {
+		logf("chortled: drain complete (0 in flight)")
+	}
+	stopBg()
+	if snap != nil {
+		if err := snap.write(); err == nil {
+			logf("chortled: final snapshot written to %s", *snapPath)
+		}
 	}
 	st := cache.Stats()
-	fmt.Fprintf(os.Stderr, "chortled: drained; cache hits=%d misses=%d entries=%d bytes=%d\n",
+	logf("chortled: drained; cache hits=%d misses=%d entries=%d bytes=%d",
 		st.Hits, st.Misses, st.Entries, st.Bytes)
 }
 

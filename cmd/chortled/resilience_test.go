@@ -1,0 +1,596 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chortle"
+	"chortle/client"
+	"chortle/internal/bench"
+)
+
+// testLog is a concurrency-safe log sink for serverConfig.logf; unlike
+// t.Logf it tolerates writes from goroutines that outlive the test body.
+type testLog struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (l *testLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	fmt.Fprintf(&l.sb, format+"\n", args...)
+	l.mu.Unlock()
+}
+
+func (l *testLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sb.String()
+}
+
+func metricsText(t *testing.T, reg *chortle.MetricsRegistry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// quietChaos returns an injector with every fault disabled, for tests
+// that want to enable exactly one.
+func quietChaos(seed int64, cache *chortle.SharedCache, reg *chortle.MetricsRegistry) *chaosInjector {
+	c := newChaosInjector(seed, cache, reg)
+	c.setProbs(0, 0, 0, 0)
+	c.rng = rand.New(rand.NewSource(seed))
+	return c
+}
+
+// TestSnapshotPersistRestoreWarm is the crash-safety core: a server
+// warms the cache, the snapshotter persists it, a second process
+// restores it and must serve the same circuit as a cache hit with
+// byte-identical output.
+func TestSnapshotPersistRestoreWarm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	reg1 := chortle.NewMetricsRegistry()
+	cache1 := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	_, ts1 := newTestServer(t, serverConfig{cache: cache1, reg: reg1, maxInflight: 2, maxQueue: 4})
+	resp, cold := postMap(t, ts1.URL+"/map?k=4", blif, "text/plain")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold map: HTTP %d", resp.StatusCode)
+	}
+	sm1 := &serverMetrics{snapRejects: reg1.Counter("chortle_snapshot_rejected", "t")}
+	sn1 := newSnapshotter(path, cache1, nil, sm1, reg1, nil)
+	if err := sn1.write(); err != nil {
+		t.Fatalf("snapshot write: %v", err)
+	}
+
+	// "Restart": fresh registry, cache, server; restore at boot.
+	reg2 := chortle.NewMetricsRegistry()
+	cache2 := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	_, ts2 := newTestServer(t, serverConfig{cache: cache2, reg: reg2, maxInflight: 2, maxQueue: 4})
+	log2 := &testLog{}
+	sm2 := &serverMetrics{snapRejects: reg2.Counter("chortle_snapshot_rejected", "t")}
+	sn2 := newSnapshotter(path, cache2, nil, sm2, reg2, log2.logf)
+	sn2.restore()
+	if !strings.Contains(log2.String(), "restored") {
+		t.Fatalf("restore did not report success: %q", log2.String())
+	}
+
+	resp2, warm := postMap(t, ts2.URL+"/map?k=4", blif, "text/plain")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm-after-restart map: HTTP %d", resp2.StatusCode)
+	}
+	if warm.CacheHits == 0 || warm.CacheMisses != 0 {
+		t.Fatalf("restored cache did not hit: hits=%d misses=%d", warm.CacheHits, warm.CacheMisses)
+	}
+	if warm.BLIF != cold.BLIF {
+		t.Fatal("warm-after-restart BLIF differs from the original process's output")
+	}
+	if mt := metricsText(t, reg2); !strings.Contains(mt, "chortled_snapshot_restored_shapes") {
+		t.Fatalf("restored-shapes gauge missing from metrics:\n%s", mt)
+	}
+}
+
+// TestSnapshotCorruptionBootsCold: every way a snapshot file can be
+// damaged must count chortle_snapshot_rejected, leave the cache empty,
+// and leave the server serving correct answers — never a panic, never a
+// wrong hit.
+func TestSnapshotCorruptionBootsCold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	nw, err := chortle.ReadBLIF(strings.NewReader(blif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chortle.DefaultOptions(4)
+	opts.SharedCache = cache
+	want, err := chortle.Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBLIF strings.Builder
+	if err := want.Circuit.WriteBLIF(&wantBLIF); err != nil {
+		t.Fatal(err)
+	}
+	reg0 := chortle.NewMetricsRegistry()
+	sm0 := &serverMetrics{snapRejects: reg0.Counter("chortle_snapshot_rejected", "t")}
+	if err := newSnapshotter(path, cache, nil, sm0, reg0, nil).write(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) < 64 {
+		t.Fatalf("suspiciously small snapshot (%d bytes)", len(good))
+	}
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated_half":  func(b []byte) []byte { return b[:len(b)/2] },
+		"truncated_tail":  func(b []byte) []byte { return b[:len(b)-3] },
+		"bitflip_header":  func(b []byte) []byte { c := append([]byte(nil), b...); c[2] ^= 0x40; return c },
+		"bitflip_middle":  func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 0x01; return c },
+		"bitflip_trailer": func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)-1] ^= 0x80; return c },
+		"empty":           func([]byte) []byte { return nil },
+		"garbage":         func([]byte) []byte { return []byte("not a snapshot at all") },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			bad := filepath.Join(dir, name+".snap")
+			if err := os.WriteFile(bad, corrupt(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			reg := chortle.NewMetricsRegistry()
+			fresh := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+			srv, m := newMapServer(serverConfig{cache: fresh, reg: reg, maxInflight: 1, maxQueue: 1})
+			ts := httptest.NewServer(srv.handler(m))
+			defer ts.Close()
+
+			log := &testLog{}
+			sn := newSnapshotter(bad, fresh, nil, m, reg, log.logf)
+			sn.restore()
+			if !strings.Contains(log.String(), "rejected") && !strings.Contains(log.String(), "starting cold") {
+				t.Fatalf("corruption not reported: %q", log.String())
+			}
+			if st := fresh.Stats(); st.Entries != 0 {
+				t.Fatalf("rejected snapshot left %d entries resident", st.Entries)
+			}
+			if mt := metricsText(t, reg); !strings.Contains(mt, "chortle_snapshot_rejected 1") {
+				t.Fatalf("chortle_snapshot_rejected not counted:\n%s", mt)
+			}
+			// Cold boot still serves the correct answer.
+			resp, res := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("cold serve after rejection: HTTP %d", resp.StatusCode)
+			}
+			if res.BLIF != wantBLIF.String() {
+				t.Fatal("cold serve after rejection produced different BLIF")
+			}
+			if res.CacheHits != 0 {
+				t.Fatalf("cold cache claims %d hits", res.CacheHits)
+			}
+		})
+	}
+}
+
+// TestSnapshotWriteFailureKeepsPrevious: a failed rewrite (injected I/O
+// fault) must leave the previous on-disk snapshot intact and readable.
+func TestSnapshotWriteFailureKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	reg := chortle.NewMetricsRegistry()
+	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	blif := benchBLIF(t, bench.Suite()[0])
+	nw, _ := chortle.ReadBLIF(strings.NewReader(blif))
+	opts := chortle.DefaultOptions(4)
+	opts.SharedCache = cache
+	if _, err := chortle.Map(nw, opts); err != nil {
+		t.Fatal(err)
+	}
+	chaos := quietChaos(1, cache, reg)
+	sm := &serverMetrics{snapRejects: reg.Counter("chortle_snapshot_rejected", "t")}
+	sn := newSnapshotter(path, cache, chaos, sm, reg, nil)
+	if err := sn.write(); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.setProbs(0, 0, 0, 1) // every snapshot write now fails
+	if err := sn.write(); err == nil {
+		t.Fatal("injected snapshot I/O fault did not surface")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed rewrite damaged the previous snapshot")
+	}
+	mt := metricsText(t, reg)
+	for _, want := range []string{
+		"chortled_snapshot_write_errors_total 1",
+		"chortled_snapshot_writes_total 1",
+		`chortled_chaos_injected_total{kind="snapshot_io"} 1`,
+	} {
+		if !strings.Contains(mt, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mt)
+		}
+	}
+}
+
+// TestQueueExpiredDeadline504: a request whose deadline expires while it
+// waits in the queue answers 504 (with Retry-After) on dequeue, without
+// running the solve.
+func TestQueueExpiredDeadline504(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{maxInflight: 1, maxQueue: 4})
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	s.sem <- struct{}{} // occupy the only slot
+	type result struct {
+		code       int
+		retryAfter string
+	}
+	done := make(chan result, 1)
+	go func() {
+		body := fmt.Sprintf(`{"blif":%q,"k":4,"deadline_ms":50}`, blif)
+		resp, err := http.Post(ts.URL+"/map", "application/json", strings.NewReader(body))
+		if err != nil {
+			done <- result{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		done <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
+	}()
+	time.Sleep(150 * time.Millisecond) // let the 50 ms deadline lapse in queue
+	<-s.sem                            // release the slot; the waiter dequeues
+
+	r := <-done
+	if r.code != http.StatusGatewayTimeout {
+		t.Fatalf("queued-past-deadline request: HTTP %d, want 504", r.code)
+	}
+	if r.retryAfter == "" {
+		t.Fatal("504 refusal missing Retry-After")
+	}
+	if mt := metricsText(t, s.cfg.reg); !strings.Contains(mt, `chortled_requests_total{code="504"} 1`) {
+		t.Fatalf("504 not counted:\n%s", mt)
+	}
+}
+
+// TestCoDelDropsUnservableDeadline: with an observed p95 solve time
+// above the request's remaining deadline, the server refuses with 503
+// and a Retry-After sized to the p95 instead of starting doomed work.
+func TestCoDelDropsUnservableDeadline(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{maxInflight: 2, maxQueue: 4})
+	blif := benchBLIF(t, bench.Suite()[0])
+	for i := 0; i < 20; i++ {
+		s.solveTimes.observe(2 * time.Second)
+	}
+	body := fmt.Sprintf(`{"blif":%q,"k":4,"deadline_ms":500}`, blif)
+	resp, err := http.Post(ts.URL+"/map", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unservable-deadline request: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want %q (the p95)", ra, "2")
+	}
+	if mt := metricsText(t, s.cfg.reg); !strings.Contains(mt, "chortled_queue_deadline_drops_total 1") {
+		t.Fatalf("queue-deadline drop not counted:\n%s", mt)
+	}
+	// A deadline-free request is untouched by the estimator.
+	resp2, res := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp2.StatusCode != http.StatusOK || res.LUTs == 0 {
+		t.Fatalf("deadline-free request: HTTP %d %+v", resp2.StatusCode, res)
+	}
+}
+
+// TestPanicIsolation: a panicking request becomes a 500 with an
+// incident log; the server keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	reg := chortle.NewMetricsRegistry()
+	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	chaos := quietChaos(7, cache, reg)
+	chaos.setProbs(0, 1, 0, 0) // every solve panics
+	log := &testLog{}
+	_, ts := newTestServer(t, serverConfig{
+		cache: cache, reg: reg, maxInflight: 2, maxQueue: 4, chaos: chaos, logf: log.logf,
+	})
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	resp, _ := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request: HTTP %d, want 500", resp.StatusCode)
+	}
+	if lg := log.String(); !strings.Contains(lg, "INCIDENT") || !strings.Contains(lg, "injected solve panic") {
+		t.Fatalf("no incident log for the panic: %q", lg)
+	}
+	chaos.setProbs(0, 0, 0, 0)
+	resp2, res := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp2.StatusCode != http.StatusOK || res.LUTs == 0 {
+		t.Fatalf("server dead after panic: HTTP %d %+v", resp2.StatusCode, res)
+	}
+	mt := metricsText(t, reg)
+	for _, want := range []string{
+		`chortled_requests_total{code="500"} 1`,
+		`chortled_chaos_injected_total{kind="panic"} 1`,
+	} {
+		if !strings.Contains(mt, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mt)
+		}
+	}
+}
+
+// TestMemoryPressureValve: above the watermark the valve sheds the
+// cache and closes the queue (503 with Retry-After for requests that
+// would wait; free slots still serve); below 80% it reopens.
+func TestMemoryPressureValve(t *testing.T) {
+	reg := chortle.NewMetricsRegistry()
+	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	blif := benchBLIF(t, bench.Suite()[0])
+	nw, _ := chortle.ReadBLIF(strings.NewReader(blif))
+	opts := chortle.DefaultOptions(4)
+	opts.SharedCache = cache
+	if _, err := chortle.Map(nw, opts); err != nil {
+		t.Fatal(err)
+	}
+	entriesBefore := cache.Stats().Entries
+	if entriesBefore == 0 {
+		t.Fatal("warming produced no cache entries")
+	}
+	log := &testLog{}
+	s, m := newMapServer(serverConfig{
+		cache: cache, reg: reg, maxInflight: 1, maxQueue: 8,
+		memWatermark: 1, // one byte: any live heap is over it
+		logf:         log.logf,
+	})
+	ts := httptest.NewServer(s.handler(m))
+	defer ts.Close()
+
+	if !s.memCheck(m) {
+		t.Fatal("memCheck below a 1-byte watermark did not engage")
+	}
+	if after := cache.Stats().Entries; after >= entriesBefore && entriesBefore > 1 {
+		t.Fatalf("valve did not shed: %d -> %d entries", entriesBefore, after)
+	}
+	// Slot occupied + valve engaged: a request that would queue is shed.
+	s.sem <- struct{}{}
+	resp, err := http.Post(ts.URL+"/map?k=4", "text/plain", strings.NewReader(blif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-closed request: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("valve 503 missing Retry-After")
+	}
+	<-s.sem
+	// Free slot still serves while the valve is engaged.
+	resp2, res := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp2.StatusCode != http.StatusOK || res.LUTs == 0 {
+		t.Fatalf("free-slot request under pressure: HTTP %d", resp2.StatusCode)
+	}
+	// Raise the watermark far above the heap: the valve reopens.
+	s.cfg.memWatermark = 1 << 50
+	if s.memCheck(m) {
+		t.Fatal("valve still engaged far below the watermark")
+	}
+	if !strings.Contains(log.String(), "reopened") {
+		t.Fatalf("valve release not logged: %q", log.String())
+	}
+	mt := metricsText(t, reg)
+	if !strings.Contains(mt, "chortled_memory_pressure_sheds_total 1") {
+		t.Fatalf("shed not counted:\n%s", mt)
+	}
+	if !strings.Contains(mt, "chortled_overloaded 0") {
+		t.Fatalf("overloaded gauge not reset:\n%s", mt)
+	}
+}
+
+// TestRefusalsCarryRetryAfter: every load-shedding refusal (429 at
+// capacity, 503 draining — both /map and /healthz) carries Retry-After.
+func TestRefusalsCarryRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{maxInflight: 1, maxQueue: 0})
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	s.sem <- struct{}{}
+	resp, err := http.Post(ts.URL+"/map?k=4", "text/plain", strings.NewReader(blif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("saturated: HTTP %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	<-s.sem
+
+	s.drain()
+	for _, path := range []string{"/map?k=4", "/healthz"} {
+		var resp *http.Response
+		var err error
+		if strings.HasPrefix(path, "/map") {
+			resp, err = http.Post(ts.URL+path, "text/plain", strings.NewReader(blif))
+		} else {
+			resp, err = http.Get(ts.URL + path)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("draining %s: HTTP %d, Retry-After %q", path, resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+	}
+}
+
+// TestChaosSoak hammers a fault-injecting server through the resilient
+// client: ≥500 requests, ~20% seeing some fault. Asserts zero goroutine
+// leaks, zero incorrect 2xx bodies (every success byte-compared against
+// a direct chortle.Map), and eventual convergence — after the chaos is
+// turned off, the breaker closes and requests succeed.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	circuits := bench.Suite()[:2]
+	type target struct{ blif, want string }
+	targets := make([]target, len(circuits))
+	for i, c := range circuits {
+		blif := benchBLIF(t, c)
+		nw, err := chortle.ReadBLIF(strings.NewReader(blif))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chortle.Map(nw, chortle.DefaultOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.Circuit.WriteBLIF(&sb); err != nil {
+			t.Fatal(err)
+		}
+		targets[i] = target{blif, sb.String()}
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	serverReg := chortle.NewMetricsRegistry()
+	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	chaos := newChaosInjector(42, cache, serverReg)
+	chaos.setProbs(0.10, 0.05, 0.05, 0) // ~20% of requests see a fault
+	chaos.maxDelay = 10 * time.Millisecond
+	log := &testLog{}
+	srv, m := newMapServer(serverConfig{
+		cache: cache, reg: serverReg, maxInflight: 4, maxQueue: 32,
+		chaos: chaos, logf: log.logf,
+	})
+	ts := httptest.NewServer(srv.handler(m))
+
+	clientReg := chortle.NewMetricsRegistry()
+	c, err := client.New(client.Config{
+		Addrs:            []string{ts.URL},
+		MaxRetries:       12,
+		BaseBackoff:      2 * time.Millisecond,
+		MaxBackoff:       50 * time.Millisecond,
+		FailureThreshold: 6,
+		Cooldown:         30 * time.Millisecond,
+		Metrics:          clientReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 64 // 512 total ≥ 500
+	var successes, failures, wrong atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tgt := targets[(w+i)%len(targets)]
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				res, err := c.Map(ctx, client.MapRequest{BLIF: tgt.blif, K: 4})
+				cancel()
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				successes.Add(1)
+				if res.BLIF != tgt.want {
+					wrong.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(workers * perWorker)
+	t.Logf("soak: %d requests, %d ok, %d failed, %d wrong; client stats %+v",
+		total, successes.Load(), failures.Load(), wrong.Load(), c.Stats())
+	if wrong.Load() != 0 {
+		t.Fatalf("%d incorrect 2xx bodies — resilience must never change answers", wrong.Load())
+	}
+	if successes.Load() < total*9/10 {
+		t.Fatalf("only %d/%d requests converged to success", successes.Load(), total)
+	}
+	smt := metricsText(t, serverReg)
+	if !strings.Contains(smt, "chortled_chaos_injected_total") {
+		t.Fatalf("chaos layer injected nothing:\n%s", smt)
+	}
+
+	// Convergence + observable breaker lifecycle: force the breaker open
+	// with guaranteed panics, then heal the server and watch it close.
+	chaos.setProbs(0, 1, 0, 0)
+	for i := 0; i < 4 && c.Stats().BreakerOpens == 0; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_, _ = c.Map(ctx, client.MapRequest{BLIF: targets[0].blif, K: 4})
+		cancel()
+	}
+	if c.Stats().BreakerOpens == 0 {
+		t.Fatal("breaker never opened under guaranteed faults")
+	}
+	chaos.setProbs(0, 0, 0, 0)
+	time.Sleep(40 * time.Millisecond) // let the cooldown pass
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	res, err := c.Map(ctx, client.MapRequest{BLIF: targets[0].blif, K: 4})
+	cancel()
+	if err != nil {
+		t.Fatalf("no convergence after chaos ended: %v", err)
+	}
+	if res.BLIF != targets[0].want {
+		t.Fatal("post-chaos answer differs from direct Map")
+	}
+	cmt := metricsText(t, clientReg)
+	for _, want := range []string{
+		`chortle_client_breaker_transitions_total{to="open"}`,
+		`chortle_client_breaker_transitions_total{to="closed"}`,
+		"chortle_client_retries_total",
+	} {
+		if !strings.Contains(cmt, want) {
+			t.Fatalf("client metrics missing %q:\n%s", want, cmt)
+		}
+	}
+
+	// Zero goroutine leaks once the server is down and the client idle.
+	ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before soak, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,10 +30,25 @@ import (
 // (?k=4&budget_work_units=N&deadline_ms=N) or, with
 // Content-Type: application/json, a JSON object {"blif": "...", "k": 4,
 // "budget_work_units": N, "deadline_ms": N}; JSON fields override query
-// parameters. Admission is bounded: at most maxInflight requests map
-// concurrently and at most maxQueue more wait for a slot — anything
-// beyond that is refused with 429 immediately, so a traffic spike
-// degrades to fast rejections instead of memory growth.
+// parameters.
+//
+// Admission is layered so every refusal is cheap and honest:
+//
+//   - Bounded queue: at most maxInflight requests map concurrently and
+//     at most maxQueue more wait for a slot; beyond that is an
+//     immediate 429 with Retry-After.
+//   - Queue-deadline (CoDel-style): a request that waited in the queue
+//     is re-checked on dequeue — if its deadline already expired it
+//     answers 504 without burning the slot, and if its remaining
+//     deadline cannot cover the observed p95 solve time it answers 503
+//     with Retry-After instead of starting work it cannot finish.
+//   - Memory-pressure valve: when the live heap crosses the configured
+//     watermark the server sheds half the shared cache and stops
+//     queueing (free slots still serve), recovering automatically once
+//     the heap drops below ~80% of the watermark.
+//   - Panic isolation: a panicking request — injected fault, bad
+//     input, or mapper bug — becomes a 500 plus an incident log with a
+//     stack trace, never a dead server.
 
 // serverConfig bounds one mapServer.
 type serverConfig struct {
@@ -39,23 +57,40 @@ type serverConfig struct {
 	maxInflight int
 	maxQueue    int
 	defaultK    int
+
+	// memWatermark engages the memory-pressure valve above this many
+	// live heap bytes; 0 disables the valve.
+	memWatermark int64
+
+	// chaos, when non-nil, injects seeded faults (latency, panics,
+	// forced evictions) into the serving path.
+	chaos *chaosInjector
+
+	// logf receives server incident and lifecycle logs; nil discards.
+	logf func(format string, args ...any)
 }
 
 type mapServer struct {
 	cfg serverConfig
 	obs *chortle.MetricsObserver
 
-	sem      chan struct{}
-	queued   atomic.Int64
-	draining atomic.Bool
+	sem        chan struct{}
+	queued     atomic.Int64
+	inflight   atomic.Int64
+	draining   atomic.Bool
+	overloaded atomic.Bool // memory valve engaged: stop queueing, shed cache
+
+	solveTimes *latencyTracker
 }
 
 // serverMetrics holds the request-level series; structural interfaces
 // keep cmd/chortled off the internal metrics types.
 type serverMetrics struct {
-	ok, clientErr, busy, serverErr interface{ Inc() }
-	inflight                       interface{ Add(float64) }
-	duration                       interface{ Observe(time.Duration) }
+	ok, clientErr, busy, serverErr   interface{ Inc() }
+	timeout, panics                  interface{ Inc() }
+	codelDrops, memShed, snapRejects interface{ Inc() }
+	inflight                         interface{ Add(float64) }
+	duration                         interface{ Observe(time.Duration) }
 }
 
 func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
@@ -68,31 +103,58 @@ func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
 	if cfg.defaultK == 0 {
 		cfg.defaultK = 4
 	}
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
 	s := &mapServer{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.maxInflight),
-		obs: chortle.NewMetricsObserverWithRuntime(cfg.reg),
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.maxInflight),
+		obs:        chortle.NewMetricsObserverWithRuntime(cfg.reg),
+		solveTimes: newLatencyTracker(256),
 	}
 	m := &serverMetrics{
-		ok:        cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "200"}),
-		clientErr: cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "400"}),
-		busy:      cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "429"}),
-		serverErr: cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "503"}),
-		inflight:  cfg.reg.Gauge("chortled_inflight_requests", "Mapping requests currently being served."),
-		duration:  cfg.reg.Histogram("chortled_request_seconds", "End-to-end mapping request latency.", nil),
+		ok:         cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "200"}),
+		clientErr:  cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "400"}),
+		busy:       cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "429"}),
+		serverErr:  cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "503"}),
+		timeout:    cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "504"}),
+		panics:     cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "500"}),
+		codelDrops: cfg.reg.Counter("chortled_queue_deadline_drops_total", "Requests dropped because the remaining deadline could not cover the observed p95 solve time."),
+		memShed:    cfg.reg.Counter("chortled_memory_pressure_sheds_total", "Memory-pressure valve activations (cache shed + queue shed)."),
+		snapRejects: cfg.reg.Counter("chortle_snapshot_rejected",
+			"Cache snapshots rejected at restore (truncated, corrupted, or incompatible)."),
+		inflight: cfg.reg.Gauge("chortled_inflight_requests", "Mapping requests currently being served."),
+		duration: cfg.reg.Histogram("chortled_request_seconds", "End-to-end mapping request latency.", nil),
 	}
+	cfg.reg.GaugeFunc("chortled_queued_requests", "Mapping requests waiting for an execution slot.",
+		func() float64 { return float64(s.queued.Load()) })
+	cfg.reg.GaugeFunc("chortled_overloaded", "1 while the memory-pressure valve is shedding queued load.",
+		func() float64 {
+			if s.overloaded.Load() {
+				return 1
+			}
+			return 0
+		})
+	cfg.reg.GaugeFunc("chortled_solve_p95_seconds", "Observed p95 end-to-end solve time over the recent window.",
+		func() float64 { return s.solveTimes.p95().Seconds() })
 	chortle.RegisterCacheMetrics(cfg.reg, cfg.cache)
 	return s, m
 }
 
 // acquire claims an execution slot, waiting in the bounded queue if all
 // slots are busy. It returns a release func and true, or false when the
-// queue is full or the caller's context ended while waiting.
+// queue is full (or closed by the memory valve) or the caller's context
+// ended while waiting.
 func (s *mapServer) acquire(ctx context.Context) (func(), bool) {
 	select {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, true
 	default:
+	}
+	if s.overloaded.Load() {
+		// Valve engaged: free slots still serve (the fast path above),
+		// but nothing new parks in the queue.
+		return nil, false
 	}
 	if s.queued.Add(1) > int64(s.cfg.maxQueue) {
 		s.queued.Add(-1)
@@ -105,6 +167,44 @@ func (s *mapServer) acquire(ctx context.Context) (func(), bool) {
 	case <-ctx.Done():
 		return nil, false
 	}
+}
+
+// latencyTracker is a fixed window of recent solve durations for the
+// queue-deadline estimate. Cheap by construction: one mutex, one ring.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring []time.Duration
+	n    int // total observations
+}
+
+func newLatencyTracker(window int) *latencyTracker {
+	return &latencyTracker{ring: make([]time.Duration, window)}
+}
+
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.n%len(l.ring)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// p95 estimates the 95th percentile of the recent window; zero until
+// enough samples exist to say anything (8), so a cold server never
+// drops on a wild guess.
+func (l *latencyTracker) p95() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := l.n
+	if size > len(l.ring) {
+		size = len(l.ring)
+	}
+	if size < 8 {
+		return 0
+	}
+	tmp := make([]time.Duration, size)
+	copy(tmp, l.ring[:size])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[(size*95)/100]
 }
 
 // mapRequest is the JSON request body (all fields optional except blif).
@@ -136,6 +236,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRefusal answers a load-shedding status (429/503/504) with a
+// Retry-After hint so well-behaved clients back off instead of
+// hammering.
+func writeRefusal(w http.ResponseWriter, code int, retryAfter time.Duration, msg string) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, code, errResponse{msg})
 }
 
 // parseMapRequest assembles the request from query parameters and body.
@@ -192,6 +304,45 @@ func parseMapRequest(r *http.Request, defaultK int) (*mapRequest, error) {
 	return req, nil
 }
 
+// statusRecorder remembers whether a handler already committed a
+// response, so the panic isolator knows if a 500 can still be sent.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
+}
+
+// withPanicIsolation converts a panicking request into a 500 plus an
+// incident log instead of a dead server. http.Server's own recovery
+// would only kill the connection; this answers the client and keeps a
+// stack for the operator.
+func (s *mapServer) withPanicIsolation(m *serverMetrics, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				m.panics.Inc()
+				s.cfg.logf("chortled: INCIDENT: panic serving %s %s: %v\n%s",
+					r.Method, r.URL.Path, rec, debug.Stack())
+				if !sr.wrote {
+					writeJSON(sr, http.StatusInternalServerError,
+						errResponse{fmt.Sprintf("internal error: %v", rec)})
+				}
+			}
+		}()
+		next(sr, r)
+	}
+}
+
 func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -201,7 +352,7 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		}
 		if s.draining.Load() {
 			m.serverErr.Inc()
-			writeJSON(w, http.StatusServiceUnavailable, errResponse{"draining"})
+			writeRefusal(w, http.StatusServiceUnavailable, 5*time.Second, "draining")
 			return
 		}
 		req, err := parseMapRequest(r, s.cfg.defaultK)
@@ -210,19 +361,65 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
 			return
 		}
+		// The request's deadline budget starts ticking at admission, so
+		// queue wait counts against it.
+		admitted := time.Now()
+
 		release, ok := s.acquire(r.Context())
 		if !ok {
 			if r.Context().Err() != nil {
 				return // client gone while queued
 			}
+			if s.overloaded.Load() {
+				m.serverErr.Inc()
+				writeRefusal(w, http.StatusServiceUnavailable, 2*time.Second,
+					"memory pressure: queue closed, retry shortly")
+				return
+			}
 			m.busy.Inc()
-			writeJSON(w, http.StatusTooManyRequests,
-				errResponse{fmt.Sprintf("at capacity (%d in flight, %d queued)", s.cfg.maxInflight, s.cfg.maxQueue)})
+			writeRefusal(w, http.StatusTooManyRequests, time.Second,
+				fmt.Sprintf("at capacity (%d in flight, %d queued)", s.cfg.maxInflight, s.cfg.maxQueue))
 			return
 		}
 		defer release()
+
+		// Post-dequeue admission control. The slot is held but no solve
+		// work has started; both checks are O(1).
+		if r.Context().Err() != nil {
+			return // client gone while queued; nobody is listening
+		}
+		waited := time.Since(admitted)
+		if req.DeadlineMS > 0 {
+			remaining := time.Duration(req.DeadlineMS)*time.Millisecond - waited
+			if remaining <= 0 {
+				m.timeout.Inc()
+				writeRefusal(w, http.StatusGatewayTimeout, time.Second,
+					fmt.Sprintf("deadline (%d ms) expired after %s in queue", req.DeadlineMS, waited.Round(time.Millisecond)))
+				return
+			}
+			// CoDel-style drop: starting a solve we cannot finish inside
+			// the deadline wastes the slot and still fails the caller —
+			// refuse now, while it is still cheap for both sides.
+			if p95 := s.solveTimes.p95(); p95 > 0 && remaining < p95 {
+				m.serverErr.Inc()
+				m.codelDrops.Inc()
+				writeRefusal(w, http.StatusServiceUnavailable, p95,
+					fmt.Sprintf("remaining deadline %s below observed p95 solve time %s",
+						remaining.Round(time.Millisecond), p95.Round(time.Millisecond)))
+				return
+			}
+		}
 		m.inflight.Add(1)
-		defer m.inflight.Add(-1)
+		s.inflight.Add(1)
+		defer func() {
+			m.inflight.Add(-1)
+			s.inflight.Add(-1)
+		}()
+
+		// Seeded fault injection (off unless -chaos): latency spikes,
+		// forced cache evictions, and solve panics — the panic rides up
+		// to withPanicIsolation like any real one would.
+		s.cfg.chaos.beforeSolve()
 
 		nw, err := chortle.ReadBLIF(strings.NewReader(req.BLIF))
 		if err != nil {
@@ -237,8 +434,9 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 
 		ctx := r.Context()
 		if req.DeadlineMS > 0 {
+			remaining := time.Duration(req.DeadlineMS)*time.Millisecond - time.Since(admitted)
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+			ctx, cancel = context.WithTimeout(ctx, remaining)
 			defer cancel()
 		}
 		start := time.Now()
@@ -251,16 +449,17 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 				return
 			case errors.Is(err, context.DeadlineExceeded):
 				m.serverErr.Inc()
-				writeJSON(w, http.StatusServiceUnavailable, errResponse{"deadline exceeded"})
+				writeRefusal(w, http.StatusServiceUnavailable, time.Second, "deadline exceeded")
 			default:
 				m.clientErr.Inc()
 				writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
 			}
 			return
 		}
+		s.solveTimes.observe(elapsed)
 		var blif strings.Builder
 		if err := res.Circuit.WriteBLIF(&blif); err != nil {
-			m.serverErr.Inc()
+			m.panics.Inc()
 			writeJSON(w, http.StatusInternalServerError, errResponse{err.Error()})
 			return
 		}
@@ -280,9 +479,48 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 	}
 }
 
+// memCheck is one tick of the memory-pressure valve: above the
+// watermark, shed half the shared cache and close the queue; below 80%
+// of it, reopen. Returns whether the valve is engaged (for tests and
+// logging).
+func (s *mapServer) memCheck(m *serverMetrics) bool {
+	if s.cfg.memWatermark <= 0 {
+		return false
+	}
+	heap := int64(chortle.LiveHeapBytes())
+	switch {
+	case heap > s.cfg.memWatermark:
+		shed := s.cfg.cache.Shed(0.5)
+		first := s.overloaded.CompareAndSwap(false, true)
+		m.memShed.Inc()
+		s.cfg.logf("chortled: memory pressure: heap %d MiB over watermark %d MiB; shed %d cached shapes, queue closed",
+			heap>>20, s.cfg.memWatermark>>20, shed)
+		_ = first
+	case heap < s.cfg.memWatermark*4/5:
+		if s.overloaded.CompareAndSwap(true, false) {
+			s.cfg.logf("chortled: memory pressure cleared: heap %d MiB; queue reopened", heap>>20)
+		}
+	}
+	return s.overloaded.Load()
+}
+
+// runMemValve runs memCheck on a ticker until ctx ends.
+func (s *mapServer) runMemValve(ctx context.Context, m *serverMetrics, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.memCheck(m)
+		}
+	}
+}
+
 func (s *mapServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errResponse{"draining"})
+		writeRefusal(w, http.StatusServiceUnavailable, 5*time.Second, "draining")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -300,7 +538,7 @@ func (s *mapServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // handler builds the server's mux.
 func (s *mapServer) handler(m *serverMetrics) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/map", s.handleMap(m))
+	mux.HandleFunc("/map", s.withPanicIsolation(m, s.handleMap(m)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)

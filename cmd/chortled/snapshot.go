@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"chortle"
+)
+
+// snapshotter persists the shared shape cache across restarts.
+//
+// Writes are atomic: the snapshot is written to a temp file in the
+// target directory, fsynced, then renamed over the destination — a
+// crash mid-write leaves the previous snapshot intact. Restores are
+// all-or-nothing: internal/shapecache validates the whole container
+// (magic, version, namespace, CRC-64 checksum) and every payload before
+// inserting anything, so a truncated, corrupted, or incompatible file
+// is rejected wholesale and the server simply boots cold. Either way
+// the server keeps serving; snapshot trouble is an efficiency loss,
+// never an outage or a wrong answer (hits remain verified against the
+// live tree encoding).
+type snapshotter struct {
+	path  string
+	cache *chortle.SharedCache
+	chaos *chaosInjector
+	logf  func(format string, args ...any)
+
+	writes      interface{ Inc() }
+	writeErrors interface{ Inc() }
+	rejected    interface{ Inc() } // shared with serverMetrics.snapRejects
+	restored    interface{ Set(float64) }
+	lastWrite   interface{ Set(float64) }
+
+	mu sync.Mutex // serializes write()
+}
+
+func newSnapshotter(path string, cache *chortle.SharedCache, chaos *chaosInjector,
+	m *serverMetrics, reg *chortle.MetricsRegistry, logf func(string, ...any)) *snapshotter {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &snapshotter{
+		path:  path,
+		cache: cache,
+		chaos: chaos,
+		logf:  logf,
+		writes: reg.Counter("chortled_snapshot_writes_total",
+			"Cache snapshots written successfully."),
+		writeErrors: reg.Counter("chortled_snapshot_write_errors_total",
+			"Cache snapshot write attempts that failed."),
+		rejected: m.snapRejects,
+		restored: reg.Gauge("chortled_snapshot_restored_shapes",
+			"Shapes loaded from the boot-time snapshot restore."),
+		lastWrite: reg.Gauge("chortled_snapshot_last_write_unixtime",
+			"Unix time of the last successful snapshot write."),
+	}
+}
+
+// restore loads the snapshot at boot. A missing file is a normal cold
+// start; any other failure counts chortle_snapshot_rejected, logs, and
+// continues cold. Never fatal.
+func (sn *snapshotter) restore() {
+	f, err := os.Open(sn.path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			sn.logf("chortled: no snapshot at %s; starting cold", sn.path)
+			return
+		}
+		sn.rejected.Inc()
+		sn.logf("chortled: snapshot open failed (%v); starting cold", err)
+		return
+	}
+	defer f.Close()
+	n, err := sn.cache.RestoreSnapshot(f)
+	if err != nil {
+		sn.rejected.Inc()
+		sn.logf("chortled: snapshot %s rejected (%v); starting cold", sn.path, err)
+		return
+	}
+	sn.restored.Set(float64(n))
+	sn.logf("chortled: restored %d cached shapes from %s", n, sn.path)
+}
+
+// write persists the current cache atomically. Errors (including
+// injected chaos I/O faults) are counted and logged; the previous
+// snapshot on disk survives any failure.
+func (sn *snapshotter) write() error {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	err := sn.writeOnce()
+	if err != nil {
+		sn.writeErrors.Inc()
+		sn.logf("chortled: snapshot write failed: %v", err)
+		return err
+	}
+	sn.writes.Inc()
+	sn.lastWrite.Set(float64(time.Now().Unix()))
+	return nil
+}
+
+func (sn *snapshotter) writeOnce() error {
+	if err := sn.chaos.snapshotErr(); err != nil {
+		return err
+	}
+	dir := filepath.Dir(sn.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(sn.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("creating temp snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := sn.cache.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serializing cache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), sn.path); err != nil {
+		return fmt.Errorf("publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// loop writes a snapshot every interval until ctx ends, then writes a
+// final one so a drained shutdown persists the warmest cache.
+func (sn *snapshotter) loop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = sn.write()
+		}
+	}
+}

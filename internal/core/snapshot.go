@@ -1,0 +1,491 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"chortle/internal/truth"
+)
+
+// Shape cache persistence: the value codec behind SharedShapeCache
+// snapshots. internal/shapecache owns the container (magic, version,
+// namespace, checksum, atomic whole-file validation); this file owns
+// the per-entry payload — a varint-framed serialization of sharedShape:
+// the seed-prefixed canonical encoding, the frozen DP tree, the metered
+// solve units, and the published emission templates.
+//
+// Safety discipline mirrors the live cache. The namespace string below
+// names this payload format; any incompatible change to sharedShape,
+// nodeDP, emitTemplate or the canonical shape encoding must bump it so
+// old snapshots are rejected (cold boot) instead of misread. Decoding
+// validates every structural invariant rebindDP and template replay
+// rely on — table geometry, index ranges, and a full lockstep walk of
+// the decoded DP skeleton against the entry's own canonical encoding —
+// so a snapshot that passes the container checksum but disagrees with
+// itself still loads as nothing rather than as a crash or a wrong hit.
+// After restore, the normal verification-on-hit (byte-comparing the
+// canonical encoding against the live tree) applies unchanged.
+
+// shapeSnapshotNamespace identifies the payload codec. Bump on any
+// incompatible change to the encodings in this file or the structures
+// they serialize.
+const shapeSnapshotNamespace = "chortle-shape-v1"
+
+// errBadShapePayload rejects a structurally invalid entry payload.
+var errBadShapePayload = errors.New("core: invalid shape snapshot payload")
+
+// decode bounds, applied before allocation so corrupted length fields
+// cannot drive memory growth or unbounded recursion.
+const (
+	maxSnapDPNodes   = 1 << 20
+	maxSnapTableLen  = 1 << 24
+	maxSnapTemplates = maxSharedTemplates
+	maxSnapLUTs      = 1 << 16
+	maxSnapStride    = 64
+)
+
+// WriteSnapshot serializes every resident shape to w in the versioned,
+// checksummed container format. The snapshot is a warm start for a
+// later process: restoring it recovers solved DP tables and emission
+// templates, not correctness-critical state — a lost or rejected
+// snapshot only costs cold-cache latency.
+func (c *SharedShapeCache) WriteSnapshot(w io.Writer) error {
+	return c.cache.Snapshot(w, shapeSnapshotNamespace, func(v any) ([]byte, error) {
+		ss, ok := v.(*sharedShape)
+		if !ok {
+			return nil, nil
+		}
+		return encodeSharedShape(ss), nil
+	})
+}
+
+// RestoreSnapshot loads a snapshot written by WriteSnapshot into the
+// cache, returning the number of shapes restored. The whole file is
+// validated before anything is inserted: any truncation, corruption,
+// version or namespace mismatch, or structurally invalid entry rejects
+// the snapshot entirely and leaves the cache as it was, so a failed
+// boot-time restore degrades to a cold cache. Restored entries carry no
+// storage handle, so templates they accept later grow unaccounted — a
+// bounded slack (maxSharedTemplates per shape), never a correctness
+// issue.
+func (c *SharedShapeCache) RestoreSnapshot(r io.Reader) (int, error) {
+	return c.cache.Restore(r, shapeSnapshotNamespace, func(p []byte) (any, error) {
+		return decodeSharedShape(p)
+	})
+}
+
+// Shed evicts roughly the given fraction of resident shapes, least
+// recently used first, returning the count evicted — the memory
+// pressure valve for long-running servers. Shedding only costs future
+// hits.
+func (c *SharedShapeCache) Shed(fraction float64) int { return c.cache.Shed(fraction) }
+
+// --- encoding ---
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendBytes(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendInt32s(b []byte, xs []int32) []byte {
+	b = appendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = appendVarint(b, int64(x))
+	}
+	return b
+}
+
+func encodeSharedShape(ss *sharedShape) []byte {
+	b := make([]byte, 0, 256)
+	b = appendBytes(b, ss.enc)
+	b = appendUvarint(b, uint64(ss.units))
+	b = appendDP(b, ss.dp)
+	var tmpls map[string]*emitTemplate
+	if m := ss.templates.Load(); m != nil {
+		tmpls = *m
+	}
+	b = appendUvarint(b, uint64(len(tmpls)))
+	for pattern, t := range tmpls {
+		b = appendBytes(b, []byte(pattern))
+		b = appendTemplate(b, t)
+	}
+	return b
+}
+
+func appendDP(b []byte, dp *nodeDP) []byte {
+	b = appendUvarint(b, uint64(dp.full))
+	b = appendUvarint(b, uint64(dp.nodeIdx))
+	b = appendUvarint(b, uint64(dp.stride))
+	b = appendInt32s(b, dp.g)
+	b = appendUvarint(b, uint64(len(dp.choice)))
+	for _, ch := range dp.choice {
+		b = append(b, byte(ch.kind), byte(ch.v))
+		b = appendUvarint(b, uint64(ch.d))
+	}
+	b = appendInt32s(b, dp.mmBest)
+	b = appendUvarint(b, uint64(len(dp.mmBestU)))
+	for _, u := range dp.mmBestU {
+		b = append(b, byte(u))
+	}
+	b = appendVarint(b, int64(dp.bestCost))
+	b = appendVarint(b, int64(dp.bestU))
+	b = appendUvarint(b, uint64(len(dp.fanins)))
+	for _, fr := range dp.fanins {
+		b = appendVarint(b, int64(fr.leafIdx))
+		if fr.child != nil {
+			b = append(b, 1)
+			b = appendDP(b, fr.child)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func appendTemplate(b []byte, t *emitTemplate) []byte {
+	b = appendInt32s(b, t.freshes)
+	b = appendUvarint(b, uint64(len(t.luts)))
+	for i := range t.luts {
+		l := &t.luts[i]
+		b = appendVarint(b, int64(l.nameRef))
+		b = appendInt32s(b, l.inputs)
+		b = appendUvarint(b, l.table.Bits)
+		b = appendUvarint(b, uint64(l.table.N))
+		b = appendInt32s(b, l.covers)
+		b = appendVarint(b, int64(l.partIdx))
+		b = appendBytes(b, []byte(l.shape))
+	}
+	return b
+}
+
+// --- decoding ---
+
+// snapReader is a bounds-checked cursor over one entry payload. All
+// read methods report failure by setting err sticky, so decoders can
+// read linearly and check once.
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) fail() {
+	if r.err == nil {
+		r.err = errBadShapePayload
+	}
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail()
+		return 0
+	}
+	c := r.b[0]
+	r.b = r.b[1:]
+	return c
+}
+
+func (r *snapReader) bytes(maxLen int) []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(maxLen) || n > uint64(len(r.b)) {
+		r.fail()
+		return nil
+	}
+	out := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *snapReader) int32s(maxLen int) []int32 {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(maxLen) || n > uint64(len(r.b)) { // each element is ≥1 byte
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		v := r.varint()
+		if v < -1<<31 || v > 1<<31-1 {
+			r.fail()
+			return nil
+		}
+		out[i] = int32(v)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+func decodeSharedShape(p []byte) (*sharedShape, error) {
+	r := &snapReader{b: p}
+	enc := r.bytes(1 << 20)
+	units := r.uvarint()
+	var nodes int
+	dp := decodeDP(r, &nodes)
+	ntmpl := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if ntmpl > maxSnapTemplates {
+		return nil, errBadShapePayload
+	}
+	var tmpls map[string]*emitTemplate
+	if ntmpl > 0 {
+		tmpls = make(map[string]*emitTemplate, ntmpl)
+		for i := uint64(0); i < ntmpl; i++ {
+			pattern := string(r.bytes(1 << 16))
+			t := decodeTemplate(r)
+			if r.err != nil {
+				return nil, r.err
+			}
+			tmpls[pattern] = t
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", errBadShapePayload)
+	}
+	if dp == nil || dp.bestCost >= infinity || dp.bestCost < 0 {
+		return nil, errBadShapePayload
+	}
+	// The decoded DP skeleton must match the entry's own canonical
+	// encoding — the key it will be verified against on every hit. A
+	// payload that disagrees with itself never enters the cache.
+	if !dpMatchesEnc(enc, dp) {
+		return nil, fmt.Errorf("%w: DP skeleton disagrees with canonical encoding", errBadShapePayload)
+	}
+	ss := &sharedShape{enc: enc, dp: dp, units: int64(units)}
+	if tmpls != nil {
+		ss.templates.Store(&tmpls)
+	}
+	return ss, nil
+}
+
+func decodeDP(r *snapReader, nodes *int) *nodeDP {
+	*nodes++
+	if *nodes > maxSnapDPNodes {
+		r.fail()
+		return nil
+	}
+	dp := &nodeDP{
+		full:    uint32(r.uvarint()),
+		nodeIdx: int32(r.uvarint()),
+		stride:  int32(r.uvarint()),
+		g:       r.int32s(maxSnapTableLen),
+	}
+	nchoice := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if nchoice > maxSnapTableLen {
+		r.fail()
+		return nil
+	}
+	if nchoice > 0 {
+		dp.choice = make([]gChoice, nchoice)
+		for i := range dp.choice {
+			dp.choice[i] = gChoice{
+				kind: choiceKind(r.byte()),
+				v:    int8(r.byte()),
+				d:    uint32(r.uvarint()),
+			}
+			if dp.choice[i].kind > choiceIntermediate {
+				r.fail()
+				return nil
+			}
+		}
+	}
+	dp.mmBest = r.int32s(maxSnapTableLen)
+	nmmu := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if nmmu > maxSnapTableLen || nmmu > uint64(len(r.b)) {
+		r.fail()
+		return nil
+	}
+	if nmmu > 0 {
+		dp.mmBestU = make([]int8, nmmu)
+		for i := range dp.mmBestU {
+			dp.mmBestU[i] = int8(r.byte())
+		}
+	}
+	dp.bestCost = int32(r.varint())
+	dp.bestU = int(r.varint())
+	nfan := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if nfan > 32 {
+		r.fail()
+		return nil
+	}
+	if nfan > 0 {
+		dp.fanins = make([]faninRef, nfan)
+		for i := range dp.fanins {
+			leafIdx := r.varint()
+			if leafIdx < -1 || leafIdx > 1<<31-1 {
+				r.fail()
+				return nil
+			}
+			dp.fanins[i].leafIdx = int32(leafIdx)
+			switch r.byte() {
+			case 0:
+			case 1:
+				dp.fanins[i].child = decodeDP(r, nodes)
+			default:
+				r.fail()
+			}
+			if r.err != nil {
+				return nil
+			}
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	// Table geometry invariants rebindDP and the choice walk rely on.
+	if dp.stride < 1 || dp.stride > maxSnapStride {
+		r.fail()
+		return nil
+	}
+	if len(dp.g) != len(dp.choice) || len(dp.g)%int(dp.stride) != 0 {
+		r.fail()
+		return nil
+	}
+	if len(dp.mmBest) != len(dp.mmBestU) {
+		r.fail()
+		return nil
+	}
+	if dp.bestU < 0 || dp.bestU >= int(dp.stride) {
+		r.fail()
+		return nil
+	}
+	return dp
+}
+
+func decodeTemplate(r *snapReader) *emitTemplate {
+	t := &emitTemplate{freshes: r.int32s(maxSnapLUTs)}
+	nluts := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if nluts > maxSnapLUTs {
+		r.fail()
+		return nil
+	}
+	if nluts > 0 {
+		t.luts = make([]lutSpec, nluts)
+		for i := range t.luts {
+			l := &t.luts[i]
+			l.nameRef = int32(r.varint())
+			l.inputs = r.int32s(maxSnapLUTs)
+			l.table = truth.Table{Bits: r.uvarint(), N: int(r.uvarint())}
+			l.covers = r.int32s(maxSnapLUTs)
+			l.partIdx = int32(r.varint())
+			l.shape = string(r.bytes(1 << 16))
+			if r.err != nil {
+				return nil
+			}
+			if l.table.N < 0 || l.table.N > truth.MaxVars {
+				r.fail()
+				return nil
+			}
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return t
+}
+
+// dpMatchesEnc walks the canonical shape encoding (see appendShapeEnc:
+// an 8-byte seed prefix, then per node op + fanin count + per-fanin
+// mark bytes) in lockstep with the decoded DP skeleton, requiring the
+// same fanin arity and the same leaf/internal split at every position.
+func dpMatchesEnc(enc []byte, dp *nodeDP) bool {
+	if len(enc) < 8 {
+		return false
+	}
+	b := enc[8:]
+	var walk func(dp *nodeDP) bool
+	walk = func(dp *nodeDP) bool {
+		if dp == nil {
+			return false
+		}
+		_, n := binary.Uvarint(b) // op
+		if n <= 0 {
+			return false
+		}
+		b = b[n:]
+		nf, n := binary.Uvarint(b)
+		if n <= 0 {
+			return false
+		}
+		b = b[n:]
+		if nf != uint64(len(dp.fanins)) {
+			return false
+		}
+		for i := range dp.fanins {
+			if len(b) == 0 {
+				return false
+			}
+			mark := b[0]
+			b = b[1:]
+			leaf := mark&2 != 0
+			if leaf != (dp.fanins[i].child == nil) {
+				return false
+			}
+			if !leaf && !walk(dp.fanins[i].child) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(dp) && len(b) == 0
+}

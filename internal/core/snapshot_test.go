@@ -1,0 +1,263 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"chortle/internal/network"
+)
+
+// Snapshot/restore contract at the core level: a restored cache behaves
+// exactly like the warm cache it was written from — same hits, byte-
+// identical output — and every corruption mode degrades to a cold
+// cache, never to a panic or a wrong hit.
+
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type netCase struct {
+		name string
+		nw   *network.Network
+	}
+	nets := []netCase{
+		{name: "identical", nw: identicalTrees(6)},
+		{name: "dag24", nw: randomDAG(rng, 6, 24)},
+		{name: "dag40", nw: randomDAG(rng, 8, 40)},
+	}
+	for k := 3; k <= 5; k++ {
+		cache := NewSharedShapeCache(SharedCacheConfig{})
+		want := make([]string, len(nets))
+		for i, nc := range nets {
+			opts := DefaultOptions(k)
+			opts.Memoize = true
+			opts.SharedCache = cache
+			res, err := Map(nc.nw, opts)
+			if err != nil {
+				t.Fatalf("K=%d %s warm-up: %v", k, nc.name, err)
+			}
+			want[i] = blifOf(t, res)
+		}
+		if cache.Len() == 0 {
+			t.Fatalf("K=%d: warm-up published no shapes", k)
+		}
+
+		var snap bytes.Buffer
+		if err := cache.WriteSnapshot(&snap); err != nil {
+			t.Fatalf("K=%d WriteSnapshot: %v", k, err)
+		}
+		restored := NewSharedShapeCache(SharedCacheConfig{})
+		n, err := restored.RestoreSnapshot(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			t.Fatalf("K=%d RestoreSnapshot: %v", k, err)
+		}
+		if n != cache.Len() {
+			t.Fatalf("K=%d: restored %d shapes, want %d", k, n, cache.Len())
+		}
+
+		for i, nc := range nets {
+			opts := DefaultOptions(k)
+			opts.Memoize = true
+			opts.SharedCache = restored
+			res, err := Map(nc.nw, opts)
+			if err != nil {
+				t.Fatalf("K=%d %s restored run: %v", k, nc.name, err)
+			}
+			if got := blifOf(t, res); got != want[i] {
+				t.Fatalf("K=%d %s: restored-cache BLIF differs from warm", k, nc.name)
+			}
+			if res.CacheHits == 0 {
+				t.Fatalf("K=%d %s: no hits against the restored cache", k, nc.name)
+			}
+			if res.CacheMisses != 0 {
+				t.Fatalf("K=%d %s: %d misses against a fully restored cache", k, nc.name, res.CacheMisses)
+			}
+		}
+	}
+}
+
+func TestSnapshotWrongSeedNeverHits(t *testing.T) {
+	// A snapshot taken at K=4 restored into a K=5 server must simply
+	// never hit: the seed prefix in every canonical encoding differs, so
+	// entries are unreachable — present but harmless.
+	nw := identicalTrees(6)
+	cache := NewSharedShapeCache(SharedCacheConfig{})
+	opts := DefaultOptions(4)
+	opts.Memoize = true
+	opts.SharedCache = cache
+	if _, err := Map(nw, opts); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := cache.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewSharedShapeCache(SharedCacheConfig{})
+	if _, err := restored.RestoreSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	o5 := DefaultOptions(5)
+	o5.Memoize = true
+	o5.SharedCache = restored
+	res, err := Map(nw, o5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 {
+		t.Fatalf("K=5 run hit a K=4 snapshot %d times", res.CacheHits)
+	}
+}
+
+func TestSnapshotCorruptionDegradesToCold(t *testing.T) {
+	nw := identicalTrees(8)
+	cache := NewSharedShapeCache(SharedCacheConfig{})
+	opts := DefaultOptions(4)
+	opts.Memoize = true
+	opts.SharedCache = cache
+	ref, err := Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := blifOf(t, ref)
+	var snap bytes.Buffer
+	if err := cache.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+
+	corruptions := map[string][]byte{
+		"truncated-header": good[:4],
+		"truncated-mid":    good[:len(good)/2],
+		"truncated-tail":   good[:len(good)-1],
+	}
+	for i, pos := range []int{10, len(good) / 3, len(good) / 2, len(good) - 12} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x20
+		corruptions[map[int]string{0: "flip-a", 1: "flip-b", 2: "flip-c", 3: "flip-d"}[i]] = bad
+	}
+	for name, bad := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			c := NewSharedShapeCache(SharedCacheConfig{})
+			n, err := c.RestoreSnapshot(bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("corrupted snapshot accepted (%d entries)", n)
+			}
+			if c.Len() != 0 {
+				t.Fatalf("cache not empty after rejected restore: %d", c.Len())
+			}
+			// Cold cache still maps correctly.
+			o := DefaultOptions(4)
+			o.Memoize = true
+			o.SharedCache = c
+			res, err := Map(nw, o)
+			if err != nil {
+				t.Fatalf("cold map after rejected restore: %v", err)
+			}
+			if got := blifOf(t, res); got != want {
+				t.Fatal("cold map after rejected restore emitted different bytes")
+			}
+		})
+	}
+}
+
+func TestSnapshotNamespaceMismatchRejected(t *testing.T) {
+	// A container written under a different payload namespace (e.g. a
+	// future codec) must be rejected wholesale.
+	nw := identicalTrees(4)
+	cache := NewSharedShapeCache(SharedCacheConfig{})
+	opts := DefaultOptions(4)
+	opts.Memoize = true
+	opts.SharedCache = cache
+	if _, err := Map(nw, opts); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	err := cache.cache.Snapshot(&snap, "chortle-shape-v999", func(v any) ([]byte, error) {
+		return encodeSharedShape(v.(*sharedShape)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSharedShapeCache(SharedCacheConfig{})
+	if n, err := c.RestoreSnapshot(&snap); err == nil {
+		t.Fatalf("wrong-namespace snapshot accepted (%d entries)", n)
+	} else if !bytes.Contains([]byte(err.Error()), []byte("namespace")) {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after namespace rejection")
+	}
+}
+
+func TestSharedShapeCodecRoundTrip(t *testing.T) {
+	// Exercise the codec directly on cache-resident entries: every
+	// encoded shape must decode to an equal encoding, DP geometry, and
+	// template set.
+	rng := rand.New(rand.NewSource(23))
+	cache := NewSharedShapeCache(SharedCacheConfig{})
+	for _, nw := range []*network.Network{identicalTrees(6), randomDAG(rng, 7, 30)} {
+		opts := DefaultOptions(4)
+		opts.Memoize = true
+		opts.SharedCache = cache
+		if _, err := Map(nw, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	cache.cache.Range(func(_ uint64, v any, _ int64) bool {
+		ss := v.(*sharedShape)
+		dec, err := decodeSharedShape(encodeSharedShape(ss))
+		if err != nil {
+			t.Fatalf("decode(encode(shape)): %v", err)
+		}
+		if !bytes.Equal(dec.enc, ss.enc) {
+			t.Fatal("encoding changed across the codec")
+		}
+		if dec.units != ss.units {
+			t.Fatalf("units %d != %d", dec.units, ss.units)
+		}
+		if !sameDPShape(dec.dp, ss.dp) {
+			t.Fatal("DP skeleton changed across the codec")
+		}
+		count++
+		return true
+	})
+	if count == 0 {
+		t.Fatal("no shapes to round-trip")
+	}
+}
+
+// sameDPShape structurally compares two frozen DP trees.
+func sameDPShape(a, b *nodeDP) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.full != b.full || a.nodeIdx != b.nodeIdx || a.stride != b.stride ||
+		a.bestCost != b.bestCost || a.bestU != b.bestU ||
+		len(a.g) != len(b.g) || len(a.choice) != len(b.choice) ||
+		len(a.mmBest) != len(b.mmBest) || len(a.mmBestU) != len(b.mmBestU) ||
+		len(a.fanins) != len(b.fanins) {
+		return false
+	}
+	for i := range a.g {
+		if a.g[i] != b.g[i] || a.choice[i] != b.choice[i] {
+			return false
+		}
+	}
+	for i := range a.mmBest {
+		if a.mmBest[i] != b.mmBest[i] || a.mmBestU[i] != b.mmBestU[i] {
+			return false
+		}
+	}
+	for i := range a.fanins {
+		if a.fanins[i].leafIdx != b.fanins[i].leafIdx {
+			return false
+		}
+		if !sameDPShape(a.fanins[i].child, b.fanins[i].child) {
+			return false
+		}
+	}
+	return true
+}

@@ -151,3 +151,8 @@ func readRuntimeOne(name string) float64 {
 	rm.Read(smp)
 	return sampleValue(smp[0])
 }
+
+// LiveHeapBytes reads the current live heap size (heap object bytes)
+// from runtime/metrics — the same sample the chortle_process_heap_bytes
+// gauge scrapes. Servers use it as the input to memory-pressure valves.
+func LiveHeapBytes() float64 { return readRuntimeOne(rmHeapBytes) }

@@ -74,6 +74,11 @@ func RegisterCacheMetrics(reg *MetricsRegistry, cache *SharedCache) {
 		func() float64 { return float64(cache.Stats().Bytes) })
 }
 
+// LiveHeapBytes reads the process's current live heap size from
+// runtime/metrics — the input to server-side memory-pressure valves
+// (cmd/chortled sheds cache and queued load above a heap watermark).
+func LiveHeapBytes() float64 { return metrics.LiveHeapBytes() }
+
 // NewBoundedCollector returns a Collector that retains only the most
 // recent capacity events (older ones are dropped, counted by Dropped) —
 // bounded memory for long-running or server processes.

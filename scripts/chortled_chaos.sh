@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Chaos + crash-safety end-to-end for cmd/chortled:
+#
+#  1. Race-detected chaos soak: ≥500 requests through the resilient
+#     chortle/client against a server injecting seeded faults (latency
+#     spikes, solve panics, forced evictions); asserts zero goroutine
+#     leaks and zero incorrect 2xx bodies.
+#  2. Snapshot round-trip: warm a server, SIGTERM it, restart with the
+#     same -cache-snapshot; the restarted server must serve the same
+#     bytes as the first one's cold map, as cache hits.
+#  3. Snapshot corruption: flip a byte in the snapshot; the restarted
+#     server must reject it (chortle_snapshot_rejected), boot cold, and
+#     still serve the correct answer.
+#  4. chortle -server against a chaos-mode chortled: the resilient CLI
+#     client retries through the injected faults and must emit exactly
+#     the bytes a local map produces.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+
+cleanup() {
+    status=$?
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    if [ "$status" -ne 0 ]; then
+        echo "=== chaos harness FAILED (exit $status); server logs follow ==="
+        for f in "$workdir"/chortled*.err; do
+            [ -f "$f" ] && { echo "--- $f ---"; cat "$f"; }
+        done
+    fi
+    rm -rf "$workdir"
+    exit "$status"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*"; exit 1; }
+
+# start_server <logname> <args...>: starts chortled, sets server_pid and
+# addr. The server prints "listening on <addr>" once bound.
+start_server() {
+    local logname=$1; shift
+    "$workdir/chortled" -addr 127.0.0.1:0 "$@" \
+        > "$workdir/$logname.out" 2>"$workdir/$logname.err" &
+    server_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/^listening on //p' "$workdir/$logname.out")
+        [ -n "$addr" ] && break
+        kill -0 "$server_pid" 2>/dev/null || fail "chortled ($logname) died at startup"
+        sleep 0.1
+    done
+    [ -n "$addr" ] || fail "chortled ($logname) never reported its address"
+}
+
+stop_server() {
+    kill -TERM "$server_pid" 2>/dev/null
+    wait "$server_pid" || fail "chortled did not exit cleanly on SIGTERM"
+    server_pid=""
+}
+
+json_field() { python3 -c "import json,sys; print(json.load(sys.stdin)[\"$1\"])"; }
+
+go build -o "$workdir/chortled" ./cmd/chortled || fail "building chortled"
+go build -o "$workdir/chortle" ./cmd/chortle || fail "building chortle"
+go run ./cmd/mcnc -opt rot > "$workdir/rot.blif" || fail "generating benchmark"
+
+echo "=== 1/4 race-detected chaos soak (seeded faults, resilient client) ==="
+go test -race -run TestChaosSoak -v ./cmd/chortled/ || fail "chaos soak test"
+
+echo "=== 2/4 snapshot round-trip across SIGTERM + restart ==="
+snap="$workdir/cache.snap"
+start_server first -cache-snapshot "$snap" -snapshot-interval 1h
+cold=$(curl -sf --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4") \
+    || fail "cold map on first server"
+printf '%s' "$cold" | json_field blif > "$workdir/cold.blif"
+stop_server
+grep -q "final snapshot written" "$workdir/first.err" || fail "no final snapshot at drain"
+[ -s "$snap" ] || fail "snapshot file empty or missing"
+
+start_server second -cache-snapshot "$snap" -snapshot-interval 1h
+grep -q "restored" "$workdir/second.err" || fail "restart did not restore the snapshot"
+warm=$(curl -sf --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4") \
+    || fail "map on restarted server"
+warm_hits=$(printf '%s' "$warm" | json_field cache_hits)
+warm_misses=$(printf '%s' "$warm" | json_field cache_misses)
+echo "warm-after-restart: hits=$warm_hits misses=$warm_misses"
+[ "$warm_hits" -gt 0 ] || fail "restarted server did not hit the restored cache"
+[ "$warm_misses" -eq 0 ] || fail "restarted server missed despite the snapshot"
+printf '%s' "$warm" | json_field blif > "$workdir/warm.blif"
+diff "$workdir/cold.blif" "$workdir/warm.blif" \
+    || fail "warm-after-restart BLIF differs from the first process's cold map"
+stop_server
+
+echo "=== 3/4 corrupted snapshot boots cold and still serves ==="
+python3 - "$snap" <<'EOF'
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, "rb").read())
+b[len(b)//2] ^= 0x20
+open(p, "wb").write(b)
+EOF
+start_server corrupt -cache-snapshot "$snap" -snapshot-interval 1h
+grep -q "rejected" "$workdir/corrupt.err" || fail "corrupted snapshot was not rejected"
+cold2=$(curl -sf --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4") \
+    || fail "map after rejected snapshot"
+cold2_hits=$(printf '%s' "$cold2" | json_field cache_hits)
+[ "$cold2_hits" -eq 0 ] || fail "rejected snapshot still produced cache hits"
+printf '%s' "$cold2" | json_field blif > "$workdir/cold2.blif"
+diff "$workdir/cold.blif" "$workdir/cold2.blif" \
+    || fail "cold boot after rejection produced different BLIF"
+metrics=$(curl -sf "http://$addr/metrics")
+printf '%s\n' "$metrics" | grep -q '^chortle_snapshot_rejected 1' \
+    || fail "/metrics does not count the rejected snapshot"
+stop_server
+
+echo "=== 4/4 resilient CLI client vs chaos-mode server ==="
+start_server chaos -chaos 42
+"$workdir/chortle" -k 4 -o "$workdir/local.blif" "$workdir/rot.blif" || fail "local map"
+for i in 1 2 3 4 5; do
+    "$workdir/chortle" -k 4 -server "http://$addr" -o "$workdir/remote.blif" "$workdir/rot.blif" \
+        || fail "remote map $i through chaos"
+    diff "$workdir/local.blif" "$workdir/remote.blif" \
+        || fail "remote map $i differs from local map"
+done
+metrics=$(curl -sf "http://$addr/metrics")
+printf '%s\n' "$metrics" | grep -q 'chortled_chaos_injected_total' \
+    || fail "chaos server injected nothing"
+stop_server
+
+echo "chaos harness OK"

@@ -7,7 +7,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
-trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=""
+cleanup() {
+    status=$?
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    if [ "$status" -ne 0 ] && [ -f "$workdir/chortled.err" ]; then
+        echo "=== smoke FAILED (exit $status); chortled logs follow ==="
+        cat "$workdir/chortled.err"
+    fi
+    rm -rf "$workdir"
+    exit "$status"
+}
+trap cleanup EXIT
 
 go build -o "$workdir/chortled" ./cmd/chortled
 go run ./cmd/mcnc -opt rot > "$workdir/rot.blif"
