@@ -57,6 +57,28 @@ type Result = core.Result
 // full decomposition search with node splitting above fanin ten.
 func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
 
+// Engine selects the mapping algorithm (Options.Engine): the paper's
+// fanout-free-tree DP, the MIS II-style baseline coverer, or the
+// priority-cut DAG mapper. All engines emit the same Circuit
+// representation, so Verify, simulation and provenance work unchanged.
+type Engine = core.Engine
+
+// Mapping engines.
+const (
+	// EngineTree is the paper's algorithm (the default).
+	EngineTree = core.EngineTree
+	// EngineMIS is the MIS II-style baseline run through Map.
+	EngineMIS = core.EngineMIS
+	// EngineCut is the priority-cut DAG mapper: K-feasible cut
+	// enumeration with area-flow cover selection, the engine that sees
+	// through reconvergent fanout (internal/cut).
+	EngineCut = core.EngineCut
+)
+
+// ParseEngine resolves an engine name ("tree", "mis", "cut"; empty
+// means tree) for -engine style flags.
+func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
 // Strategy selects the per-node decomposition search (see Options).
 type Strategy = core.Strategy
 

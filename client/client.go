@@ -42,8 +42,11 @@ import (
 // MapRequest is one mapping request. BLIF is required; zero-valued
 // options take the server's defaults.
 type MapRequest struct {
-	BLIF            string `json:"blif"`
-	K               int    `json:"k,omitempty"`
+	BLIF string `json:"blif"`
+	K    int    `json:"k,omitempty"`
+	// Engine selects the server-side mapping algorithm: "tree" (default),
+	// "mis" or "cut".
+	Engine          string `json:"engine,omitempty"`
 	BudgetWorkUnits int64  `json:"budget_work_units,omitempty"`
 	// DeadlineMS bounds the server-side solve. When zero and the context
 	// has a deadline, the client derives it from the context so the
@@ -56,6 +59,7 @@ type MapRequest struct {
 type MapResponse struct {
 	Circuit     string   `json:"circuit"`
 	K           int      `json:"k"`
+	Engine      string   `json:"engine"`
 	LUTs        int      `json:"luts"`
 	Trees       int      `json:"trees"`
 	Degraded    []string `json:"degraded,omitempty"`

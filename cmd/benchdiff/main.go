@@ -5,7 +5,10 @@
 //
 //	benchdiff [-threshold 0.10] [-v] old.json new.json
 //
-// Records are matched by (circuit, K). For every pair the ns/op ratio,
+// Records are matched by (circuit, K, engine); records from pre-v4
+// reports carry no engine field and match as the tree engine, so a new
+// multi-engine report still pairs with an old baseline on the tree
+// rows. For every pair the ns/op ratio,
 // allocation delta and LUT count are compared; LUT drift is flagged as
 // a correctness problem (the mapper is deterministic — the same input
 // must produce the same LUT count regardless of speed). The command
@@ -25,8 +28,10 @@ import (
 )
 
 type record struct {
-	Circuit     string `json:"circuit"`
-	K           int    `json:"k"`
+	Circuit string `json:"circuit"`
+	K       int    `json:"k"`
+	// Engine arrived with schema v4; empty (tree) in older reports.
+	Engine      string `json:"engine"`
 	LUTs        int    `json:"luts"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
@@ -69,7 +74,13 @@ func load(path string) (*report, error) {
 	return &rep, nil
 }
 
-func key(r record) string { return fmt.Sprintf("%s/K=%d", r.Circuit, r.K) }
+func key(r record) string {
+	eng := r.Engine
+	if eng == "" {
+		eng = "tree" // pre-v4 reports measured only the tree engine
+	}
+	return fmt.Sprintf("%s/K=%d/%s", r.Circuit, r.K, eng)
+}
 
 // run executes the comparison; exit code 0 = within threshold,
 // 1 = regression or LUT drift, 2 = usage/input error.

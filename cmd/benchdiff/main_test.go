@@ -155,3 +155,38 @@ func TestMedian(t *testing.T) {
 		t.Errorf("even median = %v", m)
 	}
 }
+
+// TestEngineAwareMatching pins the v4 key semantics: records match on
+// (circuit, K, engine); a missing engine field means the tree engine,
+// so old single-engine baselines still pair with new multi-engine
+// reports on the tree rows, and the cut rows show up as unpaired
+// instead of cross-matching a different engine's numbers.
+func TestEngineAwareMatching(t *testing.T) {
+	oldRecs := baseline() // pre-v4: no engine field
+	newRecs := append(scale(1.0),
+		record{Circuit: "9symml", K: 4, Engine: "cut", LUTs: 40, NsPerOp: 50000})
+	newRecs[0].Engine = "tree"
+	code, out := diff(t, "0.10", oldRecs, newRecs)
+	if code != 0 {
+		t.Fatalf("tree rows identical: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "NEW   9symml/K=4/cut") {
+		t.Errorf("cut record should be unpaired, got:\n%s", out)
+	}
+	if !strings.Contains(out, "3 pairs compared (1 unpaired)") {
+		t.Errorf("want 3 matched tree pairs, got:\n%s", out)
+	}
+
+	// A cut-row LUT drift must gate exactly like a tree one.
+	oldV4 := append(baseline(),
+		record{Circuit: "9symml", K: 4, Engine: "cut", LUTs: 40, NsPerOp: 50000})
+	newV4 := append(baseline(),
+		record{Circuit: "9symml", K: 4, Engine: "cut", LUTs: 41, NsPerOp: 50000})
+	code, out = diff(t, "0.10", oldV4, newV4)
+	if code != 1 {
+		t.Fatalf("cut LUT drift: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "DRIFT 9symml/K=4/cut") {
+		t.Errorf("drift should name the cut row, got:\n%s", out)
+	}
+}

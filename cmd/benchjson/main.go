@@ -5,11 +5,15 @@
 // the mapping wall time, the allocation profile per Map call, and —
 // since schema v3 — the cross-run shape cache's cold-versus-warm wall
 // time on the same circuit (readers of v2 reports ignore the extra
-// field).
+// field). Schema v4 added the engine dimension: each record names the
+// mapping engine it measured, and the default run covers both the tree
+// DP and the priority-cut engine, so the cut mapper's speed and LUT
+// counts are gated alongside the paper algorithm's.
 //
 // Usage:
 //
-//	benchjson [-k 4] [-circuits des,rot] [-reps 5] [-o BENCH_map.json]
+//	benchjson [-k 4] [-engines tree,cut] [-circuits des,rot] [-reps 5]
+//	          [-o BENCH_map.json]
 //
 // With no -k every K in 2..5 is measured.
 package main
@@ -29,8 +33,11 @@ import (
 )
 
 type record struct {
-	Circuit     string      `json:"circuit"`
-	K           int         `json:"k"`
+	Circuit string `json:"circuit"`
+	K       int    `json:"k"`
+	// Engine is the mapping engine measured (schema v4); absent in
+	// older reports, which measured only the tree engine.
+	Engine      string      `json:"engine,omitempty"`
 	LUTs        int         `json:"luts"`
 	NsPerOp     int64       `json:"ns_per_op"`
 	AllocsPerOp int64       `json:"allocs_per_op"`
@@ -84,6 +91,7 @@ func main() {
 	var (
 		kFlag    = flag.Int("k", 0, "single K to measure (default: 2,3,4,5)")
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all twelve)")
+		engines  = flag.String("engines", "tree,cut", "comma-separated engines to measure (tree, mis, cut)")
 		reps     = flag.Int("reps", 5, "timed repetitions per (circuit, K); the mean is reported")
 		out      = flag.String("o", "BENCH_map.json", "output file (- for stdout)")
 		seq      = flag.Bool("sequential", false, "measure with Parallel and Memoize off")
@@ -117,8 +125,17 @@ func main() {
 	}
 	sort.Strings(names)
 
+	var engineList []chortle.Engine
+	for _, s := range strings.Split(*engines, ",") {
+		e, err := chortle.ParseEngine(s)
+		if err != nil {
+			fatal(err)
+		}
+		engineList = append(engineList, e)
+	}
+
 	var rep report
-	rep.Schema = "chortle-bench-map/v3"
+	rep.Schema = "chortle-bench-map/v4"
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Options.Parallel = !*seq
 	rep.Options.Memoize = !*seq
@@ -129,14 +146,17 @@ func main() {
 			fatal(err)
 		}
 		for _, k := range ks {
-			opts := chortle.DefaultOptions(k)
-			opts.Parallel = !*seq
-			opts.Memoize = !*seq
-			rec, err := measure(name, nw, opts, *reps, metricsObs)
-			if err != nil {
-				fatal(err)
+			for _, eng := range engineList {
+				opts := chortle.DefaultOptions(k)
+				opts.Engine = eng
+				opts.Parallel = !*seq
+				opts.Memoize = !*seq
+				rec, err := measure(name, nw, opts, *reps, metricsObs)
+				if err != nil {
+					fatal(err)
+				}
+				rep.Results = append(rep.Results, rec)
 			}
-			rep.Results = append(rep.Results, rec)
 		}
 	}
 
@@ -182,7 +202,40 @@ func measure(name string, nw *chortle.Network, opts chortle.Options, reps int, e
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
-	r := col.Report()
+	// The MIS engine is unobserved, so its record carries no stats
+	// block; the timing and LUT anchor still apply.
+	var stats *statBlock
+	if opts.Engine != chortle.EngineMIS {
+		stats = buildStats(col.Report())
+	}
+
+	// Shared-cache warm-vs-cold measurement. Cold pays publication on
+	// top of the solve (a fresh cache per rep); warm maps through a
+	// cache already holding every shape of this circuit. Only
+	// meaningful for the tree engine with the memo on — the shared
+	// tier rides the tree DP's memoization.
+	var cache *cacheBlock
+	if opts.Memoize && opts.Engine == chortle.EngineTree {
+		cache, err = measureCache(name, nw, opts, reps)
+		if err != nil {
+			return record{}, err
+		}
+	}
+
+	return record{
+		Circuit:     name,
+		K:           opts.K,
+		Engine:      opts.Engine.String(),
+		LUTs:        res.LUTs,
+		NsPerOp:     elapsed.Nanoseconds() / int64(reps),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(reps),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
+		Stats:       stats,
+		SharedCache: cache,
+	}, nil
+}
+
+func buildStats(r *chortle.MapReport) *statBlock {
 	stats := &statBlock{
 		Depth:           r.Depth,
 		Trees:           r.Trees,
@@ -202,62 +255,48 @@ func measure(name string, nw *chortle.Network, opts chortle.Options, reps int, e
 	for in, n := range r.LUTInputHist {
 		stats.LUTInputHist[fmt.Sprint(in)] = n
 	}
+	return stats
+}
 
-	// Shared-cache warm-vs-cold measurement. Cold pays publication on
-	// top of the solve (a fresh cache per rep); warm maps through a
-	// cache already holding every shape of this circuit. Only
-	// meaningful when the memo is on — the shared tier rides it.
-	var cache *cacheBlock
-	if opts.Memoize {
-		cold := time.Duration(0)
-		for i := 0; i < reps; i++ {
-			c := chortle.NewSharedCache(chortle.SharedCacheConfig{})
-			o := opts
-			o.SharedCache = c
-			t0 := time.Now()
-			if _, err := chortle.Map(nw, o); err != nil {
-				return record{}, fmt.Errorf("%s K=%d cold: %w", name, opts.K, err)
-			}
-			cold += time.Since(t0)
-		}
+func measureCache(name string, nw *chortle.Network, opts chortle.Options, reps int) (*cacheBlock, error) {
+	cold := time.Duration(0)
+	for i := 0; i < reps; i++ {
 		c := chortle.NewSharedCache(chortle.SharedCacheConfig{})
 		o := opts
 		o.SharedCache = c
+		t0 := time.Now()
 		if _, err := chortle.Map(nw, o); err != nil {
-			return record{}, fmt.Errorf("%s K=%d warmup: %w", name, opts.K, err)
+			return nil, fmt.Errorf("%s K=%d cold: %w", name, opts.K, err)
 		}
-		warm := time.Duration(0)
-		var hits, misses int
-		for i := 0; i < reps; i++ {
-			t0 := time.Now()
-			wres, err := chortle.Map(nw, o)
-			if err != nil {
-				return record{}, fmt.Errorf("%s K=%d warm: %w", name, opts.K, err)
-			}
-			warm += time.Since(t0)
-			hits, misses = wres.CacheHits, wres.CacheMisses
-		}
-		cache = &cacheBlock{
-			ColdNsPerOp: cold.Nanoseconds() / int64(reps),
-			WarmNsPerOp: warm.Nanoseconds() / int64(reps),
-			Hits:        hits,
-			Misses:      misses,
-		}
-		if cache.WarmNsPerOp > 0 {
-			cache.Speedup = float64(cache.ColdNsPerOp) / float64(cache.WarmNsPerOp)
-		}
+		cold += time.Since(t0)
 	}
-
-	return record{
-		Circuit:     name,
-		K:           opts.K,
-		LUTs:        res.LUTs,
-		NsPerOp:     elapsed.Nanoseconds() / int64(reps),
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(reps),
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
-		Stats:       stats,
-		SharedCache: cache,
-	}, nil
+	c := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	o := opts
+	o.SharedCache = c
+	if _, err := chortle.Map(nw, o); err != nil {
+		return nil, fmt.Errorf("%s K=%d warmup: %w", name, opts.K, err)
+	}
+	warm := time.Duration(0)
+	var hits, misses int
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		wres, err := chortle.Map(nw, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s K=%d warm: %w", name, opts.K, err)
+		}
+		warm += time.Since(t0)
+		hits, misses = wres.CacheHits, wres.CacheMisses
+	}
+	cache := &cacheBlock{
+		ColdNsPerOp: cold.Nanoseconds() / int64(reps),
+		WarmNsPerOp: warm.Nanoseconds() / int64(reps),
+		Hits:        hits,
+		Misses:      misses,
+	}
+	if cache.WarmNsPerOp > 0 {
+		cache.Speedup = float64(cache.ColdNsPerOp) / float64(cache.WarmNsPerOp)
+	}
+	return cache, nil
 }
 
 func fatal(err error) {

@@ -4,11 +4,21 @@
 //
 // Usage:
 //
-//	chortle [-k K] [-o out.blif] [-opt] [-baseline] [-stats] [-verify]
-//	        [-trace trace.jsonl] [-timeout 30s] [-budget N]
+//	chortle [-k K] [-engine tree|mis|cut] [-o out.blif] [-opt] [-baseline]
+//	        [-stats] [-verify] [-trace trace.jsonl] [-timeout 30s] [-budget N]
 //	        [-debug-addr :6060] [-explain report.html] [-dot out.dot]
 //	        [-shared-cache] [-v] [-log-format text|json]
 //	        [-server URL[,URL...]] [-server-hedge 30ms] [in.blif ...]
+//
+// -engine selects the mapping algorithm: tree (the paper's per-tree
+// exhaustive DP, the default), mis (the MIS II-style library baseline)
+// or cut (the priority-cut DAG mapper, which sees through reconvergent
+// fanout). All engines emit the same circuit format, so -verify, -stats
+// and the output writers work unchanged; flags that tune the tree
+// search (-dup, -depth, -binpack, -split, -parallel, -memo, -budget,
+// -shared-cache) are rejected with the other engines rather than
+// silently ignored. In -server mode the engine rides along in the
+// request and the fleet maps with it per request.
 //
 // -server maps remotely through a chortled fleet instead of in-process,
 // using the resilient chortle/client (retries with backoff, circuit
@@ -60,6 +70,7 @@ import (
 func main() {
 	var (
 		k        = flag.Int("k", 4, "lookup table input count (2..6)")
+		engine   = flag.String("engine", "tree", "mapping engine: tree (paper's per-tree DP), mis (library baseline), cut (priority-cut DAG mapper)")
 		out      = flag.String("o", "", "output BLIF file (default stdout)")
 		optimize = flag.Bool("opt", false, "run the mini-MIS standard script before mapping")
 		baseline = flag.Bool("baseline", false, "map with the MIS II-style library mapper instead of Chortle")
@@ -90,6 +101,41 @@ func main() {
 	)
 	flag.Parse()
 
+	eng, engErr := chortle.ParseEngine(*engine)
+	if engErr != nil {
+		fatal(engErr)
+	}
+	if eng != chortle.EngineTree {
+		if *baseline {
+			fatal(fmt.Errorf("-baseline conflicts with -engine %s (it is the pre-engine spelling of -engine mis)", eng))
+		}
+		// Tree-search tuning flags do nothing under the other engines;
+		// reject explicit uses rather than silently ignoring them.
+		treeOnly := map[string]bool{
+			"dup": true, "depth": true, "binpack": true, "split": true,
+			"parallel": true, "memo": true, "budget": true, "shared-cache": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if treeOnly[f.Name] {
+				fatal(fmt.Errorf("-%s tunes the tree engine and is not supported with -engine %s", f.Name, eng))
+			}
+		})
+	}
+	if eng == chortle.EngineMIS {
+		// The library baseline is unobserved and records no provenance,
+		// exactly like -baseline.
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{*trace != "", "-trace"}, {*explain != "", "-explain"}, {*dotOut != "", "-dot"},
+		} {
+			if bad.set {
+				fatal(fmt.Errorf("%s is not supported with -engine mis (the library mapper is unobserved)", bad.name))
+			}
+		}
+	}
+
 	if *server != "" {
 		// Remote mode: the server owns the mapping options beyond k and
 		// budget, so flags that change the local search are rejected
@@ -117,6 +163,7 @@ func main() {
 			timeout:  *timeout,
 			k:        *k,
 			budget:   *budget,
+			engine:   eng.String(),
 		})
 		return
 	}
@@ -161,6 +208,7 @@ func main() {
 	// observers) are layered on by the single path.
 	buildOpts := func() chortle.Options {
 		opts := chortle.DefaultOptions(*k)
+		opts.Engine = eng
 		opts.SplitThreshold = *split
 		opts.Parallel = *parallel
 		opts.Memoize = *memo
@@ -259,7 +307,9 @@ func main() {
 		// active at once.
 		var observers []chortle.Observer
 		var col *chortle.Collector
-		if *stats || *explain != "" {
+		// The MIS engine emits no observer events, so -stats falls back to
+		// the circuit summary instead of an empty mapper report.
+		if (*stats && eng != chortle.EngineMIS) || *explain != "" {
 			col = &chortle.Collector{}
 			observers = append(observers, col)
 		}

@@ -23,6 +23,7 @@ type remoteFlags struct {
 	timeout  time.Duration
 	k        int
 	budget   int64
+	engine   string
 }
 
 // remoteMap sends each input to a chortled fleet through the resilient
@@ -106,6 +107,7 @@ func remoteMap(paths []string, rf remoteFlags) {
 		res, err := c.Map(ctx, client.MapRequest{
 			BLIF:            text,
 			K:               rf.k,
+			Engine:          rf.engine,
 			BudgetWorkUnits: rf.budget,
 		})
 		if err != nil {

@@ -27,10 +27,12 @@ import (
 //	GET  /metrics  Prometheus text exposition
 //
 // /map accepts either a raw BLIF body with query parameters
-// (?k=4&budget_work_units=N&deadline_ms=N) or, with
+// (?k=4&engine=cut&budget_work_units=N&deadline_ms=N) or, with
 // Content-Type: application/json, a JSON object {"blif": "...", "k": 4,
-// "budget_work_units": N, "deadline_ms": N}; JSON fields override query
-// parameters.
+// "engine": "cut", "budget_work_units": N, "deadline_ms": N}; JSON
+// fields override query parameters. engine selects the mapping
+// algorithm per request — tree (default), mis, or cut — so one fleet
+// serves all three; an unknown engine is a 400.
 //
 // Admission is layered so every refusal is cheap and honest:
 //
@@ -211,6 +213,7 @@ func (l *latencyTracker) p95() time.Duration {
 type mapRequest struct {
 	BLIF            string `json:"blif"`
 	K               int    `json:"k"`
+	Engine          string `json:"engine"`
 	BudgetWorkUnits int64  `json:"budget_work_units"`
 	DeadlineMS      int64  `json:"deadline_ms"`
 }
@@ -219,6 +222,7 @@ type mapRequest struct {
 type mapResponse struct {
 	Circuit     string   `json:"circuit"`
 	K           int      `json:"k"`
+	Engine      string   `json:"engine"`
 	LUTs        int      `json:"luts"`
 	Trees       int      `json:"trees"`
 	Degraded    []string `json:"degraded,omitempty"`
@@ -273,6 +277,7 @@ func parseMapRequest(r *http.Request, defaultK int) (*mapRequest, error) {
 		}
 		req.K = n
 	}
+	req.Engine = q.Get("engine")
 	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 64<<20))
 	if err != nil {
 		return nil, fmt.Errorf("reading body: %v", err)
@@ -288,6 +293,9 @@ func parseMapRequest(r *http.Request, defaultK int) (*mapRequest, error) {
 		req.BLIF = jr.BLIF
 		if jr.K != 0 {
 			req.K = jr.K
+		}
+		if jr.Engine != "" {
+			req.Engine = jr.Engine
 		}
 		if jr.BudgetWorkUnits != 0 {
 			req.BudgetWorkUnits = jr.BudgetWorkUnits
@@ -361,6 +369,14 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
 			return
 		}
+		// An unknown engine is refused before the request costs a queue
+		// slot; the parsed value configures the solve below.
+		eng, err := chortle.ParseEngine(req.Engine)
+		if err != nil {
+			m.clientErr.Inc()
+			writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
+			return
+		}
 		// The request's deadline budget starts ticking at admission, so
 		// queue wait counts against it.
 		admitted := time.Now()
@@ -428,6 +444,7 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			return
 		}
 		opts := chortle.DefaultOptions(req.K)
+		opts.Engine = eng
 		opts.SharedCache = s.cfg.cache
 		opts.Budget.WorkUnits = req.BudgetWorkUnits
 		opts.Observer = s.obs
@@ -468,6 +485,7 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		writeJSON(w, http.StatusOK, mapResponse{
 			Circuit:     nw.Name,
 			K:           req.K,
+			Engine:      eng.String(),
 			LUTs:        res.LUTs,
 			Trees:       res.Trees,
 			Degraded:    res.Degraded,

@@ -134,6 +134,73 @@ func TestServerJSONRequest(t *testing.T) {
 	}
 }
 
+// TestServerEngineSelection drives per-request engine selection: the
+// engine rides in the query or JSON body, the response echoes it, and
+// the served circuit is byte-identical to an in-process map with the
+// same engine.
+func TestServerEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxInflight: 2, maxQueue: 2})
+	c := bench.Suite()[5] // count: the reconvergent circuit the cut engine wins on
+	blif := benchBLIF(t, c)
+
+	byEngine := map[string]mapResponse{}
+	for _, eng := range []string{"tree", "mis", "cut"} {
+		resp, mr := postMap(t, ts.URL+"/map?k=3&engine="+eng, blif, "text/plain")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine=%s: HTTP %d", eng, resp.StatusCode)
+		}
+		if mr.Engine != eng {
+			t.Errorf("engine=%s: response echoes %q", eng, mr.Engine)
+		}
+		if mr.LUTs == 0 || mr.BLIF == "" {
+			t.Fatalf("engine=%s: empty result %+v", eng, mr)
+		}
+		byEngine[eng] = mr
+	}
+	if byEngine["cut"].LUTs >= byEngine["tree"].LUTs {
+		t.Errorf("cut engine on count at K=3: %d LUTs, want fewer than tree's %d",
+			byEngine["cut"].LUTs, byEngine["tree"].LUTs)
+	}
+
+	// Served answer == local map with the same engine, byte for byte.
+	nw, err := chortle.ReadBLIF(strings.NewReader(blif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chortle.DefaultOptions(3)
+	opts.Engine = chortle.EngineCut
+	res, err := chortle.Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local strings.Builder
+	if err := res.Circuit.WriteBLIF(&local); err != nil {
+		t.Fatal(err)
+	}
+	if byEngine["cut"].BLIF != local.String() {
+		t.Error("served cut circuit differs from local map with EngineCut")
+	}
+
+	// JSON body form: the engine field overrides the query parameter.
+	body, err := json.Marshal(mapRequest{BLIF: blif, K: 3, Engine: "cut"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, mr := postMap(t, ts.URL+"/map?engine=tree", string(body), "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("JSON engine: HTTP %d", resp.StatusCode)
+	}
+	if mr.Engine != "cut" || mr.BLIF != byEngine["cut"].BLIF {
+		t.Errorf("JSON engine=cut should override query engine=tree, got %q", mr.Engine)
+	}
+
+	// Unknown engines are refused before costing a slot.
+	resp, _ = postMap(t, ts.URL+"/map?engine=bogus", blif, "text/plain")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("engine=bogus: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestServerRejectsBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, serverConfig{maxInflight: 1, maxQueue: 1})
 	cases := []struct {

@@ -11,6 +11,8 @@
 //	compare                 # all four tables (K=2..5)
 //	compare -k 4            # Table 3 only
 //	compare -circuits alu2,rot -k 5
+//	compare -engines tree,cut  # engine columns beside MIS (the default)
+//	compare -engines cut    # priority-cut engine only
 //	compare -noverify       # skip simulation cross-checks (faster)
 //	compare -stats          # per-circuit mapper observability to stderr
 //	compare -trace t.jsonl  # stream all mapping events as JSON lines
@@ -52,9 +54,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget   = fs.Int64("budget", 0, "per-tree search budget in DP work units (0 = unlimited); over-budget trees fall back to bin packing")
 		debug    = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while comparing")
 		report   = fs.String("report", "", "write the comparison as a self-contained HTML report to this file")
+		engines  = fs.String("engines", "tree,cut", "comma-separated engines to map beside the MIS baseline (tree, cut); the first is primary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var engineList []chortle.Engine
+	for _, name := range strings.Split(*engines, ",") {
+		e, err := chortle.ParseEngine(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "compare:", err)
+			return 2
+		}
+		engineList = append(engineList, e)
 	}
 
 	var observers []chortle.Observer
@@ -84,7 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// -report needs each run's aggregated stats for its charts, so it
 		// turns collection on even without -stats (which only controls the
 		// stderr dump).
-		Stats: *stats || *report != "",
+		Stats:   *stats || *report != "",
+		Engines: engineList,
 	}
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
@@ -158,24 +171,29 @@ func writeReport(path string, tables []chortle.Table) error {
 		Generated: "generated " + time.Now().Format(time.RFC1123) + " by compare -report",
 	}
 	for _, tbl := range tables {
+		primary := chortle.EngineTree
+		if len(tbl.Engines) > 0 {
+			primary = tbl.Engines[0]
+		}
 		for _, r := range tbl.Rows {
+			luts, _, diff, dur, _ := r.Cols(primary)
 			data.Compare = append(data.Compare, chortle.ReportCompareRow{
-				Circuit:      fmt.Sprintf("%s (K=%d)", r.Circuit, tbl.K),
+				Circuit:      fmt.Sprintf("%s (K=%d, %s)", r.Circuit, tbl.K, primary),
 				BaselineLUTs: r.MISLUTs,
-				ChortleLUTs:  r.ChortleLUTs,
-				// The table's "%" column is positive when Chortle wins;
+				ChortleLUTs:  luts,
+				// The table's "%" column is positive when the engine wins;
 				// the report's diff is a signed LUT delta (negative =
 				// fewer LUTs), so flip the sign.
-				DiffPct:      -r.DiffPct,
+				DiffPct:      -diff,
 				BaselineTime: r.MISTime,
-				ChortleTime:  r.ChortleTime,
+				ChortleTime:  dur,
 				Synthetic:    r.Synthetic,
 			})
 			if r.Report != nil {
 				data.Sections = append(data.Sections, chortle.ReportSection{
 					Name:     r.Circuit,
 					K:        tbl.K,
-					LUTs:     r.ChortleLUTs,
+					LUTs:     luts,
 					Depth:    r.Report.Depth,
 					Trees:    r.Report.Trees,
 					Degraded: len(r.Report.Degraded),

@@ -18,51 +18,103 @@ import (
 // percentage difference and wall-clock times — the same columns the
 // paper prints ("# tables MIS", "# tables Chortle", "%", "t (sec.)").
 
-// Row is one benchmark line of a comparison table.
+// Row is one benchmark line of a comparison table. Beside the MIS
+// baseline it carries one column group per compared engine (the tree
+// DP under the paper's "Chortle" name, and the priority-cut DAG
+// mapper), each with LUT count, circuit depth and wall time — depth is
+// reported per engine so an area win cannot silently hide a depth
+// regression.
 type Row struct {
-	Circuit     string
-	MISLUTs     int
-	ChortleLUTs int
-	// DiffPct is the paper's "%" column: how many fewer LUTs Chortle
-	// used, as a percentage of the MIS count (positive = Chortle wins).
-	DiffPct     float64
-	MISTime     time.Duration
-	ChortleTime time.Duration
-	Synthetic   bool
-	// Report carries the Chortle run's aggregated observability report
-	// when CompareOptions.Stats is set (nil otherwise).
+	Circuit  string
+	MISLUTs  int
+	MISDepth int
+	MISTime  time.Duration
+
+	// ChortleLUTs/ChortleDepth/ChortleTime are the tree engine's
+	// columns; DiffPct is the paper's "%" column: how many fewer LUTs
+	// the tree engine used, as a percentage of the MIS count
+	// (positive = Chortle wins). Zero when the run excluded the tree
+	// engine (CompareOptions.Engines).
+	ChortleLUTs  int
+	ChortleDepth int
+	DiffPct      float64
+	ChortleTime  time.Duration
+
+	// CutLUTs/CutDepth/CutDiffPct/CutTime are the priority-cut
+	// engine's columns, with the same conventions. Zero when the run
+	// excluded the cut engine.
+	CutLUTs    int
+	CutDepth   int
+	CutDiffPct float64
+	CutTime    time.Duration
+
+	Synthetic bool
+	// Report carries the primary engine run's aggregated observability
+	// report when CompareOptions.Stats is set (nil otherwise). The
+	// primary engine is the first in CompareOptions.Engines.
 	Report *MapReport
+}
+
+// Cols returns the row's column group for one engine. ok is false for
+// EngineMIS (the baseline has no diff column) only when e is unknown.
+func (r Row) Cols(e Engine) (luts, depth int, diff float64, t time.Duration, ok bool) {
+	switch e {
+	case EngineTree:
+		return r.ChortleLUTs, r.ChortleDepth, r.DiffPct, r.ChortleTime, true
+	case EngineCut:
+		return r.CutLUTs, r.CutDepth, r.CutDiffPct, r.CutTime, true
+	case EngineMIS:
+		return r.MISLUTs, r.MISDepth, 0, r.MISTime, true
+	}
+	return 0, 0, 0, 0, false
 }
 
 // Table is a full comparison table for one K.
 type Table struct {
-	K    int
-	Rows []Row
+	K int
+	// Engines lists the engines compared against the MIS baseline, in
+	// column order; the first is the primary engine the summary
+	// figures quote.
+	Engines []Engine
+	Rows    []Row
 }
 
-// AverageDiffPct is the mean of the per-circuit percentage differences,
-// the figure the paper quotes per K (≈0%, 6%, 9%, 14% for K = 2..5).
-func (t Table) AverageDiffPct() float64 {
+// primary returns the engine the summary statistics quote.
+func (t Table) primary() Engine {
+	if len(t.Engines) == 0 {
+		return EngineTree
+	}
+	return t.Engines[0]
+}
+
+// AverageDiffPct is the mean of the primary engine's per-circuit
+// percentage differences, the figure the paper quotes per K
+// (≈0%, 6%, 9%, 14% for K = 2..5 with the tree engine).
+func (t Table) AverageDiffPct() float64 { return t.averageDiffPct(t.primary()) }
+
+func (t Table) averageDiffPct(e Engine) float64 {
 	if len(t.Rows) == 0 {
 		return 0
 	}
 	sum := 0.0
 	for _, r := range t.Rows {
-		sum += r.DiffPct
+		_, _, diff, _, _ := r.Cols(e)
+		sum += diff
 	}
 	return sum / float64(len(t.Rows))
 }
 
-// SpeedupRange returns the min and max Chortle-vs-MIS speed ratios
-// (MIS time / Chortle time) across the table's rows — the paper claims
-// 1x to 10x.
+// SpeedupRange returns the min and max primary-engine-vs-MIS speed
+// ratios (MIS time / engine time) across the table's rows — the paper
+// claims 1x to 10x for the tree engine.
 func (t Table) SpeedupRange() (lo, hi float64) {
 	lo, hi = -1, -1
 	for _, r := range t.Rows {
-		if r.ChortleTime <= 0 {
+		_, _, _, et, _ := r.Cols(t.primary())
+		if et <= 0 {
 			continue
 		}
-		s := float64(r.MISTime) / float64(r.ChortleTime)
+		s := float64(r.MISTime) / float64(et)
 		if lo < 0 || s < lo {
 			lo = s
 		}
@@ -101,10 +153,29 @@ type CompareOptions struct {
 	// degradations). Observation never changes the mapped circuit, but
 	// the collector adds a little overhead to ChortleTime.
 	Stats bool
-	// Observer, when non-nil, additionally receives every Chortle
-	// mapping's event stream (all circuits, in row order) — the CLI's
-	// -trace sink. Composes with Stats.
+	// Observer, when non-nil, additionally receives every primary-
+	// engine mapping's event stream (all circuits, in row order) — the
+	// CLI's -trace sink. Composes with Stats.
 	Observer Observer
+	// Engines lists the engines to map beside the MIS baseline, in
+	// column order; nil means tree then cut. The MIS baseline is
+	// always the reference column and cannot appear in the list. The
+	// first engine is primary: Stats, Observer, Timeout-sensitive
+	// summary figures and Row.Report attach to it.
+	Engines []Engine
+}
+
+// engines resolves the engine list.
+func (o CompareOptions) engines() ([]Engine, error) {
+	if len(o.Engines) == 0 {
+		return []Engine{EngineTree, EngineCut}, nil
+	}
+	for _, e := range o.Engines {
+		if e == EngineMIS {
+			return nil, fmt.Errorf("chortle: the MIS baseline is always the reference column; compare tree and/or cut engines against it")
+		}
+	}
+	return o.Engines, nil
 }
 
 // CompareSuite maps the benchmark suite at the given K with both
@@ -112,6 +183,10 @@ type CompareOptions struct {
 func CompareSuite(k int, o CompareOptions) (Table, error) {
 	if o.VerifyPatterns <= 0 {
 		o.VerifyPatterns = 16
+	}
+	engines, err := o.engines()
+	if err != nil {
+		return Table{}, err
 	}
 	circuits := bench.Suite()
 	if len(o.Circuits) > 0 {
@@ -125,9 +200,9 @@ func CompareSuite(k int, o CompareOptions) (Table, error) {
 		}
 		circuits = sel
 	}
-	tbl := Table{K: k}
+	tbl := Table{K: k, Engines: engines}
 	for _, c := range circuits {
-		row, err := compareOne(c, k, o)
+		row, err := compareOne(c, k, o, engines)
 		if err != nil {
 			return Table{}, fmt.Errorf("circuit %s: %w", c.Name, err)
 		}
@@ -136,7 +211,7 @@ func CompareSuite(k int, o CompareOptions) (Table, error) {
 	return tbl, nil
 }
 
-func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
+func compareOne(c bench.Circuit, k int, o CompareOptions, engines []Engine) (Row, error) {
 	nw, err := bench.Optimized(c)
 	if err != nil {
 		return Row{}, err
@@ -148,92 +223,152 @@ func compareOne(c bench.Circuit, k int, o CompareOptions) (Row, error) {
 		return Row{}, err
 	}
 	misTime := time.Since(t0)
-
-	copts := DefaultOptions(k)
-	if o.Sequential {
-		copts.Parallel = false
-	}
-	copts.Budget.WorkUnits = o.Budget
-	var col *Collector
-	if o.Stats {
-		col = &Collector{}
-	}
-	switch {
-	case col != nil && o.Observer != nil:
-		copts.Observer = MultiObserver{col, o.Observer}
-	case col != nil:
-		copts.Observer = col
-	case o.Observer != nil:
-		copts.Observer = o.Observer
-	}
-	ctx := context.Background()
-	if o.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
-		defer cancel()
-	}
-	t1 := time.Now()
-	cres, err := MapCtx(ctx, nw, copts)
+	misStats, err := mres.Circuit.Stats()
 	if err != nil {
 		return Row{}, err
 	}
-	chTime := time.Since(t1)
-
 	if o.Verify {
 		if err := verify.NetworkVsCircuit(nw, mres.Circuit, o.VerifyPatterns, 1); err != nil {
 			return Row{}, fmt.Errorf("baseline circuit wrong: %w", err)
 		}
-		if err := verify.NetworkVsCircuit(nw, cres.Circuit, o.VerifyPatterns, 1); err != nil {
-			return Row{}, fmt.Errorf("chortle circuit wrong: %w", err)
-		}
 	}
 
-	diff := 0.0
-	if mres.LUTs > 0 {
-		diff = 100 * float64(mres.LUTs-cres.LUTs) / float64(mres.LUTs)
-	}
 	row := Row{
-		Circuit:     c.Name,
-		MISLUTs:     mres.LUTs,
-		ChortleLUTs: cres.LUTs,
-		DiffPct:     diff,
-		MISTime:     misTime,
-		ChortleTime: chTime,
-		Synthetic:   c.Synthetic,
+		Circuit:   c.Name,
+		MISLUTs:   mres.LUTs,
+		MISDepth:  misStats.Depth,
+		MISTime:   misTime,
+		Synthetic: c.Synthetic,
 	}
-	if col != nil {
-		row.Report = col.Report()
+	for i, eng := range engines {
+		copts := DefaultOptions(k)
+		copts.Engine = eng
+		if o.Sequential {
+			copts.Parallel = false
+		}
+		copts.Budget.WorkUnits = o.Budget
+		var col *Collector
+		if i == 0 {
+			// Observability attaches to the primary engine only, so the
+			// -stats report and the -trace stream describe one engine's
+			// runs rather than an interleaving.
+			if o.Stats {
+				col = &Collector{}
+			}
+			switch {
+			case col != nil && o.Observer != nil:
+				copts.Observer = MultiObserver{col, o.Observer}
+			case col != nil:
+				copts.Observer = col
+			case o.Observer != nil:
+				copts.Observer = o.Observer
+			}
+		}
+		ctx := context.Background()
+		if o.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+			defer cancel()
+		}
+		t1 := time.Now()
+		res, err := MapCtx(ctx, nw, copts)
+		if err != nil {
+			return Row{}, fmt.Errorf("%v engine: %w", eng, err)
+		}
+		engTime := time.Since(t1)
+		stats, err := res.Circuit.Stats()
+		if err != nil {
+			return Row{}, err
+		}
+		if o.Verify {
+			if err := verify.NetworkVsCircuit(nw, res.Circuit, o.VerifyPatterns, 1); err != nil {
+				return Row{}, fmt.Errorf("%v circuit wrong: %w", eng, err)
+			}
+		}
+		diff := 0.0
+		if mres.LUTs > 0 {
+			diff = 100 * float64(mres.LUTs-res.LUTs) / float64(mres.LUTs)
+		}
+		switch eng {
+		case EngineTree:
+			row.ChortleLUTs, row.ChortleDepth = res.LUTs, stats.Depth
+			row.DiffPct, row.ChortleTime = diff, engTime
+		case EngineCut:
+			row.CutLUTs, row.CutDepth = res.LUTs, stats.Depth
+			row.CutDiffPct, row.CutTime = diff, engTime
+		}
+		if col != nil {
+			row.Report = col.Report()
+		}
 	}
 	return row, nil
 }
 
+// formatEngines returns the table's engine column order, defaulting to
+// the tree engine for tables built before Engines existed.
+func (t Table) formatEngines() []Engine {
+	if len(t.Engines) == 0 {
+		return []Engine{EngineTree}
+	}
+	return t.Engines
+}
+
 // FormatRows renders the table's header and benchmark rows in the
-// paper's layout, without the trailing summary (see FormatSummary).
+// paper's layout extended with one column group per compared engine —
+// LUT count, depth and the "%" delta against MIS — followed by the
+// wall times. Depth rides beside every LUT column so area wins cannot
+// hide depth regressions.
 func (t Table) FormatRows() string {
+	engines := t.formatEngines()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table: Results, K=%d\n", t.K)
-	fmt.Fprintf(&sb, "%-8s %9s %9s %7s %10s %10s\n",
-		"Circuit", "# MIS", "# Chortle", "%", "t MIS", "t Chortle")
+	fmt.Fprintf(&sb, "%-8s %8s %4s", "Circuit", "# MIS", "d")
+	for _, e := range engines {
+		fmt.Fprintf(&sb, " %8s %4s %7s", "# "+e.String(), "d", "%")
+	}
+	fmt.Fprintf(&sb, " %10s", "t MIS")
+	for _, e := range engines {
+		fmt.Fprintf(&sb, " %10s", "t "+e.String())
+	}
+	sb.WriteByte('\n')
 	for _, r := range t.Rows {
 		mark := ""
 		if r.Synthetic {
 			mark = "*"
 		}
-		fmt.Fprintf(&sb, "%-8s %9d %9d %6.1f%% %10s %10s\n",
-			r.Circuit+mark, r.MISLUTs, r.ChortleLUTs, r.DiffPct,
-			fmtDur(r.MISTime), fmtDur(r.ChortleTime))
+		fmt.Fprintf(&sb, "%-8s %8d %4d", r.Circuit+mark, r.MISLUTs, r.MISDepth)
+		for _, e := range engines {
+			luts, depth, diff, _, _ := r.Cols(e)
+			fmt.Fprintf(&sb, " %8d %4d %6.1f%%", luts, depth, diff)
+		}
+		fmt.Fprintf(&sb, " %10s", fmtDur(r.MISTime))
+		for _, e := range engines {
+			_, _, _, et, _ := r.Cols(e)
+			fmt.Fprintf(&sb, " %10s", fmtDur(et))
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
 
 // FormatSummary renders the table's average-difference and speedup line
-// — the paper's per-K quote. When printing several tables, emit every
-// table's rows first and collect the summaries into one final block so
-// they are not interleaved between tables.
+// — the paper's per-K quote, with one average per compared engine.
+// When printing several tables, emit every table's rows first and
+// collect the summaries into one final block so they are not
+// interleaved between tables.
 func (t Table) FormatSummary() string {
+	engines := t.formatEngines()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "K=%d: average", t.K)
+	for i, e := range engines {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, " %5.1f%% %s", t.averageDiffPct(e), e)
+	}
 	lo, hi := t.SpeedupRange()
-	return fmt.Sprintf("K=%d: average %5.1f%%   speedup %.1fx..%.1fx\n",
-		t.K, t.AverageDiffPct(), lo, hi)
+	fmt.Fprintf(&sb, "   speedup %.1fx..%.1fx (%s)\n", lo, hi, t.primary())
+	return sb.String()
 }
 
 // Format renders the table in the paper's layout: rows followed by the
@@ -241,9 +376,7 @@ func (t Table) FormatSummary() string {
 func (t Table) Format() string {
 	var sb strings.Builder
 	sb.WriteString(t.FormatRows())
-	lo, hi := t.SpeedupRange()
-	fmt.Fprintf(&sb, "%-8s %27.1f%%   speedup %.1fx..%.1fx\n", "average",
-		t.AverageDiffPct(), lo, hi)
+	sb.WriteString(t.FormatSummary())
 	fmt.Fprintf(&sb, "(* synthetic stand-in; see DESIGN.md)\n")
 	return sb.String()
 }

@@ -133,3 +133,43 @@ func TestMappingDeterministicAcrossModes(t *testing.T) {
 		}
 	}
 }
+
+// TestCutEngineDeterministic extends the determinism guarantee to the
+// priority-cut engine: Parallel and Memoize are tree-engine switches
+// the cut engine ignores, but flipping them — or simply running again,
+// with or without an observer — must leave the emitted BLIF
+// byte-identical.
+func TestCutEngineDeterministic(t *testing.T) {
+	nets := determinismSuite(t)
+	for _, c := range bench.Suite() {
+		nw := nets[c.Name]
+		for k := 3; k <= 5; k += 2 {
+			base := DefaultOptions(k)
+			base.Engine = EngineCut
+			ref := mapToBLIF(t, nw, base)
+			for _, par := range []bool{false, true} {
+				for _, memo := range []bool{false, true} {
+					opts := base
+					opts.Parallel, opts.Memoize = par, memo
+					if got := mapToBLIF(t, nw, opts); got != ref {
+						t.Errorf("%s K=%d parallel=%v memoize=%v: cut BLIF differs",
+							c.Name, k, par, memo)
+					}
+				}
+			}
+			// Repeated runs and observed runs are byte-identical too.
+			if got := mapToBLIF(t, nw, base); got != ref {
+				t.Errorf("%s K=%d: repeated cut run differs", c.Name, k)
+			}
+			var col Collector
+			obs := base
+			obs.Observer = &col
+			if got := mapToBLIF(t, nw, obs); got != ref {
+				t.Errorf("%s K=%d: observed cut run differs", c.Name, k)
+			}
+			if col.Len() == 0 {
+				t.Errorf("%s K=%d: observer saw no cut events", c.Name, k)
+			}
+		}
+	}
+}

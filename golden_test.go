@@ -13,11 +13,11 @@ import (
 )
 
 // The golden-file regression harness: for every bundled benchmark, the
-// LUT count, depth and tree count at each K in 2..5 — in both plain Map
-// and MapDuplicateCostAware modes — are pinned in testdata/golden/.
-// Any mapper change that shifts a number fails here first, with the
-// exact drift in the diff. After an intentional quality change, rerun
-// with -update and commit the new files:
+// LUT count, depth and tree count at each K in 2..6 — in plain Map,
+// MapDuplicateCostAware, and priority-cut engine modes — are pinned in
+// testdata/golden/. Any mapper change that shifts a number fails here
+// first, with the exact drift in the diff. After an intentional
+// quality change, rerun with -update and commit the new files:
 //
 //	go test -run TestGolden -update .
 
@@ -39,7 +39,8 @@ type goldenFile struct {
 	Results map[string]goldenEntry `json:"results"`
 }
 
-const goldenSchema = "chortle-golden/v1"
+// v2 added K=6 and the cut-engine rows.
+const goldenSchema = "chortle-golden/v2"
 
 func goldenPath(circuit string) string {
 	return filepath.Join("testdata", "golden", circuit+".json")
@@ -59,7 +60,7 @@ func computeGolden(t *testing.T, c bench.Circuit) goldenFile {
 		t.Fatalf("preparing %s: %v", c.Name, err)
 	}
 	gf := goldenFile{Schema: goldenSchema, Circuit: c.Name, Results: make(map[string]goldenEntry)}
-	for k := 2; k <= 5; k++ {
+	for k := 2; k <= 6; k++ {
 		res, err := Map(nw, DefaultOptions(k))
 		if err != nil {
 			t.Fatalf("%s K=%d map: %v", c.Name, k, err)
@@ -71,6 +72,14 @@ func computeGolden(t *testing.T, c bench.Circuit) goldenFile {
 			t.Fatalf("%s K=%d dup: %v", c.Name, k, err)
 		}
 		gf.Results[fmt.Sprintf("k%d/dup", k)] = entryOf(t, c.Name, k, dres, accepted)
+
+		copts := DefaultOptions(k)
+		copts.Engine = EngineCut
+		cres, err := Map(nw, copts)
+		if err != nil {
+			t.Fatalf("%s K=%d cut: %v", c.Name, k, err)
+		}
+		gf.Results[fmt.Sprintf("k%d/cut", k)] = entryOf(t, c.Name, k, cres, 0)
 	}
 	return gf
 }

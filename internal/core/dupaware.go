@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"chortle/internal/cerrs"
@@ -35,6 +36,12 @@ func MapDuplicateCostAware(input *network.Network, opts Options) (*Result, int, 
 func MapDuplicateCostAwareCtx(ctx context.Context, input *network.Network, opts Options) (*Result, int, error) {
 	if err := opts.validate(); err != nil {
 		return nil, 0, err
+	}
+	if opts.Engine != EngineTree {
+		// The duplication search's cost oracle is the tree DP; the other
+		// engines cover the DAG directly and have no per-tree cost to
+		// improve, so the combination is a configuration error.
+		return nil, 0, fmt.Errorf("core: engine %v does not support cost-aware duplication", opts.Engine)
 	}
 	if err := input.Validate(); err != nil {
 		return nil, 0, err

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"chortle/internal/lut"
+	"chortle/internal/network"
+	"chortle/internal/truth"
+	"chortle/internal/verify"
+)
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineTree, true},
+		{"tree", EngineTree, true},
+		{"Tree", EngineTree, true},
+		{"mis", EngineMIS, true},
+		{"MIS", EngineMIS, true},
+		{"  cut\t", EngineCut, true},
+		{"dagon", EngineTree, false},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineTree.String() != "tree" || EngineMIS.String() != "mis" || EngineCut.String() != "cut" {
+		t.Fatalf("engine names drifted: %s %s %s", EngineTree, EngineMIS, EngineCut)
+	}
+	if got := Engine(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("out-of-range engine stringer: %q", got)
+	}
+}
+
+func TestInvalidEngineRejected(t *testing.T) {
+	nw := figure1()
+	opts := DefaultOptions(3)
+	opts.Engine = Engine(9)
+	if _, err := Map(nw, opts); err == nil {
+		t.Fatal("Map accepted an out-of-range engine")
+	}
+	if _, _, err := MapDuplicateCostAware(nw, opts); err == nil {
+		t.Fatal("MapDuplicateCostAware accepted an out-of-range engine")
+	}
+}
+
+func TestValidateRejectsNegativeBudgets(t *testing.T) {
+	nw := figure1()
+	opts := DefaultOptions(3)
+	opts.Budget.WorkUnits = -1
+	if _, err := Map(nw, opts); err == nil {
+		t.Error("negative work-unit budget accepted")
+	}
+	opts = DefaultOptions(3)
+	opts.Budget.WallClock = -1
+	if _, err := Map(nw, opts); err == nil {
+		t.Error("negative wall-clock budget accepted")
+	}
+}
+
+// TestEngineDispatch runs every engine through MapCtx on the paper's
+// Figure 1 network and checks the shared result contract: a valid,
+// equivalent circuit and a populated LUT count.
+func TestEngineDispatch(t *testing.T) {
+	nw := figure1()
+	for _, eng := range []Engine{EngineTree, EngineMIS, EngineCut} {
+		opts := DefaultOptions(3)
+		opts.Engine = eng
+		res, err := Map(nw, opts)
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		if res.LUTs <= 0 || res.LUTs != res.Circuit.Count() {
+			t.Errorf("engine %s: LUTs=%d, circuit has %d", eng, res.LUTs, res.Circuit.Count())
+		}
+		if err := verify.NetworkVsCircuit(nw, res.Circuit, 0, 1); err != nil {
+			t.Errorf("engine %s: %v", eng, err)
+		}
+	}
+}
+
+// TestEngineRepack exercises the engine-independent post-processing
+// path (finishEngineResult): repacking must keep the circuit valid and
+// keep Result.LUTs in sync with the repacked count.
+func TestEngineRepack(t *testing.T) {
+	nw := figure1()
+	for _, eng := range []Engine{EngineMIS, EngineCut} {
+		opts := DefaultOptions(2)
+		opts.Engine = eng
+		opts.RepackLUTs = true
+		res, err := Map(nw, opts)
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		if res.LUTs != res.Circuit.Count() {
+			t.Errorf("engine %s: LUTs=%d not resynced after repack (circuit %d)", eng, res.LUTs, res.Circuit.Count())
+		}
+		if err := verify.NetworkVsCircuit(nw, res.Circuit, 0, 1); err != nil {
+			t.Errorf("engine %s repacked: %v", eng, err)
+		}
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	nw := figure1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range []Engine{EngineMIS, EngineCut} {
+		opts := DefaultOptions(3)
+		opts.Engine = eng
+		if _, err := MapCtx(ctx, nw, opts); err != context.Canceled {
+			t.Errorf("engine %s on cancelled ctx: got %v, want context.Canceled", eng, err)
+		}
+	}
+}
+
+func TestEngineBadK(t *testing.T) {
+	nw := figure1()
+	for _, eng := range []Engine{EngineMIS, EngineCut} {
+		opts := DefaultOptions(1)
+		opts.Engine = eng
+		if _, err := Map(nw, opts); err == nil {
+			t.Errorf("engine %s accepted K=1", eng)
+		}
+	}
+	// The MIS library is complete only for small K; an unsupported K
+	// must surface the library error, not panic.
+	opts := DefaultOptions(16)
+	opts.Engine = EngineMIS
+	if _, err := Map(nw, opts); err == nil {
+		t.Log("mislib supports K=16; no error expected then")
+	}
+}
+
+// TestDupAwareRejectsNonTreeEngines pins the configuration error for
+// the duplication search, whose cost oracle is the tree DP.
+func TestDupAwareRejectsNonTreeEngines(t *testing.T) {
+	nw := figure1()
+	for _, eng := range []Engine{EngineMIS, EngineCut} {
+		opts := DefaultOptions(3)
+		opts.Engine = eng
+		if _, _, err := MapDuplicateCostAware(nw, opts); err == nil {
+			t.Errorf("engine %s: duplication search accepted a non-tree engine", eng)
+		}
+	}
+}
+
+// TestEngineErrorPlumbing drives the engine adapters' error branches
+// directly (they sit behind MapCtx's own early checks, so the public
+// surface can't reach all of them deterministically).
+func TestEngineErrorPlumbing(t *testing.T) {
+	nw := figure1()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mapMIS(cancelled, nw, DefaultOptions(3)); err != context.Canceled {
+		t.Errorf("mapMIS on cancelled ctx: %v", err)
+	}
+	if _, err := mapCut(cancelled, nw, DefaultOptions(3)); err == nil {
+		t.Error("mapCut on cancelled ctx: want error")
+	}
+	// K=1 bypasses Options.validate here and must surface the library
+	// construction error, not panic.
+	if _, err := mapMIS(context.Background(), nw, Options{K: 1}); err == nil {
+		t.Error("mapMIS with K=1: want library error")
+	}
+	// A single-fanin gate is a valid network that mismap refuses (it
+	// wants swept input); the error must flow out of Map.
+	single := network.New("single")
+	a := single.AddInput("a")
+	buf := single.AddGate("buf", network.OpAnd, network.Fanin{Node: a})
+	single.MarkOutput("y", buf, false)
+	mopts := DefaultOptions(3)
+	mopts.Engine = EngineMIS
+	if _, err := Map(single, mopts); err == nil {
+		t.Error("Map(mis) on unswept single-fanin gate: want error")
+	}
+	// Invalid input network: the engine dispatch must not be reached.
+	empty := network.New("empty")
+	for _, eng := range []Engine{EngineTree, EngineMIS, EngineCut} {
+		opts := DefaultOptions(3)
+		opts.Engine = eng
+		if _, err := Map(empty, opts); err == nil {
+			t.Errorf("engine %s accepted a network with no outputs", eng)
+		}
+	}
+}
+
+// TestFinishEngineResultErrors covers the repack post-processing
+// failure branches with hand-built broken circuits.
+func TestFinishEngineResultErrors(t *testing.T) {
+	opts := Options{RepackLUTs: true}
+
+	// A combinational cycle makes Repack's topological sort fail.
+	cyc := lut.New("cyc", 2)
+	cyc.AddInput("a")
+	l1 := cyc.AddLUT("l1", []string{"l2", "a"}, truth.Var(0, 2))
+	_ = l1
+	cyc.AddLUT("l2", []string{"l1", "a"}, truth.Var(0, 2))
+	cyc.MarkOutput("y", "l2", false)
+	if _, err := finishEngineResult(&Result{Circuit: cyc}, opts); err == nil {
+		t.Error("cyclic circuit repacked without error")
+	}
+
+	// Duplicate inputs repack fine but fail the post-repack validation.
+	dup := lut.New("dup", 2)
+	dup.AddInput("a")
+	dup.AddInput("a")
+	dup.AddLUT("l", []string{"a"}, truth.Var(0, 1))
+	dup.MarkOutput("y", "l", false)
+	if _, err := finishEngineResult(&Result{Circuit: dup}, opts); err == nil {
+		t.Error("duplicate-input circuit validated after repack")
+	}
+}
+
+// TestCutEngineReconvergent maps a reconvergent diamond — the shape the
+// tree decomposition must split but a DAG cover sees whole — through
+// the cut engine and checks it does no worse than the tree DP.
+func TestCutEngineReconvergent(t *testing.T) {
+	nw := network.New("diamond")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	shared := nw.AddGate("s", network.OpAnd, network.Fanin{Node: a}, network.Fanin{Node: b})
+	l := nw.AddGate("l", network.OpOr, network.Fanin{Node: shared}, network.Fanin{Node: c})
+	r := nw.AddGate("r", network.OpAnd, network.Fanin{Node: shared}, network.Fanin{Node: c, Invert: true})
+	top := nw.AddGate("top", network.OpOr, network.Fanin{Node: l}, network.Fanin{Node: r})
+	nw.MarkOutput("y", top, false)
+
+	topts := DefaultOptions(4)
+	tres, err := Map(nw, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copts := DefaultOptions(4)
+	copts.Engine = EngineCut
+	cres, err := Map(nw, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.LUTs > tres.LUTs {
+		t.Errorf("cut %d LUTs vs tree %d on a reconvergent diamond", cres.LUTs, tres.LUTs)
+	}
+	if cres.Trees != cres.LUTs {
+		t.Errorf("cut engine Trees=%d, want the selected-cut count %d", cres.Trees, cres.LUTs)
+	}
+	if err := verify.NetworkVsCircuit(nw, cres.Circuit, 0, 1); err != nil {
+		t.Error(err)
+	}
+}

@@ -72,6 +72,12 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 	if err := input.Validate(); err != nil {
 		return nil, err
 	}
+	switch opts.Engine {
+	case EngineMIS:
+		return mapMIS(ctx, input, opts)
+	case EngineCut:
+		return mapCut(ctx, input, opts)
+	}
 	tr := tracer{opts.Observer}
 	tr.mapStart(opts.K, len(input.Nodes))
 	endPhase := tr.phase("prepare")

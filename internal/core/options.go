@@ -22,6 +22,13 @@ type Options struct {
 	// anything up to truth.MaxVars (6) is supported.
 	K int
 
+	// Engine selects the mapping algorithm: EngineTree (the paper's
+	// fanout-free-tree DP, the default), EngineMIS (the MIS II-style
+	// baseline coverer) or EngineCut (the priority-cut DAG mapper).
+	// All engines emit the same lut.Circuit representation; the fields
+	// below that tune the tree search are ignored by the other two.
+	Engine Engine
+
 	// SplitThreshold is the fanin bound above which a node is first
 	// split into two nodes of roughly equal fanin (Section 3.1.4: "the
 	// speed of our utilization division search ... makes it practical
@@ -147,6 +154,9 @@ func DefaultOptions(k int) Options {
 func (o Options) validate() error {
 	if o.K < 2 || o.K > truth.MaxVars {
 		return fmt.Errorf("core: K=%d out of range [2,%d]: %w", o.K, truth.MaxVars, cerrs.ErrBadK)
+	}
+	if int(o.Engine) >= len(engineNames) {
+		return fmt.Errorf("core: invalid engine %d", o.Engine)
 	}
 	if o.SplitThreshold < 2 {
 		return fmt.Errorf("core: split threshold %d must be at least 2", o.SplitThreshold)

@@ -1,0 +1,505 @@
+// Package cut implements a priority-cut DAG mapper for K-input lookup
+// tables — the modern successor to the Chortle paper's fanout-free-tree
+// decomposition and the engine that removes its reconvergent-fanout
+// blind spot. Instead of splitting the network into trees, it
+// enumerates K-feasible cuts per node over the whole DAG (bounded
+// priority lists, leaf-subset dominance pruning with bitset
+// signatures), ranks them by area flow with exact-area refinement
+// passes, and selects a cover from the outputs down. Each selected cut
+// becomes one LUT whose truth table is computed over the cut's cone,
+// so reconvergent structure (XOR trees, carry chains) collapses into
+// single tables that the tree decomposition is forced to spread over
+// several.
+//
+// The mapper is deterministic: identical inputs and options produce a
+// byte-identical circuit on every run, with no dependence on map
+// iteration order or scheduling.
+package cut
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"chortle/internal/cerrs"
+	"chortle/internal/lut"
+	"chortle/internal/network"
+	"chortle/internal/obs"
+	"chortle/internal/truth"
+)
+
+// Options configures the priority-cut mapper.
+type Options struct {
+	// K is the lookup table input count; every selected cut has at most
+	// K leaves. Range [2, truth.MaxVars].
+	K int
+
+	// CutsPerNode bounds the per-node priority list: after dominance
+	// pruning, only the CutsPerNode best-ranked non-trivial cuts are
+	// kept for consumers to merge. Larger lists explore more covers at
+	// more cost. Zero takes the default (8).
+	CutsPerNode int
+
+	// AreaRounds is the number of area-recovery passes after the
+	// initial area-flow cover: each pass recomputes reference counts
+	// from the current cover, re-ranks every priority list under the
+	// refined counts, and reselects. Zero takes the default (2);
+	// negative disables recovery.
+	AreaRounds int
+
+	// Observer, when non-nil, receives phase boundaries, per-LUT detail
+	// and the run summary, with the same passivity contract as the tree
+	// engine: the emitted circuit is byte-identical with or without it.
+	Observer obs.Observer
+
+	// Provenance attaches per-LUT ancestry records to the circuit (see
+	// internal/lut): the cut's leaf count as the shape, the covered
+	// gates as a first-owner partition of the prepared network's gates,
+	// and lut.OriginCut as the origin. Result.Prepared carries the
+	// network the records refer to.
+	Provenance bool
+}
+
+// DefaultOptions returns the default priority-cut configuration for K.
+func DefaultOptions(k int) Options {
+	return Options{K: k, CutsPerNode: defaultCutsPerNode, AreaRounds: defaultAreaRounds}
+}
+
+const (
+	defaultCutsPerNode = 8
+	defaultAreaRounds  = 2
+)
+
+func (o Options) validate() error {
+	if o.K < 2 || o.K > truth.MaxVars {
+		return fmt.Errorf("cut: K=%d out of range [2,%d]: %w", o.K, truth.MaxVars, cerrs.ErrBadK)
+	}
+	return nil
+}
+
+// cutsPerNode resolves the priority-list bound.
+func (o Options) cutsPerNode() int {
+	if o.CutsPerNode <= 0 {
+		return defaultCutsPerNode
+	}
+	return o.CutsPerNode
+}
+
+// areaRounds resolves the recovery pass count.
+func (o Options) areaRounds() int {
+	switch {
+	case o.AreaRounds == 0:
+		return defaultAreaRounds
+	case o.AreaRounds < 0:
+		return 0
+	}
+	return o.AreaRounds
+}
+
+// Result is the outcome of a priority-cut mapping.
+type Result struct {
+	// Circuit is the mapped K-LUT circuit.
+	Circuit *lut.Circuit
+	// LUTs is the circuit area (one per selected cut).
+	LUTs int
+	// Nodes is the gate count of the binarized subject graph the cuts
+	// were enumerated over.
+	Nodes int
+	// BinarizedGates counts the two-input gates the binarization step
+	// added to bound every gate's fanin at two.
+	BinarizedGates int
+	// Cuts is the total number of cuts retained across all priority
+	// lists — the search breadth the bound allowed.
+	Cuts int
+	// Prepared is the binarized subject graph the provenance records
+	// refer to; recorded only when Options.Provenance is set.
+	Prepared *network.Network
+}
+
+// cutSet is one K-feasible cut: its leaves as sorted node IDs, a
+// 64-bit bloom signature for fast dominance rejection, and the ranking
+// the last area pass computed.
+type cutSet struct {
+	leaves []int32
+	sig    uint64
+	flow   float64 // area flow through this cut
+	depth  int32   // LUT levels through this cut
+}
+
+// signature returns the bloom mask of a leaf set.
+func signature(leaves []int32) uint64 {
+	var s uint64
+	for _, l := range leaves {
+		s |= 1 << (uint(l) & 63)
+	}
+	return s
+}
+
+// subsetOf reports whether a's leaves are all among b's. The signature
+// pre-check rejects most non-subsets in one AND.
+func (a *cutSet) subsetOf(b *cutSet) bool {
+	if len(a.leaves) > len(b.leaves) || a.sig&^b.sig != 0 {
+		return false
+	}
+	i := 0
+	for _, l := range b.leaves {
+		if i < len(a.leaves) && a.leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(a.leaves)
+}
+
+// nodeData is the per-node mapping state, indexed by node ID.
+type nodeData struct {
+	cuts  []*cutSet // non-trivial cuts, best-first
+	est   float64   // area flow of the best cut
+	depth int32     // depth through the best cut
+	refs  float64   // estimated references (>= 1)
+}
+
+// mapper carries one run's state.
+type mapper struct {
+	opts  Options
+	nw    *network.Network
+	order []*network.Node // topological, fanins first
+	data  []nodeData      // by node ID
+	// selected is the cover in topological order; selMark flags
+	// membership by node ID.
+	selected []*network.Node
+	selMark  []bool
+	cutCount int
+}
+
+// Map runs the priority-cut mapper on the network. The input is not
+// modified.
+func Map(input *network.Network, opts Options) (*Result, error) {
+	return MapCtx(context.Background(), input, opts)
+}
+
+// MapCtx is Map under a context: cancellation or deadline expiry makes
+// the enumeration return ctx.Err() promptly between nodes.
+func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := input.Validate(); err != nil {
+		return nil, err
+	}
+	tr := tracer{opts.Observer}
+	tr.mapStart(opts.K, len(input.Nodes))
+
+	endPhase := tr.phase("prepare")
+	nw := input.Clone()
+	nw.Sweep()
+	added := binarize(nw)
+	order, err := nw.TopoSort()
+	endPhase()
+	if err != nil {
+		return nil, err
+	}
+
+	m := &mapper{opts: opts, nw: nw, order: order}
+	m.data = make([]nodeData, len(nw.Nodes))
+	for id, c := range nw.FanoutCounts() {
+		if c < 1 {
+			c = 1
+		}
+		m.data[id].refs = float64(c)
+	}
+
+	endPhase = tr.phase("cuts")
+	err = m.enumerate(ctx)
+	endPhase()
+	if err != nil {
+		return nil, err
+	}
+
+	endPhase = tr.phase("select")
+	m.selectCover()
+	for round := 0; round < opts.areaRounds(); round++ {
+		if err := ctx.Err(); err != nil {
+			endPhase()
+			return nil, err
+		}
+		m.recomputeRefs()
+		m.rerank()
+		m.selectCover()
+	}
+	endPhase()
+
+	endPhase = tr.phase("emit")
+	ckt, err := m.emit()
+	endPhase()
+	if err != nil {
+		return nil, err
+	}
+	if err := ckt.Validate(); err != nil {
+		return nil, fmt.Errorf("cut: mapped circuit invalid: %w", err)
+	}
+	tr.circuit(ckt, len(m.selected))
+
+	res := &Result{
+		Circuit:        ckt,
+		LUTs:           ckt.Count(),
+		Nodes:          gateCount(nw),
+		BinarizedGates: added,
+		Cuts:           m.cutCount,
+	}
+	if opts.Provenance {
+		res.Prepared = nw
+	}
+	return res, nil
+}
+
+func gateCount(nw *network.Network) int {
+	n := 0
+	for _, nd := range nw.Nodes {
+		if !nd.IsInput() {
+			n++
+		}
+	}
+	return n
+}
+
+// enumerate builds every gate's priority list in topological order.
+// For a gate v with fanins a and b the candidates are the pairwise
+// unions of a's and b's cut lists (each extended by its trivial cut
+// {a} resp. {b}); candidates wider than K are discarded, dominated
+// candidates pruned, and the best cutsPerNode kept.
+func (m *mapper) enumerate(ctx context.Context) error {
+	bound := m.opts.cutsPerNode()
+	for i, v := range m.order {
+		if i&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if v.IsInput() {
+			continue
+		}
+		cands := m.faninCuts(v.Fanins[0].Node)
+		for _, f := range v.Fanins[1:] {
+			cands = m.mergeLists(cands, m.faninCuts(f.Node))
+		}
+		cands = pruneDominated(cands)
+		m.rankCuts(cands)
+		if len(cands) > bound {
+			cands = cands[:bound]
+		}
+		d := &m.data[v.ID]
+		d.cuts = cands
+		d.est = cands[0].flow
+		d.depth = cands[0].depth
+		m.cutCount += len(cands)
+	}
+	return nil
+}
+
+// faninCuts returns a fanin's mergeable cut list: its own priority
+// list plus its trivial cut {n} (inputs contribute only the trivial
+// cut). The trivial cut is what lets a consumer keep n as a LUT input.
+func (m *mapper) faninCuts(n *network.Node) []*cutSet {
+	triv := &cutSet{leaves: []int32{int32(n.ID)}, sig: signature([]int32{int32(n.ID)})}
+	own := m.data[n.ID].cuts
+	out := make([]*cutSet, 0, len(own)+1)
+	out = append(out, own...)
+	return append(out, triv)
+}
+
+// mergeLists forms every union of one cut from each list that stays
+// within K leaves.
+func (m *mapper) mergeLists(as, bs []*cutSet) []*cutSet {
+	out := make([]*cutSet, 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			if c := mergeCuts(a, b, m.opts.K); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// mergeCuts unions two sorted leaf sets, or returns nil when the union
+// exceeds k leaves. The signature union gives a cheap lower bound on
+// the merged size before the real merge runs.
+func mergeCuts(a, b *cutSet, k int) *cutSet {
+	leaves := make([]int32, 0, len(a.leaves)+len(b.leaves))
+	i, j := 0, 0
+	for i < len(a.leaves) && j < len(b.leaves) {
+		switch {
+		case a.leaves[i] < b.leaves[j]:
+			leaves = append(leaves, a.leaves[i])
+			i++
+		case a.leaves[i] > b.leaves[j]:
+			leaves = append(leaves, b.leaves[j])
+			j++
+		default:
+			leaves = append(leaves, a.leaves[i])
+			i++
+			j++
+		}
+		if len(leaves) > k {
+			return nil
+		}
+	}
+	for ; i < len(a.leaves); i++ {
+		leaves = append(leaves, a.leaves[i])
+	}
+	for ; j < len(b.leaves); j++ {
+		leaves = append(leaves, b.leaves[j])
+	}
+	if len(leaves) > k {
+		return nil
+	}
+	return &cutSet{leaves: leaves, sig: a.sig | b.sig}
+}
+
+// pruneDominated removes duplicates and any cut whose leaves are a
+// superset of another candidate's — the dominated cut can never beat
+// the dominating one on area or feasibility.
+func pruneDominated(cands []*cutSet) []*cutSet {
+	out := cands[:0]
+	for _, c := range cands {
+		dominated := false
+		for _, kept := range out {
+			if kept.subsetOf(c) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// Evict previously kept cuts the new one dominates.
+		w := 0
+		for _, kept := range out {
+			if !c.subsetOf(kept) {
+				out[w] = kept
+				w++
+			}
+		}
+		out = out[:w]
+		out = append(out, c)
+	}
+	return out
+}
+
+// rankCuts computes each candidate's area flow and depth from the
+// current leaf estimates and sorts best-first. The order is total —
+// ties fall through to the leaf IDs — so ranking is deterministic.
+func (m *mapper) rankCuts(cands []*cutSet) {
+	for _, c := range cands {
+		flow := 1.0
+		var depth int32
+		for _, l := range c.leaves {
+			d := &m.data[l]
+			if m.nw.Nodes[l].IsInput() {
+				continue
+			}
+			flow += d.est / d.refs
+			if d.depth > depth {
+				depth = d.depth
+			}
+		}
+		c.flow = flow
+		c.depth = depth + 1
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.flow != b.flow {
+			return a.flow < b.flow
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		if len(a.leaves) != len(b.leaves) {
+			return len(a.leaves) < len(b.leaves)
+		}
+		for x := range a.leaves {
+			if a.leaves[x] != b.leaves[x] {
+				return a.leaves[x] < b.leaves[x]
+			}
+		}
+		return false
+	})
+}
+
+// rerank recomputes every priority list's ranking bottom-up under the
+// current reference counts (an area-recovery pass re-sorts the stored
+// lists; it does not re-merge).
+func (m *mapper) rerank() {
+	for _, v := range m.order {
+		if v.IsInput() {
+			continue
+		}
+		d := &m.data[v.ID]
+		m.rankCuts(d.cuts)
+		d.est = d.cuts[0].flow
+		d.depth = d.cuts[0].depth
+	}
+}
+
+// selectCover walks from the outputs down, selecting every required
+// gate's best cut and requiring its gate leaves in turn. The result is
+// m.selected in topological order.
+func (m *mapper) selectCover() {
+	required := make([]bool, len(m.nw.Nodes))
+	for _, o := range m.nw.Outputs {
+		if !o.Node.IsInput() {
+			required[o.Node.ID] = true
+		}
+	}
+	for _, l := range m.nw.Latches {
+		if !l.D.IsInput() {
+			required[l.D.ID] = true
+		}
+	}
+	m.selected = m.selected[:0]
+	for i := len(m.order) - 1; i >= 0; i-- {
+		v := m.order[i]
+		if v.IsInput() || !required[v.ID] {
+			continue
+		}
+		m.selected = append(m.selected, v)
+		for _, l := range m.data[v.ID].cuts[0].leaves {
+			if !m.nw.Nodes[l].IsInput() {
+				required[l] = true
+			}
+		}
+	}
+	// Reverse into topological order.
+	for i, j := 0, len(m.selected)-1; i < j; i, j = i+1, j-1 {
+		m.selected[i], m.selected[j] = m.selected[j], m.selected[i]
+	}
+	m.selMark = required
+}
+
+// recomputeRefs replaces the fanout-based reference estimates with the
+// current cover's actual reference counts (floored at one), the
+// exact-area refinement that steers the next ranking pass toward cuts
+// whose logic is already shared.
+func (m *mapper) recomputeRefs() {
+	cnt := make([]int, len(m.nw.Nodes))
+	for _, v := range m.selected {
+		for _, l := range m.data[v.ID].cuts[0].leaves {
+			cnt[l]++
+		}
+	}
+	for _, o := range m.nw.Outputs {
+		cnt[o.Node.ID]++
+	}
+	for _, l := range m.nw.Latches {
+		cnt[l.D.ID]++
+	}
+	for id := range m.data {
+		if cnt[id] < 1 {
+			cnt[id] = 1
+		}
+		m.data[id].refs = float64(cnt[id])
+	}
+}

@@ -1,0 +1,195 @@
+package cut
+
+import (
+	"fmt"
+
+	"chortle/internal/lut"
+	"chortle/internal/network"
+	"chortle/internal/truth"
+)
+
+// binarize bounds every gate's fanin at two by expanding wider gates
+// into balanced trees of two-input gates of the same operation,
+// returning the number of gates added. AND and OR are associative and
+// edge polarities ride on the original leaf edges, so the function is
+// preserved; the original node keeps its identity (outputs and latches
+// still point at it) and becomes the tree's root. Cut enumeration
+// needs the bound — a fanin-F gate has no non-trivial K-feasible cut
+// for K < F — and the finer subject graph is what exposes reconvergent
+// sharing to the cut merger.
+func binarize(nw *network.Network) int {
+	added := 0
+	for _, n := range append([]*network.Node(nil), nw.Nodes...) {
+		if n.IsInput() || len(n.Fanins) <= 2 {
+			continue
+		}
+		level := n.Fanins
+		for len(level) > 2 {
+			next := make([]network.Fanin, 0, (len(level)+1)/2)
+			for i := 0; i+1 < len(level); i += 2 {
+				g := nw.AddGate(fmt.Sprintf("%s$b%d", n.Name, added), n.Op, level[i], level[i+1])
+				added++
+				next = append(next, network.Fanin{Node: g})
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		n.Fanins = level
+	}
+	nw.Reindex()
+	return added
+}
+
+// emit turns the selected cover into a LUT circuit: one lookup table
+// per selected gate, named after the gate, programmed with the truth
+// table of the gate's cone over its best cut's leaves.
+func (m *mapper) emit() (*lut.Circuit, error) {
+	ckt := lut.New(m.nw.Name, m.opts.K)
+	for _, in := range m.nw.Inputs {
+		ckt.AddInput(in.Name)
+	}
+	var owner []bool
+	if m.opts.Provenance {
+		owner = make([]bool, len(m.nw.Nodes))
+	}
+	for _, v := range m.selected {
+		c := m.data[v.ID].cuts[0]
+		cone, err := m.cone(v, c)
+		if err != nil {
+			return nil, err
+		}
+		table, err := coneTable(cone, c)
+		if err != nil {
+			return nil, err
+		}
+		inputs := make([]string, len(c.leaves))
+		for i, l := range c.leaves {
+			inputs[i] = m.nw.Nodes[l].Name
+		}
+		ckt.AddLUT(v.Name, inputs, table)
+		if m.opts.Provenance {
+			m.recordProvenance(ckt, v, c, cone, owner)
+		}
+	}
+	for _, o := range m.nw.Outputs {
+		ckt.MarkOutput(o.Name, o.Node.Name, o.Invert)
+	}
+	for _, l := range m.nw.Latches {
+		ckt.AddLatch(l.Q, l.D.Name, l.DInv, l.Init)
+	}
+	return ckt, nil
+}
+
+// cone returns the gates of v's cone over cut c — every node on a path
+// from the leaves to v, leaves excluded, v included — in topological
+// order. A path that escapes to a primary input without crossing a
+// leaf would mean c is not a cut of v; that is an internal invariant
+// violation and reported as an error rather than mis-emitted.
+func (m *mapper) cone(v *network.Node, c *cutSet) ([]*network.Node, error) {
+	inCut := make(map[int]bool, len(c.leaves))
+	for _, l := range c.leaves {
+		inCut[int(l)] = true
+	}
+	seen := make(map[int]bool)
+	var nodes []*network.Node
+	var walk func(n *network.Node) error
+	walk = func(n *network.Node) error {
+		if inCut[n.ID] || seen[n.ID] {
+			return nil
+		}
+		if n.IsInput() {
+			return fmt.Errorf("cut: internal: leaves of %q miss input %q", v.Name, n.Name)
+		}
+		seen[n.ID] = true
+		for _, f := range n.Fanins {
+			if err := walk(f.Node); err != nil {
+				return err
+			}
+		}
+		nodes = append(nodes, n)
+		return nil
+	}
+	if err := walk(v); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cut: internal: trivial cut selected at %q", v.Name)
+	}
+	return nodes, nil
+}
+
+// coneTable computes the root's truth table over the cut leaves:
+// leaf i is table variable i, cone gates combine their fanin tables
+// under the edge polarities.
+func coneTable(cone []*network.Node, c *cutSet) (truth.Table, error) {
+	n := len(c.leaves)
+	tabs := make(map[int]truth.Table, len(cone)+n)
+	for i, l := range c.leaves {
+		tabs[int(l)] = truth.Var(i, n)
+	}
+	for _, g := range cone {
+		var t truth.Table
+		for j, f := range g.Fanins {
+			ft, ok := tabs[f.Node.ID]
+			if !ok {
+				return truth.Table{}, fmt.Errorf("cut: internal: cone of %q not topological at %q", cone[len(cone)-1].Name, f.Node.Name)
+			}
+			if f.Invert {
+				ft = ft.Not()
+			}
+			switch {
+			case j == 0:
+				t = ft
+			case g.Op == network.OpAnd:
+				t = t.And(ft)
+			default:
+				t = t.Or(ft)
+			}
+		}
+		tabs[g.ID] = t
+	}
+	return tabs[cone[len(cone)-1].ID], nil
+}
+
+// recordProvenance attaches the LUT's ancestry. Cut cones overlap
+// where the cover duplicates shared logic, so Covers is a first-owner
+// partition: each cone gate is credited to the first selected LUT
+// (topological order) whose cone contains it, which keeps the records
+// an exact partition of the prepared network's gates while the full
+// overlapping cone stays recoverable from the subject graph.
+func (m *mapper) recordProvenance(ckt *lut.Circuit, v *network.Node, c *cutSet, cone []*network.Node, owner []bool) {
+	covers := make([]string, 0, len(cone))
+	for _, g := range cone {
+		if owner[g.ID] {
+			continue
+		}
+		owner[g.ID] = true
+		covers = append(covers, g.Name)
+	}
+	var faninLUTs []string
+	for _, l := range c.leaves {
+		if !m.nw.Nodes[l].IsInput() {
+			faninLUTs = append(faninLUTs, m.nw.Nodes[l].Name)
+		}
+	}
+	ckt.SetProvenance(v.Name, &lut.Provenance{
+		Tree:      v.Name,
+		Origin:    lut.OriginCut,
+		Covers:    covers,
+		PartOf:    partOf(covers, v),
+		Shape:     fmt.Sprintf("cut(%d)", len(c.leaves)),
+		FaninLUTs: faninLUTs,
+	})
+}
+
+// partOf names the root gate for a LUT whose whole cone was already
+// credited to earlier LUTs (pure duplication), so the record still
+// says what the LUT computes.
+func partOf(covers []string, v *network.Node) string {
+	if len(covers) > 0 {
+		return ""
+	}
+	return v.Name
+}

@@ -1,0 +1,106 @@
+package cut
+
+import (
+	"fmt"
+	"testing"
+
+	"chortle/internal/network"
+	"chortle/internal/verify"
+)
+
+// decodeDAG deterministically builds a valid network from a fuzz byte
+// stream: byte 0 picks K, byte 1 the input count, then each pair of
+// bytes adds one gate whose two fanins (with polarities and op folded
+// into the same bytes) point somewhere earlier in the build. Every
+// byte string decodes to a valid acyclic network, so the fuzzer
+// explores mapper behavior, not parser rejections.
+func decodeDAG(data []byte) (*network.Network, int) {
+	if len(data) < 2 {
+		data = append(data, 0, 0)
+	}
+	k := 2 + int(data[0])%5 // 2..6
+	nIn := 2 + int(data[1])%7
+	nw := network.New("fuzz")
+	var pool []*network.Node
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, nw.AddInput(fmt.Sprintf("i%d", i)))
+	}
+	body := data[2:]
+	if len(body) > 128 {
+		body = body[:128]
+	}
+	for i := 0; i+1 < len(body); i += 2 {
+		a, b := body[i], body[i+1]
+		fa := network.Fanin{Node: pool[int(a)%len(pool)], Invert: a&0x80 != 0}
+		fb := network.Fanin{Node: pool[int(b)%len(pool)], Invert: b&0x40 != 0}
+		op := network.OpAnd
+		if b&0x80 != 0 {
+			op = network.OpOr
+		}
+		fanins := []network.Fanin{fa, fb}
+		// A high bit pair widens the gate so binarization fuzzes too.
+		if a&0x40 != 0 {
+			fanins = append(fanins, network.Fanin{Node: pool[int(a^b)%len(pool)]})
+			if a&0x20 != 0 {
+				fanins = append(fanins, network.Fanin{Node: pool[int(a+b)%len(pool)], Invert: true})
+			}
+		}
+		pool = append(pool, nw.AddGate(fmt.Sprintf("g%d", i/2), op, fanins...))
+	}
+	nw.MarkOutput("out", pool[len(pool)-1], false)
+	if len(pool) > nIn {
+		nw.MarkOutput("mid", pool[nIn+(len(pool)-nIn)/2], true)
+	}
+	return nw, k
+}
+
+// FuzzCutMap fuzzes the full enumerate/select/emit pipeline on
+// adversarial DAG shapes. Any error, invariant breach, or functional
+// mismatch is a crash. CI runs a 30 s smoke (-fuzz with -fuzztime).
+func FuzzCutMap(f *testing.F) {
+	// Seeds steer the fuzzer toward the known hard shapes: deep
+	// reconvergence (every gate feeding on the previous two) and
+	// high-fanout diamonds (everything feeding on one early gate).
+	deep := []byte{2, 2}
+	for i := 0; i < 40; i++ {
+		deep = append(deep, byte(i+1), byte(i+2)|0x80)
+	}
+	diamond := []byte{4, 3}
+	for i := 0; i < 30; i++ {
+		diamond = append(diamond, 3, byte(i)|0x40)
+	}
+	f.Add(deep)
+	f.Add(diamond)
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 0x41, 0x82, 0xC3, 0x24})
+	f.Add([]byte{5, 6, 0xFF, 0xFF, 0x7F, 0xBF, 0, 0, 9, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nw, k := decodeDAG(data)
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("generator produced invalid network: %v", err)
+		}
+		opts := DefaultOptions(k)
+		opts.Provenance = true
+		res, err := Map(nw, opts)
+		if err != nil {
+			t.Fatalf("Map(K=%d): %v", k, err)
+		}
+		for _, l := range res.Circuit.LUTs {
+			if len(l.Inputs) > k {
+				t.Fatalf("LUT %q has %d inputs, K=%d", l.Name, len(l.Inputs), k)
+			}
+		}
+		gates := make(map[string]bool)
+		for _, n := range res.Prepared.Nodes {
+			if !n.IsInput() {
+				gates[n.Name] = true
+			}
+		}
+		if err := res.Circuit.CheckProvenance(gates); err != nil {
+			t.Fatalf("cover partition: %v", err)
+		}
+		if err := verify.NetworkVsCircuit(nw, res.Circuit, 4, 1); err != nil {
+			t.Fatalf("equivalence: %v", err)
+		}
+	})
+}

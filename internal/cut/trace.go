@@ -1,0 +1,62 @@
+package cut
+
+import (
+	"time"
+
+	"chortle/internal/lut"
+	"chortle/internal/obs"
+)
+
+// tracer is the cut engine's emission shim over obs.Observer, the same
+// discipline as the tree engine's: every method is a single nil check
+// when no observer is attached, and observation never influences the
+// mapping — the emitted circuit is byte-identical either way.
+type tracer struct {
+	o obs.Observer
+}
+
+var noopDone = func() {}
+
+// phase opens a pipeline phase and returns the closure that closes it,
+// carrying the phase's wall time on the end event.
+func (t tracer) phase(name string) func() {
+	if t.o == nil {
+		return noopDone
+	}
+	start := time.Now()
+	t.o.Observe(obs.Event{Kind: obs.KindPhaseStart, Time: start, Phase: name})
+	return func() {
+		now := time.Now()
+		t.o.Observe(obs.Event{Kind: obs.KindPhaseEnd, Time: now, Phase: name, Units: int64(now.Sub(start))})
+	}
+}
+
+func (t tracer) mapStart(k, nodes int) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindMapStart, Time: time.Now(), K: k, N: nodes})
+}
+
+// circuit closes a run: one KindLUT event per emitted table and the
+// KindMapEnd summary (N carries the selected-cut count in place of the
+// tree engine's tree count).
+func (t tracer) circuit(ckt *lut.Circuit, roots int) {
+	if t.o == nil {
+		return
+	}
+	levels, err := ckt.Levels()
+	if err != nil {
+		levels = nil
+	}
+	depth := 0
+	now := time.Now()
+	for _, l := range ckt.LUTs {
+		lv := levels[l.Name]
+		if lv > depth {
+			depth = lv
+		}
+		t.o.Observe(obs.Event{Kind: obs.KindLUT, Time: now, Tree: l.Name, N: len(l.Inputs), Depth: lv})
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindMapEnd, Time: time.Now(), Cost: ckt.Count(), Depth: depth, N: roots})
+}

@@ -38,6 +38,9 @@ const (
 	// OriginDegraded marks a tree remapped with bin packing after its
 	// exhaustive solve exhausted the search budget.
 	OriginDegraded
+	// OriginCut marks a LUT selected by the priority-cut DAG engine
+	// (internal/cut): one K-feasible cut chosen by the area-flow cover.
+	OriginCut
 )
 
 var originNames = [...]string{
@@ -47,6 +50,7 @@ var originNames = [...]string{
 	OriginReplay:   "replay",
 	OriginBinPack:  "binpack",
 	OriginDegraded: "degraded",
+	OriginCut:      "cut",
 }
 
 func (o Origin) String() string {

@@ -1,4 +1,4 @@
-package mismap
+package mismap_test
 
 import (
 	"math/rand"
@@ -6,6 +6,7 @@ import (
 
 	"chortle/internal/core"
 	"chortle/internal/mislib"
+	"chortle/internal/mismap"
 	"chortle/internal/network"
 	"chortle/internal/verify"
 )
@@ -35,7 +36,7 @@ func TestMapFigure1AllK(t *testing.T) {
 		}
 		// Without fanout duplication the three trees are covered
 		// independently, so three LUTs is a hard lower bound.
-		res, err := MapWithOptions(nw, lib, Options{})
+		res, err := mismap.MapWithOptions(nw, lib, mismap.Options{})
 		if err != nil {
 			t.Fatalf("K=%d: %v", k, err)
 		}
@@ -47,7 +48,7 @@ func TestMapFigure1AllK(t *testing.T) {
 		}
 		// The paper-default greedy duplication must stay functionally
 		// correct (here it even merges g2 into both consumers).
-		dres, err := Map(nw, lib)
+		dres, err := mismap.Map(nw, lib)
 		if err != nil {
 			t.Fatalf("K=%d dup: %v", k, err)
 		}
@@ -73,7 +74,7 @@ func TestXORReconvergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Map(nw, lib)
+	res, err := mismap.Map(nw, lib)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestSingleOpTreeK2MatchesChortle(t *testing.T) {
 	}
 	for trial := 0; trial < 25; trial++ {
 		nw := randomTree(rng, 3+rng.Intn(10), false)
-		mres, err := Map(nw, lib)
+		mres, err := mismap.Map(nw, lib)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestMapEquivalenceRandomDAGs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Map(nw, lib)
+			res, err := mismap.Map(nw, lib)
 			if err != nil {
 				t.Fatalf("trial %d K=%d: %v", trial, k, err)
 			}
@@ -155,7 +156,7 @@ func TestChortleNeverWorseOnTreesBigK(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mres, err := Map(nw, lib)
+			mres, err := mismap.Map(nw, lib)
 			if err != nil {
 				t.Fatal(err)
 			}
