@@ -68,6 +68,12 @@ type MapResponse struct {
 	ElapsedNS   int64    `json:"elapsed_ns"`
 	BLIF        string   `json:"blif"`
 
+	// TraceID is the request's trace identifier — the one the client
+	// generated (when Config.Spans is set) or the server assigned, echoed
+	// from the response. Grep it in chortled's -access-log to find the
+	// server-side view of this exact request.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// Addr is the server address that answered (useful under hedging).
 	Addr string `json:"-"`
 }
@@ -136,6 +142,16 @@ type Config struct {
 	// chortle_client_breaker_transitions_total{to=...} and the
 	// chortle_client_breaker_open gauge.
 	Metrics *chortle.MetricsRegistry
+
+	// Spans, when non-nil, turns on client-side tracing: every Map call
+	// opens a trace, propagates its ID to the server in the W3C
+	// traceparent header, and records one span per HTTP attempt (hedges
+	// included) plus each backoff pause into this recorder. Attempt
+	// spans carry the address, status code, and any breaker transition
+	// the attempt caused. Stream them with chortle.NewSpanJSONL and
+	// merge the file with chortled's -access-log in chortle-traceview
+	// for a single client+server timeline. Nil costs nothing.
+	Spans chortle.SpanRecorder
 }
 
 // Stats is a point-in-time snapshot of client activity.
@@ -275,7 +291,7 @@ func (c *Client) openBreakers() int {
 // exponential backoff and full jitter until the context ends or the
 // retry budget is spent. The returned response's BLIF is exactly what a
 // local chortle.Map of the same network and options would emit.
-func (c *Client) Map(ctx context.Context, req MapRequest) (*MapResponse, error) {
+func (c *Client) Map(ctx context.Context, req MapRequest) (res *MapResponse, err error) {
 	if req.BLIF == "" {
 		return nil, errors.New("client: MapRequest.BLIF is empty")
 	}
@@ -292,6 +308,21 @@ func (c *Client) Map(ctx context.Context, req MapRequest) (*MapResponse, error) 
 	}
 	c.requests.Add(1)
 
+	// rt is nil (and every span call inert) unless Config.Spans asked
+	// for client-side tracing; the flush runs on every return path so a
+	// context-expired call still leaves a complete client timeline.
+	rt := c.newTrace()
+	if rt != nil {
+		defer func() {
+			if err != nil {
+				rt.AnnotateRoot("err", err.Error())
+			}
+			for _, sp := range rt.Finish(chortle.SpanID{}) {
+				c.cfg.Spans.RecordSpan(sp)
+			}
+		}()
+	}
+
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -304,9 +335,12 @@ func (c *Client) Map(ctx context.Context, req MapRequest) (*MapResponse, error) 
 		if !ok {
 			lastErr = c.stampErr(ErrNoHealthyAddr)
 		} else {
-			res, err := c.attemptWithHedge(ctx, addrIdx, body)
+			res, err := c.attemptWithHedge(ctx, rt, addrIdx, body)
 			if err == nil {
 				c.mOK.Inc()
+				if rt != nil {
+					rt.AnnotateRoot("winner_addr", res.Addr)
+				}
 				return res, nil
 			}
 			lastErr = err
@@ -321,11 +355,26 @@ func (c *Client) Map(ctx context.Context, req MapRequest) (*MapResponse, error) 
 		}
 		c.retries.Add(1)
 		c.mRetries.Inc()
-		if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+		bo := rt.Start("backoff")
+		if rt != nil {
+			bo.Annotate("after", lastErr.Error())
+		}
+		sleepErr := c.sleep(ctx, c.backoff(attempt, lastErr))
+		bo.End()
+		if sleepErr != nil {
 			c.mErr.Inc()
-			return nil, fmt.Errorf("%w (last failure: %v)", err, lastErr)
+			return nil, fmt.Errorf("%w (last failure: %v)", sleepErr, lastErr)
 		}
 	}
+}
+
+// newTrace opens a client-side request trace, or returns nil (the
+// inert state) when tracing is off.
+func (c *Client) newTrace() *chortle.ReqTrace {
+	if c.cfg.Spans == nil {
+		return nil
+	}
+	return chortle.NewReqTrace("client", "map", chortle.TraceID{}, chortle.SpanID{}, 128, 1)
 }
 
 // stampErr marks sentinel errors as retryable pauses without wrapping
@@ -384,9 +433,9 @@ func (c *Client) pickAddr() (int, bool) {
 // address is healthy — a duplicate to the next address. First answer
 // (success or permanent failure) wins; the loser's context is
 // cancelled. Breakers settle per physical request.
-func (c *Client) attemptWithHedge(ctx context.Context, addrIdx int, body []byte) (*MapResponse, error) {
+func (c *Client) attemptWithHedge(ctx context.Context, rt *chortle.ReqTrace, addrIdx int, body []byte) (*MapResponse, error) {
 	if c.cfg.HedgeDelay <= 0 || len(c.cfg.Addrs) < 2 {
-		return c.do(ctx, addrIdx, body)
+		return c.do(ctx, rt, "attempt", addrIdx, body)
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -397,7 +446,7 @@ func (c *Client) attemptWithHedge(ctx context.Context, addrIdx int, body []byte)
 	results := make(chan outcome, 2)
 	launched := 1
 	go func() {
-		res, err := c.do(actx, addrIdx, body)
+		res, err := c.do(actx, rt, "attempt", addrIdx, body)
 		results <- outcome{res, err}
 	}()
 	hedgeTimer := time.NewTimer(c.cfg.HedgeDelay)
@@ -412,7 +461,7 @@ func (c *Client) attemptWithHedge(ctx context.Context, addrIdx int, body []byte)
 				c.hedges.Add(1)
 				c.mHedges.Inc()
 				go func() {
-					res, err := c.do(actx, hIdx, body)
+					res, err := c.do(actx, rt, "hedge", hIdx, body)
 					results <- outcome{res, err}
 				}()
 			}
@@ -437,27 +486,52 @@ func (c *Client) attemptWithHedge(ctx context.Context, addrIdx int, body []byte)
 }
 
 // do performs one physical HTTP request and settles the address's
-// breaker on the result.
-func (c *Client) do(ctx context.Context, addrIdx int, body []byte) (*MapResponse, error) {
+// breaker on the result. spanName distinguishes primary attempts from
+// hedges on the trace; the attempt span carries the address, the status
+// code, and any breaker transition this attempt caused.
+func (c *Client) do(ctx context.Context, rt *chortle.ReqTrace, spanName string, addrIdx int, body []byte) (*MapResponse, error) {
 	c.attempts.Add(1)
 	b := c.breakers[addrIdx]
+	sp := rt.Start(spanName)
+	stateBefore := b.snapshotState()
+	settle := func(code int) {
+		if rt == nil {
+			return
+		}
+		sp.Annotate("addr", c.cfg.Addrs[addrIdx])
+		if code != 0 {
+			sp.Annotate("code", strconv.Itoa(code))
+		}
+		if after := b.snapshotState(); after != stateBefore {
+			sp.Annotate("breaker", after.String())
+		}
+		sp.End()
+	}
 	url := strings.TrimSuffix(c.cfg.Addrs[addrIdx], "/") + "/map"
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
+		settle(0)
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if rt != nil {
+		// The attempt span is the server root's parent, so each retry or
+		// hedge becomes its own subtree of this one trace.
+		hreq.Header.Set(chortle.TraceparentHeader, chortle.FormatTraceparent(rt.TraceID(), sp.ID()))
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		if ctx.Err() == nil {
 			b.onFailure()
 		}
+		settle(0)
 		return nil, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
 		b.onFailure()
+		settle(resp.StatusCode)
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -475,15 +549,21 @@ func (c *Client) do(ctx context.Context, addrIdx int, body []byte) (*MapResponse
 		} else {
 			b.onSuccess() // the server answered deliberately; it is healthy
 		}
+		settle(resp.StatusCode)
 		return nil, apiErr
 	}
 	var mr MapResponse
 	if err := json.Unmarshal(payload, &mr); err != nil {
 		b.onFailure()
+		settle(resp.StatusCode)
 		return nil, fmt.Errorf("client: decoding response from %s: %w", c.cfg.Addrs[addrIdx], err)
 	}
 	b.onSuccess()
 	mr.Addr = c.cfg.Addrs[addrIdx]
+	if mr.TraceID == "" {
+		mr.TraceID = resp.Header.Get("X-Trace-Id")
+	}
+	settle(resp.StatusCode)
 	return &mr, nil
 }
 
@@ -511,6 +591,17 @@ const (
 	breakerOpen
 	breakerHalfOpen
 )
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
 
 // breaker is one address's half-open circuit breaker. Transitions:
 // closed → open after FailureThreshold consecutive retryable failures;

@@ -8,7 +8,8 @@
 //	        [-stats] [-verify] [-trace trace.jsonl] [-timeout 30s] [-budget N]
 //	        [-debug-addr :6060] [-explain report.html] [-dot out.dot]
 //	        [-shared-cache] [-v] [-log-format text|json]
-//	        [-server URL[,URL...]] [-server-hedge 30ms] [in.blif ...]
+//	        [-server URL[,URL...]] [-server-hedge 30ms]
+//	        [-server-trace spans.jsonl] [in.blif ...]
 //
 // -engine selects the mapping algorithm: tree (the paper's per-tree
 // exhaustive DP, the default), mis (the MIS II-style library baseline)
@@ -25,6 +26,10 @@
 // breakers per address, Retry-After awareness; -server-hedge duplicates
 // slow requests to the next replica). The served answer is
 // byte-identical to a local map of the same network and options.
+// -server-trace streams the client's spans — one per attempt, hedge and
+// backoff pause, sharing the server's trace IDs — as JSON lines; merge
+// that file with chortled's -access-log in cmd/traceview for one
+// multi-process timeline of each request.
 //
 // With no input file the network is read from standard input. Several
 // input files map as a batch: the mapped circuits are written in order
@@ -98,6 +103,7 @@ func main() {
 		shared   = flag.Bool("shared-cache", false, "share one cross-run shape cache across all mappings in this process")
 		server   = flag.String("server", "", "map remotely via these chortled base URLs (comma-separated) instead of in-process")
 		hedge    = flag.Duration("server-hedge", 0, "with ≥2 -server addresses, hedge a slow request to the next replica after this delay (0 = off)")
+		srvTrace = flag.String("server-trace", "", "with -server, stream client-side spans (attempts, retries, hedges) as JSON lines to this file; merge with the server's -access-log in chortle-traceview")
 	)
 	flag.Parse()
 
@@ -164,8 +170,12 @@ func main() {
 			k:        *k,
 			budget:   *budget,
 			engine:   eng.String(),
+			traceOut: *srvTrace,
 		})
 		return
+	}
+	if *srvTrace != "" {
+		fatal(fmt.Errorf("-server-trace records the remote client's spans and needs -server"))
 	}
 
 	var cache *chortle.SharedCache

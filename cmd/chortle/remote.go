@@ -24,6 +24,7 @@ type remoteFlags struct {
 	k        int
 	budget   int64
 	engine   string
+	traceOut string // -server-trace: client-side span JSONL
 }
 
 // remoteMap sends each input to a chortled fleet through the resilient
@@ -33,9 +34,19 @@ type remoteFlags struct {
 // the same network and options, so -server changes where the work runs,
 // never the result.
 func remoteMap(paths []string, rf remoteFlags) {
+	var spans chortle.SpanRecorder
+	if rf.traceOut != "" {
+		f, err := os.Create(rf.traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		spans = chortle.NewSpanJSONL(f)
+	}
 	c, err := client.New(client.Config{
 		Addrs:      rf.addrs,
 		HedgeDelay: rf.hedge,
+		Spans:      spans,
 	})
 	if err != nil {
 		fatal(err)

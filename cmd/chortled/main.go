@@ -9,6 +9,7 @@
 //	         [-max-inflight N] [-queue N] [-drain-timeout 10s]
 //	         [-cache-snapshot PATH] [-snapshot-interval 5m]
 //	         [-mem-watermark-mb MB] [-chaos SEED]
+//	         [-access-log PATH] [-request-ring N]
 //
 // Endpoints:
 //
@@ -16,9 +17,24 @@
 //	               or JSON {"blif","k","budget_work_units","deadline_ms"};
 //	               responds with the mapped circuit and cache statistics
 //	GET  /healthz  liveness; 503 once draining
-//	GET  /stats    shared-cache statistics as JSON
+//	GET  /stats    shared-cache statistics plus a per-engine request
+//	               breakdown (outcome classes, solve p50/p95) as JSON
 //	GET  /metrics  Prometheus text (request series, mapper phase series,
-//	               chortle_shape_cache_* gauges)
+//	               chortle_shape_cache_* gauges); OpenMetrics with
+//	               trace-ID exemplars when Accept asks for it
+//	GET  /debug/requests   live in-flight table plus a bounded ring of
+//	               recent requests with span timelines (?format=html for
+//	               a self-contained view)
+//
+// Every request is traced: the trace ID arrives in a W3C traceparent
+// header (the client package sends one) or is generated at admission,
+// and is echoed in the X-Trace-Id response header and the response
+// body. -access-log streams one JSON line per finished request — trace
+// ID, engine, outcome class, queue/solve/write timings, cache hits —
+// with the request's span timeline embedded; feed the log (optionally
+// merged with client-side -trace-out spans) to chortle-traceview for a
+// multi-process Perfetto timeline. -request-ring bounds the
+// /debug/requests recent ring (default 64).
 //
 // At most -max-inflight requests map concurrently; -queue more wait for
 // a slot and anything beyond that is refused with 429 (every 429/503
@@ -76,10 +92,24 @@ func main() {
 		snapEvery    = flag.Duration("snapshot-interval", 5*time.Minute, "how often to rewrite -cache-snapshot")
 		memMB        = flag.Int64("mem-watermark-mb", 0, "live-heap watermark in MiB for the memory-pressure valve (0 = off)")
 		chaosSeed    = flag.Int64("chaos", 0, "inject seeded faults for resilience testing (0 = off; never use in production)")
+		accessPath   = flag.String("access-log", "", "append one JSON line per finished request (trace ID, outcome, timings, spans) to this file; - for stdout")
+		requestRing  = flag.Int("request-ring", 0, "recent requests retained by /debug/requests (0 = default 64)")
 	)
 	flag.Parse()
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+
+	var accessLog *accessLogger
+	if *accessPath == "-" {
+		accessLog = newAccessLogger(os.Stdout)
+	} else if *accessPath != "" {
+		f, err := os.OpenFile(*accessPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		accessLog = newAccessLogger(f)
+	}
 
 	reg := chortle.NewMetricsRegistry()
 	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{
@@ -101,6 +131,8 @@ func main() {
 		memWatermark: *memMB << 20,
 		chaos:        chaos,
 		logf:         logf,
+		accessLog:    accessLog,
+		requestRing:  *requestRing,
 	})
 
 	bg, stopBg := context.WithCancel(context.Background())

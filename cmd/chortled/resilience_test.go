@@ -282,8 +282,10 @@ func TestQueueExpiredDeadline504(t *testing.T) {
 func TestCoDelDropsUnservableDeadline(t *testing.T) {
 	s, ts := newTestServer(t, serverConfig{maxInflight: 2, maxQueue: 4})
 	blif := benchBLIF(t, bench.Suite()[0])
+	// The request below names no engine, so it resolves to tree; prime
+	// that engine's window (the CoDel estimate is per-engine now).
 	for i := 0; i < 20; i++ {
-		s.solveTimes.observe(2 * time.Second)
+		s.solveTimes[chortle.EngineTree].observe(2 * time.Second)
 	}
 	body := fmt.Sprintf(`{"blif":%q,"k":4,"deadline_ms":500}`, blif)
 	resp, err := http.Post(ts.URL+"/map", "application/json", strings.NewReader(body))

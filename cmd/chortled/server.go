@@ -70,6 +70,13 @@ type serverConfig struct {
 
 	// logf receives server incident and lifecycle logs; nil discards.
 	logf func(format string, args ...any)
+
+	// accessLog, when non-nil, receives one JSONL AccessRecord per
+	// finished request (the -access-log flag).
+	accessLog *accessLogger
+
+	// requestRing bounds the /debug/requests recent ring (0 = 64).
+	requestRing int
 }
 
 type mapServer struct {
@@ -82,7 +89,65 @@ type mapServer struct {
 	draining   atomic.Bool
 	overloaded atomic.Bool // memory valve engaged: stop queueing, shed cache
 
-	solveTimes *latencyTracker
+	// solveTimes is one recent-solve window per engine: tree and cut
+	// solve times differ by an order of magnitude on the same circuit,
+	// so a shared ring would miscalibrate the queue-deadline drop under
+	// mixed traffic. Indexed by chortle.Engine.
+	solveTimes [engineCount]*latencyTracker
+
+	// engines is the per-engine request breakdown behind /stats.
+	engines [engineCount]engineBucket
+
+	// requests backs /debug/requests: the live in-flight table and the
+	// bounded recent ring.
+	requests *requestTable
+}
+
+// engineCount covers tree, mis and cut.
+const engineCount = 3
+
+var engineNames = [engineCount]string{
+	chortle.EngineTree: "tree",
+	chortle.EngineMIS:  "mis",
+	chortle.EngineCut:  "cut",
+}
+
+// engineIndex maps an engine name back to its slot; ok is false for
+// the empty string (a request that never resolved an engine).
+func engineIndex(name string) (int, bool) {
+	for i, n := range engineNames {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// outcomeClasses are the access-log outcome labels /stats breaks each
+// engine down by.
+var outcomeClasses = []string{"2xx", "4xx", "429", "500", "503", "504", "abandoned", "5xx"}
+
+func outcomeIndex(class string) (int, bool) {
+	for i, c := range outcomeClasses {
+		if c == class {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// engineBucket tallies one engine's requests by outcome class.
+type engineBucket struct {
+	total    atomic.Int64
+	outcomes [8]atomic.Int64 // indexed like outcomeClasses
+}
+
+// engineStatsJSON is one engine's /stats entry.
+type engineStatsJSON struct {
+	Requests   int64            `json:"requests"`
+	Outcomes   map[string]int64 `json:"outcomes,omitempty"`
+	SolveP50MS float64          `json:"solve_p50_ms"`
+	SolveP95MS float64          `json:"solve_p95_ms"`
 }
 
 // serverMetrics holds the request-level series; structural interfaces
@@ -92,7 +157,17 @@ type serverMetrics struct {
 	timeout, panics                  interface{ Inc() }
 	codelDrops, memShed, snapRejects interface{ Inc() }
 	inflight                         interface{ Add(float64) }
-	duration                         interface{ Observe(time.Duration) }
+	// duration (successful solve time) and total (end-to-end request
+	// time, every outcome) carry trace-ID exemplars so a latency spike
+	// in /metrics links to a concrete request in the access log.
+	duration, total exemplarHistogram
+}
+
+// exemplarHistogram is the structural slice of metrics.Histogram the
+// server needs: plain observations plus trace-ID exemplars.
+type exemplarHistogram interface {
+	Observe(time.Duration)
+	ObserveWithExemplar(time.Duration, string)
 }
 
 func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
@@ -109,10 +184,13 @@ func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
 		cfg.logf = func(string, ...any) {}
 	}
 	s := &mapServer{
-		cfg:        cfg,
-		sem:        make(chan struct{}, cfg.maxInflight),
-		obs:        chortle.NewMetricsObserverWithRuntime(cfg.reg),
-		solveTimes: newLatencyTracker(256),
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.maxInflight),
+		obs:      chortle.NewMetricsObserverWithRuntime(cfg.reg),
+		requests: newRequestTable(cfg.requestRing),
+	}
+	for i := range s.solveTimes {
+		s.solveTimes[i] = newLatencyTracker(256)
 	}
 	m := &serverMetrics{
 		ok:         cfg.reg.Counter("chortled_requests_total", "Mapping requests by outcome.", chortle.MetricsLabel{Key: "code", Value: "200"}),
@@ -127,6 +205,7 @@ func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
 			"Cache snapshots rejected at restore (truncated, corrupted, or incompatible)."),
 		inflight: cfg.reg.Gauge("chortled_inflight_requests", "Mapping requests currently being served."),
 		duration: cfg.reg.Histogram("chortled_request_seconds", "End-to-end mapping request latency.", nil),
+		total:    cfg.reg.Histogram("chortled_request_total_seconds", "Wall time from admission to response for every request, all outcomes.", nil),
 	}
 	cfg.reg.GaugeFunc("chortled_queued_requests", "Mapping requests waiting for an execution slot.",
 		func() float64 { return float64(s.queued.Load()) })
@@ -137,8 +216,12 @@ func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
 			}
 			return 0
 		})
-	cfg.reg.GaugeFunc("chortled_solve_p95_seconds", "Observed p95 end-to-end solve time over the recent window.",
-		func() float64 { return s.solveTimes.p95().Seconds() })
+	for i := range s.solveTimes {
+		lt := s.solveTimes[i]
+		cfg.reg.GaugeFunc("chortled_solve_p95_seconds", "Observed p95 solve time over the recent window, per engine.",
+			func() float64 { return lt.p95().Seconds() },
+			chortle.MetricsLabel{Key: "engine", Value: engineNames[i]})
+	}
 	chortle.RegisterCacheMetrics(cfg.reg, cfg.cache)
 	return s, m
 }
@@ -190,10 +273,10 @@ func (l *latencyTracker) observe(d time.Duration) {
 	l.mu.Unlock()
 }
 
-// p95 estimates the 95th percentile of the recent window; zero until
-// enough samples exist to say anything (8), so a cold server never
-// drops on a wild guess.
-func (l *latencyTracker) p95() time.Duration {
+// quantile estimates the p-quantile (per-cent, e.g. 95) of the recent
+// window; zero until enough samples exist to say anything (8), so a
+// cold server never drops on a wild guess.
+func (l *latencyTracker) quantile(pct int) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	size := l.n
@@ -206,8 +289,15 @@ func (l *latencyTracker) p95() time.Duration {
 	tmp := make([]time.Duration, size)
 	copy(tmp, l.ring[:size])
 	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	return tmp[(size*95)/100]
+	idx := (size * pct) / 100
+	if idx >= size {
+		idx = size - 1
+	}
+	return tmp[idx]
 }
+
+func (l *latencyTracker) p95() time.Duration { return l.quantile(95) }
+func (l *latencyTracker) p50() time.Duration { return l.quantile(50) }
 
 // mapRequest is the JSON request body (all fields optional except blif).
 type mapRequest struct {
@@ -230,6 +320,7 @@ type mapResponse struct {
 	CacheMisses int      `json:"cache_misses"`
 	ElapsedNS   int64    `json:"elapsed_ns"`
 	BLIF        string   `json:"blif"`
+	TraceID     string   `json:"trace_id,omitempty"`
 }
 
 type errResponse struct {
@@ -313,18 +404,27 @@ func parseMapRequest(r *http.Request, defaultK int) (*mapRequest, error) {
 }
 
 // statusRecorder remembers whether a handler already committed a
-// response, so the panic isolator knows if a 500 can still be sent.
+// response (so the panic isolator knows if a 500 can still be sent)
+// and which status it sent (so the trace middleware can classify the
+// outcome; 0 means the client went away before any response).
 type statusRecorder struct {
 	http.ResponseWriter
 	wrote bool
+	code  int
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.code = code
+	}
 	sr.wrote = true
 	sr.ResponseWriter.WriteHeader(code)
 }
 
 func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if !sr.wrote {
+		sr.code = http.StatusOK
+	}
 	sr.wrote = true
 	return sr.ResponseWriter.Write(b)
 }
@@ -353,19 +453,26 @@ func (s *mapServer) withPanicIsolation(m *serverMetrics, next http.HandlerFunc) 
 
 func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		st := stateFrom(r.Context())
+		rt := st.trace()
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
+			st.noteErr("POST only")
 			writeJSON(w, http.StatusMethodNotAllowed, errResponse{"POST only"})
 			return
 		}
 		if s.draining.Load() {
 			m.serverErr.Inc()
+			st.noteErr("draining")
 			writeRefusal(w, http.StatusServiceUnavailable, 5*time.Second, "draining")
 			return
 		}
+		admSpan := rt.Start("admission")
 		req, err := parseMapRequest(r, s.cfg.defaultK)
 		if err != nil {
+			admSpan.End()
 			m.clientErr.Inc()
+			st.noteErr(err.Error())
 			writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
 			return
 		}
@@ -373,26 +480,38 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		// slot; the parsed value configures the solve below.
 		eng, err := chortle.ParseEngine(req.Engine)
 		if err != nil {
+			admSpan.End()
 			m.clientErr.Inc()
+			st.noteErr(err.Error())
 			writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
 			return
 		}
+		st.setRequest(eng.String(), req.K)
+		admSpan.Annotate("engine", eng.String())
+		admSpan.End()
 		// The request's deadline budget starts ticking at admission, so
 		// queue wait counts against it.
 		admitted := time.Now()
 
+		st.setStage(stageQueued)
+		queueSpan := rt.Start("queue")
 		release, ok := s.acquire(r.Context())
+		waited := time.Since(admitted)
+		queueSpan.End()
+		st.noteTimings(waited, 0, 0)
 		if !ok {
 			if r.Context().Err() != nil {
 				return // client gone while queued
 			}
 			if s.overloaded.Load() {
 				m.serverErr.Inc()
+				st.noteErr("memory pressure")
 				writeRefusal(w, http.StatusServiceUnavailable, 2*time.Second,
 					"memory pressure: queue closed, retry shortly")
 				return
 			}
 			m.busy.Inc()
+			st.noteErr("at capacity")
 			writeRefusal(w, http.StatusTooManyRequests, time.Second,
 				fmt.Sprintf("at capacity (%d in flight, %d queued)", s.cfg.maxInflight, s.cfg.maxQueue))
 			return
@@ -404,24 +523,28 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		if r.Context().Err() != nil {
 			return // client gone while queued; nobody is listening
 		}
-		waited := time.Since(admitted)
 		if req.DeadlineMS > 0 {
 			remaining := time.Duration(req.DeadlineMS)*time.Millisecond - waited
 			if remaining <= 0 {
 				m.timeout.Inc()
+				st.noteErr("deadline expired in queue")
 				writeRefusal(w, http.StatusGatewayTimeout, time.Second,
 					fmt.Sprintf("deadline (%d ms) expired after %s in queue", req.DeadlineMS, waited.Round(time.Millisecond)))
 				return
 			}
 			// CoDel-style drop: starting a solve we cannot finish inside
 			// the deadline wastes the slot and still fails the caller —
-			// refuse now, while it is still cheap for both sides.
-			if p95 := s.solveTimes.p95(); p95 > 0 && remaining < p95 {
+			// refuse now, while it is still cheap for both sides. The p95
+			// comes from this engine's own window: tree and cut solve
+			// times differ enough that a shared estimate sheds the wrong
+			// requests under mixed traffic.
+			if p95 := s.solveTimes[eng].p95(); p95 > 0 && remaining < p95 {
 				m.serverErr.Inc()
 				m.codelDrops.Inc()
+				st.noteErr("remaining deadline below engine p95")
 				writeRefusal(w, http.StatusServiceUnavailable, p95,
-					fmt.Sprintf("remaining deadline %s below observed p95 solve time %s",
-						remaining.Round(time.Millisecond), p95.Round(time.Millisecond)))
+					fmt.Sprintf("remaining deadline %s below observed %s p95 solve time %s",
+						remaining.Round(time.Millisecond), eng, p95.Round(time.Millisecond)))
 				return
 			}
 		}
@@ -432,6 +555,7 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			s.inflight.Add(-1)
 		}()
 
+		st.setStage(stageSolving)
 		// Seeded fault injection (off unless -chaos): latency spikes,
 		// forced cache evictions, and solve panics — the panic rides up
 		// to withPanicIsolation like any real one would.
@@ -440,6 +564,7 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		nw, err := chortle.ReadBLIF(strings.NewReader(req.BLIF))
 		if err != nil {
 			m.clientErr.Inc()
+			st.noteErr(err.Error())
 			writeJSON(w, http.StatusBadRequest, errResponse{fmt.Sprintf("parsing BLIF: %v", err)})
 			return
 		}
@@ -447,7 +572,14 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		opts.Engine = eng
 		opts.SharedCache = s.cfg.cache
 		opts.Budget.WorkUnits = req.BudgetWorkUnits
-		opts.Observer = s.obs
+		// The request trace's bounded collector rides beside the
+		// process-wide metrics bridge, joining the engine's own phase
+		// events to this request's span tree.
+		if reqObs := rt.Observer(); reqObs != nil {
+			opts.Observer = chortle.MultiObserver{s.obs, reqObs}
+		} else {
+			opts.Observer = s.obs
+		}
 
 		ctx := r.Context()
 		if req.DeadlineMS > 0 {
@@ -456,9 +588,14 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, remaining)
 			defer cancel()
 		}
+		solveSpan := rt.Start("solve")
+		solveSpan.Annotate("engine", eng.String())
+		st.setSolveSpan(solveSpan.ID())
 		start := time.Now()
 		res, err := chortle.MapCtx(ctx, nw, opts)
 		elapsed := time.Since(start)
+		solveSpan.End()
+		st.noteTimings(0, elapsed, 0)
 		if err != nil {
 			switch {
 			case errors.Is(err, context.Canceled):
@@ -466,22 +603,31 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 				return
 			case errors.Is(err, context.DeadlineExceeded):
 				m.serverErr.Inc()
+				st.noteErr("deadline exceeded")
 				writeRefusal(w, http.StatusServiceUnavailable, time.Second, "deadline exceeded")
 			default:
 				m.clientErr.Inc()
+				st.noteErr(err.Error())
 				writeJSON(w, http.StatusBadRequest, errResponse{err.Error()})
 			}
 			return
 		}
-		s.solveTimes.observe(elapsed)
+		s.solveTimes[eng].observe(elapsed)
+		st.noteResult(res.LUTs, res.CacheHits, res.CacheMisses)
+
+		st.setStage(stageWriting)
+		writeSpan := rt.Start("write")
+		writeStart := time.Now()
 		var blif strings.Builder
 		if err := res.Circuit.WriteBLIF(&blif); err != nil {
+			writeSpan.End()
 			m.panics.Inc()
+			st.noteErr(err.Error())
 			writeJSON(w, http.StatusInternalServerError, errResponse{err.Error()})
 			return
 		}
 		m.ok.Inc()
-		m.duration.Observe(elapsed)
+		m.duration.ObserveWithExemplar(elapsed, traceIDString(rt))
 		writeJSON(w, http.StatusOK, mapResponse{
 			Circuit:     nw.Name,
 			K:           req.K,
@@ -493,8 +639,20 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			CacheMisses: res.CacheMisses,
 			ElapsedNS:   elapsed.Nanoseconds(),
 			BLIF:        blif.String(),
+			TraceID:     traceIDString(rt),
 		})
+		writeSpan.End()
+		st.noteTimings(0, 0, time.Since(writeStart))
 	}
+}
+
+// traceIDString renders the request's trace ID for the response body;
+// empty (omitted from JSON) when the handler runs untraced.
+func traceIDString(rt *chortle.ReqTrace) string {
+	if rt.TraceID().IsZero() {
+		return ""
+	}
+	return rt.TraceID().String()
 }
 
 // memCheck is one tick of the memory-pressure valve: above the
@@ -545,21 +703,65 @@ func (s *mapServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *mapServer) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.cfg.cache.Stats())
+	engines := make(map[string]engineStatsJSON, engineCount)
+	for i := range s.engines {
+		b := &s.engines[i]
+		total := b.total.Load()
+		if total == 0 {
+			continue
+		}
+		outcomes := make(map[string]int64)
+		for j, class := range outcomeClasses {
+			if n := b.outcomes[j].Load(); n > 0 {
+				outcomes[class] = n
+			}
+		}
+		engines[engineNames[i]] = engineStatsJSON{
+			Requests:   total,
+			Outcomes:   outcomes,
+			SolveP50MS: float64(s.solveTimes[i].p50().Microseconds()) / 1000,
+			SolveP95MS: float64(s.solveTimes[i].p95().Microseconds()) / 1000,
+		}
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Cache:   s.cfg.cache.Stats(),
+		Engines: engines,
+	})
 }
 
-func (s *mapServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// statsResponse is the /stats body: the shared cache's counters plus a
+// per-engine request breakdown (requests by outcome class and the
+// engine's own solve-latency quantiles — the same windows that drive
+// per-engine CoDel shedding).
+type statsResponse struct {
+	Cache   chortle.CacheStats         `json:"cache"`
+	Engines map[string]engineStatsJSON `json:"engines,omitempty"`
+}
+
+func (s *mapServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// OpenMetrics is opt-in by Accept header: it is the only exposition
+	// format with exemplars, so scrapes that ask for it get trace IDs
+	// attached to the latency histogram buckets. Everyone else keeps the
+	// Prometheus 0.0.4 text format byte-for-byte.
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", chortle.OpenMetricsContentType)
+		_ = s.cfg.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.cfg.reg.WritePrometheus(w)
 }
 
-// handler builds the server's mux.
+// handler builds the server's mux. The trace middleware wraps the panic
+// isolator so a panicking solve still finishes its trace and emits an
+// access-log line with outcome "500".
 func (s *mapServer) handler(m *serverMetrics) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/map", s.withPanicIsolation(m, s.handleMap(m)))
+	mux.HandleFunc("/map", s.withRequestTrace(m, s.withPanicIsolation(m, s.handleMap(m))))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	return mux
 }
 

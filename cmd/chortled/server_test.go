@@ -85,7 +85,7 @@ func TestServerMapTwiceSecondHits(t *testing.T) {
 		t.Fatal("warm BLIF differs from cold BLIF")
 	}
 
-	var st chortle.CacheStats
+	var st statsResponse
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -94,8 +94,11 @@ func TestServerMapTwiceSecondHits(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Hits == 0 || st.Entries == 0 {
-		t.Fatalf("/stats after warm run: %+v", st)
+	if st.Cache.Hits == 0 || st.Cache.Entries == 0 {
+		t.Fatalf("/stats after warm run: %+v", st.Cache)
+	}
+	if tree := st.Engines["tree"]; tree.Requests != 2 || tree.Outcomes["2xx"] != 2 {
+		t.Fatalf("/stats tree engine breakdown: %+v", st.Engines)
 	}
 	mresp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {

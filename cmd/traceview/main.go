@@ -1,17 +1,33 @@
-// Command traceview converts a chortle JSONL event trace (the
-// cmd/chortle -trace output) into the Chrome trace_event JSON format,
-// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Command traceview converts chortle JSONL traces into the Chrome
+// trace_event JSON format, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
 //
 // Usage:
 //
-//	traceview [-o out.json] [trace.jsonl]
+//	traceview [-o out.json] [trace.jsonl ...]
+//
+// It accepts two kinds of input, sniffed per line, and any mix of them
+// across any number of files:
+//
+//   - Mapper event traces (cmd/chortle -trace): laid out as the
+//     pipeline's nested map/phase spans, with overlapping per-tree DP
+//     solves spread across "solver lane" tracks and memo hits, budget
+//     trips and degradations as instants.
+//   - Span streams — chortled access logs (-access-log, whose embedded
+//     span timelines are flattened) and client span files (cmd/chortle
+//     -server-trace / client.Config.Spans): joined on their shared
+//     trace IDs into one multi-process timeline, one Perfetto process
+//     per recording process ("client", "chortled") and one thread
+//     track per trace, so a request's retries, queue wait, and engine
+//     phases line up on a single view.
+//
+// Passing both a server access log and the matching client span file
+// is the intended use: the W3C traceparent propagation gives both
+// sides the same trace IDs, and the merged view shows each attempt's
+// client-side span directly above the server-side handling it caused.
 //
 // With no input file the trace is read from standard input; with no -o
-// the Chrome trace is written to standard output. The conversion lays
-// the pipeline's map bracket and phases out as nested spans, spreads
-// overlapping per-tree DP solves across "solver lane" tracks (the lane
-// count is the run's achieved solve concurrency), and marks memo hits,
-// budget trips and degradations as instants.
+// the Chrome trace is written to standard output.
 package main
 
 import (
@@ -36,24 +52,35 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() > 1 {
-		return fmt.Errorf("at most one input trace, got %d", fs.NArg())
-	}
 
-	in := stdin
-	if fs.NArg() == 1 {
-		f, err := os.Open(fs.Arg(0))
+	var events []chortle.Event
+	var spans []chortle.Span
+	readInto := func(name string, r io.Reader) error {
+		ev, sp, err := chortle.ReadTraceJSONL(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		events = append(events, ev...)
+		spans = append(spans, sp...)
+		return nil
+	}
+	if fs.NArg() == 0 {
+		if err := readInto("stdin", stdin); err != nil {
+			return err
+		}
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
+		err = readInto(path, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
-	events, err := chortle.ReadEventsJSONL(in)
-	if err != nil {
-		return err
-	}
-	if len(events) == 0 {
+	if len(events) == 0 && len(spans) == 0 {
 		return fmt.Errorf("empty trace")
 	}
 
@@ -67,7 +94,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		outFile = f
 		w = f
 	}
-	if err := chortle.WriteChromeTrace(w, events); err != nil {
+	// Span input (even one span) selects the multi-process writer: the
+	// events ride along as an extra "engine events" process. A pure
+	// event trace keeps the original single-process solver-lane layout.
+	var err error
+	if len(spans) > 0 {
+		err = chortle.WriteChromeTraceMulti(w, spans, events)
+	} else {
+		err = chortle.WriteChromeTrace(w, events)
+	}
+	if err != nil {
 		if outFile != nil {
 			outFile.Close()
 		}

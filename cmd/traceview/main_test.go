@@ -145,10 +145,85 @@ func TestErrors(t *testing.T) {
 	if err := run(nil, strings.NewReader("not json\n"), nil); err == nil {
 		t.Error("malformed trace accepted")
 	}
-	if err := run([]string{"a", "b"}, nil, nil); err == nil {
-		t.Error("two positional args accepted")
-	}
 	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, nil, nil); err == nil {
 		t.Error("missing input file accepted")
+	}
+}
+
+// spanFixture writes a client-style span JSONL file sharing a trace ID
+// with a server-style access log, and returns both paths.
+func spanFixture(t *testing.T) (clientPath, serverPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	trace := chortle.NewTraceID()
+
+	crt := chortle.NewReqTrace("client", "map", trace, chortle.SpanID{}, 16, 1)
+	att := crt.Start("attempt")
+	att.End()
+	cf, err := os.Create(filepath.Join(dir, "client.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := chortle.NewSpanJSONL(cf)
+	for _, sp := range crt.Finish(chortle.SpanID{}) {
+		sink.RecordSpan(sp)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srt := chortle.NewReqTrace("chortled", "request", trace, att.ID(), 16, 1)
+	sv := srt.Start("solve")
+	sv.End()
+	rec := chortle.AccessRecord{
+		Trace: trace, Code: 200, Outcome: "2xx",
+		Spans: srt.Finish(chortle.SpanID{}),
+	}
+	rec.Time = rec.Spans[0].Start
+	sf, err := os.Create(filepath.Join(dir, "access.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(sf).Encode(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return cf.Name(), sf.Name()
+}
+
+// TestMultiInputMerge feeds a client span file, a server access log,
+// and a mapper event trace through run() in one invocation: the output
+// must be one Chrome trace with a process per recording process plus
+// the engine-events track.
+func TestMultiInputMerge(t *testing.T) {
+	clientPath, serverPath := spanFixture(t)
+	events := traceFixture(t)
+	out := filepath.Join(t.TempDir(), "chrome.json")
+	if err := run([]string{"-o", out, clientPath, serverPath, events}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("output is not a JSON array of trace records: %v", err)
+	}
+	pids := map[int]bool{}
+	names := map[string]bool{}
+	for _, r := range recs {
+		pids[r.Pid] = true
+		names[r.Name] = true
+	}
+	if len(pids) < 3 {
+		t.Errorf("got %d Perfetto processes, want ≥3 (client, chortled, engine events)", len(pids))
+	}
+	for _, want := range []string{"map", "attempt", "request", "solve"} {
+		if !names[want] {
+			t.Errorf("merged trace missing %q span", want)
+		}
 	}
 }

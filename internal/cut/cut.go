@@ -169,6 +169,11 @@ type mapper struct {
 	selected []*network.Node
 	selMark  []bool
 	cutCount int
+	// Enumeration tallies for the run-summary events: candidates removed
+	// by dominance pruning and non-dominated cuts evicted beyond the
+	// priority bound.
+	dominated int
+	evicted   int64
 }
 
 // Map runs the priority-cut mapper on the network. The input is not
@@ -217,6 +222,7 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	tr.cutsEnumerated(gateCount(nw), int64(m.cutCount), m.dominated, m.evicted)
 
 	endPhase = tr.phase("select")
 	m.selectCover()
@@ -228,6 +234,7 @@ func MapCtx(ctx context.Context, input *network.Network, opts Options) (*Result,
 		m.recomputeRefs()
 		m.rerank()
 		m.selectCover()
+		tr.areaFlowRound(round+1, len(m.selected))
 	}
 	endPhase()
 
@@ -285,9 +292,12 @@ func (m *mapper) enumerate(ctx context.Context) error {
 		for _, f := range v.Fanins[1:] {
 			cands = m.mergeLists(cands, m.faninCuts(f.Node))
 		}
+		before := len(cands)
 		cands = pruneDominated(cands)
+		m.dominated += before - len(cands)
 		m.rankCuts(cands)
 		if len(cands) > bound {
+			m.evicted += int64(len(cands) - bound)
 			cands = cands[:bound]
 		}
 		d := &m.data[v.ID]

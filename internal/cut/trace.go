@@ -58,5 +58,32 @@ func (t tracer) circuit(ckt *lut.Circuit, roots int) {
 		}
 		t.o.Observe(obs.Event{Kind: obs.KindLUT, Time: now, Tree: l.Name, N: len(l.Inputs), Depth: lv})
 	}
-	t.o.Observe(obs.Event{Kind: obs.KindMapEnd, Time: time.Now(), Cost: ckt.Count(), Depth: depth, N: roots})
+	// The end event reuses the captured now: a second time.Now() here
+	// would let the map-end span close after its last KindLUT child.
+	t.o.Observe(obs.Event{Kind: obs.KindMapEnd, Time: now, Cost: ckt.Count(), Depth: depth, N: roots})
+}
+
+// cutsEnumerated closes the enumeration pass: gates enumerated over,
+// cuts kept across all priority lists, candidates removed by dominance
+// pruning, and non-dominated cuts evicted beyond the priority bound
+// (the eviction count rides its own event so operators can alert on
+// bound pressure separately).
+func (t tracer) cutsEnumerated(gates int, kept int64, dominated int, evicted int64) {
+	if t.o == nil {
+		return
+	}
+	now := time.Now()
+	t.o.Observe(obs.Event{Kind: obs.KindCutsEnumerated, Time: now, N: gates, Units: kept, Cost: dominated})
+	if evicted > 0 {
+		t.o.Observe(obs.Event{Kind: obs.KindCutListEvict, Time: now, Units: evicted})
+	}
+}
+
+// areaFlowRound closes one area-recovery iteration with the cover size
+// it produced.
+func (t tracer) areaFlowRound(round, cover int) {
+	if t.o == nil {
+		return
+	}
+	t.o.Observe(obs.Event{Kind: obs.KindAreaFlowRound, Time: time.Now(), N: round, Cost: cover})
 }

@@ -1,0 +1,98 @@
+package cut
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"chortle/internal/obs"
+)
+
+// TestCutEngineEvents pins the cut engine's event emissions: the
+// enumeration summary matches the result's cut tally, every configured
+// area round reports, and the run-end timestamp cannot precede its
+// per-LUT children (the map-end event reuses the same captured clock).
+func TestCutEngineEvents(t *testing.T) {
+	nw := randDAG(rand.New(rand.NewSource(7)))
+	var coll obs.Collector
+	opts := DefaultOptions(4)
+	opts.Observer = &coll
+	res, err := Map(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var enum *obs.Event
+	var rounds []obs.Event
+	var mapEnd *obs.Event
+	var lastLUT *obs.Event
+	for _, e := range coll.Events() {
+		e := e
+		switch e.Kind {
+		case obs.KindCutsEnumerated:
+			enum = &e
+		case obs.KindAreaFlowRound:
+			rounds = append(rounds, e)
+		case obs.KindMapEnd:
+			mapEnd = &e
+		case obs.KindLUT:
+			lastLUT = &e
+		}
+	}
+	if enum == nil {
+		t.Fatal("no cuts-enumerated event")
+	}
+	if int(enum.Units) != res.Cuts {
+		t.Errorf("cuts-enumerated Units=%d, Result.Cuts=%d", enum.Units, res.Cuts)
+	}
+	if enum.N != res.Nodes {
+		t.Errorf("cuts-enumerated N=%d, Result.Nodes=%d", enum.N, res.Nodes)
+	}
+	if enum.Cost < 0 {
+		t.Errorf("negative dominated count %d", enum.Cost)
+	}
+	if len(rounds) != defaultAreaRounds {
+		t.Fatalf("got %d area-flow rounds, want %d", len(rounds), defaultAreaRounds)
+	}
+	for i, r := range rounds {
+		if r.N != i+1 {
+			t.Errorf("round %d numbered %d", i+1, r.N)
+		}
+		if r.Cost != res.LUTs {
+			// Later rounds can shrink the cover; the last must match.
+			if i == len(rounds)-1 {
+				t.Errorf("final round cover=%d, Result.LUTs=%d", r.Cost, res.LUTs)
+			}
+		}
+	}
+	if mapEnd == nil || lastLUT == nil {
+		t.Fatal("map-end or LUT event missing")
+	}
+	if mapEnd.Time.Before(lastLUT.Time) {
+		t.Error("map-end precedes its last LUT child event")
+	}
+	if !mapEnd.Time.Equal(lastLUT.Time) {
+		t.Error("map-end does not reuse the LUT events' captured timestamp")
+	}
+}
+
+// TestCutEngineObserverPassive pins the passivity contract: the mapped
+// circuit is identical with and without an observer attached.
+func TestCutEngineObserverPassive(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		nw := randDAG(rand.New(rand.NewSource(seed)))
+		plain, err := Map(nw, DefaultOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions(4)
+		opts.Observer = &obs.Collector{}
+		observed, err := Map(nw, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.Circuit, observed.Circuit) {
+			t.Fatalf("seed %d: observer changed the mapped circuit", seed)
+		}
+	}
+}

@@ -236,6 +236,19 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    Counter // total observed seconds
 	count  atomic.Uint64
+	// exemplars holds the most recent traced observation per bucket
+	// (last-write-wins), linking a latency bucket to a concrete request
+	// trace. Only ObserveWithExemplar writes here; the plain Observe
+	// path stays allocation-free.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar is one traced observation: the trace ID that produced it,
+// the observed value in seconds, and when it happened (unix seconds).
+type exemplar struct {
+	traceID string
+	value   float64
+	unix    float64
 }
 
 // NewHistogram builds a histogram with the given bucket upper bounds
@@ -258,8 +271,9 @@ func NewHistogram(buckets []time.Duration) *Histogram {
 	}
 	bounds = uniq
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
 	}
 }
 
@@ -272,6 +286,24 @@ func (h *Histogram) ObserveSeconds(s float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(s)
 	h.count.Add(1)
+}
+
+// ObserveWithExemplar records one duration and attaches the trace ID
+// that produced it as the bucket's exemplar (last-write-wins), so a
+// latency spike in the exposition links to a concrete request. An
+// empty trace ID degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(d time.Duration, traceID string) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sum.Add(s)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{
+			traceID: traceID, value: s,
+			unix: float64(time.Now().UnixNano()) / 1e9,
+		})
+	}
 }
 
 // Count returns the number of observations.
@@ -337,10 +369,11 @@ type snapshotSeries struct {
 }
 
 type histSnap struct {
-	bounds []float64
-	counts []uint64 // cumulative, per bound; last entry includes +Inf
-	sum    float64
-	count  uint64
+	bounds    []float64
+	counts    []uint64 // cumulative, per bound; last entry includes +Inf
+	sum       float64
+	count     uint64
+	exemplars []*exemplar // per bucket (len(bounds)+1); nil = none yet
 }
 
 type snapshotFamily struct {
@@ -378,10 +411,12 @@ func (r *Registry) snapshot() []snapshotFamily {
 				h := s.hist
 				hs := &histSnap{bounds: h.bounds, sum: h.sum.Value()}
 				hs.counts = make([]uint64, len(h.counts))
+				hs.exemplars = make([]*exemplar, len(h.counts))
 				var cum uint64
 				for i := range h.counts {
 					cum += h.counts[i].Load()
 					hs.counts[i] = cum
+					hs.exemplars[i] = h.exemplars[i].Load()
 				}
 				hs.count = cum
 				ss.hist = hs

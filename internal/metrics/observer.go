@@ -52,6 +52,11 @@ type Observer struct {
 	lastTrees *Gauge
 	lastK     *Gauge
 
+	cutsKept      *Counter
+	cutsDominated *Counter
+	cutEvictions  *Counter
+	areaRounds    *Counter
+
 	arenaCount *Gauge
 	arenaBytes *Gauge
 
@@ -70,26 +75,30 @@ type Observer struct {
 // it will ever touch up front.
 func NewObserver(reg *Registry) *Observer {
 	o := &Observer{
-		reg:        reg,
-		maps:       reg.Counter("chortle_maps_total", "Completed mapping runs."),
-		mapWall:    reg.Histogram("chortle_map_wall_seconds", "Wall time of whole mapping runs.", nil),
-		phaseHists: make(map[string]*Histogram, len(standardPhases)),
-		phaseTot:   make(map[string]*Counter, len(standardPhases)),
-		solves:     reg.Counter("chortle_tree_solves_total", "Per-tree DP solves executed."),
-		solveDur:   reg.Histogram("chortle_solve_duration_seconds", "Wall time of per-tree DP solves.", nil),
-		workUnits:  reg.Counter("chortle_work_units_total", "Governor-metered DP search work units."),
-		memoHits:   reg.Counter("chortle_memo_hits_total", "Trees that reused another tree's DP solve."),
-		replays:    reg.Counter("chortle_template_replays_total", "Trees emitted by replaying a recorded template."),
-		budgetHits: reg.Counter("chortle_budget_trips_total", "Solves that exhausted their search budget."),
-		degraded:   reg.Counter("chortle_degraded_trees_total", "Trees remapped with bin packing after budget exhaustion."),
-		dups:       reg.Counter("chortle_dup_accepted_total", "Profitable duplications committed by the cost-aware search."),
-		luts:       reg.Counter("chortle_luts_emitted_total", "Lookup tables emitted across all runs."),
-		lastLUTs:   reg.Gauge("chortle_last_luts", "LUT count of the last completed run."),
-		lastDepth:  reg.Gauge("chortle_last_depth", "Circuit depth of the last completed run."),
-		lastTrees:  reg.Gauge("chortle_last_trees", "Tree count of the last completed run."),
-		lastK:      reg.Gauge("chortle_last_k", "LUT input count (K) of the last run started."),
-		arenaCount: reg.Gauge("chortle_arena_count", "DP arenas checked out by the last run."),
-		arenaBytes: reg.Gauge("chortle_arena_bytes", "DP arena slab bytes held by the last run."),
+		reg:           reg,
+		maps:          reg.Counter("chortle_maps_total", "Completed mapping runs."),
+		mapWall:       reg.Histogram("chortle_map_wall_seconds", "Wall time of whole mapping runs.", nil),
+		phaseHists:    make(map[string]*Histogram, len(standardPhases)),
+		phaseTot:      make(map[string]*Counter, len(standardPhases)),
+		solves:        reg.Counter("chortle_tree_solves_total", "Per-tree DP solves executed."),
+		solveDur:      reg.Histogram("chortle_solve_duration_seconds", "Wall time of per-tree DP solves.", nil),
+		workUnits:     reg.Counter("chortle_work_units_total", "Governor-metered DP search work units."),
+		memoHits:      reg.Counter("chortle_memo_hits_total", "Trees that reused another tree's DP solve."),
+		replays:       reg.Counter("chortle_template_replays_total", "Trees emitted by replaying a recorded template."),
+		budgetHits:    reg.Counter("chortle_budget_trips_total", "Solves that exhausted their search budget."),
+		degraded:      reg.Counter("chortle_degraded_trees_total", "Trees remapped with bin packing after budget exhaustion."),
+		dups:          reg.Counter("chortle_dup_accepted_total", "Profitable duplications committed by the cost-aware search."),
+		luts:          reg.Counter("chortle_luts_emitted_total", "Lookup tables emitted across all runs."),
+		lastLUTs:      reg.Gauge("chortle_last_luts", "LUT count of the last completed run."),
+		lastDepth:     reg.Gauge("chortle_last_depth", "Circuit depth of the last completed run."),
+		lastTrees:     reg.Gauge("chortle_last_trees", "Tree count of the last completed run."),
+		lastK:         reg.Gauge("chortle_last_k", "LUT input count (K) of the last run started."),
+		cutsKept:      reg.Counter("chortle_cuts_kept_total", "Cuts retained across priority lists by the cut engine."),
+		cutsDominated: reg.Counter("chortle_cuts_dominated_total", "Candidate cuts removed by dominance pruning."),
+		cutEvictions:  reg.Counter("chortle_cut_evictions_total", "Non-dominated cuts evicted beyond the priority-list bound."),
+		areaRounds:    reg.Counter("chortle_area_flow_rounds_total", "Area-recovery iterations run by the cut engine."),
+		arenaCount:    reg.Gauge("chortle_arena_count", "DP arenas checked out by the last run."),
+		arenaBytes:    reg.Gauge("chortle_arena_bytes", "DP arena slab bytes held by the last run."),
 	}
 	for _, p := range standardPhases {
 		o.phaseHists[p] = reg.Histogram("chortle_phase_duration_seconds",
@@ -202,5 +211,12 @@ func (o *Observer) Observe(e obs.Event) {
 		o.arenaBytes.Set(float64(e.Units))
 	case obs.KindDupAccepted:
 		o.dups.Inc()
+	case obs.KindCutsEnumerated:
+		o.cutsKept.Add(float64(e.Units))
+		o.cutsDominated.Add(float64(e.Cost))
+	case obs.KindCutListEvict:
+		o.cutEvictions.Add(float64(e.Units))
+	case obs.KindAreaFlowRound:
+		o.areaRounds.Inc()
 	}
 }

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// OpenMetricsContentType is the content type a scraper sends (in
+// Accept) and the server returns for the OpenMetrics exposition.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders the registry in OpenMetrics-flavored text:
+// the same families as WritePrometheus, plus per-bucket trace-ID
+// exemplars on histogram _bucket lines and the terminal # EOF marker.
+// The 0.0.4 writer is untouched — scrapers that don't negotiate
+// OpenMetrics keep getting exactly the output they always did; this
+// writer exists so a p99 spike in a latency histogram carries the
+// trace ID of a request that landed in the slow bucket.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind.promType())
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				writeOpenMetricsHistogram(bw, f.name, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(s.labels, "", ""), formatValue(s.value))
+		}
+	}
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+func writeOpenMetricsHistogram(w io.Writer, name string, s snapshotSeries) {
+	h := s.hist
+	bucket := func(i int, le string, count uint64) {
+		fmt.Fprintf(w, "%s_bucket%s %d", name, renderLabels(s.labels, "le", le), count)
+		if i < len(h.exemplars) {
+			if ex := h.exemplars[i]; ex != nil {
+				fmt.Fprintf(w, " # {trace_id=\"%s\"} %s %s",
+					escapeLabel(ex.traceID), formatValue(ex.value),
+					strconv.FormatFloat(ex.unix, 'f', 3, 64))
+			}
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	for i, b := range h.bounds {
+		bucket(i, formatValue(b), h.counts[i])
+	}
+	bucket(len(h.bounds), "+Inf", h.count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.labels, "", ""), formatValue(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels, "", ""), h.count)
+}

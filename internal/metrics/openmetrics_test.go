@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveWithExemplar(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.ObserveWithExemplar(2*time.Millisecond, "0af7651916cd43dd8448eb211c80319c")
+	h.ObserveWithExemplar(500*time.Microsecond, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	h.Observe(3 * time.Millisecond) // plain path leaves exemplars alone
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if ex := h.exemplars[1].Load(); ex == nil || ex.traceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("bucket 1 exemplar = %+v", ex)
+	}
+	if ex := h.exemplars[0].Load(); ex == nil || ex.traceID != "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" {
+		t.Fatalf("bucket 0 exemplar = %+v", ex)
+	}
+	// Empty trace ID degrades to a plain observation.
+	h.ObserveWithExemplar(100*time.Microsecond, "")
+	if ex := h.exemplars[0].Load(); ex.traceID != "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" {
+		t.Fatal("empty trace ID overwrote an exemplar")
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	r := New()
+	r.Counter("test_requests_total", "requests").Inc()
+	h := r.Histogram("test_latency_seconds", "latency", []time.Duration{time.Millisecond, time.Second})
+	h.ObserveWithExemplar(2*time.Millisecond, "0af7651916cd43dd8448eb211c80319c")
+
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("missing terminal # EOF:\n%s", out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_bucket{le="1"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.002`) {
+		t.Fatalf("exemplar missing from bucket line:\n%s", out)
+	}
+	if !strings.Contains(out, "test_requests_total 1\n") {
+		t.Fatalf("counter missing:\n%s", out)
+	}
+
+	// The 0.0.4 writer stays exemplar-free and EOF-free.
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "trace_id=") || strings.Contains(sb.String(), "# EOF") {
+		t.Fatalf("0.0.4 exposition leaked OpenMetrics syntax:\n%s", sb.String())
+	}
+}
+
+func TestObservePathStaysZeroAlloc(t *testing.T) {
+	h := NewHistogram(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("plain Observe allocates %.1f/op, want 0", allocs)
+	}
+}

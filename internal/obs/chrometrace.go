@@ -50,7 +50,8 @@ type traceRecord struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
-	Ts   int64          `json:"ts"` // microseconds from trace origin
+	Ts   int64          `json:"ts"`            // microseconds from trace origin
+	Dur  int64          `json:"dur,omitempty"` // "X" (complete) records only
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"` // instant scope
@@ -152,6 +153,12 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			instant(e, "degraded "+e.Tree, map[string]any{"cost": e.Cost})
 		case KindDupAccepted:
 			instant(e, "dup-accepted "+e.Tree, nil)
+		case KindCutsEnumerated:
+			instant(e, "cuts-enumerated", map[string]any{"gates": e.N, "cuts": e.Units, "dominated": e.Cost})
+		case KindCutListEvict:
+			instant(e, "cut-evictions", map[string]any{"evicted": e.Units})
+		case KindAreaFlowRound:
+			instant(e, fmt.Sprintf("area-flow round %d", e.N), map[string]any{"cover": e.Cost})
 		case KindArenaStats:
 			counters = append(counters, traceRecord{
 				Name: "arena bytes", Ph: "C", Ts: us(e.Time), Pid: tracePid, Tid: pipelineTid,

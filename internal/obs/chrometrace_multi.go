@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Multi-process Chrome trace export: joins span streams from several
+// processes — the resilient client's attempt spans and chortled's
+// server-side request spans, stitched by a shared trace ID — into one
+// trace_event JSON array. Each process becomes a Perfetto process
+// (pid); each trace within a process gets its own thread track (tid)
+// named by the trace ID prefix, so a retried request reads as parallel
+// tracks under the client and server processes. Spans are emitted as
+// complete ("X") records, which tolerate the overlapping siblings a
+// hedged request produces — no B/E stack discipline required.
+
+// ReadTraceJSONL parses a mixed JSONL stream where each line is one of
+// the stack's three trace shapes: an Event (cmd/chortle -trace), a
+// Span (client -server-trace), or an AccessRecord (chortled
+// -access-log, whose embedded spans are flattened into the span list).
+// Blank lines are skipped; an unrecognizable line fails with its line
+// number.
+func ReadTraceJSONL(r io.Reader) ([]Event, []Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		events []Event
+		spans  []Span
+	)
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// Sniff the shape by its discriminating field: spans carry
+		// span_id, access records carry outcome, events carry kind.
+		var probe struct {
+			SpanID  *string `json:"span_id"`
+			Outcome *string `json:"outcome"`
+			Kind    *string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, nil, fmt.Errorf("obs: trace line %d: %w", n, err)
+		}
+		switch {
+		case probe.SpanID != nil:
+			var s Span
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, nil, fmt.Errorf("obs: trace line %d: %w", n, err)
+			}
+			spans = append(spans, s)
+		case probe.Outcome != nil:
+			var rec AccessRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, nil, fmt.Errorf("obs: trace line %d: %w", n, err)
+			}
+			spans = append(spans, rec.Spans...)
+		case probe.Kind != nil:
+			var e Event
+			if err := json.Unmarshal(line, &e); err != nil {
+				return nil, nil, fmt.Errorf("obs: trace line %d: %w", n, err)
+			}
+			events = append(events, e)
+		default:
+			return nil, nil, fmt.Errorf("obs: trace line %d: not an event, span, or access record", n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, spans, nil
+}
+
+// WriteChromeTraceMulti converts a multi-process span set (plus any
+// loose mapper events) into a Chrome trace_event JSON array. Processes
+// are assigned pids in sorted name order; within a process each trace
+// ID gets one thread track. Mapper events, if present, are rendered on
+// one extra "engine events" process: phase-end events become spans,
+// everything else an instant marker.
+func WriteChromeTraceMulti(w io.Writer, spans []Span, events []Event) error {
+	kept := make([]Span, 0, len(spans))
+	for _, s := range spans {
+		if !s.Start.IsZero() && !s.End.Before(s.Start) {
+			kept = append(kept, s)
+		}
+	}
+	evs := make([]Event, 0, len(events))
+	for _, e := range events {
+		if !e.Time.IsZero() {
+			evs = append(evs, e)
+		}
+	}
+	if len(kept) == 0 && len(evs) == 0 {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+
+	// Common origin across every process so the tracks align.
+	var origin time.Time
+	for _, s := range kept {
+		if origin.IsZero() || s.Start.Before(origin) {
+			origin = s.Start
+		}
+	}
+	for _, e := range evs {
+		start := e.Time
+		if e.Kind == KindPhaseEnd {
+			start = e.Time.Add(-time.Duration(e.Units))
+		}
+		if origin.IsZero() || start.Before(origin) {
+			origin = start
+		}
+	}
+	us := func(t time.Time) int64 { return t.Sub(origin).Microseconds() }
+
+	procs := map[string][]Span{}
+	var procNames []string
+	for _, s := range kept {
+		name := s.Process
+		if name == "" {
+			name = "unknown"
+		}
+		if _, seen := procs[name]; !seen {
+			procNames = append(procNames, name)
+		}
+		procs[name] = append(procs[name], s)
+	}
+	sort.Strings(procNames)
+
+	var records []traceRecord
+	for pi, name := range procNames {
+		pid := pi + 1
+		records = append(records, traceRecord{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		// One thread track per trace ID, in first-span order so the
+		// earliest request sits on top.
+		ps := procs[name]
+		sort.SliceStable(ps, func(i, j int) bool { return ps[i].Start.Before(ps[j].Start) })
+		traceTid := map[TraceID]int{}
+		for _, s := range ps {
+			tid, seen := traceTid[s.Trace]
+			if !seen {
+				tid = len(traceTid)
+				traceTid[s.Trace] = tid
+				records = append(records, traceRecord{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": "trace " + s.Trace.String()[:8]},
+				})
+			}
+			dur := s.End.Sub(s.Start).Microseconds()
+			if dur < 1 {
+				dur = 1 // sub-µs spans stay visible
+			}
+			args := map[string]any{
+				"trace_id": s.Trace.String(),
+				"span_id":  s.ID.String(),
+			}
+			if !s.Parent.IsZero() {
+				args["parent_id"] = s.Parent.String()
+			}
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			records = append(records, completeRecord(s.Name, us(s.Start), dur, pid, tid, args))
+		}
+	}
+
+	if len(evs) > 0 {
+		pid := len(procNames) + 1
+		records = append(records, traceRecord{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "engine events"},
+		})
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+		for _, e := range evs {
+			switch e.Kind {
+			case KindPhaseEnd:
+				records = append(records, completeRecord(
+					e.Phase, us(e.Time.Add(-time.Duration(e.Units))),
+					max64(time.Duration(e.Units).Microseconds(), 1),
+					pid, 0, map[string]any{"wall_ns": e.Units}))
+			case KindLUT:
+				// Per-LUT detail drowns the viewer; skip it here as the
+				// single-process exporter does.
+			default:
+				records = append(records, traceRecord{
+					Name: e.Kind.String(), Cat: "mark", Ph: "i", Ts: us(e.Time),
+					Pid: pid, Tid: 0, S: "t",
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(records)
+}
+
+// completeRecord builds a Chrome "X" (complete) record: a span with an
+// explicit duration, free of B/E stack discipline.
+func completeRecord(name string, ts, dur int64, pid, tid int, args map[string]any) traceRecord {
+	return traceRecord{
+		Name: name, Cat: "span", Ph: "X", Ts: ts, Dur: dur,
+		Pid: pid, Tid: tid, Args: args,
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -63,6 +63,19 @@ const (
 	// KindDupAccepted records a profitable duplication committed by the
 	// cost-aware duplication search; Tree is the duplicated node.
 	KindDupAccepted
+	// KindCutsEnumerated closes the cut engine's enumeration pass:
+	// N is the gate count enumerated over, Units the cuts kept across
+	// all priority lists, Cost the candidates discarded by signature
+	// dominance pruning.
+	KindCutsEnumerated
+	// KindCutListEvict records priority-list evictions: Units is the
+	// number of non-dominated candidate cuts dropped beyond the
+	// CutsPerNode bound during enumeration.
+	KindCutListEvict
+	// KindAreaFlowRound closes one area-recovery iteration of the cut
+	// engine's cover selection: N is the round number (1-based), Cost
+	// the cover size (LUT count) after the round.
+	KindAreaFlowRound
 )
 
 var kindNames = [...]string{
@@ -78,6 +91,9 @@ var kindNames = [...]string{
 	KindLUT:             "lut",
 	KindArenaStats:      "arena-stats",
 	KindDupAccepted:     "dup-accepted",
+	KindCutsEnumerated:  "cuts-enumerated",
+	KindCutListEvict:    "cut-evictions",
+	KindAreaFlowRound:   "area-flow-round",
 }
 
 func (k Kind) String() string {

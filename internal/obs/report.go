@@ -61,6 +61,17 @@ type Report struct {
 	// search (zero for plain Map).
 	DupAccepted int
 
+	// Cut-engine detail (zero for the tree engines). CutGates is the
+	// gate count enumerated over, CutsKept the cuts retained across all
+	// priority lists, CutsDominated the candidates removed by dominance
+	// pruning, CutEvictions the non-dominated cuts dropped beyond the
+	// priority bound, and AreaRounds the area-recovery iterations run.
+	CutGates      int
+	CutsKept      int64
+	CutsDominated int
+	CutEvictions  int64
+	AreaRounds    int
+
 	// ArenaCount and ArenaBytes describe the run's DP arena usage.
 	ArenaCount int
 	ArenaBytes int64
@@ -137,6 +148,16 @@ func Aggregate(events []Event) *Report {
 			r.ArenaBytes += e.Units
 		case KindDupAccepted:
 			r.DupAccepted++
+		case KindCutsEnumerated:
+			r.CutGates += e.N
+			r.CutsKept += e.Units
+			r.CutsDominated += e.Cost
+		case KindCutListEvict:
+			r.CutEvictions += e.Units
+		case KindAreaFlowRound:
+			if e.N > r.AreaRounds {
+				r.AreaRounds = e.N
+			}
 		}
 	}
 	if !start.IsZero() && !end.IsZero() {
@@ -216,6 +237,10 @@ func (r *Report) Format() string {
 	}
 	if r.DupAccepted > 0 {
 		fmt.Fprintf(&sb, "duplication: %d candidates accepted\n", r.DupAccepted)
+	}
+	if r.CutsKept > 0 {
+		fmt.Fprintf(&sb, "cuts: %d kept over %d gates, %d dominated, %d evicted, %d area-flow rounds\n",
+			r.CutsKept, r.CutGates, r.CutsDominated, r.CutEvictions, r.AreaRounds)
 	}
 	if r.ArenaCount > 0 {
 		fmt.Fprintf(&sb, "arenas: %d checked out, %d slab bytes\n", r.ArenaCount, r.ArenaBytes)

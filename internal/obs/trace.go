@@ -1,0 +1,497 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped distributed tracing. A mapping request that crosses
+// process boundaries — the resilient client retrying against a chortled
+// fleet — is stitched together by one TraceID carried in the W3C
+// traceparent HTTP header. Each process records Spans (named, timed
+// operations with a parent link) into its own sink; cmd/traceview joins
+// span streams from several processes into one Perfetto timeline.
+//
+// The same passivity contract as the event layer applies: tracing never
+// perturbs the mapping, and the disabled path — a nil *ReqTrace — costs
+// a nil check and allocates nothing (pinned by BenchmarkReqTraceOff).
+
+// TraceID is a 16-byte trace identifier, rendered as 32 lowercase hex
+// digits (the W3C trace-id field). The zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is an 8-byte span identifier, rendered as 16 lowercase hex
+// digits (the W3C parent-id field). The zero value means "no span".
+type SpanID [8]byte
+
+// NewTraceID returns a random trace identifier.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// time-derived ID rather than propagating an error into every
+		// request path.
+		binary.BigEndian.PutUint64(t[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(t[8:], uint64(time.Now().UnixNano()>>1|1))
+	}
+	if t.IsZero() {
+		t[15] = 1
+	}
+	return t
+}
+
+// NewSpanID returns a random span identifier.
+func NewSpanID() SpanID {
+	var s SpanID
+	if _, err := rand.Read(s[:]); err != nil {
+		binary.BigEndian.PutUint64(s[:], uint64(time.Now().UnixNano()))
+	}
+	if s == (SpanID{}) {
+		s[7] = 1
+	}
+	return s
+}
+
+// IsZero reports whether the trace ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the trace ID as 32 hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the span ID as 16 hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the span ID is the "no span" zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// MarshalText renders the trace ID as hex (JSON uses this too).
+func (t TraceID) MarshalText() ([]byte, error) {
+	buf := make([]byte, 32)
+	hex.Encode(buf, t[:])
+	return buf, nil
+}
+
+// UnmarshalText parses the 32-hex-digit form.
+func (t *TraceID) UnmarshalText(b []byte) error {
+	if len(b) != 32 {
+		return fmt.Errorf("obs: trace ID %q: want 32 hex digits", b)
+	}
+	_, err := hex.Decode(t[:], b)
+	return err
+}
+
+// MarshalText renders the span ID as hex.
+func (s SpanID) MarshalText() ([]byte, error) {
+	buf := make([]byte, 16)
+	hex.Encode(buf, s[:])
+	return buf, nil
+}
+
+// UnmarshalText parses the 16-hex-digit form.
+func (s *SpanID) UnmarshalText(b []byte) error {
+	if len(b) != 16 {
+		return fmt.Errorf("obs: span ID %q: want 16 hex digits", b)
+	}
+	_, err := hex.Decode(s[:], b)
+	return err
+}
+
+// TraceparentHeader is the HTTP header carrying trace context between
+// the client and chortled, in the W3C Trace Context format.
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders trace context as a W3C traceparent value:
+// version 00, the trace ID, the caller's span ID as parent, and the
+// sampled flag set (everything this stack records is kept).
+func FormatTraceparent(t TraceID, parent SpanID) string {
+	return "00-" + t.String() + "-" + parent.String() + "-01"
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version byte (per spec, unknown versions are parsed as version 00 if
+// the shape matches) and reports ok=false for malformed or all-zero
+// IDs — the caller then starts a fresh trace.
+func ParseTraceparent(h string) (t TraceID, parent SpanID, ok bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, parent, false
+	}
+	if _, err := hex.Decode(t[:], []byte(h[3:35])); err != nil {
+		return t, parent, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil {
+		return t, parent, false
+	}
+	if t.IsZero() || parent.IsZero() {
+		return t, parent, false
+	}
+	return t, parent, true
+}
+
+// Span is one timed operation inside a trace: a name, a wall-clock
+// interval, the process that performed it, and a parent link tying it
+// into the request's span tree. Spans stream as single JSON lines (the
+// SpanJSONL sink) and embed in access-log records.
+type Span struct {
+	Trace   TraceID           `json:"trace_id"`
+	ID      SpanID            `json:"span_id"`
+	Parent  SpanID            `json:"parent_id,omitempty"`
+	Process string            `json:"process"`
+	Name    string            `json:"name"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// SpanRecorder receives finished spans. Implementations must tolerate
+// concurrent calls.
+type SpanRecorder interface {
+	RecordSpan(Span)
+}
+
+// SpanJSONL streams every span as one JSON object per line — the
+// client-side trace format cmd/traceview merges with server access
+// logs. Errors are sticky and never surface into the request path.
+type SpanJSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewSpanJSONL returns a recorder streaming to w.
+func NewSpanJSONL(w io.Writer) *SpanJSONL {
+	return &SpanJSONL{enc: json.NewEncoder(w)}
+}
+
+// RecordSpan writes the span as a JSON line.
+func (j *SpanJSONL) RecordSpan(s Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(s)
+}
+
+// Err returns the first write error, if any.
+func (j *SpanJSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// SpanCollector retains spans in memory, for tests and for building a
+// timeline in-process.
+type SpanCollector struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// RecordSpan appends the span.
+func (c *SpanCollector) RecordSpan(s Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded so far, in arrival order.
+func (c *SpanCollector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// ReqTrace is a request-scoped trace recorder: it owns one trace's
+// server- (or client-) side span tree plus a bounded Collector joining
+// the mapper's event stream to the request. A nil *ReqTrace is the
+// disabled state — every method is a nil check and allocates nothing,
+// so the no-tracing serving path stays as cheap as the nil-observer
+// mapping path.
+//
+// ReqTrace is safe for concurrent use; in practice one request's
+// handler drives it sequentially while the parallel mapper emits into
+// its event collector.
+type ReqTrace struct {
+	process string
+	trace   TraceID
+	root    Span // open root span; End stamped by Finish
+
+	// spanSeq derives child span IDs: a per-trace random base XORed with
+	// a counter, unique within the trace without per-span entropy.
+	seed    uint64
+	spanSeq atomic.Uint64
+
+	mu       sync.Mutex
+	spans    []Span
+	maxSpans int
+	dropped  int
+
+	events *Collector
+}
+
+// NewReqTrace opens a request trace for one process. trace and parent
+// come from an inbound traceparent header (zero trace starts a fresh
+// one; zero parent means this process is the trace root). rootName
+// names the implicit root span opened now and closed by Finish.
+// maxSpans bounds the recorded span list and maxEvents the joined
+// event collector — a runaway engine cannot grow a request's trace
+// without bound.
+func NewReqTrace(process, rootName string, trace TraceID, parent SpanID, maxSpans, maxEvents int) *ReqTrace {
+	if trace.IsZero() {
+		trace = NewTraceID()
+	}
+	if maxSpans <= 0 {
+		maxSpans = 64
+	}
+	t := &ReqTrace{
+		process:  process,
+		trace:    trace,
+		maxSpans: maxSpans,
+		events:   NewBoundedCollector(maxEvents),
+	}
+	rootID := NewSpanID()
+	t.seed = binary.BigEndian.Uint64(rootID[:])
+	t.root = Span{
+		Trace:   trace,
+		ID:      rootID,
+		Parent:  parent,
+		Process: process,
+		Name:    rootName,
+		Start:   time.Now(),
+	}
+	return t
+}
+
+// TraceID returns the trace this recorder belongs to (zero when nil).
+func (t *ReqTrace) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.trace
+}
+
+// RootSpanID returns the root span's ID (zero when nil).
+func (t *ReqTrace) RootSpanID() SpanID {
+	if t == nil {
+		return SpanID{}
+	}
+	return t.root.ID
+}
+
+// Observer returns the bounded collector joining the mapper's event
+// stream to this request — plug it into Options.Observer (through a
+// Multi alongside process-wide sinks). Nil when tracing is off, which
+// Multi skips.
+func (t *ReqTrace) Observer() Observer {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Events returns the joined mapper events collected so far.
+func (t *ReqTrace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events.Events()
+}
+
+// newSpanID derives the next span ID in this trace.
+func (t *ReqTrace) newSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], t.seed^(t.spanSeq.Add(1)*0x9e3779b97f4a7c15))
+	if s.IsZero() {
+		s[7] = 1
+	}
+	return s
+}
+
+// SpanScope is an open span handle returned by Start. The zero value
+// (from a nil ReqTrace) is inert: End and Annotate on it do nothing.
+type SpanScope struct {
+	t     *ReqTrace
+	id    SpanID
+	par   SpanID
+	name  string
+	start time.Time
+	attrs map[string]string
+}
+
+// Start opens a span under the root. On a nil ReqTrace it returns the
+// inert zero scope without allocating.
+func (t *ReqTrace) Start(name string) SpanScope {
+	if t == nil {
+		return SpanScope{}
+	}
+	return SpanScope{t: t, id: t.newSpanID(), par: t.root.ID, name: name, start: time.Now()}
+}
+
+// StartChild opens a span under an existing scope (which must belong
+// to the same ReqTrace).
+func (t *ReqTrace) StartChild(parent SpanScope, name string) SpanScope {
+	if t == nil {
+		return SpanScope{}
+	}
+	par := parent.id
+	if par.IsZero() {
+		par = t.root.ID
+	}
+	return SpanScope{t: t, id: t.newSpanID(), par: par, name: name, start: time.Now()}
+}
+
+// ID returns the scope's span ID (zero when inert).
+func (s SpanScope) ID() SpanID { return s.id }
+
+// Annotate attaches a key/value attribute to the span. Inert scopes
+// drop it.
+func (s *SpanScope) Annotate(key, value string) {
+	if s.t == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End closes the span and records it on the trace. Calling End on an
+// inert scope does nothing.
+func (s SpanScope) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.record(Span{
+		Trace: s.t.trace, ID: s.id, Parent: s.par, Process: s.t.process,
+		Name: s.name, Start: s.start, End: time.Now(), Attrs: s.attrs,
+	})
+}
+
+// record appends a finished span, honoring the bound.
+func (t *ReqTrace) record(sp Span) {
+	t.mu.Lock()
+	if len(t.spans) >= t.maxSpans {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, sp)
+	}
+	t.mu.Unlock()
+}
+
+// Dropped reports how many spans the bound discarded.
+func (t *ReqTrace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// AnnotateRoot attaches an attribute to the root span.
+func (t *ReqTrace) AnnotateRoot(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.root.Attrs == nil {
+		t.root.Attrs = make(map[string]string, 4)
+	}
+	t.root.Attrs[key] = value
+	t.mu.Unlock()
+}
+
+// Finish closes the root span and returns the complete span set: the
+// root, every explicitly recorded span, and one synthesized
+// "engine:<phase>" span per mapper phase captured by the joined event
+// collector, parented under parentForPhases (the solve span, usually)
+// so the engine's internal phases nest inside the request timeline.
+// Safe to call once; spans recorded after Finish are dropped from the
+// returned slice but Finish itself remains the single closing point.
+func (t *ReqTrace) Finish(parentForPhases SpanID) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	root := t.root
+	root.End = time.Now()
+	out := make([]Span, 0, len(t.spans)+8)
+	out = append(out, root)
+	out = append(out, t.spans...)
+	t.mu.Unlock()
+
+	par := parentForPhases
+	if par.IsZero() {
+		par = root.ID
+	}
+	for _, e := range t.events.Events() {
+		if e.Kind != KindPhaseEnd || e.Time.IsZero() {
+			continue
+		}
+		out = append(out, Span{
+			Trace: t.trace, ID: t.newSpanID(), Parent: par, Process: t.process,
+			Name:  "engine:" + e.Phase,
+			Start: e.Time.Add(-time.Duration(e.Units)), End: e.Time,
+		})
+	}
+	return out
+}
+
+// AccessRecord is one structured access-log line from chortled: the
+// request's trace ID, what was asked, how it ended, where the time
+// went, and the span timeline. One JSON object per line; parse a log
+// back with ReadTraceJSONL.
+type AccessRecord struct {
+	Time        time.Time `json:"time"`
+	Trace       TraceID   `json:"trace_id"`
+	Method      string    `json:"method,omitempty"`
+	Path        string    `json:"path,omitempty"`
+	Code        int       `json:"code"`
+	Outcome     string    `json:"outcome"`
+	Engine      string    `json:"engine,omitempty"`
+	K           int       `json:"k,omitempty"`
+	QueueNS     int64     `json:"queue_ns,omitempty"`
+	SolveNS     int64     `json:"solve_ns,omitempty"`
+	WriteNS     int64     `json:"write_ns,omitempty"`
+	TotalNS     int64     `json:"total_ns"`
+	LUTs        int       `json:"luts,omitempty"`
+	CacheHits   int       `json:"cache_hits,omitempty"`
+	CacheMisses int       `json:"cache_misses,omitempty"`
+	Err         string    `json:"err,omitempty"`
+	Spans       []Span    `json:"spans,omitempty"`
+}
+
+// OutcomeClass maps an HTTP status to the access log's outcome label:
+// "2xx" for success, the literal code for the load-shedding and
+// failure statuses operators alert on (429/503/504/500), "4xx" for
+// other client errors, and "abandoned" when the client went away
+// before any response was committed (code 0).
+func OutcomeClass(code int) string {
+	switch {
+	case code == 0:
+		return "abandoned"
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code == 429:
+		return "429"
+	case code == 500:
+		return "500"
+	case code == 503:
+		return "503"
+	case code == 504:
+		return "504"
+	case code >= 400 && code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTraceID()
+	sp := NewSpanID()
+	h := FormatTraceparent(tr, sp)
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q: want 55 chars, got %d", h, len(h))
+	}
+	gotT, gotS, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) not ok", h)
+	}
+	if gotT != tr || gotS != sp {
+		t.Fatalf("round trip: got %s/%s want %s/%s", gotT, gotS, tr, sp)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-0011223344556677-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // missing flags
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01",
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want reject", h)
+		}
+	}
+}
+
+func TestTraceIDJSONRoundTrip(t *testing.T) {
+	tr := NewTraceID()
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"` + tr.String() + `"`; string(b) != want {
+		t.Fatalf("marshal: got %s want %s", b, want)
+	}
+	var back TraceID
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != tr {
+		t.Fatalf("round trip: got %s want %s", back, tr)
+	}
+}
+
+func TestReqTraceSpans(t *testing.T) {
+	rt := NewReqTrace("server", "request", TraceID{}, SpanID{}, 64, 256)
+	if rt.TraceID().IsZero() {
+		t.Fatal("fresh ReqTrace has zero trace ID")
+	}
+	queue := rt.Start("queue")
+	queue.End()
+	solve := rt.Start("solve")
+	solve.Annotate("engine", "cut")
+	inner := rt.StartChild(solve, "verify")
+	inner.End()
+	solve.End()
+
+	// A phase-end event joined via the collector becomes an engine span.
+	rt.Observer().Observe(Event{
+		Kind: KindPhaseEnd, Phase: "cuts",
+		Time: time.Now(), Units: int64(3 * time.Millisecond),
+	})
+
+	spans := rt.Finish(solve.ID())
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.Trace != rt.TraceID() {
+			t.Errorf("span %q carries trace %s, want %s", s.Name, s.Trace, rt.TraceID())
+		}
+		if s.Process != "server" {
+			t.Errorf("span %q process %q, want server", s.Name, s.Process)
+		}
+	}
+	for _, name := range []string{"request", "queue", "solve", "verify", "engine:cuts"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("span %q missing; have %v", name, spanNames(spans))
+		}
+	}
+	if byName["queue"].Parent != rt.RootSpanID() {
+		t.Error("queue span not parented under root")
+	}
+	if byName["verify"].Parent != byName["solve"].ID {
+		t.Error("verify span not parented under solve")
+	}
+	if byName["engine:cuts"].Parent != byName["solve"].ID {
+		t.Error("engine phase span not parented under the solve span")
+	}
+	if byName["solve"].Attrs["engine"] != "cut" {
+		t.Error("solve span lost its engine attribute")
+	}
+	if byName["request"].End.Before(byName["request"].Start) {
+		t.Error("root span ends before it starts")
+	}
+}
+
+func TestReqTraceBounded(t *testing.T) {
+	rt := NewReqTrace("p", "root", TraceID{}, SpanID{}, 2, 4)
+	for i := 0; i < 5; i++ {
+		rt.Start("s").End()
+	}
+	if got := rt.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	spans := rt.Finish(SpanID{})
+	if len(spans) != 3 { // root + 2 kept
+		t.Fatalf("got %d spans, want 3 (root + bound)", len(spans))
+	}
+}
+
+func TestReqTraceNilIsInert(t *testing.T) {
+	var rt *ReqTrace
+	if !rt.TraceID().IsZero() || !rt.RootSpanID().IsZero() {
+		t.Fatal("nil ReqTrace leaks IDs")
+	}
+	if rt.Observer() != nil {
+		t.Fatal("nil ReqTrace returns non-nil observer")
+	}
+	s := rt.Start("x")
+	s.Annotate("k", "v")
+	s.End()
+	rt.AnnotateRoot("k", "v")
+	if got := rt.Finish(SpanID{}); got != nil {
+		t.Fatalf("nil Finish returned %v", got)
+	}
+}
+
+// The no-tracing serving path must stay allocation-free: a nil
+// *ReqTrace costs only nil checks, matching the nil-observer contract
+// the mapper pins with TestObserverZeroAlloc.
+func TestReqTraceOffZeroAlloc(t *testing.T) {
+	var rt *ReqTrace
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := rt.Start("queue")
+		s.Annotate("engine", "tree")
+		s.End()
+		_ = rt.TraceID()
+		_ = rt.Observer()
+		rt.Finish(SpanID{})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil ReqTrace path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanJSONLAndCollector(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSpanJSONL(&buf)
+	var coll SpanCollector
+	sp := Span{
+		Trace: NewTraceID(), ID: NewSpanID(), Process: "client", Name: "attempt",
+		Start: time.Now(), End: time.Now().Add(time.Millisecond),
+		Attrs: map[string]string{"addr": "127.0.0.1:0"},
+	}
+	sink.RecordSpan(sp)
+	coll.RecordSpan(sp)
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != sp.Trace || back.ID != sp.ID || back.Name != sp.Name {
+		t.Fatalf("JSONL round trip mismatch: %+v vs %+v", back, sp)
+	}
+	if got := coll.Spans(); len(got) != 1 || got[0].ID != sp.ID {
+		t.Fatalf("collector: %+v", got)
+	}
+}
+
+func TestOutcomeClass(t *testing.T) {
+	cases := map[int]string{
+		0: "abandoned", 200: "2xx", 201: "2xx", 400: "4xx",
+		429: "429", 500: "500", 503: "503", 504: "504", 502: "5xx",
+	}
+	for code, want := range cases {
+		if got := OutcomeClass(code); got != want {
+			t.Errorf("OutcomeClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestReadTraceJSONLMixed(t *testing.T) {
+	tr := NewTraceID()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	// One event, one span, one access record with an embedded span.
+	if err := enc.Encode(Event{Kind: KindMapStart, Time: time.Now(), K: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(Span{Trace: tr, ID: NewSpanID(), Process: "client", Name: "attempt 1", Start: time.Now(), End: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(AccessRecord{
+		Time: time.Now(), Trace: tr, Code: 200, Outcome: "2xx",
+		Spans: []Span{{Trace: tr, ID: NewSpanID(), Process: "chortled", Name: "request", Start: time.Now(), End: time.Now()}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events, spans, err := ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != KindMapStart {
+		t.Fatalf("events: %+v", events)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (loose + embedded)", len(spans))
+	}
+
+	if _, _, err := ReadTraceJSONL(strings.NewReader(`{"neither":"shape"}` + "\n")); err == nil {
+		t.Fatal("unrecognizable line accepted")
+	}
+}
+
+func TestWriteChromeTraceMulti(t *testing.T) {
+	tr := NewTraceID()
+	base := time.Now()
+	client := []Span{
+		{Trace: tr, ID: NewSpanID(), Process: "client", Name: "map", Start: base, End: base.Add(10 * time.Millisecond)},
+		{Trace: tr, ID: NewSpanID(), Process: "client", Name: "attempt 1", Start: base, End: base.Add(2 * time.Millisecond), Attrs: map[string]string{"outcome": "429"}},
+	}
+	server := []Span{
+		{Trace: tr, ID: NewSpanID(), Process: "chortled", Name: "request", Start: base.Add(time.Millisecond), End: base.Add(9 * time.Millisecond)},
+	}
+	events := []Event{{Kind: KindPhaseEnd, Phase: "cuts", Time: base.Add(8 * time.Millisecond), Units: int64(2 * time.Millisecond)}}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraceMulti(&buf, append(client, server...), events); err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	pids := map[float64]string{}
+	spansSeen := 0
+	for _, r := range records {
+		if r["name"] == "process_name" {
+			args := r["args"].(map[string]any)
+			pids[r["pid"].(float64)] = args["name"].(string)
+		}
+		if r["ph"] == "X" {
+			spansSeen++
+			if r["dur"].(float64) < 1 {
+				t.Errorf("X record %v has no duration", r["name"])
+			}
+		}
+	}
+	if len(pids) != 3 { // client, chortled, engine events
+		t.Fatalf("got %d processes (%v), want 3", len(pids), pids)
+	}
+	if spansSeen != 4 { // 3 spans + 1 phase
+		t.Fatalf("got %d X records, want 4", spansSeen)
+	}
+}
+
+func spanNames(spans []Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -55,6 +55,11 @@ func ServeDebug(addr string, reg *MetricsRegistry) (*DebugServer, error) {
 // series at registration (e.g. code="200" on a request counter).
 type MetricsLabel = metrics.Label
 
+// OpenMetricsContentType is the Content-Type of the OpenMetrics text
+// exposition — the only format carrying histogram exemplars, so scrapes
+// negotiating it get trace IDs attached to latency buckets.
+const OpenMetricsContentType = metrics.OpenMetricsContentType
+
 // RegisterCacheMetrics exposes a SharedCache's live statistics on a
 // registry as chortle_shape_cache_* gauges (hits, misses, inserts,
 // evictions, resident entries and bytes), so /metrics scrapes track

@@ -14,6 +14,11 @@
 #  4. chortle -server against a chaos-mode chortled: the resilient CLI
 #     client retries through the injected faults and must emit exactly
 #     the bytes a local map produces.
+#  5. Traced chaos: the same drill with -access-log on the server and
+#     -server-trace on the client; every observed non-2xx response's
+#     X-Trace-Id must have a matching access-log line, and the merged
+#     client+server streams must render into a multi-process Chrome
+#     trace (uploaded as a CI artifact).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,10 +70,10 @@ go build -o "$workdir/chortled" ./cmd/chortled || fail "building chortled"
 go build -o "$workdir/chortle" ./cmd/chortle || fail "building chortle"
 go run ./cmd/mcnc -opt rot > "$workdir/rot.blif" || fail "generating benchmark"
 
-echo "=== 1/4 race-detected chaos soak (seeded faults, resilient client) ==="
+echo "=== 1/5 race-detected chaos soak (seeded faults, resilient client) ==="
 go test -race -run TestChaosSoak -v ./cmd/chortled/ || fail "chaos soak test"
 
-echo "=== 2/4 snapshot round-trip across SIGTERM + restart ==="
+echo "=== 2/5 snapshot round-trip across SIGTERM + restart ==="
 snap="$workdir/cache.snap"
 start_server first -cache-snapshot "$snap" -snapshot-interval 1h
 cold=$(curl -sf --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4") \
@@ -92,7 +97,7 @@ diff "$workdir/cold.blif" "$workdir/warm.blif" \
     || fail "warm-after-restart BLIF differs from the first process's cold map"
 stop_server
 
-echo "=== 3/4 corrupted snapshot boots cold and still serves ==="
+echo "=== 3/5 corrupted snapshot boots cold and still serves ==="
 python3 - "$snap" <<'EOF'
 import sys
 p = sys.argv[1]
@@ -114,7 +119,7 @@ printf '%s\n' "$metrics" | grep -q '^chortle_snapshot_rejected 1' \
     || fail "/metrics does not count the rejected snapshot"
 stop_server
 
-echo "=== 4/4 resilient CLI client vs chaos-mode server ==="
+echo "=== 4/5 resilient CLI client vs chaos-mode server ==="
 start_server chaos -chaos 42
 "$workdir/chortle" -k 4 -o "$workdir/local.blif" "$workdir/rot.blif" || fail "local map"
 for i in 1 2 3 4 5; do
@@ -127,5 +132,93 @@ metrics=$(curl -sf "http://$addr/metrics")
 printf '%s\n' "$metrics" | grep -q 'chortled_chaos_injected_total' \
     || fail "chaos server injected nothing"
 stop_server
+
+echo "=== 5/5 traced chaos: access log, trace IDs, multi-process timeline ==="
+go build -o "$workdir/traceview" ./cmd/traceview || fail "building traceview"
+access="$workdir/access.jsonl"
+start_server traced -chaos 42 -access-log "$access"
+
+# Traced remote maps: the client records spans sharing the server's
+# trace IDs while chaos injects faults under it.
+for i in 1 2 3; do
+    "$workdir/chortle" -k 4 -server "http://$addr" \
+        -server-trace "$workdir/client$i.jsonl" \
+        -o "$workdir/traced.blif" "$workdir/rot.blif" \
+        || fail "traced remote map $i"
+    diff "$workdir/local.blif" "$workdir/traced.blif" \
+        || fail "traced remote map $i differs from local map"
+done
+
+# Deterministic non-2xx responses: a bad engine (400) and a bad method
+# (405). Every one must answer with an X-Trace-Id that has a matching
+# non-2xx access-log line.
+nontwoxx_ids=""
+for i in 1 2 3; do
+    hdrs=$(curl -s -D - -o /dev/null --data-binary @"$workdir/rot.blif" \
+        "http://$addr/map?k=4&engine=nope")
+    echo "$hdrs" | head -1 | grep -q 400 || fail "bad engine did not answer 400"
+    tid=$(echo "$hdrs" | tr -d '\r' | sed -n 's/^X-Trace-Id: //Ip')
+    [ -n "$tid" ] || fail "400 response carries no X-Trace-Id"
+    nontwoxx_ids="$nontwoxx_ids $tid"
+done
+hdrs=$(curl -s -D - -o /dev/null "http://$addr/map")
+echo "$hdrs" | head -1 | grep -q 405 || fail "GET /map did not answer 405"
+tid=$(echo "$hdrs" | tr -d '\r' | sed -n 's/^X-Trace-Id: //Ip')
+[ -n "$tid" ] || fail "405 response carries no X-Trace-Id"
+nontwoxx_ids="$nontwoxx_ids $tid"
+
+stop_server
+for tid in $nontwoxx_ids; do
+    line=$(grep "$tid" "$access") || fail "non-2xx trace $tid has no access-log line"
+    printf '%s' "$line" | python3 -c '
+import json, sys
+rec = json.loads(sys.stdin.readline())
+assert rec["outcome"] != "2xx", rec
+assert rec["trace_id"], rec
+' || fail "access-log line for $tid is not a non-2xx record"
+done
+
+# Every access-log line must parse as JSON with a trace ID, and
+# chaos-injected failures (panic 500s the client retried through) must
+# appear as non-2xx lines alongside the successes.
+python3 - "$access" <<'EOF'
+import json, sys
+outcomes = {}
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    assert rec["trace_id"], rec
+    outcomes[rec["outcome"]] = outcomes.get(rec["outcome"], 0) + 1
+print("access-log outcomes:", outcomes)
+assert outcomes.get("2xx", 0) >= 3, "traced maps missing from the access log"
+assert sum(n for o, n in outcomes.items() if o != "2xx") >= 4, \
+    "non-2xx responses missing from the access log"
+EOF
+[ $? -eq 0 ] || fail "access log failed validation"
+
+# Merge every client span stream with the server access log into one
+# multi-process Chrome trace and validate its shape.
+timeline="$workdir/timeline.json"
+"$workdir/traceview" -o "$timeline" \
+    "$workdir"/client1.jsonl "$workdir"/client2.jsonl "$workdir"/client3.jsonl "$access" \
+    || fail "traceview merge"
+python3 - "$timeline" <<'EOF'
+import json, sys
+recs = json.load(open(sys.argv[1]))
+procs = {r["pid"]: r["args"]["name"] for r in recs
+         if r.get("ph") == "M" and r.get("name") == "process_name"}
+names = set(procs.values())
+assert {"client", "chortled"} <= names, f"timeline processes: {names}"
+spans = [r for r in recs if r.get("ph") == "X"]
+assert spans, "no spans in the merged timeline"
+print(f"timeline: {len(procs)} processes, {len(spans)} spans")
+EOF
+[ $? -eq 0 ] || fail "merged timeline failed validation"
+
+# Leave the evidence where CI can pick it up as an artifact.
+if [ -n "${CHAOS_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$CHAOS_ARTIFACT_DIR"
+    cp "$timeline" "$access" "$workdir"/client[123].jsonl "$CHAOS_ARTIFACT_DIR/" \
+        || fail "copying trace artifacts"
+fi
 
 echo "chaos harness OK"

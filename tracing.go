@@ -1,0 +1,94 @@
+package chortle
+
+import (
+	"io"
+
+	"chortle/internal/obs"
+)
+
+// Request-scoped distributed tracing. A TraceID generated at the edge
+// (the client package, or chortled at admission) follows one mapping
+// request across processes via the W3C traceparent header; each
+// process records Spans into its own sink, and cmd/traceview joins the
+// streams into a single multi-process Perfetto timeline. The nil
+// *ReqTrace is the disabled state and costs only nil checks — the same
+// zero-alloc contract as the nil Observer.
+
+// TraceID is a 16-byte trace identifier (32 hex digits in text form).
+type TraceID = obs.TraceID
+
+// SpanID is an 8-byte span identifier (16 hex digits in text form).
+type SpanID = obs.SpanID
+
+// NewTraceID returns a random trace identifier.
+func NewTraceID() TraceID { return obs.NewTraceID() }
+
+// NewSpanID returns a random span identifier.
+func NewSpanID() SpanID { return obs.NewSpanID() }
+
+// TraceparentHeader is the HTTP header carrying trace context, in the
+// W3C Trace Context format ("00-<trace>-<parent>-01").
+const TraceparentHeader = obs.TraceparentHeader
+
+// FormatTraceparent renders trace context as a traceparent value.
+func FormatTraceparent(t TraceID, parent SpanID) string {
+	return obs.FormatTraceparent(t, parent)
+}
+
+// ParseTraceparent parses a traceparent header; ok is false for
+// malformed or all-zero IDs (start a fresh trace then).
+func ParseTraceparent(h string) (t TraceID, parent SpanID, ok bool) {
+	return obs.ParseTraceparent(h)
+}
+
+// Span is one timed, named operation inside a trace, with a parent
+// link and the process that performed it.
+type Span = obs.Span
+
+// SpanRecorder receives finished spans (concurrency-safe).
+type SpanRecorder = obs.SpanRecorder
+
+// SpanJSONL streams spans as one JSON object per line — the client's
+// -server-trace format, mergeable with chortled access logs by
+// cmd/traceview.
+type SpanJSONL = obs.SpanJSONL
+
+// NewSpanJSONL returns a span recorder streaming to w.
+func NewSpanJSONL(w io.Writer) *SpanJSONL { return obs.NewSpanJSONL(w) }
+
+// SpanCollector retains spans in memory (tests, in-process timelines).
+type SpanCollector = obs.SpanCollector
+
+// ReqTrace is a request-scoped trace recorder: a span tree plus a
+// bounded event collector joining the mapper's event stream to one
+// request. Nil is the disabled state; every method on a nil *ReqTrace
+// is inert and allocation-free.
+type ReqTrace = obs.ReqTrace
+
+// NewReqTrace opens a request trace. Zero trace starts a fresh one;
+// zero parent makes this process the trace root. maxSpans and
+// maxEvents bound the recorder.
+func NewReqTrace(process, rootName string, trace TraceID, parent SpanID, maxSpans, maxEvents int) *ReqTrace {
+	return obs.NewReqTrace(process, rootName, trace, parent, maxSpans, maxEvents)
+}
+
+// AccessRecord is one structured chortled access-log line: trace ID,
+// outcome class, timing breakdown, cache statistics, and the span
+// timeline.
+type AccessRecord = obs.AccessRecord
+
+// OutcomeClass maps an HTTP status code to the access log's outcome
+// label ("2xx", "429", "503", "504", "500", "4xx", "abandoned").
+func OutcomeClass(code int) string { return obs.OutcomeClass(code) }
+
+// ReadTraceJSONL parses a mixed JSONL stream — events, spans, and
+// access records (whose embedded spans are flattened) — for
+// cmd/traceview's multi-process merge.
+func ReadTraceJSONL(r io.Reader) ([]Event, []Span, error) { return obs.ReadTraceJSONL(r) }
+
+// WriteChromeTraceMulti converts a multi-process span set plus any
+// loose mapper events into one Chrome trace_event JSON array: one
+// Perfetto process per recording process, one thread track per trace.
+func WriteChromeTraceMulti(w io.Writer, spans []Span, events []Event) error {
+	return obs.WriteChromeTraceMulti(w, spans, events)
+}
