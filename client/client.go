@@ -76,6 +76,13 @@ type MapResponse struct {
 
 	// Addr is the server address that answered (useful under hedging).
 	Addr string `json:"-"`
+
+	// SLOStatus is the server's X-Slo-Status header: "warn" or
+	// "critical" when the answering server's SLO watchdog is burning
+	// error budget, empty when healthy (the header is only sent while
+	// degraded). Callers can use it to shed optional load before the
+	// server starts refusing.
+	SLOStatus string `json:"-"`
 }
 
 // APIError is a non-2xx server answer.
@@ -84,6 +91,10 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's Retry-After hint, zero if absent.
 	RetryAfter time.Duration
+	// SLOStatus is the server's X-Slo-Status header, empty if absent —
+	// a refusal stamped "critical" means the whole service is degraded,
+	// not just this request.
+	SLOStatus string
 }
 
 func (e *APIError) Error() string {
@@ -535,7 +546,11 @@ func (c *Client) do(ctx context.Context, rt *chortle.ReqTrace, spanName string, 
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Code: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+		apiErr := &APIError{
+			Code:       resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			SLOStatus:  resp.Header.Get("X-Slo-Status"),
+		}
 		var eb struct {
 			Error string `json:"error"`
 		}
@@ -560,6 +575,7 @@ func (c *Client) do(ctx context.Context, rt *chortle.ReqTrace, spanName string, 
 	}
 	b.onSuccess()
 	mr.Addr = c.cfg.Addrs[addrIdx]
+	mr.SLOStatus = resp.Header.Get("X-Slo-Status")
 	if mr.TraceID == "" {
 		mr.TraceID = resp.Header.Get("X-Trace-Id")
 	}

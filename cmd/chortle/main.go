@@ -104,8 +104,14 @@ func main() {
 		server   = flag.String("server", "", "map remotely via these chortled base URLs (comma-separated) instead of in-process")
 		hedge    = flag.Duration("server-hedge", 0, "with ≥2 -server addresses, hedge a slow request to the next replica after this delay (0 = off)")
 		srvTrace = flag.String("server-trace", "", "with -server, stream client-side spans (attempts, retries, hedges) as JSON lines to this file; merge with the server's -access-log in chortle-traceview")
+		version  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		chortle.PrintVersion(os.Stdout, "chortle")
+		return
+	}
 
 	eng, engErr := chortle.ParseEngine(*engine)
 	if engErr != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -85,6 +87,29 @@ func (c *chaosInjector) setProbs(lat, pan, evt, snap float64) {
 	c.mu.Lock()
 	c.latencyP, c.panicP, c.evictP, c.snapErrP = lat, pan, evt, snap
 	c.mu.Unlock()
+}
+
+// forced applies the deterministic per-request fault headers, honored
+// only while the chaos layer is armed (-chaos): X-Chaos-Panic forces a
+// solve panic, X-Chaos-Delay forces a fixed latency in milliseconds.
+// The probabilistic mix covers soak runs; these headers give the chaos
+// drill and CI a way to place one fault on one known request instead
+// of waiting for the dice. Nil injectors ignore the headers, so a
+// production server without -chaos cannot be panicked from outside.
+func (c *chaosInjector) forced(r *http.Request) {
+	if c == nil || r == nil {
+		return
+	}
+	if v := r.Header.Get("X-Chaos-Delay"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			c.counters["latency"].Inc()
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+		}
+	}
+	if r.Header.Get("X-Chaos-Panic") != "" {
+		c.counters["panic"].Inc()
+		panic("chaos: forced solve panic (X-Chaos-Panic)")
+	}
 }
 
 // beforeSolve runs the per-request fault mix. Order matters only for

@@ -71,6 +71,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -94,8 +96,19 @@ func main() {
 		chaosSeed    = flag.Int64("chaos", 0, "inject seeded faults for resilience testing (0 = off; never use in production)")
 		accessPath   = flag.String("access-log", "", "append one JSON line per finished request (trace ID, outcome, timings, spans) to this file; - for stdout")
 		requestRing  = flag.Int("request-ring", 0, "recent requests retained by /debug/requests (0 = default 64)")
+		pmDir        = flag.String("postmortem-dir", "", "write postmortem bundles (flight ring, metrics, goroutines, heap, build info) to this directory on panic-500, memory-valve engagement, snapshot rejection, SLO burn, or SIGQUIT")
+		flightCap    = flag.Int("flight-ring", 0, "flight recorder ring capacity in entries (0 = default 4096)")
+		flightAge    = flag.Duration("flight-retention", 0, "drop flight-ring entries older than this at snapshot time (0 = capacity-bounded only)")
+		sloSpec      = flag.String("slo", "", `declared SLOs, e.g. "availability=99.9,p95_solve_ms=250"; evaluated as multi-window burn rates`)
+		sloEvery     = flag.Duration("slo-eval", 10*time.Second, "SLO burn-rate evaluation interval")
+		profEvery    = flag.Duration("profile-interval", 0, "capture a CPU+heap profile set this often into <postmortem-dir>/profiles (0 = off; requires -postmortem-dir)")
+		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		chortle.PrintVersion(os.Stdout, "chortled")
+		return
+	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 
@@ -112,6 +125,7 @@ func main() {
 	}
 
 	reg := chortle.NewMetricsRegistry()
+	chortle.RegisterBuildInfo(reg, "chortled_build_info")
 	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{
 		Shards:     *cacheShards,
 		MaxEntries: *cacheEntries,
@@ -122,6 +136,43 @@ func main() {
 		chaos = newChaosInjector(*chaosSeed, cache, reg)
 		logf("chortled: CHAOS MODE (seed %d): injecting faults on purpose", *chaosSeed)
 	}
+
+	// The flight recorder is always on: its cost is one ring slot per
+	// event, and the first question after any incident is "what was
+	// happening right before".
+	recorder := chortle.NewFlightRecorder(*flightCap, *flightAge)
+	recorder.RecordNote("chortled starting: " + chortle.BuildVersion())
+
+	var dump *dumper
+	var prof *profiler
+	if *pmDir != "" {
+		if err := os.MkdirAll(*pmDir, 0o755); err != nil {
+			fatal(err)
+		}
+		dump = newDumper(*pmDir, recorder, reg, logf)
+		dump.flags = strings.Join(os.Args[1:], " ")
+	}
+
+	var slo *chortle.SLOWatchdog
+	if *sloSpec != "" {
+		slos, err := chortle.ParseSLOs(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+		slo = chortle.NewSLOWatchdog(slos, reg, chortle.SLOConfig{
+			Logf: logf,
+			// A burn-triggered dump catches the offending window while
+			// it is still in the flight ring.
+			OnChange: func(status chortle.SLOStatus, _ []chortle.SLOReport) {
+				recorder.RecordNote("SLO status now " + status.String())
+				if status == chortle.SLOCritical {
+					dump.trigger("slo-burn")
+				}
+			},
+		})
+		dump.setSLO(slo)
+	}
+
 	srv, m := newMapServer(serverConfig{
 		cache:        cache,
 		reg:          reg,
@@ -133,14 +184,35 @@ func main() {
 		logf:         logf,
 		accessLog:    accessLog,
 		requestRing:  *requestRing,
+		recorder:     recorder,
+		slo:          slo,
+		dumper:       dump,
 	})
 
 	bg, stopBg := context.WithCancel(context.Background())
 	defer stopBg()
 
+	if *profEvery > 0 {
+		if *pmDir == "" {
+			fatal(fmt.Errorf("-profile-interval requires -postmortem-dir (the profile ring lives under it)"))
+		}
+		prof = newProfiler(filepath.Join(*pmDir, "profiles"), *profEvery,
+			srv.requests.activeTraces, reg, logf)
+		dump.prof = prof
+		srv.cfg.profiler = prof
+		go prof.run(bg.Done())
+	}
+	if slo != nil {
+		go slo.Run(bg.Done(), *sloEvery)
+	}
+
 	var snap *snapshotter
 	if *snapPath != "" {
 		snap = newSnapshotter(*snapPath, cache, chaos, m, reg, logf)
+		snap.onReject = func(detail string) {
+			recorder.RecordNote("cache snapshot rejected: " + detail)
+			dump.trigger("snapshot-rejected")
+		}
 		snap.restore()
 		go snap.loop(bg, *snapEvery)
 	}
@@ -171,12 +243,29 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		fatal(err)
-	case s := <-sig:
-		logf("chortled: %s: drain starting (%d in flight, %d queued; up to %s)",
-			s, srv.inflight.Load(), srv.queued.Load(), *drainWait)
+	if dump != nil {
+		// SIGQUIT becomes "write a bundle and keep serving" — the
+		// operator's on-demand black-box pull. Only claimed when a
+		// postmortem dir exists, so the default stack-dump-and-exit
+		// behavior survives otherwise.
+		signal.Notify(sig, syscall.SIGQUIT)
+	}
+wait:
+	for {
+		select {
+		case err := <-errc:
+			fatal(err)
+		case s := <-sig:
+			if s == syscall.SIGQUIT {
+				logf("chortled: SIGQUIT: writing postmortem bundle")
+				recorder.RecordNote("SIGQUIT received")
+				dump.trigger("sigquit")
+				continue
+			}
+			logf("chortled: %s: drain starting (%d in flight, %d queued; up to %s)",
+				s, srv.inflight.Load(), srv.queued.Load(), *drainWait)
+			break wait
+		}
 	}
 
 	// Staged drain: refuse new work, let in-flight mappings finish

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"chortle"
+	"chortle/internal/buildinfo"
+)
+
+// The postmortem dumper turns the flight recorder's ring into a
+// self-contained bundle on disk the moment an incident fires — a
+// panic-500, a memory-valve engagement, a rejected snapshot, an SLO
+// burn, or an operator's SIGQUIT. A bundle is one directory:
+//
+//	bundle-<stamp>-<reason>/
+//	  ring.jsonl      the flight recorder's retained window
+//	  metrics.prom    full Prometheus exposition at dump time
+//	  slo.json        SLO watchdog reports (when -slo is set)
+//	  goroutines.txt  full goroutine dump (debug=2)
+//	  heap.pprof      heap profile
+//	  buildinfo.json  reason, build identity, flags, uptime, pid
+//	  profiles/       the continuous profiler's on-disk ring (if any)
+//
+// The directory is assembled under a dot-prefixed temp name and renamed
+// into place, so a bundle either exists completely or not at all —
+// cmd/postmortem never sees a half-written one. Dumps are debounced
+// (minInterval) so a panic storm produces one bundle per window, not a
+// disk full of them; every trigger, taken or debounced, is noted in the
+// ring itself.
+type dumper struct {
+	dir         string
+	rec         *chortle.FlightRecorder
+	reg         *chortle.MetricsRegistry
+	slo         *chortle.SLOWatchdog
+	prof        *profiler // nil without -profile-interval
+	logf        func(format string, args ...any)
+	minInterval time.Duration
+	flags       string // rendered command line for buildinfo.json
+	started     time.Time
+
+	dumps     interface{ Inc() }
+	dumpErrs  interface{ Inc() }
+	lastUnix  interface{ Set(float64) }
+	debounced interface{ Inc() }
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+func newDumper(dir string, rec *chortle.FlightRecorder, reg *chortle.MetricsRegistry,
+	logf func(string, ...any)) *dumper {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &dumper{
+		dir:         dir,
+		rec:         rec,
+		reg:         reg,
+		logf:        logf,
+		minInterval: 30 * time.Second,
+		started:     time.Now(),
+		dumps: reg.Counter("chortled_postmortem_dumps_total",
+			"Postmortem bundles written."),
+		dumpErrs: reg.Counter("chortled_postmortem_dump_errors_total",
+			"Postmortem bundle writes that failed."),
+		debounced: reg.Counter("chortled_postmortem_debounced_total",
+			"Dump triggers suppressed by the debounce window."),
+		lastUnix: reg.Gauge("chortled_postmortem_last_unixtime",
+			"Unix time of the last successful bundle write."),
+	}
+}
+
+// setSLO attaches the watchdog whose reports land in slo.json. Nil
+// dumpers discard.
+func (d *dumper) setSLO(w *chortle.SLOWatchdog) {
+	if d == nil {
+		return
+	}
+	d.slo = w
+}
+
+// trigger requests a dump asynchronously. The ring note lands before
+// the goroutine is spawned, so the bundle always contains its own
+// trigger. Nil dumpers (no -postmortem-dir) discard.
+func (d *dumper) trigger(reason string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	if !d.last.IsZero() && time.Since(d.last) < d.minInterval {
+		d.mu.Unlock()
+		d.debounced.Inc()
+		return
+	}
+	d.last = time.Now()
+	d.mu.Unlock()
+	d.rec.RecordNote("postmortem dump triggered: " + reason)
+	go func() {
+		if _, err := d.dump(reason); err != nil {
+			d.dumpErrs.Inc()
+			d.logf("chortled: postmortem dump (%s) failed: %v", reason, err)
+		}
+	}()
+}
+
+// bundleBuildInfo is the buildinfo.json body.
+type bundleBuildInfo struct {
+	Reason        string    `json:"reason"`
+	Time          time.Time `json:"time"`
+	Version       string    `json:"version"`
+	GoVersion     string    `json:"goversion"`
+	Engines       string    `json:"engines"`
+	Flags         string    `json:"flags,omitempty"`
+	PID           int       `json:"pid"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+// dump writes one bundle synchronously and returns its directory.
+func (d *dumper) dump(reason string) (string, error) {
+	stamp := time.Now().UTC().Format("20060102T150405.000")
+	stamp = fmt.Sprintf("%s-%s", stamp, sanitizeReason(reason))
+	tmp := filepath.Join(d.dir, ".tmp-bundle-"+stamp)
+	final := filepath.Join(d.dir, "bundle-"+stamp)
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	if err := d.writeFile(tmp, "ring.jsonl", func(f *os.File) error {
+		_, err := d.rec.WriteJSONL(f)
+		return err
+	}); err != nil {
+		return "", err
+	}
+	if err := d.writeFile(tmp, "metrics.prom", func(f *os.File) error {
+		return d.reg.WritePrometheus(f)
+	}); err != nil {
+		return "", err
+	}
+	if d.slo != nil {
+		if err := d.writeFile(tmp, "slo.json", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(d.slo.Report())
+		}); err != nil {
+			return "", err
+		}
+	}
+	if err := d.writeFile(tmp, "goroutines.txt", func(f *os.File) error {
+		return pprof.Lookup("goroutine").WriteTo(f, 2)
+	}); err != nil {
+		return "", err
+	}
+	if err := d.writeFile(tmp, "heap.pprof", func(f *os.File) error {
+		return pprof.Lookup("heap").WriteTo(f, 0)
+	}); err != nil {
+		return "", err
+	}
+	if err := d.writeFile(tmp, "buildinfo.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(bundleBuildInfo{
+			Reason:        reason,
+			Time:          time.Now(),
+			Version:       buildinfo.Version(),
+			GoVersion:     buildinfo.GoVersion(),
+			Engines:       buildinfo.EngineList(),
+			Flags:         d.flags,
+			PID:           os.Getpid(),
+			UptimeSeconds: time.Since(d.started).Seconds(),
+		})
+	}); err != nil {
+		return "", err
+	}
+	if d.prof != nil {
+		if err := d.prof.copyInto(filepath.Join(tmp, "profiles")); err != nil {
+			// Profile copies are best-effort: a bundle without them is
+			// still a bundle.
+			d.logf("chortled: postmortem: copying profiles: %v", err)
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	d.dumps.Inc()
+	d.lastUnix.Set(float64(time.Now().Unix()))
+	d.logf("chortled: postmortem bundle (%s) written to %s", reason, final)
+	return final, nil
+}
+
+func (d *dumper) writeFile(dir, name string, fill func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return f.Close()
+}
+
+// sanitizeReason keeps the reason path-safe.
+func sanitizeReason(reason string) string {
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason) && i < 32; i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "unknown"
+	}
+	return string(out)
+}
+
+// bundles lists the bundle directories currently on disk, newest first.
+func (d *dumper) bundles() []string {
+	if d == nil {
+		return nil
+	}
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() && len(e.Name()) > 7 && e.Name()[:7] == "bundle-" {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(out)))
+	return out
+}

@@ -1,0 +1,490 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chortle"
+	"chortle/internal/bench"
+)
+
+// waitForBundle polls until a postmortem bundle directory appears.
+func waitForBundle(t *testing.T, dir string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ents, _ := os.ReadDir(dir)
+		for _, e := range ents {
+			if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") {
+				return filepath.Join(dir, e.Name())
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("no postmortem bundle appeared")
+	return ""
+}
+
+// ringEntries polls the recorder until the predicate finds a match in
+// its snapshot, returning the full snapshot.
+func ringEntries(t *testing.T, rec *chortle.FlightRecorder, match func(chortle.FlightEntry) bool) []chortle.FlightEntry {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := rec.Snapshot()
+		for _, e := range snap {
+			if match(e) {
+				return snap
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("flight ring never recorded the expected entry")
+	return nil
+}
+
+// TestChaosPanicWritesBundleWithFailingTrace is the headline incident
+// drill: a forced panic under an armed chaos layer must produce a 500,
+// a flight-ring access entry and panic decision for that exact trace,
+// and a complete postmortem bundle whose ring contains the failing
+// request's trace ID.
+func TestChaosPanicWritesBundleWithFailingTrace(t *testing.T) {
+	reg := chortle.NewMetricsRegistry()
+	cache := chortle.NewSharedCache(chortle.SharedCacheConfig{})
+	chaos := quietChaos(1, cache, reg)
+	rec := chortle.NewFlightRecorder(256, 0)
+	pmDir := t.TempDir()
+	dump := newDumper(pmDir, rec, reg, nil)
+	log := &testLog{}
+	_, ts := newTestServer(t, serverConfig{
+		cache: cache, reg: reg, maxInflight: 2, maxQueue: 4,
+		chaos: chaos, logf: log.logf, recorder: rec, dumper: dump,
+	})
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/map?k=4", strings.NewReader(blif))
+	req.Header.Set("X-Chaos-Panic", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("forced panic: HTTP %d, want 500", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("500 response missing X-Trace-Id")
+	}
+
+	// The ring must hold both halves of the story for that exact trace:
+	// the panic decision and the finished access record tagged with it.
+	snap := ringEntries(t, rec, func(e chortle.FlightEntry) bool {
+		return e.Kind == chortle.FlightAccess && e.Access.Trace.String() == traceID
+	})
+	var sawDecision, sawAccess bool
+	for _, e := range snap {
+		switch e.Kind {
+		case chortle.FlightDecision:
+			if e.Decision.Reason == chortle.ReasonPanic && e.Decision.Trace.String() == traceID {
+				sawDecision = true
+			}
+		case chortle.FlightAccess:
+			if e.Access.Trace.String() == traceID {
+				sawAccess = true
+				if e.Access.Outcome != "500" || e.Access.Decision != chortle.ReasonPanic {
+					t.Errorf("access entry = outcome %q decision %q, want 500/panic", e.Access.Outcome, e.Access.Decision)
+				}
+			}
+		}
+	}
+	if !sawDecision || !sawAccess {
+		t.Fatalf("ring missing panic evidence: decision=%v access=%v", sawDecision, sawAccess)
+	}
+
+	// The bundle must be complete and its ring must contain the trace.
+	bundle := waitForBundle(t, pmDir)
+	for _, name := range []string{"ring.jsonl", "metrics.prom", "goroutines.txt", "heap.pprof", "buildinfo.json"} {
+		if _, err := os.Stat(filepath.Join(bundle, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+	ringBytes, err := os.ReadFile(filepath.Join(bundle, "ring.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ringBytes), traceID) {
+		t.Fatalf("bundle ring does not contain the failing trace %s", traceID)
+	}
+	f, err := os.Open(filepath.Join(bundle, "ring.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := chortle.ReadFlightJSONL(f); err != nil {
+		t.Fatalf("bundle ring does not parse: %v", err)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the access log.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+// TestRefusalsCarryDecisionReasons drives every overload refusal the
+// server can produce and asserts the canonical decision reason lands in
+// both the access log and the flight ring: 429 queue-full, 503
+// mem-valve, 504 deadline-expired, 503 codel.
+func TestRefusalsCarryDecisionReasons(t *testing.T) {
+	rec := chortle.NewFlightRecorder(256, 0)
+	logBuf := &syncBuffer{}
+	// Two servers share one ring and one access log: refusing at the
+	// door (queue-full, mem-valve) needs an empty queue, while waiting
+	// out a deadline (504) and CoDel shedding need one to sit in.
+	s, ts := newTestServer(t, serverConfig{
+		maxInflight: 1, maxQueue: 0,
+		recorder:  rec,
+		accessLog: newAccessLogger(logBuf),
+	})
+	sq, tsq := newTestServer(t, serverConfig{
+		maxInflight: 1, maxQueue: 4,
+		recorder:  rec,
+		accessLog: newAccessLogger(logBuf),
+	})
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	// 429 queue-full: the only slot is held and the queue length is 0.
+	s.sem <- struct{}{}
+	resp, _ := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full: HTTP %d, want 429", resp.StatusCode)
+	}
+
+	// 503 mem-valve: the valve is engaged and the slot still held.
+	s.overloaded.Store(true)
+	resp, _ = postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mem-valve: HTTP %d, want 503", resp.StatusCode)
+	}
+	s.overloaded.Store(false)
+	<-s.sem
+
+	// 504 deadline-expired: wait in queue past the request's deadline.
+	sq.sem <- struct{}{}
+	done := make(chan int, 1)
+	go func() {
+		body := fmt.Sprintf(`{"blif":%q,"k":4,"deadline_ms":50}`, blif)
+		resp, err := http.Post(tsq.URL+"/map", "application/json", strings.NewReader(body))
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(150 * time.Millisecond)
+	<-sq.sem
+	if code := <-done; code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: HTTP %d, want 504", code)
+	}
+
+	// 503 codel: the engine's observed p95 exceeds the deadline.
+	for i := 0; i < 20; i++ {
+		sq.solveTimes[chortle.EngineTree].observe(2 * time.Second)
+	}
+	body := fmt.Sprintf(`{"blif":%q,"k":4,"deadline_ms":500}`, blif)
+	cresp, err := http.Post(tsq.URL+"/map", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("codel: HTTP %d, want 503", cresp.StatusCode)
+	}
+
+	wantReasons := []string{
+		chortle.ReasonQueueFull,
+		chortle.ReasonMemValve,
+		chortle.ReasonDeadlineExpired,
+		chortle.ReasonCoDel,
+	}
+
+	// Every refusal must appear in the ring as a decision entry and as
+	// a finished access record tagged with the same reason.
+	last := wantReasons[len(wantReasons)-1]
+	snap := ringEntries(t, rec, func(e chortle.FlightEntry) bool {
+		return e.Kind == chortle.FlightAccess && e.Access.Decision == last
+	})
+	decisions := map[string]bool{}
+	accesses := map[string]bool{}
+	for _, e := range snap {
+		switch e.Kind {
+		case chortle.FlightDecision:
+			decisions[e.Decision.Reason] = true
+		case chortle.FlightAccess:
+			if e.Access.Decision != "" {
+				accesses[e.Access.Decision] = true
+			}
+		}
+	}
+	for _, want := range wantReasons {
+		if !decisions[want] {
+			t.Errorf("flight ring missing decision entry %q", want)
+		}
+		if !accesses[want] {
+			t.Errorf("flight ring access records missing decision %q", want)
+		}
+	}
+
+	// The CoDel decision must carry the admission numbers that drove it.
+	for _, e := range snap {
+		if e.Kind == chortle.FlightDecision && e.Decision.Reason == chortle.ReasonCoDel {
+			if e.Decision.P95NS <= 0 || e.Decision.RemainingNS <= 0 {
+				t.Errorf("codel decision missing state: %+v", e.Decision)
+			}
+		}
+	}
+
+	// And the access log must carry the same vocabulary.
+	logText := logBuf.String()
+	for _, want := range wantReasons {
+		if !strings.Contains(logText, fmt.Sprintf(`"decision":%q`, want)) {
+			t.Errorf("access log missing decision %q:\n%s", want, logText)
+		}
+	}
+}
+
+// TestSLOBurnTriggersDump: with a deliberately unmeetable latency
+// objective, real traffic burns the error budget; the next evaluation
+// tick must flip the burn-rate gauge above threshold, escalate to
+// critical, and trigger a postmortem dump.
+func TestSLOBurnTriggersDump(t *testing.T) {
+	reg := chortle.NewMetricsRegistry()
+	rec := chortle.NewFlightRecorder(256, 0)
+	pmDir := t.TempDir()
+	dump := newDumper(pmDir, rec, reg, nil)
+	slos, err := chortle.ParseSLOs("availability=99.9,p95_solve_ms=0.000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := chortle.NewSLOWatchdog(slos, reg, chortle.SLOConfig{
+		Windows: []time.Duration{5 * time.Second, 10 * time.Second},
+		OnChange: func(status chortle.SLOStatus, _ []chortle.SLOReport) {
+			rec.RecordNote("SLO status now " + status.String())
+			if status == chortle.SLOCritical {
+				dump.trigger("slo-burn")
+			}
+		},
+	})
+	dump.setSLO(slo)
+	_, ts := newTestServer(t, serverConfig{
+		reg: reg, maxInflight: 2, maxQueue: 4,
+		recorder: rec, slo: slo, dumper: dump,
+	})
+	blif := benchBLIF(t, bench.Suite()[0])
+
+	// Every solve exceeds the sub-microsecond objective: an induced
+	// latency fault as far as the SLO is concerned.
+	for i := 0; i < 5; i++ {
+		resp, _ := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("map %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	slo.Tick(time.Now()) // one evaluation window
+
+	if got := slo.Status(); got != chortle.SLOCritical {
+		t.Fatalf("status after burn = %v, want critical; report %+v", got, slo.Report())
+	}
+	mt := metricsText(t, reg)
+	if !strings.Contains(mt, "chortled_slo_burn_rate") || !strings.Contains(mt, `slo="p95_solve_ms"`) {
+		t.Fatalf("burn-rate gauge missing:\n%s", mt)
+	}
+	report := slo.Report()
+	var latency *chortle.SLOReport
+	for i := range report {
+		if report[i].Name == "p95_solve_ms" {
+			latency = &report[i]
+		}
+	}
+	if latency == nil || len(latency.Windows) == 0 {
+		t.Fatalf("no latency report: %+v", report)
+	}
+	for _, w := range latency.Windows {
+		if w.Burn < 10 {
+			t.Errorf("burn[%s] = %.2f, want >= critical threshold 10", w.Window, w.Burn)
+		}
+	}
+
+	bundle := waitForBundle(t, pmDir)
+	sloBytes, err := os.ReadFile(filepath.Join(bundle, "slo.json"))
+	if err != nil {
+		t.Fatalf("burn-triggered bundle missing slo.json: %v", err)
+	}
+	if !strings.Contains(string(sloBytes), "p95_solve_ms") {
+		t.Fatalf("slo.json missing the burning objective:\n%s", sloBytes)
+	}
+	// The responses served during the burn advertise the degraded state.
+	resp, _ := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if got := resp.Header.Get("X-Slo-Status"); got != "critical" {
+		t.Errorf("X-Slo-Status = %q, want critical", got)
+	}
+}
+
+// TestObservabilityOffZeroAlloc pins the disabled state: with no
+// recorder, no watchdog, and no dumper, the request hot path's
+// observability hooks must not allocate.
+func TestObservabilityOffZeroAlloc(t *testing.T) {
+	var rec *chortle.FlightRecorder
+	var slo *chortle.SLOWatchdog
+	var dump *dumper
+	ar := chortle.AccessRecord{Code: 200, Outcome: "2xx"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.RecordAccess(ar)
+		rec.RecordDecision(chortle.OverloadDecision{Code: 429, Reason: chortle.ReasonQueueFull})
+		rec.RecordNote("x")
+		slo.ObserveRequest(200)
+		slo.ObserveSolve(time.Millisecond)
+		slo.Status()
+		dump.trigger("panic")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocates %.1f/op on the hot path, want 0", allocs)
+	}
+}
+
+// TestDebugRequestsEscapesCircuitName: the /debug/requests HTML view
+// renders request-controlled BLIF model names; hostile markup must
+// arrive escaped, never live.
+func TestDebugRequestsEscapesCircuitName(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxInflight: 2, maxQueue: 4})
+	payload := `<script>alert("pwn")</script>&"'`
+	blif := ".model " + payload + "\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+
+	resp, mr := postMap(t, ts.URL+"/map?k=4", blif, "text/plain")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map: HTTP %d", resp.StatusCode)
+	}
+	if mr.Circuit != payload {
+		t.Fatalf("circuit round-trip = %q, want %q", mr.Circuit, payload)
+	}
+
+	// The record lands in the recent ring after the response commits.
+	deadline := time.Now().Add(2 * time.Second)
+	var page string
+	for time.Now().Before(deadline) {
+		hresp, err := http.Get(ts.URL + "/debug/requests?format=html")
+		if err != nil {
+			t.Fatal(err)
+		}
+		page = readAll(t, hresp)
+		if strings.Contains(page, "script") {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if strings.Contains(page, `<script>alert`) {
+		t.Fatalf("/debug/requests serves unescaped request-controlled markup:\n%s", page)
+	}
+	if !strings.Contains(page, "&lt;script&gt;") {
+		t.Fatalf("/debug/requests dropped the circuit name instead of escaping it:\n%s", page)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestStatsCarriesBuildInfoAndUptime: /stats must identify the running
+// build and report uptime; /debug/slo and /debug/flight must serve.
+func TestStatsCarriesBuildInfoAndUptime(t *testing.T) {
+	reg := chortle.NewMetricsRegistry()
+	chortle.RegisterBuildInfo(reg, "chortled_build_info")
+	rec := chortle.NewFlightRecorder(16, 0)
+	slos, _ := chortle.ParseSLOs("availability=99.9")
+	slo := chortle.NewSLOWatchdog(slos, reg, chortle.SLOConfig{})
+	start := time.Now().Add(-time.Minute)
+	_, ts := newTestServer(t, serverConfig{
+		reg: reg, maxInflight: 1, maxQueue: 1,
+		recorder: rec, slo: slo, start: start,
+	})
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Server.Version == "" || stats.Server.GoVersion == "" {
+		t.Errorf("stats missing build identity: %+v", stats.Server)
+	}
+	if stats.Server.Engines != "tree,mis,cut" {
+		t.Errorf("stats engines = %q, want tree,mis,cut", stats.Server.Engines)
+	}
+	if stats.Server.UptimeSeconds < 59 {
+		t.Errorf("uptime = %.1fs, want >= 59s (started a minute ago)", stats.Server.UptimeSeconds)
+	}
+	if stats.Server.SLOStatus != "ok" {
+		t.Errorf("slo status = %q, want ok", stats.Server.SLOStatus)
+	}
+
+	if mt := metricsText(t, reg); !strings.Contains(mt, "chortled_build_info{") {
+		t.Errorf("build-info gauge missing:\n%s", mt)
+	}
+
+	sresp, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, sresp)
+	if sresp.StatusCode != http.StatusOK || !strings.Contains(body, "availability") {
+		t.Errorf("/debug/slo: HTTP %d body %s", sresp.StatusCode, body)
+	}
+	hresp, err := http.Get(ts.URL + "/debug/slo?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hbody := readAll(t, hresp); !strings.Contains(hbody, "chortled SLOs") {
+		t.Errorf("/debug/slo?format=html did not render: %s", hbody)
+	}
+
+	rec.RecordNote("hello from the test")
+	fresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fbody := readAll(t, fresp); !strings.Contains(fbody, "hello from the test") {
+		t.Errorf("/debug/flight missing ring contents: %s", fbody)
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"chortle"
+)
+
+// The continuous profiler keeps a bounded on-disk ring of recent
+// CPU and heap profiles so "what was it doing right before it fell
+// over" has an answer without anyone having had the foresight to run
+// `go tool pprof` first. Each capture is a set:
+//
+//	cpu-<stamp>.pprof   a short CPU profile (capped at captureWindow)
+//	heap-<stamp>.pprof  the heap at the end of the window
+//	meta-<stamp>.json   when it ran and which trace IDs were in flight
+//
+// The trace IDs tie a profile to concrete requests: a slow request on
+// /debug/requests links to the capture that overlapped it. The ring
+// keeps the newest maxSets captures; older sets are deleted as new
+// ones land. Postmortem bundles copy the whole ring into profiles/.
+type profiler struct {
+	dir      string
+	interval time.Duration
+	window   time.Duration // CPU sampling window per capture
+	maxSets  int
+	// traces reports the trace IDs in flight right now (the request
+	// table's live set); captured into each set's meta sidecar.
+	traces func() []string
+	logf   func(format string, args ...any)
+
+	captures interface{ Inc() }
+	capErrs  interface{ Inc() }
+
+	mu   sync.Mutex
+	sets []string // stamps on disk, oldest first
+}
+
+// profileMeta is the meta-<stamp>.json sidecar.
+type profileMeta struct {
+	Time     time.Time `json:"time"`
+	WindowMS int64     `json:"window_ms"`
+	Traces   []string  `json:"traces,omitempty"`
+}
+
+func newProfiler(dir string, interval time.Duration, traces func() []string,
+	reg *chortle.MetricsRegistry, logf func(string, ...any)) *profiler {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	window := 5 * time.Second
+	if interval/2 < window {
+		window = interval / 2
+	}
+	return &profiler{
+		dir:      dir,
+		interval: interval,
+		window:   window,
+		maxSets:  16,
+		traces:   traces,
+		logf:     logf,
+		captures: reg.Counter("chortled_profile_captures_total",
+			"Continuous-profiler capture sets written."),
+		capErrs: reg.Counter("chortled_profile_capture_errors_total",
+			"Continuous-profiler captures that failed."),
+	}
+}
+
+// run drives the capture loop until done closes. Nil profilers
+// (no -profile-interval) are inert.
+func (p *profiler) run(done <-chan struct{}) {
+	if p == nil {
+		return
+	}
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			if err := p.capture(); err != nil {
+				p.capErrs.Inc()
+				p.logf("chortled: profiler capture: %v", err)
+			}
+		}
+	}
+}
+
+// capture writes one cpu/heap/meta set and prunes the ring.
+func (p *profiler) capture() error {
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return err
+	}
+	stamp := time.Now().UTC().Format("20060102T150405.000")
+
+	cpu, err := os.Create(filepath.Join(p.dir, "cpu-"+stamp+".pprof"))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return err
+	}
+	time.Sleep(p.window)
+	pprof.StopCPUProfile()
+	if err := cpu.Close(); err != nil {
+		return err
+	}
+
+	heap, err := os.Create(filepath.Join(p.dir, "heap-"+stamp+".pprof"))
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup("heap").WriteTo(heap, 0); err != nil {
+		heap.Close()
+		return err
+	}
+	if err := heap.Close(); err != nil {
+		return err
+	}
+
+	meta := profileMeta{Time: time.Now(), WindowMS: p.window.Milliseconds()}
+	if p.traces != nil {
+		meta.Traces = p.traces()
+	}
+	mf, err := os.Create(filepath.Join(p.dir, "meta-"+stamp+".json"))
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(mf).Encode(meta); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	p.sets = append(p.sets, stamp)
+	var evict []string
+	if n := len(p.sets) - p.maxSets; n > 0 {
+		evict, p.sets = p.sets[:n], p.sets[n:]
+	}
+	p.mu.Unlock()
+	for _, old := range evict {
+		for _, prefix := range []string{"cpu-", "heap-"} {
+			os.Remove(filepath.Join(p.dir, prefix+old+".pprof"))
+		}
+		os.Remove(filepath.Join(p.dir, "meta-"+old+".json"))
+	}
+	p.captures.Inc()
+	return nil
+}
+
+// profileSet is one capture set as listed on /debug/requests.
+type profileSet struct {
+	Stamp  string    `json:"stamp"`
+	Time   time.Time `json:"time"`
+	Traces []string  `json:"traces,omitempty"`
+}
+
+// recent lists the on-disk capture sets, newest first. Nil-safe.
+func (p *profiler) recent() []profileSet {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	stamps := append([]string(nil), p.sets...)
+	p.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.StringSlice(stamps)))
+	out := make([]profileSet, 0, len(stamps))
+	for _, s := range stamps {
+		set := profileSet{Stamp: s}
+		if b, err := os.ReadFile(filepath.Join(p.dir, "meta-"+s+".json")); err == nil {
+			var m profileMeta
+			if json.Unmarshal(b, &m) == nil {
+				set.Time, set.Traces = m.Time, m.Traces
+			}
+		}
+		out = append(out, set)
+	}
+	return out
+}
+
+// copyInto copies the current ring into dst (a postmortem bundle's
+// profiles/ directory).
+func (p *profiler) copyInto(dst string) error {
+	if p == nil {
+		return nil
+	}
+	ents, err := os.ReadDir(p.dir)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() || !(strings.HasSuffix(e.Name(), ".pprof") || strings.HasSuffix(e.Name(), ".json")) {
+			continue
+		}
+		if err := copyFile(filepath.Join(p.dir, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -77,6 +77,26 @@ type serverConfig struct {
 
 	// requestRing bounds the /debug/requests recent ring (0 = 64).
 	requestRing int
+
+	// recorder, when non-nil, is the always-on flight recorder: every
+	// finished request, overload decision, and lifecycle note lands in
+	// its bounded ring. Nil disables recording at zero hot-path cost.
+	recorder *chortle.FlightRecorder
+
+	// slo, when non-nil, folds every response code and solve duration
+	// into burn-rate accounting (the -slo flag).
+	slo *chortle.SLOWatchdog
+
+	// dumper, when non-nil, writes postmortem bundles on incident
+	// triggers (the -postmortem-dir flag).
+	dumper *dumper
+
+	// profiler, when non-nil, is the continuous profiler whose on-disk
+	// ring /debug/requests links and bundles include.
+	profiler *profiler
+
+	// start anchors the /stats uptime report; zero means "now".
+	start time.Time
 }
 
 type mapServer struct {
@@ -182,6 +202,9 @@ func newMapServer(cfg serverConfig) (*mapServer, *serverMetrics) {
 	}
 	if cfg.logf == nil {
 		cfg.logf = func(string, ...any) {}
+	}
+	if cfg.start.IsZero() {
+		cfg.start = time.Now()
 	}
 	s := &mapServer{
 		cfg:      cfg,
@@ -333,6 +356,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// recordDecision lands one overload-control decision in both places it
+// must survive: the request's trace state (so the access-log line and
+// the flight ring's access entry carry the canonical reason) and the
+// flight ring itself (with the admission numbers that drove it). The
+// trace ID is filled from the request state.
+func (s *mapServer) recordDecision(st *requestState, d chortle.OverloadDecision) {
+	st.noteDecision(d.Reason)
+	d.Trace = st.traceID()
+	s.cfg.recorder.RecordDecision(d)
+}
+
 // writeRefusal answers a load-shedding status (429/503/504) with a
 // Retry-After hint so well-behaved clients back off instead of
 // hammering.
@@ -441,6 +475,10 @@ func (s *mapServer) withPanicIsolation(m *serverMetrics, next http.HandlerFunc) 
 				m.panics.Inc()
 				s.cfg.logf("chortled: INCIDENT: panic serving %s %s: %v\n%s",
 					r.Method, r.URL.Path, rec, debug.Stack())
+				s.recordDecision(stateFrom(r.Context()), chortle.OverloadDecision{
+					Code: http.StatusInternalServerError, Reason: chortle.ReasonPanic,
+					Detail: fmt.Sprint(rec),
+				})
 				if !sr.wrote {
 					writeJSON(sr, http.StatusInternalServerError,
 						errResponse{fmt.Sprintf("internal error: %v", rec)})
@@ -464,6 +502,9 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		if s.draining.Load() {
 			m.serverErr.Inc()
 			st.noteErr("draining")
+			s.recordDecision(st, chortle.OverloadDecision{
+				Code: http.StatusServiceUnavailable, Reason: chortle.ReasonDraining,
+			})
 			writeRefusal(w, http.StatusServiceUnavailable, 5*time.Second, "draining")
 			return
 		}
@@ -506,12 +547,21 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			if s.overloaded.Load() {
 				m.serverErr.Inc()
 				st.noteErr("memory pressure")
+				s.recordDecision(st, chortle.OverloadDecision{
+					Code: http.StatusServiceUnavailable, Reason: chortle.ReasonMemValve,
+					Engine: eng.String(), WaitNS: waited.Nanoseconds(),
+				})
 				writeRefusal(w, http.StatusServiceUnavailable, 2*time.Second,
 					"memory pressure: queue closed, retry shortly")
 				return
 			}
 			m.busy.Inc()
 			st.noteErr("at capacity")
+			s.recordDecision(st, chortle.OverloadDecision{
+				Code: http.StatusTooManyRequests, Reason: chortle.ReasonQueueFull,
+				Engine: eng.String(),
+				Detail: fmt.Sprintf("%d in flight, %d queued", s.cfg.maxInflight, s.cfg.maxQueue),
+			})
 			writeRefusal(w, http.StatusTooManyRequests, time.Second,
 				fmt.Sprintf("at capacity (%d in flight, %d queued)", s.cfg.maxInflight, s.cfg.maxQueue))
 			return
@@ -528,6 +578,11 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			if remaining <= 0 {
 				m.timeout.Inc()
 				st.noteErr("deadline expired in queue")
+				s.recordDecision(st, chortle.OverloadDecision{
+					Code: http.StatusGatewayTimeout, Reason: chortle.ReasonDeadlineExpired,
+					Engine: eng.String(), WaitNS: waited.Nanoseconds(),
+					RemainingNS: remaining.Nanoseconds(),
+				})
 				writeRefusal(w, http.StatusGatewayTimeout, time.Second,
 					fmt.Sprintf("deadline (%d ms) expired after %s in queue", req.DeadlineMS, waited.Round(time.Millisecond)))
 				return
@@ -542,6 +597,11 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 				m.serverErr.Inc()
 				m.codelDrops.Inc()
 				st.noteErr("remaining deadline below engine p95")
+				s.recordDecision(st, chortle.OverloadDecision{
+					Code: http.StatusServiceUnavailable, Reason: chortle.ReasonCoDel,
+					Engine: eng.String(), WaitNS: waited.Nanoseconds(),
+					RemainingNS: remaining.Nanoseconds(), P95NS: p95.Nanoseconds(),
+				})
 				writeRefusal(w, http.StatusServiceUnavailable, p95,
 					fmt.Sprintf("remaining deadline %s below observed %s p95 solve time %s",
 						remaining.Round(time.Millisecond), eng, p95.Round(time.Millisecond)))
@@ -556,9 +616,11 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		}()
 
 		st.setStage(stageSolving)
-		// Seeded fault injection (off unless -chaos): latency spikes,
-		// forced cache evictions, and solve panics — the panic rides up
-		// to withPanicIsolation like any real one would.
+		// Fault injection (off unless -chaos): the seeded probabilistic
+		// mix plus the deterministic X-Chaos-* headers the drill uses —
+		// a panic from either rides up to withPanicIsolation like any
+		// real one would.
+		s.cfg.chaos.forced(r)
 		s.cfg.chaos.beforeSolve()
 
 		nw, err := chortle.ReadBLIF(strings.NewReader(req.BLIF))
@@ -568,6 +630,7 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			writeJSON(w, http.StatusBadRequest, errResponse{fmt.Sprintf("parsing BLIF: %v", err)})
 			return
 		}
+		st.noteCircuit(nw.Name)
 		opts := chortle.DefaultOptions(req.K)
 		opts.Engine = eng
 		opts.SharedCache = s.cfg.cache
@@ -596,6 +659,7 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 		elapsed := time.Since(start)
 		solveSpan.End()
 		st.noteTimings(0, elapsed, 0)
+		s.cfg.slo.ObserveSolve(elapsed)
 		if err != nil {
 			switch {
 			case errors.Is(err, context.Canceled):
@@ -604,6 +668,10 @@ func (s *mapServer) handleMap(m *serverMetrics) http.HandlerFunc {
 			case errors.Is(err, context.DeadlineExceeded):
 				m.serverErr.Inc()
 				st.noteErr("deadline exceeded")
+				s.recordDecision(st, chortle.OverloadDecision{
+					Code: http.StatusServiceUnavailable, Reason: chortle.ReasonDeadlineExpired,
+					Engine: eng.String(), Detail: "deadline exceeded mid-solve",
+				})
 				writeRefusal(w, http.StatusServiceUnavailable, time.Second, "deadline exceeded")
 			default:
 				m.clientErr.Inc()
@@ -671,10 +739,18 @@ func (s *mapServer) memCheck(m *serverMetrics) bool {
 		m.memShed.Inc()
 		s.cfg.logf("chortled: memory pressure: heap %d MiB over watermark %d MiB; shed %d cached shapes, queue closed",
 			heap>>20, s.cfg.memWatermark>>20, shed)
-		_ = first
+		if first {
+			// First engagement of this episode: worth a black-box marker
+			// and a bundle while the evidence is still in memory.
+			s.cfg.recorder.RecordNote(fmt.Sprintf(
+				"memory valve engaged: heap %d MiB over watermark %d MiB, shed %d shapes",
+				heap>>20, s.cfg.memWatermark>>20, shed))
+			s.cfg.dumper.trigger(chortle.ReasonMemValve)
+		}
 	case heap < s.cfg.memWatermark*4/5:
 		if s.overloaded.CompareAndSwap(true, false) {
 			s.cfg.logf("chortled: memory pressure cleared: heap %d MiB; queue reopened", heap>>20)
+			s.cfg.recorder.RecordNote(fmt.Sprintf("memory valve cleared: heap %d MiB", heap>>20))
 		}
 	}
 	return s.overloaded.Load()
@@ -724,16 +800,37 @@ func (s *mapServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
+		Server: serverInfoJSON{
+			Version:       chortle.BuildVersion(),
+			GoVersion:     chortle.BuildGoVersion(),
+			Engines:       chortle.BuildEngines(),
+			Started:       s.cfg.start,
+			UptimeSeconds: time.Since(s.cfg.start).Seconds(),
+			SLOStatus:     s.cfg.slo.Status().String(),
+		},
 		Cache:   s.cfg.cache.Stats(),
 		Engines: engines,
 	})
 }
 
-// statsResponse is the /stats body: the shared cache's counters plus a
-// per-engine request breakdown (requests by outcome class and the
-// engine's own solve-latency quantiles — the same windows that drive
-// per-engine CoDel shedding).
+// serverInfoJSON identifies the running build in /stats: the same
+// identity the build-info gauge and every -version flag report, plus
+// process uptime so "how long has this been up" is one curl away.
+type serverInfoJSON struct {
+	Version       string    `json:"version"`
+	GoVersion     string    `json:"goversion"`
+	Engines       string    `json:"engines"`
+	Started       time.Time `json:"started"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	SLOStatus     string    `json:"slo_status"`
+}
+
+// statsResponse is the /stats body: the running build's identity, the
+// shared cache's counters, and a per-engine request breakdown (requests
+// by outcome class and the engine's own solve-latency quantiles — the
+// same windows that drive per-engine CoDel shedding).
 type statsResponse struct {
+	Server  serverInfoJSON             `json:"server"`
 	Cache   chortle.CacheStats         `json:"cache"`
 	Engines map[string]engineStatsJSON `json:"engines,omitempty"`
 }
@@ -762,6 +859,8 @@ func (s *mapServer) handler(m *serverMetrics) http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/slo", s.handleDebugSLO)
+	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
 	return mux
 }
 

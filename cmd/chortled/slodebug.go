@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+
+	"chortle"
+)
+
+// /debug/slo and /debug/flight: the operator's live view of the SLO
+// watchdog and the flight recorder. Both follow the /debug/requests
+// convention — JSON by default, a self-contained HTML page with
+// ?format=html, nothing external referenced.
+
+// sloDebugResponse is the /debug/slo JSON body.
+type sloDebugResponse struct {
+	Status string              `json:"status"`
+	SLOs   []chortle.SLOReport `json:"slos"`
+}
+
+func (s *mapServer) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.slo == nil {
+		writeJSON(w, http.StatusNotFound, errResponse{"no SLOs declared (start chortled with -slo)"})
+		return
+	}
+	resp := sloDebugResponse{
+		Status: s.cfg.slo.Status().String(),
+		SLOs:   s.cfg.slo.Report(),
+	}
+	if r.URL.Query().Get("format") == "html" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = sloPage.Execute(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+var sloPage = template.Must(template.New("slo").Funcs(template.FuncMap{
+	"pct":  func(f float64) string { return fmt.Sprintf("%.4g%%", f*100) },
+	"burn": func(f float64) string { return fmt.Sprintf("%.2f", f) },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>chortled SLOs</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:2em;color:#222}
+h1{font-size:1.3em}
+table{border-collapse:collapse;width:100%;font-size:0.9em}
+th,td{border:1px solid #ddd;padding:4px 8px;text-align:left}
+th{background:#f5f5f5}
+.st-ok{color:#2a7} .st-warn{color:#b80} .st-critical{color:#c22;font-weight:bold}
+small{color:#888}
+</style></head><body>
+<h1>chortled SLOs — <span class="st-{{.Status}}">{{.Status}}</span></h1>
+<p><small>burn rate = (bad fraction over window) / error budget; 1.0 spends the budget exactly at the sustainable rate. Status escalates only when every window burns above threshold.</small></p>
+<table>
+<tr><th>objective</th><th>kind</th><th>target</th><th>budget</th><th>good</th><th>bad</th><th>burn by window</th><th>status</th></tr>
+{{range .SLOs}}<tr>
+<td>{{.Name}}{{if .ObjectiveMS}} <small>&le; {{.ObjectiveMS}} ms</small>{{end}}</td>
+<td>{{.Kind}}</td>
+<td>{{.Target}}%</td>
+<td>{{pct .Budget}}</td>
+<td>{{.Good}}</td>
+<td>{{.Bad}}</td>
+<td>{{range .Windows}}{{.Window}}: {{burn .Burn}} {{end}}</td>
+<td class="st-{{.Status}}">{{.Status}}</td>
+</tr>{{end}}
+</table>
+</body></html>`))
+
+// handleDebugFlight streams the flight recorder's current ring as
+// JSONL — exactly what a postmortem bundle's ring.jsonl would contain
+// if one were written now.
+func (s *mapServer) handleDebugFlight(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.recorder == nil {
+		writeJSON(w, http.StatusNotFound, errResponse{"flight recorder disabled"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	_, _ = s.cfg.recorder.WriteJSONL(w)
+}

@@ -37,6 +37,11 @@ type snapshotter struct {
 	restored    interface{ Set(float64) }
 	lastWrite   interface{ Set(float64) }
 
+	// onReject, when set (after construction; main wires it to the
+	// postmortem dumper), fires once per rejected restore with the
+	// rejection detail.
+	onReject func(detail string)
+
 	mu sync.Mutex // serializes write()
 }
 
@@ -74,6 +79,9 @@ func (sn *snapshotter) restore() {
 		}
 		sn.rejected.Inc()
 		sn.logf("chortled: snapshot open failed (%v); starting cold", err)
+		if sn.onReject != nil {
+			sn.onReject(err.Error())
+		}
 		return
 	}
 	defer f.Close()
@@ -81,6 +89,9 @@ func (sn *snapshotter) restore() {
 	if err != nil {
 		sn.rejected.Inc()
 		sn.logf("chortled: snapshot %s rejected (%v); starting cold", sn.path, err)
+		if sn.onReject != nil {
+			sn.onReject(err.Error())
+		}
 		return
 	}
 	sn.restored.Set(float64(n))

@@ -54,6 +54,8 @@ type requestState struct {
 	cacheHits   int
 	cacheMisses int
 	errMsg      string
+	circuit     string         // mapped model name — request-controlled, escape on render
+	decision    string         // canonical overload reason (queue-full, codel, ...)
 	solveSpan   chortle.SpanID // parent for the engine's phase spans
 }
 
@@ -120,6 +122,36 @@ func (st *requestState) noteErr(msg string) {
 	st.mu.Lock()
 	st.errMsg = msg
 	st.mu.Unlock()
+}
+
+// noteCircuit records the parsed network's model name. The value is
+// request-controlled; every renderer must escape it.
+func (st *requestState) noteCircuit(name string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.circuit = name
+	st.mu.Unlock()
+}
+
+// noteDecision tags the request with the canonical overload-control
+// reason behind its refusal or failure.
+func (st *requestState) noteDecision(reason string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.decision = reason
+	st.mu.Unlock()
+}
+
+// traceID returns the request's trace ID; zero without the middleware.
+func (st *requestState) traceID() chortle.TraceID {
+	if st == nil {
+		return chortle.TraceID{}
+	}
+	return st.rt.TraceID()
 }
 
 func (st *requestState) setSolveSpan(id chortle.SpanID) {
@@ -224,6 +256,20 @@ func (t *requestTable) snapshot() ([]inflightEntry, []chortle.AccessRecord, int6
 	return live, recent, finished
 }
 
+// activeTraces lists the trace IDs currently in flight — the continuous
+// profiler stamps them into each capture's meta sidecar so a profile
+// links back to the requests it overlapped.
+func (t *requestTable) activeTraces() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.inflight))
+	for st := range t.inflight {
+		out = append(out, st.rt.TraceID().String())
+	}
+	sort.Strings(out)
+	return out
+}
+
 // accessLogger streams AccessRecords as JSONL. Errors are sticky and
 // never surface into the serving path (a full disk cannot fail a map).
 type accessLogger struct {
@@ -266,6 +312,12 @@ func (s *mapServer) withRequestTrace(m *serverMetrics, next http.HandlerFunc) ht
 			method: r.Method, path: r.URL.Path, stage: stageAdmission,
 		}
 		w.Header().Set("X-Trace-Id", rt.TraceID().String())
+		if status := s.cfg.slo.Status(); status != chortle.SLOOK {
+			// Degraded SLO state rides on every response so clients can
+			// react (shed optional load, surface the burn) without a
+			// second request to /debug/slo.
+			w.Header().Set("X-Slo-Status", status.String())
+		}
 		s.requests.add(st)
 		sr := &statusRecorder{ResponseWriter: w}
 
@@ -273,13 +325,15 @@ func (s *mapServer) withRequestTrace(m *serverMetrics, next http.HandlerFunc) ht
 			total := time.Since(st.start)
 			st.mu.Lock()
 			rec := chortle.AccessRecord{
-				Time:    st.start,
-				Trace:   rt.TraceID(),
-				Method:  st.method,
-				Path:    st.path,
-				Code:    sr.code,
-				Outcome: chortle.OutcomeClass(sr.code),
-				Engine:  st.engine, K: st.k,
+				Time:     st.start,
+				Trace:    rt.TraceID(),
+				Method:   st.method,
+				Path:     st.path,
+				Code:     sr.code,
+				Outcome:  chortle.OutcomeClass(sr.code),
+				Decision: st.decision,
+				Circuit:  st.circuit,
+				Engine:   st.engine, K: st.k,
 				QueueNS: st.queueNS, SolveNS: st.solveNS, WriteNS: st.writeNS,
 				TotalNS: total.Nanoseconds(),
 				LUTs:    st.luts, CacheHits: st.cacheHits, CacheMisses: st.cacheMisses,
@@ -289,8 +343,15 @@ func (s *mapServer) withRequestTrace(m *serverMetrics, next http.HandlerFunc) ht
 			st.mu.Unlock()
 			s.requests.finish(st, rec)
 			s.cfg.accessLog.record(rec)
+			s.cfg.recorder.RecordAccess(rec)
+			s.cfg.slo.ObserveRequest(sr.code)
 			s.countOutcome(st.engine, rec.Outcome)
 			m.total.ObserveWithExemplar(total, rec.Trace.String())
+			if sr.code == http.StatusInternalServerError {
+				// The access record is already in the ring, so the bundle
+				// this triggers contains the failing request itself.
+				s.cfg.dumper.trigger("panic")
+			}
 		}()
 
 		next(sr, r.WithContext(withReqState(r.Context(), st)))
@@ -324,6 +385,7 @@ func (s *mapServer) handleDebugRequests(w http.ResponseWriter, r *http.Request) 
 		"inflight": live,
 		"recent":   recent,
 		"finished": finished,
+		"profiles": s.cfg.profiler.recent(),
 	})
 }
 
@@ -380,8 +442,8 @@ small{color:#888}
 {{range .Recent}}
 <table><tr>
 <td class="mono">{{.Trace}}</td>
-<td class="out-{{.Outcome}}">{{.Outcome}} ({{.Code}})</td>
-<td>{{.Engine}}{{if .K}} K={{.K}}{{end}}</td>
+<td class="out-{{.Outcome}}">{{.Outcome}} ({{.Code}}){{if .Decision}} <small>{{.Decision}}</small>{{end}}</td>
+<td>{{if .Circuit}}{{.Circuit}} · {{end}}{{.Engine}}{{if .K}} K={{.K}}{{end}}</td>
 <td>{{ms .TotalNS}} ms total · queue {{ms .QueueNS}} · solve {{ms .SolveNS}}</td>
 <td>{{if .LUTs}}{{.LUTs}} LUTs{{end}}{{if .Err}} <small>{{.Err}}</small>{{end}}</td>
 </tr></table>
@@ -389,15 +451,23 @@ small{color:#888}
 {{$rec := .}}{{range .Spans}}<div class="lane"><div class="bar" style="{{spanbar $rec .}}" title="{{.Name}}"></div> <small class="mono">{{.Name}} {{ms .Duration.Nanoseconds}} ms</small></div>{{end}}
 </div>
 {{else}}<p><small>none yet</small></p>{{end}}
+{{if .Profiles}}<h2>Continuous profiles</h2>
+<table><tr><th>capture</th><th>time</th><th>overlapping traces</th></tr>
+{{range .Profiles}}<tr><td class="mono">{{.Stamp}}</td><td>{{.Time.Format "15:04:05"}}</td><td class="mono">{{range .Traces}}{{.}} {{end}}</td></tr>{{end}}
+</table>{{end}}
 </body></html>`))
 
 type requestsPageData struct {
 	Live     []inflightEntry
 	Recent   []chortle.AccessRecord
 	Finished int64
+	Profiles []profileSet
 }
 
 func (s *mapServer) writeRequestsHTML(w http.ResponseWriter, live []inflightEntry, recent []chortle.AccessRecord, finished int64) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_ = requestsPage.Execute(w, requestsPageData{Live: live, Recent: recent, Finished: finished})
+	_ = requestsPage.Execute(w, requestsPageData{
+		Live: live, Recent: recent, Finished: finished,
+		Profiles: s.cfg.profiler.recent(),
+	})
 }

@@ -55,9 +55,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		debug    = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while comparing")
 		report   = fs.String("report", "", "write the comparison as a self-contained HTML report to this file")
 		engines  = fs.String("engines", "tree,cut", "comma-separated engines to map beside the MIS baseline (tree, cut); the first is primary")
+		version  = fs.Bool("version", false, "print build identity and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		chortle.PrintVersion(stdout, "compare")
+		return 0
 	}
 	var engineList []chortle.Engine
 	for _, name := range strings.Split(*engines, ",") {

@@ -40,9 +40,9 @@ import (
 
 func main() {
 	var (
-		k     = flag.Int("k", 4, "lookup table input count (2..5)")
-		count = flag.Bool("count", false, "print unique-function counts per K")
-		list  = flag.Bool("list", false, "list the library cells for -k")
+		k      = flag.Int("k", 4, "lookup table input count (2..5)")
+		count  = flag.Bool("count", false, "print unique-function counts per K")
+		list   = flag.Bool("list", false, "list the library cells for -k")
 		debug  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while running")
 		trace  = flag.String("trace", "", "stream the command's phase events as JSON lines to this file")
 		luts   = flag.Bool("luts", false, "Chortle-map each library cell's network and print its LUT count")

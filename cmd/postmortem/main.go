@@ -1,0 +1,344 @@
+// Command chortle-postmortem validates and renders a chortled
+// postmortem bundle — the directory the server writes when an incident
+// fires (panic-500, memory-valve engagement, snapshot rejection, SLO
+// burn, SIGQUIT).
+//
+// Usage:
+//
+//	chortle-postmortem [-html report.html] [-trace trace.json] BUNDLE_DIR
+//
+// With no output flags it validates the bundle and prints a one-screen
+// summary: what triggered the dump, the build that wrote it, how the
+// ring's requests ended, and every overload decision and note in order.
+// -html renders the same view as a self-contained HTML file (inline CSS
+// only — it must open from a laptop with no server running). -trace
+// converts the ring's request span timelines into a Chrome/Perfetto
+// trace: load it in https://ui.perfetto.dev to scrub through the
+// seconds before the incident.
+//
+// Exit status is non-zero when the bundle is missing required files or
+// any of them fail to parse — a bundle is written atomically, so a
+// partial one means it is not a bundle at all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"chortle"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chortle-postmortem:", err)
+		os.Exit(1)
+	}
+}
+
+// bundle is one parsed postmortem directory.
+type bundle struct {
+	Dir       string
+	Info      bundleInfo
+	Entries   []chortle.FlightEntry
+	SLOs      []chortle.SLOReport // nil when the server declared none
+	Metrics   string
+	Profiles  []string // profile files present under profiles/
+	Goroutine int64    // size of goroutines.txt
+	HeapSize  int64    // size of heap.pprof
+}
+
+// bundleInfo mirrors the buildinfo.json the server writes.
+type bundleInfo struct {
+	Reason        string    `json:"reason"`
+	Time          time.Time `json:"time"`
+	Version       string    `json:"version"`
+	GoVersion     string    `json:"goversion"`
+	Engines       string    `json:"engines"`
+	Flags         string    `json:"flags"`
+	PID           int       `json:"pid"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("chortle-postmortem", flag.ContinueOnError)
+	htmlOut := fs.String("html", "", "render a self-contained HTML report to this file")
+	traceOut := fs.String("trace", "", "write the ring's span timelines as a Chrome/Perfetto trace to this file")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		chortle.PrintVersion(stdout, "chortle-postmortem")
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: chortle-postmortem [-html OUT] [-trace OUT] BUNDLE_DIR")
+	}
+
+	b, err := readBundle(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, b); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
+	}
+	if *htmlOut != "" {
+		if err := writeHTML(*htmlOut, b); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *htmlOut)
+	}
+	if *traceOut == "" && *htmlOut == "" {
+		printSummary(stdout, b)
+	}
+	return nil
+}
+
+// readBundle validates the bundle's required files and parses what the
+// renderers need. Anything missing or malformed is an error: bundles
+// are written atomically, so damage means this is not a bundle.
+func readBundle(dir string) (*bundle, error) {
+	b := &bundle{Dir: dir}
+
+	f, err := os.Open(filepath.Join(dir, "ring.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("not a bundle: %w", err)
+	}
+	b.Entries, err = chortle.ReadFlightJSONL(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("ring.jsonl: %w", err)
+	}
+
+	bi, err := os.ReadFile(filepath.Join(dir, "buildinfo.json"))
+	if err != nil {
+		return nil, fmt.Errorf("not a bundle: %w", err)
+	}
+	if err := json.Unmarshal(bi, &b.Info); err != nil {
+		return nil, fmt.Errorf("buildinfo.json: %w", err)
+	}
+
+	mp, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		return nil, fmt.Errorf("not a bundle: %w", err)
+	}
+	b.Metrics = string(mp)
+
+	for name, dst := range map[string]*int64{
+		"goroutines.txt": &b.Goroutine,
+		"heap.pprof":     &b.HeapSize,
+	} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("not a bundle: %w", err)
+		}
+		*dst = st.Size()
+	}
+
+	// Optional pieces: SLO extract and the continuous-profiler ring.
+	if sj, err := os.ReadFile(filepath.Join(dir, "slo.json")); err == nil {
+		if err := json.Unmarshal(sj, &b.SLOs); err != nil {
+			return nil, fmt.Errorf("slo.json: %w", err)
+		}
+	}
+	if ents, err := os.ReadDir(filepath.Join(dir, "profiles")); err == nil {
+		for _, e := range ents {
+			if !e.IsDir() {
+				b.Profiles = append(b.Profiles, e.Name())
+			}
+		}
+		sort.Strings(b.Profiles)
+	}
+	return b, nil
+}
+
+// writeTrace converts every access record's span timeline into one
+// Chrome/Perfetto trace file.
+func writeTrace(path string, b *bundle) error {
+	var spans []chortle.Span
+	for _, e := range b.Entries {
+		if e.Access != nil {
+			spans = append(spans, e.Access.Spans...)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("ring has no request spans to render")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := chortle.WriteChromeTraceMulti(f, spans, nil); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// summary aggregates the ring for both the text and HTML renderers.
+type summary struct {
+	Info      bundleInfo
+	Accesses  int
+	Outcomes  map[string]int
+	Decisions []chortle.FlightEntry
+	Notes     []chortle.FlightEntry
+	Recent    []chortle.FlightEntry // access entries, oldest first
+	SLOs      []chortle.SLOReport
+	Profiles  []string
+	Span      [2]time.Time // ring coverage: first and last entry
+}
+
+func summarize(b *bundle) summary {
+	s := summary{Info: b.Info, Outcomes: map[string]int{}, SLOs: b.SLOs, Profiles: b.Profiles}
+	for _, e := range b.Entries {
+		if s.Span[0].IsZero() || e.Time.Before(s.Span[0]) {
+			s.Span[0] = e.Time
+		}
+		if e.Time.After(s.Span[1]) {
+			s.Span[1] = e.Time
+		}
+		switch e.Kind {
+		case chortle.FlightAccess:
+			s.Accesses++
+			s.Outcomes[e.Access.Outcome]++
+			s.Recent = append(s.Recent, e)
+		case chortle.FlightDecision:
+			s.Decisions = append(s.Decisions, e)
+		case chortle.FlightNote:
+			s.Notes = append(s.Notes, e)
+		}
+	}
+	return s
+}
+
+func printSummary(w io.Writer, b *bundle) {
+	s := summarize(b)
+	fmt.Fprintf(w, "bundle    %s\n", b.Dir)
+	fmt.Fprintf(w, "reason    %s at %s\n", s.Info.Reason, s.Info.Time.Format(time.RFC3339))
+	fmt.Fprintf(w, "build     %s %s engines=%s (pid %d, up %.0fs)\n",
+		s.Info.Version, s.Info.GoVersion, s.Info.Engines, s.Info.PID, s.Info.UptimeSeconds)
+	if s.Info.Flags != "" {
+		fmt.Fprintf(w, "flags     %s\n", s.Info.Flags)
+	}
+	if !s.Span[0].IsZero() {
+		fmt.Fprintf(w, "ring      %d entries covering %s\n",
+			len(b.Entries), s.Span[1].Sub(s.Span[0]).Round(time.Millisecond))
+	}
+	outs := make([]string, 0, len(s.Outcomes))
+	for o := range s.Outcomes {
+		outs = append(outs, o)
+	}
+	sort.Strings(outs)
+	fmt.Fprintf(w, "requests  %d:", s.Accesses)
+	for _, o := range outs {
+		fmt.Fprintf(w, " %s=%d", o, s.Outcomes[o])
+	}
+	fmt.Fprintln(w)
+	for _, r := range s.SLOs {
+		fmt.Fprintf(w, "slo       %s: %s (good=%d bad=%d", r.Name, r.Status, r.Good, r.Bad)
+		for _, win := range r.Windows {
+			fmt.Fprintf(w, " burn[%s]=%.2f", win.Window, win.Burn)
+		}
+		fmt.Fprintln(w, ")")
+	}
+	if len(s.Decisions) > 0 {
+		fmt.Fprintf(w, "decisions %d:\n", len(s.Decisions))
+		for _, e := range s.Decisions {
+			d := e.Decision
+			fmt.Fprintf(w, "  %s  %d %-16s %s %s\n",
+				e.Time.Format("15:04:05.000"), d.Code, d.Reason, d.Trace, d.Detail)
+		}
+	}
+	if len(s.Notes) > 0 {
+		fmt.Fprintf(w, "notes     %d:\n", len(s.Notes))
+		for _, e := range s.Notes {
+			fmt.Fprintf(w, "  %s  %s\n", e.Time.Format("15:04:05.000"), e.Note)
+		}
+	}
+	if len(s.Profiles) > 0 {
+		fmt.Fprintf(w, "profiles  %d files under %s\n", len(s.Profiles), filepath.Join(b.Dir, "profiles"))
+	}
+}
+
+func writeHTML(path string, b *bundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reportPage.Execute(f, summarize(b)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reportPage is the self-contained HTML report. Everything request-
+// controlled (circuit names, error strings, chaos panic details) flows
+// through html/template's auto-escaping.
+var reportPage = template.Must(template.New("report").Funcs(template.FuncMap{
+	"ms":    func(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) },
+	"clock": func(t time.Time) string { return t.Format("15:04:05.000") },
+	"burn":  func(f float64) string { return fmt.Sprintf("%.2f", f) },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>chortled postmortem: {{.Info.Reason}}</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:2em;color:#222;max-width:75em}
+h1{font-size:1.3em} h2{font-size:1.1em;margin-top:1.5em}
+table{border-collapse:collapse;width:100%;font-size:0.85em}
+th,td{border:1px solid #ddd;padding:4px 8px;text-align:left}
+th{background:#f5f5f5}
+.mono{font-family:ui-monospace,monospace}
+.out-2xx{color:#2a7} .out-429{color:#b80} .out-500{color:#c22}
+.out-503{color:#b80} .out-504{color:#b80} .out-4xx{color:#c22}
+.out-abandoned{color:#888}
+.st-ok{color:#2a7} .st-warn{color:#b80} .st-critical{color:#c22;font-weight:bold}
+small{color:#888}
+</style></head><body>
+<h1>chortled postmortem — {{.Info.Reason}}</h1>
+<p>
+{{.Info.Time.Format "2006-01-02 15:04:05 MST"}} ·
+build <span class="mono">{{.Info.Version}}</span> {{.Info.GoVersion}} engines={{.Info.Engines}} ·
+pid {{.Info.PID}}, up {{printf "%.0f" .Info.UptimeSeconds}}s
+{{if .Info.Flags}}<br><small class="mono">{{.Info.Flags}}</small>{{end}}
+</p>
+{{if .SLOs}}<h2>SLOs at dump time</h2>
+<table><tr><th>objective</th><th>status</th><th>good</th><th>bad</th><th>burn by window</th></tr>
+{{range .SLOs}}<tr><td>{{.Name}}</td><td class="st-{{.Status}}">{{.Status}}</td>
+<td>{{.Good}}</td><td>{{.Bad}}</td>
+<td>{{range .Windows}}{{.Window}}: {{burn .Burn}} {{end}}</td></tr>{{end}}
+</table>{{end}}
+{{if .Decisions}}<h2>Overload decisions</h2>
+<table><tr><th>time</th><th>code</th><th>reason</th><th>trace</th><th>engine</th><th>detail</th><th>wait ms</th><th>remaining ms</th><th>p95 ms</th></tr>
+{{range .Decisions}}{{with .Decision}}<tr>
+<td>{{clock .Time}}</td><td>{{.Code}}</td><td>{{.Reason}}</td>
+<td class="mono">{{.Trace}}</td><td>{{.Engine}}</td><td>{{.Detail}}</td>
+<td>{{if .WaitNS}}{{ms .WaitNS}}{{end}}</td>
+<td>{{if .RemainingNS}}{{ms .RemainingNS}}{{end}}</td>
+<td>{{if .P95NS}}{{ms .P95NS}}{{end}}</td>
+</tr>{{end}}{{end}}
+</table>{{end}}
+{{if .Notes}}<h2>Lifecycle notes</h2>
+<table>{{range .Notes}}<tr><td>{{clock .Time}}</td><td>{{.Note}}</td></tr>{{end}}</table>{{end}}
+<h2>Requests in the ring ({{.Accesses}})</h2>
+<table><tr><th>time</th><th>trace</th><th>outcome</th><th>decision</th><th>circuit</th><th>engine</th><th>total ms</th><th>queue ms</th><th>solve ms</th><th>error</th></tr>
+{{range .Recent}}{{with .Access}}<tr>
+<td>{{clock .Time}}</td><td class="mono">{{.Trace}}</td>
+<td class="out-{{.Outcome}}">{{.Outcome}} ({{.Code}})</td>
+<td>{{.Decision}}</td><td>{{.Circuit}}</td><td>{{.Engine}}</td>
+<td>{{ms .TotalNS}}</td><td>{{ms .QueueNS}}</td><td>{{ms .SolveNS}}</td>
+<td><small>{{.Err}}</small></td>
+</tr>{{end}}{{end}}
+</table>
+{{if .Profiles}}<h2>Continuous profiles in bundle</h2>
+<p class="mono">{{range .Profiles}}{{.}}<br>{{end}}</p>{{end}}
+</body></html>`))

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chortle"
+)
+
+// writeBundle fabricates a minimal valid bundle the way chortled's
+// dumper would: a flight ring with one access (panic-500), one
+// decision, one note; metrics; build info; goroutine and heap stubs.
+func writeBundle(t *testing.T) (string, chortle.TraceID) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "bundle-test-panic")
+	if err := os.MkdirAll(filepath.Join(dir, "profiles"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := chortle.NewFlightRecorder(16, 0)
+	rt := chortle.NewReqTrace("chortled", "request", chortle.TraceID{}, chortle.SpanID{}, 8, 64)
+	trace := rt.TraceID()
+	sp := rt.Start("solve")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	rec.RecordDecision(chortle.OverloadDecision{
+		Trace: trace, Code: 500, Reason: chortle.ReasonPanic,
+		Detail: "chaos: forced solve panic (X-Chaos-Panic)",
+	})
+	rec.RecordAccess(chortle.AccessRecord{
+		Time: time.Now(), Trace: trace, Method: "POST", Path: "/map",
+		Code: 500, Outcome: "500", Decision: chortle.ReasonPanic,
+		Circuit: `<script>alert("pwn")</script>`, Engine: "tree", K: 4,
+		TotalNS: int64(2 * time.Millisecond), Spans: rt.Finish(chortle.SpanID{}),
+	})
+	rec.RecordNote("postmortem dump triggered: panic")
+
+	ring, err := os.Create(filepath.Join(dir, "ring.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.WriteJSONL(ring); err != nil {
+		t.Fatal(err)
+	}
+	ring.Close()
+
+	info, _ := json.Marshal(map[string]any{
+		"reason": "panic", "time": time.Now(), "version": "test",
+		"goversion": "go-test", "engines": "tree,mis,cut",
+		"pid": 1234, "uptime_seconds": 42.0,
+	})
+	for name, body := range map[string][]byte{
+		"buildinfo.json": info,
+		"metrics.prom":   []byte("# HELP chortled_requests_total Mapping requests by outcome.\nchortled_requests_total{code=\"500\"} 1\n"),
+		"goroutines.txt": []byte("goroutine 1 [running]:\nmain.main()\n"),
+		"heap.pprof":     []byte{0x1f, 0x8b, 0x08, 0x00},
+		"slo.json": []byte(`[{"slo":"availability","kind":"availability","target":99.9,
+			"budget":0.001,"good":10,"bad":5,
+			"windows":[{"window":"5m","burn_rate":33.2},{"window":"1h","burn_rate":12.1}],
+			"status":"critical"}]`),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, trace
+}
+
+func TestValidatesAndSummarizesBundle(t *testing.T) {
+	dir, trace := writeBundle(t)
+	var out strings.Builder
+	if err := run([]string{dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"reason    panic",
+		"500=1",
+		chortle.ReasonPanic,
+		trace.String(),
+		"availability: critical",
+		"burn[5m]=33.20",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRendersHTMLEscaped(t *testing.T) {
+	dir, trace := writeBundle(t)
+	htmlPath := filepath.Join(t.TempDir(), "report.html")
+	var out strings.Builder
+	if err := run([]string{"-html", htmlPath, dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	body, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	if !strings.Contains(page, trace.String()) {
+		t.Errorf("report missing trace ID %s", trace)
+	}
+	// The circuit name is request-controlled; it must arrive escaped.
+	if strings.Contains(page, `<script>alert`) {
+		t.Errorf("report contains unescaped request-controlled markup")
+	}
+	if !strings.Contains(page, "&lt;script&gt;") {
+		t.Errorf("report dropped the circuit name instead of escaping it")
+	}
+	if !strings.Contains(page, "critical") {
+		t.Errorf("report missing SLO status")
+	}
+}
+
+func TestRendersPerfettoTrace(t *testing.T) {
+	dir, trace := writeBundle(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-trace", tracePath, dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	body, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WriteChromeTraceMulti emits a JSON array of trace_event records.
+	var parsed []map[string]any
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if !strings.Contains(string(body), trace.String()) {
+		t.Errorf("trace does not reference the request's trace ID")
+	}
+}
+
+func TestRejectsInvalidBundles(t *testing.T) {
+	var out strings.Builder
+
+	// A missing directory is not a bundle.
+	if err := run([]string{filepath.Join(t.TempDir(), "nope")}, &out); err == nil {
+		t.Error("missing bundle accepted")
+	}
+
+	// A directory missing required files is not a bundle.
+	empty := t.TempDir()
+	if err := run([]string{empty}, &out); err == nil {
+		t.Error("empty dir accepted as bundle")
+	}
+
+	// A corrupt ring is not a bundle.
+	dir, _ := writeBundle(t)
+	if err := os.WriteFile(filepath.Join(dir, "ring.jsonl"), []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{dir}, &out); err == nil {
+		t.Error("corrupt ring accepted")
+	}
+}

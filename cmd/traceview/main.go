@@ -49,8 +49,13 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	out := fs.String("o", "", "output Chrome trace file (default stdout)")
+	version := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		chortle.PrintVersion(stdout, "traceview")
+		return nil
 	}
 
 	var events []chortle.Event

@@ -1,0 +1,79 @@
+// Package buildinfo answers "what exactly is running" for every binary
+// in the module: the module version (or VCS revision) baked in by the
+// Go toolchain, the Go version that built it, and the engine list the
+// build serves. It backs the -version flag on every command and the
+// chortle_build_info / chortled_build_info gauges, so a postmortem
+// bundle or a /metrics scrape always identifies the build it came from.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Engines is the mapping-engine list this build serves, in the order
+// cmd/chortle documents them.
+var Engines = []string{"tree", "mis", "cut"}
+
+// Version returns the best available build identity: the main module's
+// version when built from a tagged module, otherwise the VCS revision
+// (suffixed "+dirty" for a modified tree), otherwise "dev".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the toolchain that built (or is running) the
+// binary.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the one-line identity used by every -version flag:
+// "<tool> <version> <goversion> engines=tree,mis,cut".
+func String(tool string) string {
+	return fmt.Sprintf("%s %s %s engines=%s", tool, Version(), GoVersion(), engineList())
+}
+
+// Print writes the -version line to w.
+func Print(w io.Writer, tool string) { fmt.Fprintln(w, String(tool)) }
+
+func engineList() string {
+	out := ""
+	for i, e := range Engines {
+		if i > 0 {
+			out += ","
+		}
+		out += e
+	}
+	return out
+}
+
+// EngineList returns the comma-joined engine list ("tree,mis,cut") —
+// the value of the build-info gauge's engines label.
+func EngineList() string { return engineList() }

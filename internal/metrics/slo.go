@@ -1,0 +1,526 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLO burn-rate watchdog. An operator declares service-level objectives
+// ("availability=99.9,p95_solve_ms=250"); the watchdog classifies every
+// request and solve as good or bad against them, and on each evaluation
+// tick computes the burn rate over multiple trailing windows (5m and 1h
+// by default):
+//
+//	burn = (bad fraction over the window) / (1 - target)
+//
+// A burn rate of 1 means the error budget is being spent exactly at the
+// sustainable rate; 10 means the whole budget would be gone in a tenth
+// of the SLO period. Alerting on the *pair* of windows is the standard
+// multi-window construction: the short window proves the problem is
+// happening now, the long window proves it is not a blip — both must
+// exceed the threshold before the status escalates, so a single slow
+// request cannot page anyone, and a sustained incident cannot hide.
+//
+// The watchdog is fed directly by the serving path (ObserveRequest,
+// ObserveSolve — both lock-free atomic adds), keeps a bounded ring of
+// counter snapshots for the window deltas, exposes its state as
+// <prefix>_slo_* gauges on the registry, and reports status transitions
+// through a callback so chortled can log WARN/CRITICAL lines and
+// trigger a flight-recorder dump while the offending window is still in
+// the ring. A nil *SLOWatchdog is the disabled state: every method is a
+// nil check and allocates nothing.
+
+// SLOKind discriminates how observations are classified.
+type SLOKind uint8
+
+const (
+	// SLOAvailability counts requests: bad means the server failed or
+	// shed (429 or any 5xx); client errors are the client's problem.
+	SLOAvailability SLOKind = iota
+	// SLOLatency counts solves: bad means slower than the objective.
+	SLOLatency
+)
+
+func (k SLOKind) String() string {
+	if k == SLOLatency {
+		return "latency"
+	}
+	return "availability"
+}
+
+// SLO is one declared objective.
+type SLO struct {
+	// Name is the label the objective carries in metrics and reports
+	// ("availability", "p95_solve_ms").
+	Name string
+	Kind SLOKind
+	// Target is the good-events percentage promised: 99.9 for
+	// availability=99.9, the percentile (95) for p95_solve_ms.
+	Target float64
+	// Objective is the latency bound for SLOLatency objectives.
+	Objective time.Duration
+}
+
+// Budget is the tolerable bad fraction: 1 - Target/100.
+func (s SLO) Budget() float64 { return 1 - s.Target/100 }
+
+// ParseSLOs parses the -slo flag syntax: a comma-separated list of
+// objectives, each NAME=VALUE.
+//
+//	availability=99.9   at most 0.1% of requests may fail or be shed
+//	p95_solve_ms=250    at most 5% of solves may take longer than 250ms
+//
+// The latency form is p<PCT>_solve_ms=<BOUND>: the percentile names the
+// target (p99 → 99% of solves under the bound), the value is the bound
+// in milliseconds.
+func ParseSLOs(spec string) ([]SLO, error) {
+	var out []SLO
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("slo %q: want NAME=VALUE", part)
+		}
+		name = strings.TrimSpace(name)
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("slo %q: bad value: %v", part, err)
+		}
+		switch {
+		case name == "availability":
+			if v <= 0 || v >= 100 {
+				return nil, fmt.Errorf("slo %q: availability target must be in (0,100)", part)
+			}
+			out = append(out, SLO{Name: name, Kind: SLOAvailability, Target: v})
+		case strings.HasPrefix(name, "p") && strings.HasSuffix(name, "_solve_ms"):
+			pctStr := strings.TrimSuffix(strings.TrimPrefix(name, "p"), "_solve_ms")
+			pct, err := strconv.ParseFloat(pctStr, 64)
+			if err != nil || pct <= 0 || pct >= 100 {
+				return nil, fmt.Errorf("slo %q: want p<PCT>_solve_ms with PCT in (0,100)", part)
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("slo %q: latency bound must be positive", part)
+			}
+			out = append(out, SLO{
+				Name: name, Kind: SLOLatency, Target: pct,
+				Objective: time.Duration(v * float64(time.Millisecond)),
+			})
+		default:
+			return nil, fmt.Errorf("slo %q: unknown objective (want availability=PCT or p<PCT>_solve_ms=MS)", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("slo spec %q declares no objectives", spec)
+	}
+	return out, nil
+}
+
+// SLOStatus is the watchdog's overall health verdict.
+type SLOStatus int32
+
+const (
+	SLOOK SLOStatus = iota
+	SLOWarn
+	SLOCritical
+)
+
+func (s SLOStatus) String() string {
+	switch s {
+	case SLOWarn:
+		return "warn"
+	case SLOCritical:
+		return "critical"
+	default:
+		return "ok"
+	}
+}
+
+// SLOWindowReport is one window's burn rate at the last evaluation.
+type SLOWindowReport struct {
+	Window string  `json:"window"`
+	Burn   float64 `json:"burn_rate"`
+}
+
+// SLOReport is one objective's state at the last evaluation — the
+// /debug/slo JSON body and the postmortem bundle's SLO extract.
+type SLOReport struct {
+	Name        string            `json:"slo"`
+	Kind        string            `json:"kind"`
+	Target      float64           `json:"target"`
+	ObjectiveMS float64           `json:"objective_ms,omitempty"`
+	Budget      float64           `json:"budget"`
+	Good        int64             `json:"good"`
+	Bad         int64             `json:"bad"`
+	Windows     []SLOWindowReport `json:"windows"`
+	Status      string            `json:"status"`
+}
+
+// SLOConfig tunes a watchdog. Zero fields take the documented defaults.
+type SLOConfig struct {
+	// Windows are the trailing evaluation windows, shortest first.
+	// Default 5m and 1h.
+	Windows []time.Duration
+	// WarnAt and CritAt are burn-rate thresholds; the status escalates
+	// only when every window exceeds the threshold. Defaults 2 and 10.
+	WarnAt, CritAt float64
+	// Prefix names the exposed gauges (<prefix>_slo_*). Default
+	// "chortled".
+	Prefix string
+	// Logf receives structured WARN/CRITICAL/RESOLVED lines on status
+	// transitions; nil discards.
+	Logf func(format string, args ...any)
+	// OnChange fires after every status transition with the new status
+	// and the per-objective reports that produced it. Runs on the Tick
+	// caller's goroutine — keep it quick or hand off.
+	OnChange func(SLOStatus, []SLOReport)
+	// MaxSamples bounds the snapshot ring (default 4096). With the
+	// default 10s tick, 4096 samples cover more than 11 hours — far
+	// beyond the 1h window.
+	MaxSamples int
+}
+
+// sloSample is one tick's cumulative counters, per objective.
+type sloSample struct {
+	t    time.Time
+	good []int64
+	bad  []int64
+}
+
+// SLOWatchdog evaluates declared objectives as multi-window burn rates.
+type SLOWatchdog struct {
+	slos []SLO
+	cfg  SLOConfig
+
+	good []atomic.Int64 // cumulative, per objective
+	bad  []atomic.Int64
+
+	mu      sync.Mutex
+	samples []sloSample
+	burns   [][]float64 // [objective][window], last evaluation
+	status  SLOStatus
+}
+
+// NewSLOWatchdog builds a watchdog for the given objectives and
+// registers its gauges on reg (<prefix>_slo_burn_rate per objective per
+// window, <prefix>_slo_target, <prefix>_slo_events_total, and one
+// overall <prefix>_slo_status). Call Run (or Tick, in tests) to
+// evaluate.
+func NewSLOWatchdog(slos []SLO, reg *Registry, cfg SLOConfig) *SLOWatchdog {
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []time.Duration{5 * time.Minute, time.Hour}
+	}
+	sort.Slice(cfg.Windows, func(i, j int) bool { return cfg.Windows[i] < cfg.Windows[j] })
+	if cfg.WarnAt <= 0 {
+		cfg.WarnAt = 2
+	}
+	if cfg.CritAt <= 0 {
+		cfg.CritAt = 10
+	}
+	if cfg.CritAt < cfg.WarnAt {
+		cfg.CritAt = cfg.WarnAt
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "chortled"
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = 4096
+	}
+	w := &SLOWatchdog{
+		slos:  append([]SLO(nil), slos...),
+		cfg:   cfg,
+		good:  make([]atomic.Int64, len(slos)),
+		bad:   make([]atomic.Int64, len(slos)),
+		burns: make([][]float64, len(slos)),
+	}
+	for i := range w.burns {
+		w.burns[i] = make([]float64, len(cfg.Windows))
+	}
+	// The zero baseline sample: a burst right after boot measures
+	// against "nothing had happened yet" rather than being invisible
+	// until a second tick lands.
+	w.samples = append(w.samples, sloSample{
+		t: time.Now(), good: make([]int64, len(slos)), bad: make([]int64, len(slos)),
+	})
+
+	if reg != nil {
+		for i, s := range w.slos {
+			i := i
+			reg.Gauge(cfg.Prefix+"_slo_target", "Declared SLO target (percent good).",
+				Label{Key: "slo", Value: s.Name}).Set(s.Target)
+			reg.GaugeFunc(cfg.Prefix+"_slo_events_total", "Events classified against the SLO.",
+				func() float64 { return float64(w.good[i].Load()) },
+				Label{Key: "slo", Value: s.Name}, Label{Key: "class", Value: "good"})
+			reg.GaugeFunc(cfg.Prefix+"_slo_events_total", "Events classified against the SLO.",
+				func() float64 { return float64(w.bad[i].Load()) },
+				Label{Key: "slo", Value: s.Name}, Label{Key: "class", Value: "bad"})
+			for j, win := range cfg.Windows {
+				j := j
+				reg.GaugeFunc(cfg.Prefix+"_slo_burn_rate",
+					"Error-budget burn rate over the trailing window (1 = budget spent exactly at the sustainable rate).",
+					func() float64 { return w.burn(i, j) },
+					Label{Key: "slo", Value: s.Name}, Label{Key: "window", Value: fmtWindow(win)})
+			}
+		}
+		reg.GaugeFunc(cfg.Prefix+"_slo_status",
+			"Overall SLO status: 0 ok, 1 warn, 2 critical.",
+			func() float64 { return float64(w.Status()) })
+	}
+	return w
+}
+
+// fmtWindow renders a window compactly ("5m", "1h", "90s").
+func fmtWindow(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return strconv.Itoa(int(d/time.Hour)) + "h"
+	case d >= time.Minute && d%time.Minute == 0:
+		return strconv.Itoa(int(d/time.Minute)) + "m"
+	case d >= time.Second && d%time.Second == 0:
+		return strconv.Itoa(int(d/time.Second)) + "s"
+	default:
+		return d.String()
+	}
+}
+
+// ObserveRequest classifies one finished request against every
+// availability objective: 429 and 5xx burn budget, everything else
+// (including 4xx — the client's fault) is good. Lock-free; nil
+// watchdogs discard.
+func (w *SLOWatchdog) ObserveRequest(code int) {
+	if w == nil {
+		return
+	}
+	bad := code == 429 || code >= 500
+	for i := range w.slos {
+		if w.slos[i].Kind != SLOAvailability {
+			continue
+		}
+		if bad {
+			w.bad[i].Add(1)
+		} else {
+			w.good[i].Add(1)
+		}
+	}
+}
+
+// ObserveSolve classifies one measured solve against every latency
+// objective. Lock-free; nil watchdogs discard.
+func (w *SLOWatchdog) ObserveSolve(d time.Duration) {
+	if w == nil {
+		return
+	}
+	for i := range w.slos {
+		if w.slos[i].Kind != SLOLatency {
+			continue
+		}
+		if d > w.slos[i].Objective {
+			w.bad[i].Add(1)
+		} else {
+			w.good[i].Add(1)
+		}
+	}
+}
+
+// burn returns the last evaluated burn rate for (objective, window).
+func (w *SLOWatchdog) burn(slo, window int) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.burns[slo][window]
+}
+
+// Status returns the overall status from the last evaluation.
+func (w *SLOWatchdog) Status() SLOStatus {
+	if w == nil {
+		return SLOOK
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.status
+}
+
+// Tick snapshots the counters and re-evaluates every objective over
+// every window, firing Logf/OnChange on a status transition. Run calls
+// it on a ticker; tests call it directly with a controlled clock.
+func (w *SLOWatchdog) Tick(now time.Time) {
+	if w == nil {
+		return
+	}
+	n := len(w.slos)
+	cur := sloSample{t: now, good: make([]int64, n), bad: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		cur.good[i] = w.good[i].Load()
+		cur.bad[i] = w.bad[i].Load()
+	}
+
+	w.mu.Lock()
+	w.samples = append(w.samples, cur)
+	// Prune: keep enough history for the longest window plus slack, and
+	// never exceed the ring bound.
+	longest := w.cfg.Windows[len(w.cfg.Windows)-1]
+	cutoff := now.Add(-longest - longest/4)
+	first := 0
+	for first < len(w.samples)-1 && w.samples[first].t.Before(cutoff) {
+		first++
+	}
+	if keep := len(w.samples) - first; keep > w.cfg.MaxSamples {
+		first = len(w.samples) - w.cfg.MaxSamples
+	}
+	w.samples = append(w.samples[:0], w.samples[first:]...)
+
+	worst := SLOOK
+	for i := range w.slos {
+		budget := w.slos[i].Budget()
+		sloStatus := SLOCritical
+		for j, win := range w.cfg.Windows {
+			base := w.sampleAtLocked(now.Add(-win))
+			dGood := cur.good[i] - base.good[i]
+			dBad := cur.bad[i] - base.bad[i]
+			total := dGood + dBad
+			b := 0.0
+			if total > 0 && budget > 0 {
+				b = (float64(dBad) / float64(total)) / budget
+			}
+			w.burns[i][j] = b
+			if b < w.cfg.CritAt {
+				sloStatus = minStatus(sloStatus, SLOWarn)
+			}
+			if b < w.cfg.WarnAt {
+				sloStatus = SLOOK
+			}
+		}
+		if sloStatus > worst {
+			worst = sloStatus
+		}
+	}
+	prev := w.status
+	w.status = worst
+	reports := w.reportLocked()
+	w.mu.Unlock()
+
+	if worst != prev {
+		if w.cfg.Logf != nil {
+			w.cfg.Logf("chortled: SLO %s (was %s): %s",
+				strings.ToUpper(worst.String()), prev, summarize(reports))
+		}
+		if w.cfg.OnChange != nil {
+			w.cfg.OnChange(worst, reports)
+		}
+	}
+}
+
+func minStatus(a, b SLOStatus) SLOStatus {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// summarize renders reports into one log-line fragment.
+func summarize(reports []SLOReport) string {
+	var sb strings.Builder
+	for i, r := range reports {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%s burn", r.Name)
+		for _, win := range r.Windows {
+			fmt.Fprintf(&sb, " %s=%.2f", win.Window, win.Burn)
+		}
+		fmt.Fprintf(&sb, " (budget %.4g%%)", r.Budget*100)
+	}
+	return sb.String()
+}
+
+// sampleAtLocked returns the earliest sample at or after t, falling
+// back to the oldest available — a young server evaluates over the
+// history it has. Callers hold w.mu.
+func (w *SLOWatchdog) sampleAtLocked(t time.Time) sloSample {
+	idx := sort.Search(len(w.samples), func(i int) bool {
+		return !w.samples[i].t.Before(t)
+	})
+	if idx >= len(w.samples) {
+		idx = len(w.samples) - 1
+	}
+	return w.samples[idx]
+}
+
+// Run evaluates on a ticker until ctx ends. interval <= 0 defaults to
+// 10 seconds.
+func (w *SLOWatchdog) Run(done <-chan struct{}, interval time.Duration) {
+	if w == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-t.C:
+			w.Tick(now)
+		}
+	}
+}
+
+// Report returns every objective's state at the last evaluation.
+func (w *SLOWatchdog) Report() []SLOReport {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reportLocked()
+}
+
+func (w *SLOWatchdog) reportLocked() []SLOReport {
+	out := make([]SLOReport, 0, len(w.slos))
+	for i, s := range w.slos {
+		r := SLOReport{
+			Name:   s.Name,
+			Kind:   s.Kind.String(),
+			Target: s.Target,
+			Budget: s.Budget(),
+			Good:   w.good[i].Load(),
+			Bad:    w.bad[i].Load(),
+		}
+		if s.Kind == SLOLatency {
+			r.ObjectiveMS = float64(s.Objective.Microseconds()) / 1000
+		}
+		status := SLOCritical
+		for j, win := range w.cfg.Windows {
+			b := w.burns[i][j]
+			r.Windows = append(r.Windows, SLOWindowReport{Window: fmtWindow(win), Burn: b})
+			if b < w.cfg.CritAt {
+				status = minStatus(status, SLOWarn)
+			}
+			if b < w.cfg.WarnAt {
+				status = SLOOK
+			}
+		}
+		r.Status = status.String()
+		out = append(out, r)
+	}
+	return out
+}
+
+// SLOs returns the declared objectives.
+func (w *SLOWatchdog) SLOs() []SLO {
+	if w == nil {
+		return nil
+	}
+	return append([]SLO(nil), w.slos...)
+}

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("availability=99.9, p95_solve_ms=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(slos))
+	}
+	if slos[0].Kind != SLOAvailability || slos[0].Target != 99.9 {
+		t.Fatalf("availability mangled: %+v", slos[0])
+	}
+	if b := slos[0].Budget(); b < 0.0009 || b > 0.0011 {
+		t.Fatalf("availability budget = %g, want ~0.001", b)
+	}
+	if slos[1].Kind != SLOLatency || slos[1].Target != 95 || slos[1].Objective != 250*time.Millisecond {
+		t.Fatalf("latency mangled: %+v", slos[1])
+	}
+
+	for _, bad := range []string{
+		"", "availability", "availability=abc", "availability=0", "availability=100",
+		"p95_solve_ms=0", "p0_solve_ms=10", "p100_solve_ms=10", "frobnication=3",
+	} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSLOWatchdogBurnAndStatus(t *testing.T) {
+	slos, err := ParseSLOs("availability=99,p95_solve_ms=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := New()
+	var transitions []SLOStatus
+	logged := &strings.Builder{}
+	w := NewSLOWatchdog(slos, reg, SLOConfig{
+		Windows: []time.Duration{10 * time.Second, time.Minute},
+		WarnAt:  2, CritAt: 10,
+		Logf:     func(f string, a ...any) { logged.WriteString(strings.TrimSpace(strings.Join([]string{f}, ""))) },
+		OnChange: func(s SLOStatus, _ []SLOReport) { transitions = append(transitions, s) },
+	})
+
+	now := time.Now()
+	// Healthy traffic: 200 good requests, fast solves.
+	for i := 0; i < 200; i++ {
+		w.ObserveRequest(200)
+		w.ObserveSolve(5 * time.Millisecond)
+	}
+	w.Tick(now)
+	if got := w.Status(); got != SLOOK {
+		t.Fatalf("healthy status = %v, want ok", got)
+	}
+	if w.burn(0, 0) != 0 {
+		t.Fatalf("healthy burn = %g, want 0", w.burn(0, 0))
+	}
+
+	// Sustained failure: half the requests 500, all solves slow. Burn
+	// far above critical in both windows (the long window uses the
+	// available history on a young watchdog).
+	for i := 0; i < 200; i++ {
+		code := 200
+		if i%2 == 0 {
+			code = 500
+		}
+		w.ObserveRequest(code)
+		w.ObserveSolve(500 * time.Millisecond)
+	}
+	w.Tick(now.Add(10 * time.Second))
+	if got := w.Status(); got != SLOCritical {
+		t.Fatalf("burning status = %v, want critical (reports: %+v)", got, w.Report())
+	}
+	// Availability: 100 bad / 400 total over the window containing both
+	// batches → bad fraction 0.25, budget 0.01 → burn 25.
+	if b := w.burn(0, 1); b < 20 || b > 30 {
+		t.Fatalf("availability 1m burn = %g, want ~25", b)
+	}
+	// Latency: 200 bad / 400 total, budget 0.05 → burn 10.
+	if b := w.burn(1, 1); b < 9 || b > 11 {
+		t.Fatalf("latency 1m burn = %g, want ~10", b)
+	}
+	if len(transitions) != 1 || transitions[0] != SLOCritical {
+		t.Fatalf("transitions = %v, want [critical]", transitions)
+	}
+	if logged.Len() == 0 {
+		t.Fatal("no log line on transition")
+	}
+
+	// Recovery: a flood of good traffic dilutes the short window below
+	// the warn threshold while the long window still remembers.
+	for i := 0; i < 100000; i++ {
+		w.ObserveRequest(200)
+		w.ObserveSolve(time.Millisecond)
+	}
+	w.Tick(now.Add(25 * time.Second))
+	if got := w.Status(); got != SLOOK {
+		t.Fatalf("recovered status = %v, want ok (reports: %+v)", got, w.Report())
+	}
+	if len(transitions) != 2 || transitions[1] != SLOOK {
+		t.Fatalf("transitions = %v, want [critical ok]", transitions)
+	}
+
+	// The registry carries the gauges.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`chortled_slo_burn_rate{slo="availability",window="10s"}`,
+		`chortled_slo_burn_rate{slo="p95_solve_ms",window="1m"}`,
+		`chortled_slo_target{slo="availability"} 99`,
+		`chortled_slo_status 0`,
+		`chortled_slo_events_total{slo="availability",class="bad"} 100`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestSLOWatchdogBothWindowsRequired: a short burst saturates the short
+// window but the long window (with real history behind it) stays calm —
+// the multi-window rule must keep the status at ok.
+func TestSLOWatchdogBothWindowsRequired(t *testing.T) {
+	slos, _ := ParseSLOs("availability=99")
+	w := NewSLOWatchdog(slos, nil, SLOConfig{
+		Windows: []time.Duration{10 * time.Second, 10 * time.Minute},
+		WarnAt:  2, CritAt: 10,
+	})
+	now := time.Now()
+	// 10 minutes of healthy history at 10s ticks.
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 1000; j++ {
+			w.ObserveRequest(200)
+		}
+		now = now.Add(10 * time.Second)
+		w.Tick(now)
+	}
+	// One bad burst: 50 failures in the last tick.
+	for j := 0; j < 50; j++ {
+		w.ObserveRequest(503)
+	}
+	now = now.Add(10 * time.Second)
+	w.Tick(now)
+	// Short window burns hot; long window (50 bad / ~60050 total,
+	// budget 0.01 → burn ~0.08) stays calm; status must be ok.
+	if b := w.burn(0, 0); b < 10 {
+		t.Fatalf("short-window burn = %g, want hot", b)
+	}
+	if b := w.burn(0, 1); b > 1 {
+		t.Fatalf("long-window burn = %g, want calm", b)
+	}
+	if got := w.Status(); got != SLOOK {
+		t.Fatalf("status = %v, want ok under a blip", got)
+	}
+}
+
+func TestSLOWatchdogNilSafe(t *testing.T) {
+	var w *SLOWatchdog
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.ObserveRequest(500)
+		w.ObserveSolve(time.Second)
+		_ = w.Status()
+		w.Tick(time.Time{})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil SLOWatchdog allocates %v per op, want 0", allocs)
+	}
+	if w.Report() != nil || w.SLOs() != nil {
+		t.Fatal("nil watchdog returned non-nil reports")
+	}
+}
+
+// TestSLOWatchdogObserveZeroAlloc pins the enabled observe path: the
+// per-request feed must not allocate (it runs on the serving hot path).
+func TestSLOWatchdogObserveZeroAlloc(t *testing.T) {
+	slos, _ := ParseSLOs("availability=99.9,p95_solve_ms=250")
+	w := NewSLOWatchdog(slos, nil, SLOConfig{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.ObserveRequest(200)
+		w.ObserveSolve(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("SLO observe path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestSLOWatchdogSamplePruning(t *testing.T) {
+	slos, _ := ParseSLOs("availability=99")
+	w := NewSLOWatchdog(slos, nil, SLOConfig{
+		Windows:    []time.Duration{time.Second, 10 * time.Second},
+		MaxSamples: 8,
+	})
+	now := time.Now()
+	for i := 0; i < 1000; i++ {
+		w.ObserveRequest(200)
+		now = now.Add(time.Second)
+		w.Tick(now)
+	}
+	w.mu.Lock()
+	n := len(w.samples)
+	w.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("sample ring grew to %d, bound is 8", n)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// The flight recorder is chortled's black box: an always-on, bounded,
+// in-memory ring that retains the recent past — finished requests,
+// overload-control decisions with the state that caused them, and
+// free-form operator notes — so that when something goes wrong (a
+// panic-500, a memory-valve engagement, an SLO burn) the process can
+// write a self-contained postmortem bundle describing the seconds
+// leading up to the incident, without anyone having been watching.
+//
+// The same passivity contract as the rest of this package applies: a
+// nil *FlightRecorder is the disabled state, every method on it is a
+// nil check, and the capture path adds zero allocations to the request
+// hot path (pinned by TestFlightRecorderOffZeroAlloc).
+
+// Flight entry kinds.
+const (
+	// FlightAccess is one finished request (the embedded AccessRecord).
+	FlightAccess = "access"
+	// FlightDecision is one overload-control decision (429/503/504/500)
+	// with the admission state that caused it.
+	FlightDecision = "decision"
+	// FlightNote is a free-form lifecycle marker (valve engaged, SLO
+	// status change, snapshot rejected, dump triggered).
+	FlightNote = "note"
+)
+
+// Overload-control decision reasons — the canonical vocabulary shared
+// by the access log, the flight ring, and the postmortem report. Every
+// 429/503/504 the server emits carries exactly one of these.
+const (
+	ReasonQueueFull       = "queue-full"       // 429: slots and queue both full
+	ReasonCoDel           = "codel"            // 503: remaining deadline below observed p95 solve time
+	ReasonDeadlineExpired = "deadline-expired" // 504/503: deadline spent in queue or mid-solve
+	ReasonMemValve        = "mem-valve"        // 503: memory-pressure valve closed the queue
+	ReasonDraining        = "draining"         // 503: SIGTERM drain in progress
+	ReasonPanic           = "panic"            // 500: isolated per-request panic
+)
+
+// OverloadDecision records why the server refused or failed one
+// request: the canonical reason, the HTTP code it produced, and the
+// admission-control state (queue wait, remaining deadline, observed
+// p95) that drove the decision — the numbers an operator needs to
+// reconstruct "why were we shedding at 03:12" from the black box alone.
+type OverloadDecision struct {
+	Time        time.Time `json:"time"`
+	Trace       TraceID   `json:"trace_id"`
+	Code        int       `json:"code"`
+	Reason      string    `json:"reason"`
+	Engine      string    `json:"engine,omitempty"`
+	Detail      string    `json:"detail,omitempty"`
+	WaitNS      int64     `json:"wait_ns,omitempty"`      // time spent queued
+	RemainingNS int64     `json:"remaining_ns,omitempty"` // deadline left at decision time
+	P95NS       int64     `json:"p95_ns,omitempty"`       // engine p95 solve window (CoDel drops)
+}
+
+// FlightEntry is one ring slot: a sequence number (monotonic across the
+// recorder's life, so drops are visible as gaps), a timestamp, and
+// exactly one payload according to Kind.
+type FlightEntry struct {
+	Seq      uint64            `json:"seq"`
+	Time     time.Time         `json:"time"`
+	Kind     string            `json:"kind"`
+	Access   *AccessRecord     `json:"access,omitempty"`
+	Decision *OverloadDecision `json:"decision,omitempty"`
+	Note     string            `json:"note,omitempty"`
+}
+
+// FlightRecorder is a bounded ring of FlightEntries. Writers append
+// under one mutex (the entries are built by the caller, so the critical
+// section is a copy); readers snapshot. The zero capacity defaults to
+// 4096 entries; retention additionally drops entries older than the
+// window at snapshot time, so a bundle describes "the last N seconds",
+// not "the last N requests ever".
+type FlightRecorder struct {
+	mu        sync.Mutex
+	ring      []FlightEntry
+	head      int // next write position once len(ring) == cap(ring)
+	seq       uint64
+	dropped   int64
+	retention time.Duration
+}
+
+// NewFlightRecorder returns a recorder retaining at most capacity
+// entries (<= 0 means 4096) no older than retention (<= 0 means
+// unbounded age — capacity alone bounds the ring).
+func NewFlightRecorder(capacity int, retention time.Duration) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &FlightRecorder{
+		ring:      make([]FlightEntry, 0, capacity),
+		retention: retention,
+	}
+}
+
+// record appends one entry, overwriting the oldest when full.
+func (f *FlightRecorder) record(e FlightEntry) {
+	f.mu.Lock()
+	f.seq++
+	e.Seq = f.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.head] = e
+		f.head++
+		if f.head == len(f.ring) {
+			f.head = 0
+		}
+		f.dropped++
+	}
+	f.mu.Unlock()
+}
+
+// RecordAccess retains one finished request. Nil recorders discard.
+func (f *FlightRecorder) RecordAccess(rec AccessRecord) {
+	if f == nil {
+		return
+	}
+	cp := rec
+	f.record(FlightEntry{Time: rec.Time, Kind: FlightAccess, Access: &cp})
+}
+
+// RecordDecision retains one overload-control decision. Nil recorders
+// discard.
+func (f *FlightRecorder) RecordDecision(d OverloadDecision) {
+	if f == nil {
+		return
+	}
+	cp := d
+	f.record(FlightEntry{Time: d.Time, Kind: FlightDecision, Decision: &cp})
+}
+
+// RecordNote retains a lifecycle marker. Nil recorders discard.
+func (f *FlightRecorder) RecordNote(note string) {
+	if f == nil {
+		return
+	}
+	f.record(FlightEntry{Kind: FlightNote, Note: note})
+}
+
+// Len returns the number of retained entries.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}
+
+// Dropped returns how many entries the ring has overwritten.
+func (f *FlightRecorder) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Snapshot returns the retained entries oldest-first, excluding any
+// older than the retention window. Safe to call while writers append.
+func (f *FlightRecorder) Snapshot() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	ordered := make([]FlightEntry, 0, len(f.ring))
+	ordered = append(ordered, f.ring[f.head:]...)
+	ordered = append(ordered, f.ring[:f.head]...)
+	retention := f.retention
+	f.mu.Unlock()
+
+	if retention <= 0 {
+		return ordered
+	}
+	cutoff := time.Now().Add(-retention)
+	for i, e := range ordered {
+		if !e.Time.Before(cutoff) {
+			return ordered[i:]
+		}
+	}
+	return ordered[:0]
+}
+
+// WriteJSONL streams the current snapshot as one JSON object per line —
+// the ring.jsonl file inside a postmortem bundle. It returns how many
+// entries were written.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) (int, error) {
+	entries := f.Snapshot()
+	enc := json.NewEncoder(w)
+	for i, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return i, err
+		}
+	}
+	return len(entries), nil
+}
+
+// ReadFlightJSONL parses a ring.jsonl stream back into entries, for
+// cmd/postmortem. Blank lines are skipped; a malformed line is an
+// error (a bundle is written atomically, so damage means the file is
+// not the one the recorder wrote).
+func ReadFlightJSONL(r io.Reader) ([]FlightEntry, error) {
+	dec := json.NewDecoder(r)
+	var out []FlightEntry
+	for {
+		var e FlightEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(16, 0)
+	tr := NewTraceID()
+	f.RecordAccess(AccessRecord{Time: time.Now(), Trace: tr, Code: 200, Outcome: "2xx", Engine: "tree", K: 4})
+	f.RecordDecision(OverloadDecision{Trace: tr, Code: 429, Reason: ReasonQueueFull, WaitNS: 123})
+	f.RecordNote("valve engaged")
+
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteJSONL(&buf)
+	if err != nil || n != 3 {
+		t.Fatalf("WriteJSONL = (%d, %v), want (3, nil)", n, err)
+	}
+	back, err := ReadFlightJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadFlightJSONL: %v", err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("read %d entries, want 3", len(back))
+	}
+	if back[0].Kind != FlightAccess || back[0].Access == nil || back[0].Access.Trace != tr {
+		t.Fatalf("access entry mangled: %+v", back[0])
+	}
+	if back[1].Kind != FlightDecision || back[1].Decision == nil ||
+		back[1].Decision.Reason != ReasonQueueFull || back[1].Decision.WaitNS != 123 {
+		t.Fatalf("decision entry mangled: %+v", back[1])
+	}
+	if back[2].Kind != FlightNote || back[2].Note != "valve engaged" {
+		t.Fatalf("note entry mangled: %+v", back[2])
+	}
+	// Sequence numbers are monotonic from 1.
+	for i, e := range back {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	for i := 0; i < 10; i++ {
+		f.RecordNote(fmt.Sprintf("note-%d", i))
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", f.Dropped())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	// Oldest-first, newest retained.
+	for i, e := range snap {
+		want := fmt.Sprintf("note-%d", 6+i)
+		if e.Note != want {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, e.Note, want)
+		}
+		if i > 0 && snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot not seq-ordered: %d then %d", snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderRetentionWindow(t *testing.T) {
+	f := NewFlightRecorder(16, 50*time.Millisecond)
+	old := FlightEntry{Kind: FlightNote, Note: "ancient", Time: time.Now().Add(-time.Hour)}
+	f.record(old)
+	f.RecordNote("fresh")
+	snap := f.Snapshot()
+	if len(snap) != 1 || snap[0].Note != "fresh" {
+		t.Fatalf("retention did not drop the ancient entry: %+v", snap)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f.RecordNote("g")
+				f.RecordDecision(OverloadDecision{Code: 429, Reason: ReasonQueueFull})
+				_ = f.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", f.Len())
+	}
+	if got := f.Dropped(); got != 8*200-64 {
+		t.Fatalf("Dropped = %d, want %d", got, 8*200-64)
+	}
+}
+
+// TestFlightRecorderOffZeroAlloc pins the disabled-path contract: a nil
+// recorder must add zero allocations to the request hot path, so an
+// operator who never passes -postmortem-dir pays nothing.
+func TestFlightRecorderOffZeroAlloc(t *testing.T) {
+	var f *FlightRecorder
+	dec := OverloadDecision{Code: 429, Reason: ReasonQueueFull, WaitNS: 1}
+	acc := AccessRecord{Code: 200, Outcome: "2xx"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.RecordDecision(dec)
+		f.RecordAccess(acc)
+		f.RecordNote("x")
+		_ = f.Len()
+		_ = f.Dropped()
+		_ = f.Snapshot()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil FlightRecorder allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestReadFlightJSONLMalformed(t *testing.T) {
+	_, err := ReadFlightJSONL(strings.NewReader("{\"seq\":1,\"kind\":\"note\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("malformed line did not error")
+	}
+}

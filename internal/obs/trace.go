@@ -451,23 +451,30 @@ func (t *ReqTrace) Finish(parentForPhases SpanID) []Span {
 // went, and the span timeline. One JSON object per line; parse a log
 // back with ReadTraceJSONL.
 type AccessRecord struct {
-	Time        time.Time `json:"time"`
-	Trace       TraceID   `json:"trace_id"`
-	Method      string    `json:"method,omitempty"`
-	Path        string    `json:"path,omitempty"`
-	Code        int       `json:"code"`
-	Outcome     string    `json:"outcome"`
-	Engine      string    `json:"engine,omitempty"`
-	K           int       `json:"k,omitempty"`
-	QueueNS     int64     `json:"queue_ns,omitempty"`
-	SolveNS     int64     `json:"solve_ns,omitempty"`
-	WriteNS     int64     `json:"write_ns,omitempty"`
-	TotalNS     int64     `json:"total_ns"`
-	LUTs        int       `json:"luts,omitempty"`
-	CacheHits   int       `json:"cache_hits,omitempty"`
-	CacheMisses int       `json:"cache_misses,omitempty"`
-	Err         string    `json:"err,omitempty"`
-	Spans       []Span    `json:"spans,omitempty"`
+	Time    time.Time `json:"time"`
+	Trace   TraceID   `json:"trace_id"`
+	Method  string    `json:"method,omitempty"`
+	Path    string    `json:"path,omitempty"`
+	Code    int       `json:"code"`
+	Outcome string    `json:"outcome"`
+	// Decision is the canonical overload-control reason behind a
+	// refused or failed request (queue-full, codel, deadline-expired,
+	// mem-valve, draining, panic); empty for ordinary outcomes.
+	Decision string `json:"decision,omitempty"`
+	// Circuit is the mapped network's model name. The value is
+	// request-controlled — renderers must escape it.
+	Circuit     string `json:"circuit,omitempty"`
+	Engine      string `json:"engine,omitempty"`
+	K           int    `json:"k,omitempty"`
+	QueueNS     int64  `json:"queue_ns,omitempty"`
+	SolveNS     int64  `json:"solve_ns,omitempty"`
+	WriteNS     int64  `json:"write_ns,omitempty"`
+	TotalNS     int64  `json:"total_ns"`
+	LUTs        int    `json:"luts,omitempty"`
+	CacheHits   int    `json:"cache_hits,omitempty"`
+	CacheMisses int    `json:"cache_misses,omitempty"`
+	Err         string `json:"err,omitempty"`
+	Spans       []Span `json:"spans,omitempty"`
 }
 
 // OutcomeClass maps an HTTP status to the access log's outcome label:

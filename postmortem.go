@@ -1,0 +1,110 @@
+package chortle
+
+import (
+	"io"
+	"time"
+
+	"chortle/internal/metrics"
+	"chortle/internal/obs"
+)
+
+// Post-hoc observability: the black-box flight recorder and the SLO
+// burn-rate watchdog. The recorder retains the recent past (requests,
+// overload decisions, lifecycle notes) in a bounded ring so chortled
+// can write a self-contained postmortem bundle when an incident fires;
+// the watchdog evaluates declared objectives as multi-window burn rates
+// and escalates before users notice. Both follow the package's
+// passivity contract: the nil value is the disabled state, every method
+// on it is a nil check, and the capture path adds zero allocations to
+// the request hot path when disabled.
+
+// FlightRecorder is a bounded in-memory ring of recent requests,
+// overload-control decisions, and lifecycle notes — chortled's black
+// box. A nil *FlightRecorder discards everything at zero cost.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder returns a recorder retaining at most capacity
+// entries (<= 0 means 4096) no older than retention (<= 0 means
+// age-unbounded).
+func NewFlightRecorder(capacity int, retention time.Duration) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity, retention)
+}
+
+// FlightEntry is one recorded ring slot.
+type FlightEntry = obs.FlightEntry
+
+// OverloadDecision records why the server refused or failed one request
+// (queue-full, codel, deadline-expired, mem-valve, draining, panic)
+// with the admission state that drove the decision.
+type OverloadDecision = obs.OverloadDecision
+
+// Canonical overload-decision reasons shared by the access log, the
+// flight ring, and the postmortem report.
+const (
+	ReasonQueueFull       = obs.ReasonQueueFull
+	ReasonCoDel           = obs.ReasonCoDel
+	ReasonDeadlineExpired = obs.ReasonDeadlineExpired
+	ReasonMemValve        = obs.ReasonMemValve
+	ReasonDraining        = obs.ReasonDraining
+	ReasonPanic           = obs.ReasonPanic
+)
+
+// Flight entry kinds.
+const (
+	FlightAccess   = obs.FlightAccess
+	FlightDecision = obs.FlightDecision
+	FlightNote     = obs.FlightNote
+)
+
+// ReadFlightJSONL parses a postmortem bundle's ring.jsonl back into
+// entries (cmd/postmortem's reader).
+func ReadFlightJSONL(r io.Reader) ([]FlightEntry, error) { return obs.ReadFlightJSONL(r) }
+
+// SLO is one declared service-level objective (availability percentage
+// or a solve-latency percentile bound).
+type SLO = metrics.SLO
+
+// SLOKind discriminates objective kinds.
+type SLOKind = metrics.SLOKind
+
+// Objective kinds.
+const (
+	SLOAvailability = metrics.SLOAvailability
+	SLOLatency      = metrics.SLOLatency
+)
+
+// ParseSLOs parses the -slo flag syntax
+// ("availability=99.9,p95_solve_ms=250").
+func ParseSLOs(spec string) ([]SLO, error) { return metrics.ParseSLOs(spec) }
+
+// SLOWatchdog evaluates declared objectives as multi-window burn rates,
+// exposes <prefix>_slo_* gauges, and reports status transitions. A nil
+// *SLOWatchdog is the disabled state.
+type SLOWatchdog = metrics.SLOWatchdog
+
+// SLOConfig tunes a watchdog (windows, thresholds, transition hooks).
+type SLOConfig = metrics.SLOConfig
+
+// SLOStatus is the watchdog's overall verdict: SLOOK, SLOWarn, or
+// SLOCritical.
+type SLOStatus = metrics.SLOStatus
+
+// Watchdog statuses.
+const (
+	SLOOK       = metrics.SLOOK
+	SLOWarn     = metrics.SLOWarn
+	SLOCritical = metrics.SLOCritical
+)
+
+// SLOReport is one objective's state at the last evaluation (the
+// /debug/slo JSON body).
+type SLOReport = metrics.SLOReport
+
+// SLOWindowReport is one window's burn rate inside an SLOReport.
+type SLOWindowReport = metrics.SLOWindowReport
+
+// NewSLOWatchdog builds a watchdog for the objectives and registers its
+// gauges on reg. Drive it with Run (production) or Tick (tests).
+func NewSLOWatchdog(slos []SLO, reg *MetricsRegistry, cfg SLOConfig) *SLOWatchdog {
+	return metrics.NewSLOWatchdog(slos, reg, cfg)
+}

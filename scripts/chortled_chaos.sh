@@ -19,6 +19,11 @@
 #     X-Trace-Id must have a matching access-log line, and the merged
 #     client+server streams must render into a multi-process Chrome
 #     trace (uploaded as a CI artifact).
+#  6. Postmortem drill: a forced panic (X-Chaos-Panic) against an armed
+#     server must write a bundle whose flight ring contains the failing
+#     request's trace ID, and an induced SLO burn must escalate to
+#     critical and write its own bundle; both must validate and render
+#     through cmd/postmortem (summary, HTML, Perfetto trace).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,10 +75,10 @@ go build -o "$workdir/chortled" ./cmd/chortled || fail "building chortled"
 go build -o "$workdir/chortle" ./cmd/chortle || fail "building chortle"
 go run ./cmd/mcnc -opt rot > "$workdir/rot.blif" || fail "generating benchmark"
 
-echo "=== 1/5 race-detected chaos soak (seeded faults, resilient client) ==="
+echo "=== 1/6 race-detected chaos soak (seeded faults, resilient client) ==="
 go test -race -run TestChaosSoak -v ./cmd/chortled/ || fail "chaos soak test"
 
-echo "=== 2/5 snapshot round-trip across SIGTERM + restart ==="
+echo "=== 2/6 snapshot round-trip across SIGTERM + restart ==="
 snap="$workdir/cache.snap"
 start_server first -cache-snapshot "$snap" -snapshot-interval 1h
 cold=$(curl -sf --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4") \
@@ -97,7 +102,7 @@ diff "$workdir/cold.blif" "$workdir/warm.blif" \
     || fail "warm-after-restart BLIF differs from the first process's cold map"
 stop_server
 
-echo "=== 3/5 corrupted snapshot boots cold and still serves ==="
+echo "=== 3/6 corrupted snapshot boots cold and still serves ==="
 python3 - "$snap" <<'EOF'
 import sys
 p = sys.argv[1]
@@ -119,7 +124,7 @@ printf '%s\n' "$metrics" | grep -q '^chortle_snapshot_rejected 1' \
     || fail "/metrics does not count the rejected snapshot"
 stop_server
 
-echo "=== 4/5 resilient CLI client vs chaos-mode server ==="
+echo "=== 4/6 resilient CLI client vs chaos-mode server ==="
 start_server chaos -chaos 42
 "$workdir/chortle" -k 4 -o "$workdir/local.blif" "$workdir/rot.blif" || fail "local map"
 for i in 1 2 3 4 5; do
@@ -133,7 +138,7 @@ printf '%s\n' "$metrics" | grep -q 'chortled_chaos_injected_total' \
     || fail "chaos server injected nothing"
 stop_server
 
-echo "=== 5/5 traced chaos: access log, trace IDs, multi-process timeline ==="
+echo "=== 5/6 traced chaos: access log, trace IDs, multi-process timeline ==="
 go build -o "$workdir/traceview" ./cmd/traceview || fail "building traceview"
 access="$workdir/access.jsonl"
 start_server traced -chaos 42 -access-log "$access"
@@ -219,6 +224,79 @@ if [ -n "${CHAOS_ARTIFACT_DIR:-}" ]; then
     mkdir -p "$CHAOS_ARTIFACT_DIR"
     cp "$timeline" "$access" "$workdir"/client[123].jsonl "$CHAOS_ARTIFACT_DIR/" \
         || fail "copying trace artifacts"
+fi
+
+echo "=== 6/6 postmortem drill: forced panic and SLO burn write renderable bundles ==="
+go build -o "$workdir/postmortem" ./cmd/postmortem || fail "building postmortem"
+
+# wait_bundle <dir> <reason>: polls for a bundle-*-<reason> directory.
+wait_bundle() {
+    local dir=$1 reason=$2
+    bundle=""
+    for _ in $(seq 1 50); do
+        bundle=$(ls -d "$dir"/bundle-*-"$reason" 2>/dev/null | head -1)
+        [ -n "$bundle" ] && return 0
+        sleep 0.2
+    done
+    fail "no bundle-*-$reason appeared in $dir"
+}
+
+# 6a: forced panic. The X-Chaos-Panic header is honored only when
+# -chaos is armed; the 500 must carry a trace ID that lands in the
+# bundle's flight ring.
+pm1="$workdir/pm-panic"
+start_server pmpanic -chaos 42 -postmortem-dir "$pm1"
+hdrs=$(curl -s -D - -o /dev/null -H 'X-Chaos-Panic: 1'     --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4")
+echo "$hdrs" | head -1 | grep -q 500 || fail "forced panic did not answer 500"
+panic_tid=$(echo "$hdrs" | tr -d '\r' | sed -n 's/^X-Trace-Id: //Ip')
+[ -n "$panic_tid" ] || fail "panic 500 carries no X-Trace-Id"
+wait_bundle "$pm1" panic
+panic_bundle=$bundle
+grep -q "$panic_tid" "$panic_bundle/ring.jsonl" \
+    || fail "panic bundle ring does not contain the failing trace $panic_tid"
+stop_server
+
+"$workdir/postmortem" "$panic_bundle" || fail "postmortem summary of panic bundle"
+"$workdir/postmortem" -html "$workdir/panic.html" "$panic_bundle" \
+    || fail "postmortem HTML of panic bundle"
+grep -q "$panic_tid" "$workdir/panic.html" \
+    || fail "panic report does not show the failing trace"
+"$workdir/postmortem" -trace "$workdir/panic-trace.json" "$panic_bundle" \
+    || fail "postmortem Perfetto trace of panic bundle"
+python3 -c '
+import json, sys
+recs = json.load(open(sys.argv[1]))
+assert isinstance(recs, list) and recs, "empty Perfetto trace"
+' "$workdir/panic-trace.json" || fail "panic Perfetto trace invalid"
+
+# 6b: SLO burn. An unmeetable latency objective makes ordinary traffic
+# burn the whole error budget; the next evaluation tick must escalate
+# to critical, stamp responses, and dump a bundle.
+pm2="$workdir/pm-burn"
+start_server pmburn -postmortem-dir "$pm2" \
+    -slo 'availability=99.9,p95_solve_ms=0.000001' -slo-eval 1s
+for i in 1 2 3 4 5; do
+    curl -sf -o /dev/null --data-binary @"$workdir/rot.blif" "http://$addr/map?k=4" \
+        || fail "burn map $i"
+done
+wait_bundle "$pm2" slo-burn
+burn_bundle=$bundle
+slo_status=$(curl -s -D - -o /dev/null --data-binary @"$workdir/rot.blif" \
+    "http://$addr/map?k=4" | tr -d '\r' | sed -n 's/^X-Slo-Status: //Ip')
+[ "$slo_status" = critical ] || fail "burning server did not stamp X-Slo-Status: critical (got '$slo_status')"
+metrics=$(curl -sf "http://$addr/metrics") || fail "scraping /metrics on the burning server"
+printf '%s\n' "$metrics" | grep -q 'chortled_slo_burn_rate' \
+    || fail "/metrics missing chortled_slo_burn_rate"
+stop_server
+"$workdir/postmortem" "$burn_bundle" || fail "postmortem summary of burn bundle"
+grep -q 'p95_solve_ms' "$burn_bundle/slo.json" \
+    || fail "burn bundle slo.json missing the burning objective"
+
+if [ -n "${CHAOS_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$CHAOS_ARTIFACT_DIR"
+    cp -r "$panic_bundle" "$CHAOS_ARTIFACT_DIR/" || fail "copying panic bundle"
+    cp "$workdir/panic.html" "$workdir/panic-trace.json" "$CHAOS_ARTIFACT_DIR/" \
+        || fail "copying postmortem renders"
 fi
 
 echo "chaos harness OK"

@@ -1,0 +1,40 @@
+package chortle
+
+import (
+	"io"
+
+	"chortle/internal/buildinfo"
+	"chortle/internal/metrics"
+)
+
+// BuildVersion returns the build identity: the module version when
+// built from a tagged module, else the VCS revision ("+dirty" when the
+// tree was modified), else "dev".
+func BuildVersion() string { return buildinfo.Version() }
+
+// BuildGoVersion returns the Go toolchain version of the build.
+func BuildGoVersion() string { return buildinfo.GoVersion() }
+
+// BuildEngines returns the comma-joined mapping-engine list this build
+// serves ("tree,mis,cut").
+func BuildEngines() string { return buildinfo.EngineList() }
+
+// PrintVersion writes the canonical one-line -version output for a
+// tool: "<tool> <version> <goversion> engines=tree,mis,cut".
+func PrintVersion(w io.Writer, tool string) { buildinfo.Print(w, tool) }
+
+// RegisterBuildInfo exposes the build identity on a registry as the
+// conventional constant-1 info gauge:
+//
+//	<name>{version="...",goversion="...",engines="tree,mis,cut"} 1
+//
+// Use "chortled_build_info" for the server, "chortle_build_info" for
+// the CLI tools. Joining on it in PromQL tags every other series with
+// the running build.
+func RegisterBuildInfo(reg *MetricsRegistry, name string) {
+	reg.Gauge(name, "Build identity (constant 1; the labels carry the information).",
+		metrics.Label{Key: "version", Value: buildinfo.Version()},
+		metrics.Label{Key: "goversion", Value: buildinfo.GoVersion()},
+		metrics.Label{Key: "engines", Value: buildinfo.EngineList()},
+	).Set(1)
+}
